@@ -1,0 +1,72 @@
+// Ablation: fixed vs adaptive (indegree-proportional) reversion.
+//
+// Section III.A: "Rather than adding a fixed lambda factor of its initial
+// mass, a host adds lambda/2 for every message it receives including the
+// one it sends to itself", which approximately halves reconvergence after
+// failure at an equal error floor (or allows a lower lambda at equal
+// speed). This harness measures both reconvergence time and floor for the
+// two revert modes across lambdas under the correlated-failure workload.
+
+#include <string>
+#include <vector>
+
+#include "agg/push_sum_revert.h"
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "env/uniform_env.h"
+#include "sim/failure.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+#include "sim/round_driver.h"
+
+namespace dynagg {
+namespace {
+
+void Run(int n, uint64_t seed) {
+  const std::vector<double> values = bench::UniformValues(n, seed);
+  CsvTable table({"lambda", "adaptive", "final_stddev",
+                  "rounds_to_recover"});
+  for (const double lambda : {0.01, 0.05, 0.1, 0.25}) {
+    for (const bool adaptive : {false, true}) {
+      PushSumRevertSwarm swarm(
+          values,
+          {.lambda = lambda,
+           .mode = GossipMode::kPush,
+           .revert = adaptive ? RevertMode::kAdaptive : RevertMode::kFixed});
+      UniformEnvironment env(n);
+      Population pop(n);
+      Rng rng(DeriveSeed(seed, static_cast<uint64_t>(lambda * 1e4) +
+                                   (adaptive ? 1 : 0)));
+      const FailurePlan failures =
+          FailurePlan::KillTopFraction(values, 20, 0.5);
+      std::vector<double> series;
+      RunRounds(swarm, env, pop, failures, 140, rng, [&](int) {
+        series.push_back(RmsDeviationOverAlive(
+            pop, TrueAverage(values, pop),
+            [&](HostId id) { return swarm.Estimate(id); }));
+      });
+      const double floor = series.back();
+      const std::vector<double> post(series.begin() + 20, series.end());
+      const int rec = FirstSustainedBelow(post, 1.5 * floor + 0.25);
+      table.AddRow({lambda, adaptive ? 1.0 : 0.0, floor,
+                    static_cast<double>(rec)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace dynagg
+
+int main(int argc, char** argv) {
+  dynagg::bench::Flags flags(argc, argv);
+  const int n = static_cast<int>(flags.Int("hosts", 20000));
+  dynagg::bench::PrintHeader(
+      "Ablation: fixed vs adaptive reversion (push gossip)",
+      {"hosts=" + std::to_string(n) +
+           "; top-valued 50% removed at round 20",
+       "expected: adaptive recovers faster at comparable floors "
+       "(effective lambda doubles for high-indegree hosts)"});
+  dynagg::Run(n, flags.Int("seed", 20090409));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation: Invert-Average vs multiple-insertion summation (Section IV.B).
+//
+// Two ways to compute a dynamic sum: register value v as v sketch
+// identifiers (multiple insertions; sketch must be sized for the value
+// range) or multiply a Count-Sketch-Reset size estimate by a
+// Push-Sum-Revert average (Invert-Average). The paper argues the latter is
+// "significantly less expensive" per summed attribute because the sketch
+// cost is amortized while Push-Sum messages are two doubles. This harness
+// measures accuracy and per-round per-host gossip bytes for both, as the
+// number of simultaneously-summed attributes grows.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "agg/count_sketch_reset.h"
+#include "agg/invert_average.h"
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "env/uniform_env.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+// Push/pull gossip transmits the state in both directions once per
+// initiated exchange; bytes/round/host ~ 2x the serialized state.
+double CsrBytes(const CsrParams& p) {
+  return 2.0 * (p.bins * p.levels + 8);
+}
+double PsrBytes() { return 2.0 * (2 * sizeof(double)); }
+
+void Run(int n, uint64_t seed) {
+  const std::vector<double> values = bench::UniformValues(n, seed);
+  CsvTable table({"attributes", "multi_insert_err_pct",
+                  "multi_insert_bytes", "invert_avg_err_pct",
+                  "invert_avg_bytes"});
+
+  for (const int attributes : {1, 2, 4, 8, 16}) {
+    // --- Multiple insertions: one value-sized sketch per attribute. ------
+    std::vector<int64_t> mults(n);
+    for (int i = 0; i < n; ++i) {
+      mults[i] = static_cast<int64_t>(values[i] + 0.5);
+    }
+    CsrParams mi_params;  // must cover sums up to 100 * n: default levels ok
+    CsrSwarm mi(mults, mi_params);
+    UniformEnvironment env(n);
+    Population pop(n);
+    Rng rng(DeriveSeed(seed, attributes));
+    for (int round = 0; round < 30; ++round) mi.RunRound(env, pop, rng);
+    double truth = 0.0;
+    for (int i = 0; i < n; ++i) truth += static_cast<double>(mults[i]);
+    const double mi_err = std::abs(mi.EstimateCount(0) - truth) / truth;
+    const double mi_bytes = attributes * CsrBytes(mi_params);
+
+    // --- Invert-Average: one shared size sketch + one PSR per attribute. -
+    InvertAverageParams ia_params;
+    ia_params.psr.lambda = 0.01;
+    InvertAverageSwarm ia(values, ia_params);
+    Population pop2(n);
+    Rng rng2(DeriveSeed(seed, 100 + attributes));
+    for (int round = 0; round < 30; ++round) ia.RunRound(env, pop2, rng2);
+    double true_sum = 0.0;
+    for (const double v : values) true_sum += v;
+    const double ia_err = std::abs(ia.EstimateSum(0) - true_sum) / true_sum;
+    const double ia_bytes =
+        CsrBytes(ia_params.csr) + attributes * PsrBytes();
+
+    table.AddRow({static_cast<double>(attributes), 100.0 * mi_err, mi_bytes,
+                  100.0 * ia_err, ia_bytes});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace dynagg
+
+int main(int argc, char** argv) {
+  dynagg::bench::Flags flags(argc, argv);
+  const int n = static_cast<int>(flags.Int("hosts", 10000));
+  dynagg::bench::PrintHeader(
+      "Ablation: Invert-Average vs multiple-insertion sums",
+      {"hosts=" + std::to_string(n) + " values=U[0,100)",
+       "bytes = per-host per-round gossip payload (push/pull, both "
+       "directions) to maintain `attributes` simultaneous sums",
+       "expected: comparable error; Invert-Average bandwidth is ~flat in "
+       "the attribute count while multi-insert scales linearly"});
+  dynagg::Run(n, flags.Int("seed", 20090415));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation: overlay (TAG spanning tree) vs unstructured (Push-Sum-Revert)
+// aggregation under churn.
+//
+// Overlay protocols are efficient but fragile (Sections II.a / VI): a host
+// failing mid-epoch silently drops its whole accumulated subtree. This
+// harness runs both approaches on the same spatial grid under increasing
+// per-round churn and reports each one's error in the leader's / hosts'
+// average estimate. TAG rebuilds its tree each epoch (the best case for
+// TAG — real deployments amortize the tree across epochs).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "agg/push_sum_revert.h"
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "env/spatial_env.h"
+#include "sim/failure.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+#include "tree/spanning_tree.h"
+#include "tree/tag.h"
+
+namespace dynagg {
+namespace {
+
+void Run(int side, uint64_t seed) {
+  const int n = side * side;
+  const std::vector<double> values = bench::UniformValues(n, seed);
+  CsvTable table({"death_prob", "tag_mean_abs_err", "tag_failed_epochs_pct",
+                  "psr_rms"});
+  SpatialGridEnvironment env(side, side);
+
+  for (const double death_prob : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05}) {
+    // --- TAG: repeated epochs under churn. -------------------------------
+    Rng churn_rng(DeriveSeed(seed, static_cast<uint64_t>(death_prob * 1e5)));
+    const int epochs = 30;
+    RunningStat tag_err;
+    int failed_epochs = 0;
+    Population tag_pop(n);
+    int round = 0;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+      // Fresh churn plan segment for the epoch's rounds.
+      const SpanningTree tree = BuildBfsTree(env, tag_pop, /*root=*/0);
+      const FailurePlan churn = FailurePlan::Churn(
+          n, round, round + tree.max_depth + 1, death_prob,
+          /*return_prob=*/death_prob * 4, churn_rng);
+      const TagEpochResult result =
+          RunTagEpoch(tree, values, tag_pop, churn, round);
+      round += tree.max_depth + 1;
+      // Keep the leader alive so epochs stay comparable.
+      tag_pop.Revive(0);
+      if (!result.valid || result.count == 0) {
+        ++failed_epochs;
+        continue;
+      }
+      const double truth = TrueAverage(values, tag_pop);
+      tag_err.Add(std::abs(result.average - truth));
+    }
+
+    // --- Push-Sum-Revert under the same churn process. --------------------
+    PushSumRevertSwarm swarm(
+        values, {.lambda = 0.05, .mode = GossipMode::kPushPull});
+    Population psr_pop(n);
+    Rng rng(DeriveSeed(seed, 77));
+    Rng psr_churn_rng(
+        DeriveSeed(seed, static_cast<uint64_t>(death_prob * 1e5)));
+    const FailurePlan churn = FailurePlan::Churn(
+        n, 0, 200, death_prob, death_prob * 4, psr_churn_rng);
+    RunningStat psr_tail;
+    for (int r = 0; r < 200; ++r) {
+      churn.Apply(r, &psr_pop);
+      psr_pop.Revive(0);
+      swarm.RunRound(env, psr_pop, rng);
+      if (r >= 100) {
+        psr_tail.Add(RmsDeviationOverAlive(
+            psr_pop, TrueAverage(values, psr_pop),
+            [&](HostId id) { return swarm.Estimate(id); }));
+      }
+    }
+
+    table.AddRow({death_prob, tag_err.mean(),
+                  100.0 * failed_epochs / epochs, psr_tail.mean()});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace dynagg
+
+int main(int argc, char** argv) {
+  dynagg::bench::Flags flags(argc, argv);
+  const int side = static_cast<int>(flags.Int("side", 32));
+  dynagg::bench::PrintHeader(
+      "Ablation: TAG tree aggregation vs Push-Sum-Revert under churn",
+      {"grid " + std::to_string(side) + "x" + std::to_string(side) +
+           "; per-round death probability sweep (returns at 4x the rate)",
+       "tag_mean_abs_err: |leader average - truth| over 30 epochs",
+       "psr_rms: steady-state RMS deviation of all hosts",
+       "expected: TAG degrades sharply with churn (subtree loss); gossip "
+       "degrades gracefully"});
+  dynagg::Run(side, flags.Int("seed", 20090414));
+  return 0;
+}

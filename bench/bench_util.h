@@ -1,0 +1,79 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench binary prints a commented header describing the experiment
+// followed by the CSV series the paper plots. Flags use --key=value syntax;
+// unknown flags abort so typos are caught.
+
+#ifndef DYNAGG_BENCH_BENCH_UTIL_H_
+#define DYNAGG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace dynagg {
+namespace bench {
+
+/// Minimal --key=value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  int64_t Int(const std::string& key, int64_t def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::stoll(it->second);
+  }
+  double Double(const std::string& key, double def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::stod(it->second);
+  }
+  bool Bool(const std::string& key, bool def) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    return it->second != "0" && it->second != "false";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Values drawn uniformly from [0, 100), the paper's default workload
+/// ("when hosts are required to have values, the values are selected
+/// uniformly in the range [0,100)", Section V).
+inline std::vector<double> UniformValues(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.UniformDouble(0, 100);
+  return values;
+}
+
+/// Prints "# " prefixed header lines (experiment provenance).
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& lines) {
+  std::printf("# %s\n", title.c_str());
+  for (const auto& line : lines) std::printf("# %s\n", line.c_str());
+}
+
+}  // namespace bench
+}  // namespace dynagg
+
+#endif  // DYNAGG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+// Fig 10 reproduction: accuracy of dynamic averaging under CORRELATED
+// failures.
+//
+// 100,000 hosts, values U[0,100), push/pull gossip. After 20 iterations the
+// *highest-valued* half of the hosts fails, dropping the true average from
+// 50 to ~25. Panel (a): basic Push-Sum-Revert, one series per lambda.
+// Panel (b): the Full-Transfer optimization (4 parcels, window 3).
+// Expected shape (paper): lambda = 0 never recovers (deviation climbs to
+// ~25 and stays); larger lambdas recover faster but level off at a higher
+// floor; Full-Transfer reaches much lower floors — sigma ~2.13 (8.5% of the
+// new average) at lambda = 0.5 and ~0.694 (2.8%) at lambda = 0.1.
+
+#include <string>
+#include <vector>
+
+#include "agg/full_transfer.h"
+#include "agg/push_sum_revert.h"
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "env/uniform_env.h"
+#include "sim/failure.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+#include "sim/round_driver.h"
+
+namespace dynagg {
+namespace {
+
+template <typename Swarm>
+void RunSeries(Swarm& swarm, const std::vector<double>& values, int n,
+               int rounds, int fail_round, double lambda,
+               const std::string& panel, uint64_t seed, CsvTable* table,
+               double* final_rms) {
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(DeriveSeed(seed, 1));
+  const FailurePlan failures =
+      FailurePlan::KillTopFraction(values, fail_round, 0.5);
+  RunRounds(swarm, env, pop, failures, rounds, rng, [&](int round) {
+    const double truth = TrueAverage(values, pop);
+    const double rms = RmsDeviationOverAlive(
+        pop, truth, [&](HostId id) { return swarm.Estimate(id); });
+    table->AddRow(
+        {panel == "a" ? 0.0 : 1.0, static_cast<double>(round + 1), lambda,
+         rms});
+    *final_rms = rms;
+  });
+}
+
+void Run(int n, int rounds, int fail_round, uint64_t seed) {
+  const std::vector<double> values = bench::UniformValues(n, seed);
+  const std::vector<double> lambdas = {0.0, 0.001, 0.01, 0.1, 0.5};
+  CsvTable table({"panel_b", "iteration", "lambda", "stddev"});
+  std::printf("# summary: converged stddev by configuration\n");
+  for (const double lambda : lambdas) {
+    PushSumRevertSwarm basic(
+        values, {.lambda = lambda, .mode = GossipMode::kPushPull});
+    double basic_final = 0.0;
+    RunSeries(basic, values, n, rounds, fail_round, lambda, "a", seed,
+              &table, &basic_final);
+    FullTransferSwarm ft(values,
+                         {.lambda = lambda, .parcels = 4, .window = 3});
+    double ft_final = 0.0;
+    RunSeries(ft, values, n, rounds, fail_round, lambda, "b", seed, &table,
+              &ft_final);
+    std::printf(
+        "# lambda=%.4f basic_final_stddev=%.3f full_transfer_final_stddev="
+        "%.3f (%.2f%% of post-failure average 25)\n",
+        lambda, basic_final, ft_final, 100.0 * ft_final / 25.0);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace dynagg
+
+int main(int argc, char** argv) {
+  dynagg::bench::Flags flags(argc, argv);
+  const int n = static_cast<int>(flags.Int("hosts", 100000));
+  const int rounds = static_cast<int>(flags.Int("rounds", 60));
+  const int fail_round = static_cast<int>(flags.Int("fail_round", 20));
+  dynagg::bench::PrintHeader(
+      "Fig 10: dynamic averaging under correlated failures",
+      {"hosts=" + std::to_string(n) +
+           " values=U[0,100); top-valued 50% removed at iteration " +
+           std::to_string(fail_round),
+       "panel_b=0: basic Push-Sum-Revert (push/pull)",
+       "panel_b=1: Full-Transfer optimization (4 parcels, window 3)",
+       "series: stddev from the live average, per lambda"});
+  dynagg::Run(n, rounds, fail_round, flags.Int("seed", 20090402));
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Microbenchmarks of the per-round protocol primitives (google-benchmark).
+//
+// These quantify the per-host cost of each protocol step — the quantities a
+// deployment would budget against radio and CPU duty cycles: mass
+// exchanges, counter aging/merging, sketch estimation and payload
+// serialization.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "agg/aggregator.h"
+#include "agg/count_sketch_reset.h"
+#include "agg/fm_sketch.h"
+#include "agg/push_sum.h"
+#include "agg/push_sum_revert.h"
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+void BM_PushSumExchange(benchmark::State& state) {
+  PushSumNode a;
+  PushSumNode b;
+  a.Init(1.0);
+  b.Init(2.0);
+  for (auto _ : state) {
+    PushSumNode::Exchange(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_PushSumExchange);
+
+void BM_PushSumSwarmRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> values(n, 1.0);
+  PushSumSwarm swarm(values, GossipMode::kPushPull);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    swarm.RunRound(env, pop, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PushSumSwarmRound)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PsrSwarmRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> values(n, 1.0);
+  PushSumRevertSwarm swarm(values,
+                           {.lambda = 0.01, .mode = GossipMode::kPushPull});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    swarm.RunRound(env, pop, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PsrSwarmRound)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CsrAgeCounters(benchmark::State& state) {
+  CountSketchResetNode node;
+  node.Init(CsrParams{}, 1, 1);
+  for (auto _ : state) {
+    node.AgeCounters();
+    benchmark::DoNotOptimize(node);
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * 24);
+}
+BENCHMARK(BM_CsrAgeCounters);
+
+void BM_CsrExchangeMerge(benchmark::State& state) {
+  CountSketchResetNode a;
+  CountSketchResetNode b;
+  a.Init(CsrParams{}, 1, 1);
+  b.Init(CsrParams{}, 2, 1);
+  for (auto _ : state) {
+    CountSketchResetNode::ExchangeMerge(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * 24 * 2);
+}
+BENCHMARK(BM_CsrExchangeMerge);
+
+void BM_CsrEstimate(benchmark::State& state) {
+  CountSketchResetNode node;
+  node.Init(CsrParams{}, 1, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.EstimateCount());
+  }
+}
+BENCHMARK(BM_CsrEstimate);
+
+void BM_CsrSwarmRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int64_t> ones(n, 1);
+  CsrSwarm swarm(ones, CsrParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    swarm.RunRound(env, pop, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CsrSwarmRound)->Arg(1000)->Arg(10000);
+
+void BM_FmSketchInsert(benchmark::State& state) {
+  FmSketch sketch(64, 32);
+  uint64_t id = 0;
+  for (auto _ : state) {
+    sketch.InsertObject(++id, 7);
+    benchmark::DoNotOptimize(sketch);
+  }
+}
+BENCHMARK(BM_FmSketchInsert);
+
+void BM_AggregatorRoundTrip(benchmark::State& state) {
+  AggregatorConfig config;
+  NodeAggregator a(1, 10.0, config);
+  NodeAggregator b(2, 20.0, config);
+  for (auto _ : state) {
+    const auto request = a.BeginRound();
+    b.BeginRound();
+    auto reply = b.HandleMessage(request);
+    benchmark::DoNotOptimize(a.HandleReply(*reply));
+    a.EndRound();
+    b.EndRound();
+  }
+}
+BENCHMARK(BM_AggregatorRoundTrip);
+
+}  // namespace
+}  // namespace dynagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Crowd-size estimation with Count-Sketch-Reset.
+//
+// A venue wants a live head-count of wireless devices present, without a
+// coordinator and without devices signing off (people just walk out, which
+// is a silent failure). Every present device runs Count-Sketch-Reset; the
+// estimate at any device tracks the *current* crowd because bits stop being
+// sourced when their owners leave and age out past the cutoff f(k).
+//
+// The demo sweeps the venue through a day: doors open, rush hour, gradual
+// emptying — and prints the estimate at one long-lived device against the
+// true occupancy, plus what a static (no-cutoff) sketch would have claimed.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "agg/count_sketch_reset.h"
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "sim/population.h"
+
+int main() {
+  using namespace dynagg;
+
+  const int capacity = 2000;  // device universe
+  const std::vector<int64_t> ones(capacity, 1);
+
+  CsrParams dynamic_params;  // cutoff f(k) = 7 + k/4 (paper defaults)
+  CsrParams static_params;
+  static_params.cutoff_enabled = false;
+
+  CsrSwarm dynamic_sketch(ones, dynamic_params);
+  CsrSwarm static_sketch(ones, static_params);
+  UniformEnvironment env(capacity);
+  Population pop(capacity);
+  Rng rng(3);
+
+  // Start nearly empty: only staff (devices 0..49) are present.
+  for (HostId id = 50; id < capacity; ++id) pop.Kill(id);
+
+  // Occupancy schedule: (round, target occupancy).
+  const std::vector<std::pair<int, int>> schedule = {
+      {0, 50},     // staff only
+      {30, 400},   // doors open
+      {60, 1600},  // rush hour
+      {120, 900},  // thinning out
+      {160, 200},  // late evening
+      {200, 50},   // closing: staff only
+  };
+
+  auto adjust_to = [&](int target) {
+    while (pop.num_alive() > target) {
+      const HostId leaving = pop.SampleAlive(rng);
+      if (leaving > 0) pop.Kill(leaving);  // device 0 is the display board
+    }
+    for (HostId id = 1; id < capacity && pop.num_alive() < target; ++id) {
+      if (!pop.IsAlive(id)) pop.Revive(id);
+    }
+  };
+
+  std::printf("round  occupancy  dynamic_estimate  static_estimate\n");
+  size_t next = 0;
+  for (int round = 0; round <= 240; ++round) {
+    if (next < schedule.size() && round == schedule[next].first) {
+      adjust_to(schedule[next].second);
+      ++next;
+    }
+    dynamic_sketch.RunRound(env, pop, rng);
+    static_sketch.RunRound(env, pop, rng);
+    if (round % 15 == 0) {
+      std::printf("%5d  %9d  %16.0f  %15.0f\n", round, pop.num_alive(),
+                  dynamic_sketch.EstimateCount(0),
+                  static_sketch.EstimateCount(0));
+    }
+  }
+  std::printf(
+      "\nThe dynamic estimate follows the crowd both up and down; the\n"
+      "static sketch can only ratchet upward (it never forgets leavers).\n");
+  return 0;
+}

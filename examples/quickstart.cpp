@@ -1,0 +1,51 @@
+// Quickstart: maintain a running average over a 100-host gossip network.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The demo runs Push-Sum-Revert (the paper's dynamic averaging protocol)
+// over a fully-connected gossip environment, then kills half the hosts and
+// shows the estimate re-converging to the survivors' average — the
+// behaviour that distinguishes dynamic from static aggregation.
+
+#include <cstdio>
+#include <vector>
+
+#include "agg/push_sum_revert.h"
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+
+int main() {
+  using namespace dynagg;
+
+  // 100 hosts; host i holds the value i (true average: 49.5).
+  const int n = 100;
+  std::vector<double> values(n);
+  for (int i = 0; i < n; ++i) values[i] = i;
+
+  // lambda trades adaptation speed against accuracy; push/pull halves
+  // convergence time versus plain push gossip.
+  PushSumRevertSwarm swarm(values,
+                           {.lambda = 0.05, .mode = GossipMode::kPushPull});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(/*seed=*/1);
+
+  std::printf("round  host0_estimate  true_average\n");
+  for (int round = 1; round <= 80; ++round) {
+    if (round == 21) {
+      // Hosts 50..99 silently leave; the true average drops to 24.5.
+      for (HostId id = 50; id < 100; ++id) pop.Kill(id);
+      std::printf("-- hosts 50..99 departed silently --\n");
+    }
+    swarm.RunRound(env, pop, rng);
+    if (round % 4 == 0 || round == 21) {
+      std::printf("%5d  %14.2f  %12.2f\n", round, swarm.Estimate(0),
+                  TrueAverage(values, pop));
+    }
+  }
+  return 0;
+}

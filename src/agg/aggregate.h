@@ -1,0 +1,36 @@
+// Shared aggregation-protocol types and constants.
+
+#ifndef DYNAGG_AGG_AGGREGATE_H_
+#define DYNAGG_AGG_AGGREGATE_H_
+
+namespace dynagg {
+
+/// Gossip interaction style (Demers et al. taxonomy, Section VI):
+///  - kPush: each host pushes half of its mass to one random peer per round
+///    (Kempe et al.'s original Push-Sum, Fig 1 / Fig 3);
+///  - kPushPull: the contacted pair exchanges and equalizes state, i.e. each
+///    host "exports (or imports) half the difference between its own mass
+///    and the mass of its communications peer" (Section III.A). The
+///    evaluation's uniform-gossip figures use this mode.
+enum class GossipMode {
+  kPush,
+  kPushPull,
+};
+
+/// Reversion style for Push-Sum-Revert (Section III.A):
+///  - kFixed: add a fixed lambda fraction of the initial mass once per round;
+///  - kAdaptive: add lambda/2 of the initial mass per message received
+///    (including the self-message), so high-indegree hosts revert harder and
+///    reconvergence is roughly halved under uniform value distributions.
+enum class RevertMode {
+  kFixed,
+  kAdaptive,
+};
+
+/// Flajolet-Martin bias constant phi: E[R] ~ log2(phi * n), hence
+/// n ~ 2^R / phi (and (m/phi) * 2^{avg R} with m-bin stochastic averaging).
+inline constexpr double kFmPhi = 0.77351;
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_AGG_AGGREGATE_H_

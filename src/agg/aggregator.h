@@ -1,0 +1,103 @@
+// NodeAggregator: the embeddable per-device API.
+//
+// This is the paper's deployment story (Section I): each wireless device
+// runs one aggregator that continuously maintains estimates of the group
+// average, group size and group sum over whoever is nearby, with no leader,
+// routing infrastructure, membership list, or departure detection. It
+// composes Push-Sum-Revert (average) with Count-Sketch-Reset (size) and
+// reports sums via Invert-Average. Gossip payloads are serialized byte
+// buffers, so applications wire it directly onto their radio layer:
+//
+//   // every gossip period, on each device:
+//   auto payload = agg.BeginRound();
+//   if (auto peer = PickSomeoneInRange()) {
+//     auto reply = peer->agg.HandleMessage(payload);   // on the peer
+//     if (reply.ok()) agg.HandleReply(*reply);         // back home
+//   }
+//   agg.EndRound();
+
+#ifndef DYNAGG_AGG_AGGREGATOR_H_
+#define DYNAGG_AGG_AGGREGATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/count_sketch_reset.h"
+#include "agg/push_sum_revert.h"
+#include "common/status.h"
+
+namespace dynagg {
+
+/// NodeAggregator configuration.
+struct AggregatorConfig {
+  /// Push-Sum-Revert reversion constant.
+  double lambda = 0.01;
+  /// Count-Sketch-Reset geometry and cutoff.
+  CsrParams csr;
+  /// Identifiers registered per device for the size estimate. Multiple
+  /// identifiers reduce sketch variance in small groups (Fig 11 uses 100).
+  int64_t count_multiplicity = 100;
+};
+
+class NodeAggregator {
+ public:
+  /// `device_id` must be unique across devices (e.g. a MAC address hash);
+  /// `local_value` is this device's contribution to the average/sum.
+  NodeAggregator(uint64_t device_id, double local_value,
+                 const AggregatorConfig& config);
+
+  uint64_t device_id() const { return device_id_; }
+  double local_value() const { return psr_.initial_value(); }
+
+  /// Updates the local reading; the aggregator reverts toward the new value
+  /// from the next round on.
+  void SetLocalValue(double value) { psr_.SetLocalValue(value); }
+
+  /// Starts a gossip round: returns the request payload to send to one
+  /// in-range peer. Safe to call when no peer is in range — simply discard
+  /// the payload.
+  std::vector<uint8_t> BeginRound();
+
+  /// Processes a request payload received from a peer and returns the reply
+  /// payload (push/pull). Errors indicate a malformed or incompatible
+  /// payload, which the caller should drop.
+  Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>& payload);
+
+  /// Processes the reply to this round's request.
+  Status HandleReply(const std::vector<uint8_t>& payload);
+
+  /// Finishes the round: applies the reversion step and ages the size
+  /// sketch. Must be called exactly once per gossip period, after all of
+  /// the period's HandleMessage/HandleReply merges.
+  void EndRound();
+
+  /// Estimated average of local values across the current group.
+  double AverageEstimate() const { return psr_.Estimate(); }
+  /// Estimated number of devices in the current group.
+  double CountEstimate() const;
+  /// Estimated sum of local values across the current group
+  /// (Invert-Average: count x average).
+  double SumEstimate() const {
+    return CountEstimate() * AverageEstimate();
+  }
+
+  const PushSumRevertNode& psr_node() const { return psr_; }
+  const CountSketchResetNode& csr_node() const { return csr_; }
+
+ private:
+  enum class MsgType : uint8_t { kRequest = 1, kReply = 2 };
+
+  std::vector<uint8_t> SerializeState(MsgType type, const Mass& mass) const;
+  Status MergeIncoming(const std::vector<uint8_t>& payload, MsgType expected,
+                       Mass* incoming_mass);
+
+  uint64_t device_id_;
+  AggregatorConfig config_;
+  PushSumRevertNode psr_;
+  CountSketchResetNode csr_;
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_AGG_AGGREGATOR_H_

@@ -1,0 +1,49 @@
+#include "agg/count_sketch.h"
+
+#include "common/hash.h"
+#include "sim/round_driver.h"
+
+namespace dynagg {
+
+void CountSketchNode::Init(const CountSketchParams& params, uint64_t host_key,
+                           int64_t multiplicity) {
+  DYNAGG_CHECK_GE(multiplicity, 0);
+  sketch_ = FmSketch(params.bins, params.levels);
+  // Object ids must be globally unique across hosts so that sums add up:
+  // (host_key, index) pairs hashed together provide that.
+  for (int64_t idx = 0; idx < multiplicity; ++idx) {
+    const uint64_t object_id =
+        HashCombine(host_key, static_cast<uint64_t>(idx));
+    sketch_.InsertObject(object_id, params.hash_seed);
+  }
+}
+
+CountSketchSwarm::CountSketchSwarm(
+    const std::vector<int64_t>& multiplicities,
+    const CountSketchParams& params)
+    : nodes_(multiplicities.size()), params_(params) {
+  for (size_t i = 0; i < multiplicities.size(); ++i) {
+    nodes_[i].Init(params_, /*host_key=*/i, multiplicities[i]);
+  }
+}
+
+void CountSketchSwarm::RunRound(const Environment& env, const Population& pop,
+                                Rng& rng) {
+  ShuffledAliveOrder(pop, rng, &order_);
+  for (const HostId i : order_) {
+    const HostId peer = env.SamplePeer(i, pop, rng);
+    if (peer == kInvalidHost) continue;
+    if (meter_ != nullptr) {
+      meter_->RecordMessage(nodes_[i].sketch().SerializedBytes());
+    }
+    nodes_[peer].Merge(nodes_[i].sketch());
+    if (params_.mode == GossipMode::kPushPull) {
+      if (meter_ != nullptr) {
+        meter_->RecordMessage(nodes_[peer].sketch().SerializedBytes());
+      }
+      nodes_[i].Merge(nodes_[peer].sketch());
+    }
+  }
+}
+
+}  // namespace dynagg

@@ -1,0 +1,91 @@
+// Count-Sketch: Considine et al.'s static gossip counting/summation
+// (Section II.B, Fig 2).
+//
+// Every host seeds an FM sketch with its own objects — one object for
+// counting hosts, v objects for registering a value v (the "multiple
+// insertions" sum technique, Section IV.B). Rounds exchange sketches and
+// OR-merge them; duplicate insensitivity makes the estimate stable under
+// arbitrary re-delivery. The estimate is monotone: host departures are
+// never forgotten, which is exactly the limitation Count-Sketch-Reset
+// removes.
+
+#ifndef DYNAGG_AGG_COUNT_SKETCH_H_
+#define DYNAGG_AGG_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "agg/fm_sketch.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "env/environment.h"
+#include "sim/bandwidth.h"
+#include "sim/population.h"
+
+namespace dynagg {
+
+/// Static Count-Sketch configuration.
+struct CountSketchParams {
+  /// Stochastic-averaging bins m (64 -> ~9.7% expected error).
+  int bins = 64;
+  /// Bit-string length per bin.
+  int levels = 32;
+  GossipMode mode = GossipMode::kPushPull;
+  /// Hash seed shared by all hosts (the sketch hash function).
+  uint64_t hash_seed = 0x5eedc0de5eedc0deull;
+};
+
+/// Per-host static Count-Sketch state.
+class CountSketchNode {
+ public:
+  CountSketchNode() : sketch_(1, 1) {}
+
+  /// (Re)initializes and registers `multiplicity` objects derived from
+  /// `host_key` (1 = count hosts; v = register value v for sums).
+  void Init(const CountSketchParams& params, uint64_t host_key,
+            int64_t multiplicity);
+
+  const FmSketch& sketch() const { return sketch_; }
+  FmSketch* mutable_sketch() { return &sketch_; }
+
+  /// Merges a received sketch (OR).
+  void Merge(const FmSketch& other) { sketch_.MergeOr(other); }
+
+  double EstimateCount() const { return sketch_.EstimateCount(); }
+
+ private:
+  FmSketch sketch_;
+};
+
+/// A population of static Count-Sketch nodes.
+class CountSketchSwarm {
+ public:
+  /// `multiplicities[i]` objects are registered for host i.
+  CountSketchSwarm(const std::vector<int64_t>& multiplicities,
+                   const CountSketchParams& params);
+
+  /// One gossip iteration: push sends the sketch to one peer; push/pull also
+  /// merges the peer's sketch back.
+  void RunRound(const Environment& env, const Population& pop, Rng& rng);
+
+  /// Estimate of the total number of registered objects visible to host id.
+  double EstimateCount(HostId id) const {
+    return nodes_[id].EstimateCount();
+  }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const CountSketchNode& node(HostId id) const { return nodes_[id]; }
+
+  /// Optionally records over-the-air traffic (serialized sketch sizes).
+  void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
+
+ private:
+  std::vector<CountSketchNode> nodes_;
+  CountSketchParams params_;
+  TrafficMeter* meter_ = nullptr;
+  std::vector<HostId> order_;  // scratch
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_AGG_COUNT_SKETCH_H_

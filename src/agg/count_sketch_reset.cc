@@ -1,0 +1,178 @@
+#include "agg/count_sketch_reset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "sim/round_driver.h"
+
+namespace dynagg {
+
+void CountSketchResetNode::Init(const CsrParams& params, uint64_t host_key,
+                                int64_t multiplicity) {
+  DYNAGG_CHECK_GE(params.bins, 1);
+  DYNAGG_CHECK_GE(params.levels, 1);
+  DYNAGG_CHECK_LE(params.levels, kCsrMaxLevels);
+  DYNAGG_CHECK_GE(multiplicity, 0);
+  bins_ = params.bins;
+  levels_ = params.levels;
+  cutoff_enabled_ = params.cutoff_enabled;
+  for (int k = 0; k < levels_; ++k) {
+    const double f = params.cutoff_base + params.cutoff_slope * k;
+    const double clamped = std::clamp(f, 0.0, double{kCsrCounterCap});
+    cutoff_[k] = static_cast<uint8_t>(clamped);
+  }
+  counters_.assign(static_cast<size_t>(bins_) * levels_, kCsrInfinity);
+  owned_.clear();
+  // Owned slots use the same deterministic placement as the static
+  // Count-Sketch, so both protocols register identical object populations
+  // (this is exploited by the cross-validation tests).
+  for (int64_t idx = 0; idx < multiplicity; ++idx) {
+    const uint64_t object_id =
+        HashCombine(host_key, static_cast<uint64_t>(idx));
+    const SketchSlot slot =
+        SketchPlace(object_id, params.hash_seed, bins_, levels_ - 1);
+    owned_.push_back(slot.bin * levels_ + slot.level);
+  }
+  std::sort(owned_.begin(), owned_.end());
+  owned_.erase(std::unique(owned_.begin(), owned_.end()), owned_.end());
+  for (const int32_t offset : owned_) counters_[offset] = 0;
+}
+
+void CountSketchResetNode::AgeCounters() {
+  // Branch-free saturating increment: values below the cap advance, the cap
+  // and the infinity sentinel stay. Owned slots are restored afterwards
+  // (cheaper than testing membership per byte; the loop vectorizes).
+  for (auto& c : counters_) c += (c < kCsrCounterCap) ? 1 : 0;
+  for (const int32_t offset : owned_) counters_[offset] = 0;
+}
+
+void CountSketchResetNode::MergeFrom(const CountSketchResetNode& other) {
+  DYNAGG_CHECK_EQ(bins_, other.bins_);
+  DYNAGG_CHECK_EQ(levels_, other.levels_);
+  const size_t n = counters_.size();
+  for (size_t i = 0; i < n; ++i) {
+    counters_[i] = std::min(counters_[i], other.counters_[i]);
+  }
+}
+
+void CountSketchResetNode::ExchangeMerge(CountSketchResetNode& a,
+                                         CountSketchResetNode& b) {
+  DYNAGG_CHECK_EQ(a.bins_, b.bins_);
+  DYNAGG_CHECK_EQ(a.levels_, b.levels_);
+  const size_t n = a.counters_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t m = std::min(a.counters_[i], b.counters_[i]);
+    a.counters_[i] = m;
+    b.counters_[i] = m;
+  }
+}
+
+bool CountSketchResetNode::BitSet(int bin, int level) const {
+  const uint8_t c = counter(bin, level);
+  if (cutoff_enabled_) return c <= cutoff_[level];
+  return c != kCsrInfinity;
+}
+
+int CountSketchResetNode::RunLength(int bin) const {
+  int run = 0;
+  while (run < levels_ && BitSet(bin, run)) ++run;
+  return run;
+}
+
+double CountSketchResetNode::EstimateCount() const {
+  double total_run = 0.0;
+  for (int b = 0; b < bins_; ++b) total_run += RunLength(b);
+  const double mean_run = total_run / bins_;
+  return static_cast<double>(bins_) / kFmPhi * std::exp2(mean_run);
+}
+
+FmSketch CountSketchResetNode::DeriveBits() const {
+  FmSketch bits(bins_, levels_);
+  for (int b = 0; b < bins_; ++b) {
+    for (int k = 0; k < levels_; ++k) {
+      if (BitSet(b, k)) bits.InsertSlot(b, k);
+    }
+  }
+  return bits;
+}
+
+namespace {
+int VarintLength(uint64_t v) {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+}  // namespace
+
+int64_t CountSketchResetNode::SerializedBytes() const {
+  const auto payload = static_cast<uint64_t>(counters_.size());
+  return VarintLength(static_cast<uint64_t>(bins_)) +
+         VarintLength(static_cast<uint64_t>(levels_)) +
+         VarintLength(payload) + static_cast<int64_t>(payload);
+}
+
+void CountSketchResetNode::Serialize(BufWriter* out) const {
+  out->PutVarint(static_cast<uint64_t>(bins_));
+  out->PutVarint(static_cast<uint64_t>(levels_));
+  out->PutBytes(std::string_view(
+      reinterpret_cast<const char*>(counters_.data()), counters_.size()));
+}
+
+Status CountSketchResetNode::MergeSerialized(BufReader* in) {
+  uint64_t bins = 0;
+  uint64_t levels = 0;
+  DYNAGG_RETURN_IF_ERROR(in->ReadVarint(&bins));
+  DYNAGG_RETURN_IF_ERROR(in->ReadVarint(&levels));
+  if (static_cast<int>(bins) != bins_ ||
+      static_cast<int>(levels) != levels_) {
+    return Status::InvalidArgument("CSR: geometry mismatch");
+  }
+  std::vector<uint8_t> incoming;
+  DYNAGG_RETURN_IF_ERROR(in->ReadBytes(&incoming));
+  if (incoming.size() != counters_.size()) {
+    return Status::Corruption("CSR: counter payload size mismatch");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] = std::min(counters_[i], incoming[i]);
+  }
+  return Status::OK();
+}
+
+CsrSwarm::CsrSwarm(const std::vector<int64_t>& multiplicities,
+                   const CsrParams& params)
+    : nodes_(multiplicities.size()), params_(params) {
+  for (size_t i = 0; i < multiplicities.size(); ++i) {
+    nodes_[i].Init(params_, /*host_key=*/i, multiplicities[i]);
+  }
+}
+
+void CsrSwarm::RunRound(const Environment& env, const Population& pop,
+                        Rng& rng) {
+  // Fig 5 phase 1: all hosts age their counters.
+  for (const HostId i : pop.alive_ids()) nodes_[i].AgeCounters();
+  // Phase 2: exchanges, applied sequentially in shuffled order (min-merge is
+  // idempotent and monotone, so in-round ordering only affects the speed of
+  // information spread, not the converged state).
+  ShuffledAliveOrder(pop, rng, &order_);
+  for (const HostId i : order_) {
+    const HostId peer = env.SamplePeer(i, pop, rng);
+    if (peer == kInvalidHost) continue;
+    if (meter_ != nullptr) {
+      meter_->RecordMessage(nodes_[i].SerializedBytes());
+    }
+    if (params_.mode == GossipMode::kPushPull) {
+      if (meter_ != nullptr) {
+        meter_->RecordMessage(nodes_[peer].SerializedBytes());
+      }
+      CountSketchResetNode::ExchangeMerge(nodes_[i], nodes_[peer]);
+    } else {
+      nodes_[peer].MergeFrom(nodes_[i]);
+    }
+  }
+}
+
+}  // namespace dynagg

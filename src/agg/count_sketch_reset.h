@@ -1,0 +1,161 @@
+// Count-Sketch-Reset: dynamic distributed counting (Section IV.A, Fig 5).
+//
+// Static counting sketches cannot self-heal: a bit, once set, may be sourced
+// by any number of hosts, so no host can locally decide that its sourcing
+// population has departed. Count-Sketch-Reset replaces each bit with an age
+// counter N[n][k]:
+//   - every host owns the slots it would have set in the static sketch and
+//     pins their counters to 0;
+//   - each round every non-owned counter is incremented, then gossip
+//     exchanges take the elementwise minimum;
+//   - a slot's *bit* is considered set iff its counter is at most the cutoff
+//     f(k) = cutoff_base + cutoff_slope * k (paper: 7 + k/4 under uniform
+//     gossip).
+// A counter therefore measures the gossip age of the youngest message from
+// any live owner. Because the number of owners of level k scales as
+// n / 2^(k+1), the expected propagation age grows linearly in k and is
+// *independent of network size* — which is what makes the timeout
+// network-size-agnostic (Section IV). When every owner of a slot departs,
+// its counters age past f(k) everywhere and the slot decays out within
+// ~f(k) rounds (Fig 9).
+
+#ifndef DYNAGG_AGG_COUNT_SKETCH_RESET_H_
+#define DYNAGG_AGG_COUNT_SKETCH_RESET_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "agg/fm_sketch.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/wire.h"
+#include "env/environment.h"
+#include "sim/bandwidth.h"
+#include "sim/population.h"
+
+namespace dynagg {
+
+/// Counter value meaning "never heard" (infinity in Fig 5).
+inline constexpr uint8_t kCsrInfinity = 255;
+/// Counters saturate here so they can never roll into the sentinel.
+inline constexpr uint8_t kCsrCounterCap = 254;
+/// Upper bound on levels so nodes can keep the cutoff table inline.
+inline constexpr int kCsrMaxLevels = 32;
+
+/// Count-Sketch-Reset configuration.
+struct CsrParams {
+  /// Stochastic-averaging bins m (64 -> ~9.7% expected error).
+  int bins = 64;
+  /// Counter levels per bin (k in [0, levels)). Must be <= kCsrMaxLevels.
+  int levels = 24;
+  /// Cutoff f(k) = cutoff_base + cutoff_slope * k. The paper derives
+  /// 7 + k/4 experimentally for uniform gossip (Fig 6).
+  double cutoff_base = 7.0;
+  double cutoff_slope = 0.25;
+  /// With the cutoff disabled any finite counter counts as a set bit: the
+  /// protocol degenerates to static Count-Sketch ("propagation limiting
+  /// off" in Fig 9 / "reversion off" in Fig 11).
+  bool cutoff_enabled = true;
+  GossipMode mode = GossipMode::kPushPull;
+  /// Hash seed shared by all hosts.
+  uint64_t hash_seed = 0x5eedc0de5eedc0deull;
+};
+
+/// Per-host Count-Sketch-Reset state machine. Self-contained (carries its
+/// geometry and cutoff table) so applications can embed it directly.
+class CountSketchResetNode {
+ public:
+  CountSketchResetNode() = default;
+
+  /// (Re)initializes: all counters at infinity except the `multiplicity`
+  /// owned slots (derived deterministically from `host_key`), which are
+  /// pinned to 0. multiplicity = 1 counts hosts; = v registers value v.
+  void Init(const CsrParams& params, uint64_t host_key, int64_t multiplicity);
+
+  /// Fig 5 step 2: increments every non-owned counter (saturating), keeping
+  /// owned slots at 0.
+  void AgeCounters();
+
+  /// Fig 5 step 5: elementwise minimum with a received array.
+  void MergeFrom(const CountSketchResetNode& other);
+
+  /// Push/pull variant: both arrays become the elementwise minimum.
+  static void ExchangeMerge(CountSketchResetNode& a, CountSketchResetNode& b);
+
+  /// Fig 5 steps 6-7: derive bits via the cutoff and apply the FM estimate
+  /// (m / phi) * 2^{avg R}. Returns the estimated number of *objects*;
+  /// callers registering multiplicity v divide accordingly.
+  double EstimateCount() const;
+
+  /// Run of set bits from level 0 in `bin` under the cutoff rule.
+  int RunLength(int bin) const;
+
+  int bins() const { return bins_; }
+  int levels() const { return levels_; }
+  uint8_t counter(int bin, int level) const {
+    return counters_[static_cast<size_t>(bin) * levels_ + level];
+  }
+  const std::vector<uint8_t>& counters() const { return counters_; }
+  const std::vector<int32_t>& owned_slots() const { return owned_; }
+  /// Whether (bin, level)'s bit is set under the cutoff rule.
+  bool BitSet(int bin, int level) const;
+
+  /// Derives the equivalent bit sketch (diagnostics / tests).
+  FmSketch DeriveBits() const;
+
+  /// Size in bytes of the Serialize output (over-the-air payload size).
+  int64_t SerializedBytes() const;
+
+  /// Serializes the counter array (geometry + raw bytes). Owned slots are
+  /// host-local and not part of the wire format.
+  void Serialize(BufWriter* out) const;
+  /// Merges a serialized counter array into this node (geometry must
+  /// match). This is the receive path of the facade API.
+  Status MergeSerialized(BufReader* in);
+
+ private:
+  int bins_ = 0;
+  int levels_ = 0;
+  bool cutoff_enabled_ = true;
+  std::array<uint8_t, kCsrMaxLevels> cutoff_{};  // f(k), clamped to cap
+  std::vector<uint8_t> counters_;                // bins_ x levels_
+  std::vector<int32_t> owned_;                   // sorted flat offsets
+};
+
+/// A population of Count-Sketch-Reset nodes.
+class CsrSwarm {
+ public:
+  /// `multiplicities[i]` objects are registered for host i.
+  CsrSwarm(const std::vector<int64_t>& multiplicities,
+           const CsrParams& params);
+
+  /// One gossip iteration: all alive hosts age their counters, then each
+  /// initiates one exchange (min-merge; bidirectional under push/pull).
+  void RunRound(const Environment& env, const Population& pop, Rng& rng);
+
+  /// Estimated number of registered objects visible to host id.
+  double EstimateCount(HostId id) const {
+    return nodes_[id].EstimateCount();
+  }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const CsrParams& params() const { return params_; }
+  const CountSketchResetNode& node(HostId id) const { return nodes_[id]; }
+  CountSketchResetNode& node(HostId id) { return nodes_[id]; }
+
+  /// Optionally records over-the-air traffic (serialized counter arrays).
+  void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
+
+ private:
+  std::vector<CountSketchResetNode> nodes_;
+  CsrParams params_;
+  TrafficMeter* meter_ = nullptr;
+  std::vector<HostId> order_;  // scratch
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_AGG_COUNT_SKETCH_RESET_H_

@@ -1,0 +1,43 @@
+#include "agg/epoch_push_sum.h"
+
+#include "common/macros.h"
+#include "sim/round_driver.h"
+
+namespace dynagg {
+
+EpochPushSumSwarm::EpochPushSumSwarm(const std::vector<double>& values,
+                                     const EpochParams& params,
+                                     const std::vector<int>& phases)
+    : nodes_(values.size()), params_(params) {
+  DYNAGG_CHECK_GT(params_.epoch_length, 0);
+  DYNAGG_CHECK(phases.empty() || phases.size() == values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const int phase = phases.empty() ? 0 : phases[i] % params_.epoch_length;
+    nodes_[i].Init(values[i], phase);
+  }
+}
+
+void EpochPushSumSwarm::RunRound(const Environment& env,
+                                 const Population& pop, Rng& rng) {
+  ShuffledAliveOrder(pop, rng, &order_);
+  for (const HostId i : order_) {
+    const HostId peer = env.SamplePeer(i, pop, rng);
+    if (peer == kInvalidHost) continue;
+    EpochPushSumNode& a = nodes_[i];
+    EpochPushSumNode& b = nodes_[peer];
+    if (a.epoch() == b.epoch()) {
+      PushSumNode::Exchange(a.state(), b.state());
+    } else if (a.epoch() < b.epoch()) {
+      // The laggard loses its in-progress mass and joins the newer epoch;
+      // no aggregation value is exchanged this round.
+      a.AdvanceToEpoch(b.epoch());
+    } else {
+      b.AdvanceToEpoch(a.epoch());
+    }
+  }
+  for (const HostId i : pop.alive_ids()) {
+    nodes_[i].Tick(params_.epoch_length);
+  }
+}
+
+}  // namespace dynagg

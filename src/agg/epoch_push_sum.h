@@ -1,0 +1,129 @@
+// Epoch-based Push-Sum: the "simplest form of dynamic aggregation"
+// (Section II.C), implemented as a baseline.
+//
+// The network periodically resets the aggregation to its initial state.
+// Without a leader this relies on weak clock synchronization: every message
+// carries an epoch counter; a host that sees a higher epoch abandons its
+// in-progress state, adopts the epoch, and restarts from its initial value.
+// The estimate reported between resets is the snapshot taken when the
+// previous epoch completed.
+//
+// The paper's critique, which ablation_epoch quantifies: the optimal epoch
+// length is tied to the (unknown) network size — too short and the protocol
+// resets before converging; too long and results are needlessly coarse —
+// and mobile hosts migrating between cliques carry mismatched epoch numbers
+// that disrupt the destination clique's computation.
+
+#ifndef DYNAGG_AGG_EPOCH_PUSH_SUM_H_
+#define DYNAGG_AGG_EPOCH_PUSH_SUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "agg/push_sum.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "env/environment.h"
+#include "sim/population.h"
+
+namespace dynagg {
+
+/// Epoch-based Push-Sum configuration.
+struct EpochParams {
+  /// Local rounds per epoch (the reset period).
+  int epoch_length = 10;
+  GossipMode mode = GossipMode::kPushPull;
+};
+
+/// Per-host epoch-annotated Push-Sum state.
+class EpochPushSumNode {
+ public:
+  /// (Re)initializes with local value `v0` and clock phase `phase` (hosts
+  /// whose clocks disagree start at different phases, modelling the weak
+  /// synchronization of Section II.C).
+  void Init(double v0, int phase) {
+    initial_value_ = v0;
+    tick_ = phase;
+    epoch_ = 0;
+    snapshot_ = v0;
+    has_snapshot_ = false;
+    state_.Init(v0);
+  }
+
+  uint64_t epoch() const { return epoch_; }
+  int tick() const { return tick_; }
+
+  /// Local clock tick; rolls the epoch over every `epoch_length` ticks,
+  /// snapshotting the completed epoch's estimate.
+  void Tick(int epoch_length) {
+    ++tick_;
+    if (tick_ >= epoch_length) {
+      tick_ = 0;
+      AdvanceToEpoch(epoch_ + 1);
+    }
+  }
+
+  /// Called when a peer with a higher epoch is encountered; the in-progress
+  /// state is abandoned (its mass is lost — the epoch-migration cost the
+  /// paper describes) and the local clock re-synchronizes.
+  void AdvanceToEpoch(uint64_t target) {
+    if (target <= epoch_) return;
+    snapshot_ = state_.Estimate();
+    has_snapshot_ = true;
+    epoch_ = target;
+    tick_ = 0;
+    state_.Init(initial_value_);
+  }
+
+  /// The value reported to the application: the last completed epoch's
+  /// snapshot (the running state before the first epoch completes).
+  double Estimate() const {
+    return has_snapshot_ ? snapshot_ : state_.Estimate();
+  }
+
+  /// The in-progress (current epoch) estimate.
+  double RunningEstimate() const { return state_.Estimate(); }
+
+  PushSumNode& state() { return state_; }
+  const PushSumNode& state() const { return state_; }
+
+ private:
+  PushSumNode state_;
+  double initial_value_ = 0.0;
+  double snapshot_ = 0.0;
+  bool has_snapshot_ = false;
+  uint64_t epoch_ = 0;
+  int tick_ = 0;
+};
+
+/// A population of epoch-annotated Push-Sum nodes.
+class EpochPushSumSwarm {
+ public:
+  /// `phases[i]` gives host i's initial clock phase; pass an empty vector
+  /// for synchronized clocks.
+  EpochPushSumSwarm(const std::vector<double>& values,
+                    const EpochParams& params,
+                    const std::vector<int>& phases = {});
+
+  /// One gossip iteration: exchanges are only effective between hosts in
+  /// the same epoch; an epoch mismatch drags the laggard forward and costs
+  /// both hosts that round's exchange.
+  void RunRound(const Environment& env, const Population& pop, Rng& rng);
+
+  double Estimate(HostId id) const { return nodes_[id].Estimate(); }
+  double RunningEstimate(HostId id) const {
+    return nodes_[id].RunningEstimate();
+  }
+  uint64_t epoch(HostId id) const { return nodes_[id].epoch(); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  std::vector<EpochPushSumNode> nodes_;
+  EpochParams params_;
+  std::vector<HostId> order_;  // scratch
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_AGG_EPOCH_PUSH_SUM_H_

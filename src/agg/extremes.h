@@ -1,0 +1,144 @@
+// Dynamic extreme (min/max) aggregation.
+//
+// The paper's motivating application asks for "the most popular song"
+// (Section I) — an extreme, not a linear aggregate. Static gossip extremes
+// are trivial (adopt the better value; idempotent and duplicate-insensitive)
+// but, like static sketches, can never forget a departed winner.
+//
+// This module instantiates the paper's dynamic-aggregation recipe for
+// extremes, using the same machinery as Count-Sketch-Reset: candidates carry
+// an *age* that every host increments each round and that resets to zero at
+// the candidate's source. A candidate older than the cutoff is discarded.
+// While the winner is alive its age at any host is bounded by the gossip
+// propagation age (O(log n) under uniform gossip), so a cutoff slightly
+// above that age keeps the estimate stable; when the winner departs, its
+// candidate expires everywhere within one cutoff and the best *surviving*
+// value takes over.
+
+#ifndef DYNAGG_AGG_EXTREMES_H_
+#define DYNAGG_AGG_EXTREMES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "env/environment.h"
+#include "sim/population.h"
+
+namespace dynagg {
+
+/// Which extreme to maintain.
+enum class ExtremeKind {
+  kMaximum,
+  kMinimum,
+};
+
+/// Dynamic extreme configuration.
+struct ExtremeParams {
+  ExtremeKind kind = ExtremeKind::kMaximum;
+  /// Candidates older than this many rounds are discarded. Must exceed the
+  /// gossip propagation age (~log2(n) + slack under uniform push/pull);
+  /// 0 disables expiry (static gossip extreme).
+  int cutoff = 12;
+  GossipMode mode = GossipMode::kPushPull;
+};
+
+/// A candidate extreme: the value, an opaque key identifying what attains
+/// it (e.g. a song id), and its gossip age.
+struct ExtremeCandidate {
+  double value = 0.0;
+  uint64_t key = 0;
+  int32_t age = 0;
+};
+
+/// Per-host dynamic-extreme state machine.
+class DynamicExtremeNode {
+ public:
+  /// (Re)initializes with the host's own (value, key) contribution.
+  void Init(double value, uint64_t key) {
+    own_ = ExtremeCandidate{value, key, 0};
+    best_ = own_;
+  }
+
+  /// Updates the host's own contribution (new local reading).
+  void SetLocalValue(double value) { own_.value = value; }
+
+  double own_value() const { return own_.value; }
+
+  /// Round start: ages the adopted candidate and discards it once expired
+  /// (falling back to the host's own contribution).
+  void BeginRound(const ExtremeParams& params) {
+    ++best_.age;
+    const bool expired =
+        params.cutoff > 0 && best_.age > params.cutoff;
+    if (expired || !Better(best_, own_, params.kind)) {
+      best_ = own_;  // own candidate is always current (age 0)
+    }
+  }
+
+  /// Merge: adopt the peer's candidate if it beats the current one.
+  void Offer(const ExtremeCandidate& candidate, const ExtremeParams& params) {
+    if (params.cutoff > 0 && candidate.age > params.cutoff) return;
+    if (Better(candidate, best_, params.kind)) best_ = candidate;
+  }
+
+  /// Push/pull exchange: both sides end with the better candidate.
+  static void Exchange(DynamicExtremeNode& a, DynamicExtremeNode& b,
+                       const ExtremeParams& params) {
+    a.Offer(b.best_, params);
+    b.Offer(a.best_, params);
+  }
+
+  /// The current extreme estimate.
+  double Estimate() const { return best_.value; }
+  /// The key attaining the current estimate.
+  uint64_t BestKey() const { return best_.key; }
+  const ExtremeCandidate& best() const { return best_; }
+
+ private:
+  /// Strict "a beats b" under the configured kind; ties broken by key then
+  /// by younger age, so all hosts converge to the identical winner.
+  static bool Better(const ExtremeCandidate& a, const ExtremeCandidate& b,
+                     ExtremeKind kind) {
+    if (a.value != b.value) {
+      return kind == ExtremeKind::kMaximum ? a.value > b.value
+                                           : a.value < b.value;
+    }
+    if (a.key != b.key) return a.key < b.key;
+    return a.age < b.age;
+  }
+
+  ExtremeCandidate own_;
+  ExtremeCandidate best_;
+};
+
+/// A population of dynamic-extreme nodes.
+class DynamicExtremeSwarm {
+ public:
+  /// values[i] / keys[i] are host i's contribution; keys must be unique if
+  /// the winner's identity matters.
+  DynamicExtremeSwarm(const std::vector<double>& values,
+                      const std::vector<uint64_t>& keys,
+                      const ExtremeParams& params);
+
+  /// One gossip iteration over the alive hosts.
+  void RunRound(const Environment& env, const Population& pop, Rng& rng);
+
+  double Estimate(HostId id) const { return nodes_[id].Estimate(); }
+  uint64_t BestKey(HostId id) const { return nodes_[id].BestKey(); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  DynamicExtremeNode& node(HostId id) { return nodes_[id]; }
+  const ExtremeParams& params() const { return params_; }
+
+ private:
+  std::vector<DynamicExtremeNode> nodes_;
+  ExtremeParams params_;
+  std::vector<HostId> order_;  // scratch
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_AGG_EXTREMES_H_

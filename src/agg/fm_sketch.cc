@@ -1,0 +1,113 @@
+#include "agg/fm_sketch.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace dynagg {
+
+FmSketch::FmSketch(int bins, int levels)
+    : bins_(bins),
+      levels_(levels),
+      level_mask_(levels >= 64 ? ~0ull : ((1ull << levels) - 1)),
+      words_(bins, 0) {
+  DYNAGG_CHECK_GE(bins, 1);
+  DYNAGG_CHECK_GE(levels, 1);
+  DYNAGG_CHECK_LE(levels, 64);
+}
+
+void FmSketch::InsertObject(uint64_t object_id, uint64_t hash_seed) {
+  const SketchSlot slot =
+      SketchPlace(object_id, hash_seed, bins_, levels_ - 1);
+  InsertSlot(slot.bin, slot.level);
+}
+
+void FmSketch::InsertSlot(int bin, int level) {
+  DYNAGG_DCHECK(bin >= 0 && bin < bins_);
+  DYNAGG_DCHECK(level >= 0 && level < levels_);
+  words_[bin] |= 1ull << level;
+}
+
+bool FmSketch::TestSlot(int bin, int level) const {
+  DYNAGG_DCHECK(bin >= 0 && bin < bins_);
+  DYNAGG_DCHECK(level >= 0 && level < levels_);
+  return (words_[bin] >> level) & 1ull;
+}
+
+void FmSketch::MergeOr(const FmSketch& other) {
+  DYNAGG_CHECK_EQ(bins_, other.bins_);
+  DYNAGG_CHECK_EQ(levels_, other.levels_);
+  for (int b = 0; b < bins_; ++b) words_[b] |= other.words_[b];
+}
+
+int FmSketch::RunLength(int bin) const {
+  DYNAGG_DCHECK(bin >= 0 && bin < bins_);
+  // The run of ones from bit 0 ends at the first zero; a fully-set bin has
+  // run length `levels_`.
+  const uint64_t inverted = ~words_[bin] & level_mask_;
+  if (inverted == 0) return levels_;
+  return __builtin_ctzll(inverted);
+}
+
+double FmSketch::EstimateCount() const {
+  double total_run = 0.0;
+  for (int b = 0; b < bins_; ++b) total_run += RunLength(b);
+  const double mean_run = total_run / bins_;
+  return static_cast<double>(bins_) / kFmPhi * std::exp2(mean_run);
+}
+
+int FmSketch::PopCount() const {
+  int bits = 0;
+  for (const uint64_t w : words_) bits += __builtin_popcountll(w);
+  return bits;
+}
+
+void FmSketch::Clear() {
+  for (auto& w : words_) w = 0;
+}
+
+namespace {
+int VarintLength(uint64_t v) {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+}  // namespace
+
+int64_t FmSketch::SerializedBytes() const {
+  int64_t total = VarintLength(static_cast<uint64_t>(bins_)) +
+                  VarintLength(static_cast<uint64_t>(levels_));
+  for (const uint64_t w : words_) total += VarintLength(w);
+  return total;
+}
+
+void FmSketch::Serialize(BufWriter* out) const {
+  out->PutVarint(static_cast<uint64_t>(bins_));
+  out->PutVarint(static_cast<uint64_t>(levels_));
+  for (const uint64_t w : words_) out->PutVarint(w);
+}
+
+Result<FmSketch> FmSketch::Deserialize(BufReader* in) {
+  uint64_t bins = 0;
+  uint64_t levels = 0;
+  DYNAGG_RETURN_IF_ERROR(in->ReadVarint(&bins));
+  DYNAGG_RETURN_IF_ERROR(in->ReadVarint(&levels));
+  if (bins < 1 || bins > (1u << 20) || levels < 1 || levels > 64) {
+    return Status::Corruption("FmSketch: implausible geometry");
+  }
+  FmSketch sketch(static_cast<int>(bins), static_cast<int>(levels));
+  for (uint64_t b = 0; b < bins; ++b) {
+    uint64_t word = 0;
+    DYNAGG_RETURN_IF_ERROR(in->ReadVarint(&word));
+    if ((word & ~sketch.level_mask_) != 0) {
+      return Status::Corruption("FmSketch: bits above level mask");
+    }
+    sketch.words_[b] = word;
+  }
+  return sketch;
+}
+
+}  // namespace dynagg

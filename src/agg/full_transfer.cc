@@ -1,0 +1,86 @@
+#include "agg/full_transfer.h"
+
+namespace dynagg {
+
+void FullTransferNode::Init(double v0, int window) {
+  DYNAGG_CHECK_GT(window, 0);
+  mass_ = Mass{1.0, v0};
+  inbox_ = Mass{};
+  reverted_ = Mass{};
+  emitting_ = false;
+  initial_value_ = v0;
+  history_.assign(window, Mass{});
+  history_next_ = 0;
+  history_count_ = 0;
+}
+
+Mass FullTransferNode::EmitParcel(double lambda, int parcels) {
+  DYNAGG_CHECK_GT(parcels, 0);
+  if (!emitting_) {
+    // First parcel of the round: apply the reversion to the outgoing total
+    // and zero the local mass (full transfer keeps nothing back).
+    reverted_.weight = (1.0 - lambda) * mass_.weight + lambda;
+    reverted_.value =
+        (1.0 - lambda) * mass_.value + lambda * initial_value_;
+    mass_ = Mass{};
+    emitting_ = true;
+  }
+  const double inv = 1.0 / parcels;
+  return Mass{reverted_.weight * inv, reverted_.value * inv};
+}
+
+void FullTransferNode::EndRound() {
+  emitting_ = false;
+  mass_ = inbox_;
+  if (inbox_.weight > 0.0) {
+    history_[history_next_] = inbox_;
+    history_next_ = (history_next_ + 1) % static_cast<int>(history_.size());
+    if (history_count_ < static_cast<int>(history_.size())) ++history_count_;
+  }
+  inbox_ = Mass{};
+}
+
+double FullTransferNode::Estimate() const {
+  Mass total;
+  for (int i = 0; i < history_count_; ++i) total += history_[i];
+  if (total.weight <= 0.0) return initial_value_;
+  return total.value / total.weight;
+}
+
+FullTransferSwarm::FullTransferSwarm(const std::vector<double>& values,
+                                     const FullTransferParams& params)
+    : nodes_(values.size()), params_(params) {
+  DYNAGG_CHECK_GE(params_.lambda, 0.0);
+  DYNAGG_CHECK_LE(params_.lambda, 1.0);
+  DYNAGG_CHECK_GT(params_.parcels, 0);
+  DYNAGG_CHECK_GT(params_.window, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    nodes_[i].Init(values[i], params_.window);
+  }
+}
+
+void FullTransferSwarm::RunRound(const Environment& env,
+                                 const Population& pop, Rng& rng) {
+  for (const HostId i : pop.alive_ids()) {
+    for (int p = 0; p < params_.parcels; ++p) {
+      const Mass parcel = nodes_[i].EmitParcel(params_.lambda,
+                                               params_.parcels);
+      const HostId peer = env.SamplePeer(i, pop, rng);
+      // With no reachable peer the parcel returns to the sender rather than
+      // leaving the system.
+      nodes_[peer == kInvalidHost ? i : peer].Deposit(parcel);
+      if (meter_ != nullptr && peer != kInvalidHost) {
+        meter_->RecordMessage(kMassMessageBytes);
+      }
+    }
+  }
+  for (const HostId i : pop.alive_ids()) nodes_[i].EndRound();
+}
+
+Mass FullTransferSwarm::TotalAliveMass(const Population& pop) const {
+  Mass total;
+  for (const HostId id : pop.alive_ids()) total += nodes_[id].mass();
+  return total;
+}
+
+}  // namespace dynagg

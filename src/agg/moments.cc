@@ -1,0 +1,42 @@
+#include "agg/moments.h"
+
+#include <cmath>
+
+namespace dynagg {
+
+namespace {
+std::vector<double> Squares(const std::vector<double>& values) {
+  std::vector<double> squares(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    squares[i] = values[i] * values[i];
+  }
+  return squares;
+}
+}  // namespace
+
+DynamicMomentsSwarm::DynamicMomentsSwarm(const std::vector<double>& values,
+                                         const PsrParams& params)
+    : mean_(values, params), square_(Squares(values), params) {}
+
+void DynamicMomentsSwarm::RunRound(const Environment& env,
+                                   const Population& pop, Rng& rng) {
+  mean_.RunRound(env, pop, rng);
+  square_.RunRound(env, pop, rng);
+}
+
+void DynamicMomentsSwarm::SetLocalValue(HostId id, double value) {
+  mean_.node(id).SetLocalValue(value);
+  square_.node(id).SetLocalValue(value * value);
+}
+
+double DynamicMomentsSwarm::EstimateVariance(HostId id) const {
+  const double mean = mean_.Estimate(id);
+  const double variance = square_.Estimate(id) - mean * mean;
+  return variance > 0.0 ? variance : 0.0;
+}
+
+double DynamicMomentsSwarm::EstimateStdDev(HostId id) const {
+  return std::sqrt(EstimateVariance(id));
+}
+
+}  // namespace dynagg

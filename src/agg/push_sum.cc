@@ -1,0 +1,51 @@
+#include "agg/push_sum.h"
+
+#include "sim/round_driver.h"
+
+namespace dynagg {
+
+PushSumSwarm::PushSumSwarm(const std::vector<double>& values, GossipMode mode)
+    : nodes_(values.size()), mode_(mode) {
+  for (size_t i = 0; i < values.size(); ++i) nodes_[i].Init(values[i]);
+}
+
+void PushSumSwarm::RunRound(const Environment& env, const Population& pop,
+                            Rng& rng) {
+  if (mode_ == GossipMode::kPush) {
+    // All emissions are simultaneous: halves land in inboxes, then every
+    // host adopts its inbox.
+    for (const HostId i : pop.alive_ids()) {
+      const Mass out = nodes_[i].EmitPushHalf();
+      const HostId peer = env.SamplePeer(i, pop, rng);
+      // With no reachable peer the host keeps its whole mass (nothing is
+      // transmitted over the air).
+      nodes_[peer == kInvalidHost ? i : peer].Deposit(out);
+      if (meter_ != nullptr && peer != kInvalidHost) {
+        meter_->RecordMessage(kMassMessageBytes);
+      }
+    }
+    for (const HostId i : pop.alive_ids()) nodes_[i].EndRound();
+    return;
+  }
+  // Push/pull: pairwise equalization, applied sequentially in a shuffled
+  // order within the round.
+  ShuffledAliveOrder(pop, rng, &order_);
+  for (const HostId i : order_) {
+    const HostId peer = env.SamplePeer(i, pop, rng);
+    if (peer == kInvalidHost) continue;
+    PushSumNode::Exchange(nodes_[i], nodes_[peer]);
+    if (meter_ != nullptr) {
+      // Request plus response, one mass payload each.
+      meter_->RecordMessage(kMassMessageBytes);
+      meter_->RecordMessage(kMassMessageBytes);
+    }
+  }
+}
+
+Mass PushSumSwarm::TotalAliveMass(const Population& pop) const {
+  Mass total;
+  for (const HostId id : pop.alive_ids()) total += nodes_[id].mass();
+  return total;
+}
+
+}  // namespace dynagg

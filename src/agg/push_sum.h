@@ -1,0 +1,123 @@
+// Push-Sum: Kempe et al.'s static distributed averaging protocol (Fig 1).
+//
+// Every host maintains a mass <weight, value>, initialized to <1, v0>. Each
+// round it sends half of its mass to one random peer and half to itself, then
+// replaces its mass with the sum of everything received. The estimate
+// value/weight converges exponentially to the system-wide average as long as
+// mass is conserved. This is the static baseline that Push-Sum-Revert
+// (push_sum_revert.h) extends for dynamic networks.
+
+#ifndef DYNAGG_AGG_PUSH_SUM_H_
+#define DYNAGG_AGG_PUSH_SUM_H_
+
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "env/environment.h"
+#include "sim/bandwidth.h"
+#include "sim/population.h"
+
+namespace dynagg {
+
+/// Payload size of one mass message over the air: two IEEE-754 doubles.
+inline constexpr int64_t kMassMessageBytes = 2 * sizeof(double);
+
+/// The mass exchanged by averaging protocols: a weight and a weighted value.
+struct Mass {
+  double weight = 0.0;
+  double value = 0.0;
+
+  Mass& operator+=(const Mass& other) {
+    weight += other.weight;
+    value += other.value;
+    return *this;
+  }
+};
+
+/// Per-host Push-Sum state machine. Value-semantic; swarms keep nodes in a
+/// contiguous vector.
+class PushSumNode {
+ public:
+  /// (Re)initializes with local value `v0` and weight 1.
+  void Init(double v0) {
+    mass_ = Mass{1.0, v0};
+    inbox_ = Mass{};
+    initial_value_ = v0;
+  }
+
+  /// Push-mode round, step 2 (Fig 1): removes the full mass, deposits half
+  /// into the host's own inbox, and returns the half destined for the peer.
+  Mass EmitPushHalf() {
+    const Mass half{mass_.weight * 0.5, mass_.value * 0.5};
+    inbox_ += half;
+    mass_ = Mass{};
+    return half;
+  }
+
+  /// Accumulates a received message into the inbox (steps 3-5 of Fig 1).
+  void Deposit(const Mass& m) { inbox_ += m; }
+
+  /// Adopts the summed inbox as the next round's mass.
+  void EndRound() {
+    mass_ = inbox_;
+    inbox_ = Mass{};
+  }
+
+  /// Push/pull exchange: equalizes the two hosts' masses (each transfers
+  /// half the difference, Section III.A).
+  static void Exchange(PushSumNode& a, PushSumNode& b) {
+    const Mass avg{(a.mass_.weight + b.mass_.weight) * 0.5,
+                   (a.mass_.value + b.mass_.value) * 0.5};
+    a.mass_ = avg;
+    b.mass_ = avg;
+  }
+
+  /// Current estimate of the network-wide average. Falls back to the
+  /// initial value while the host holds no weight (possible transiently in
+  /// push mode).
+  double Estimate() const {
+    return mass_.weight > 0.0 ? mass_.value / mass_.weight : initial_value_;
+  }
+
+  const Mass& mass() const { return mass_; }
+  double initial_value() const { return initial_value_; }
+
+ private:
+  Mass mass_;
+  Mass inbox_;
+  double initial_value_ = 0.0;
+};
+
+/// A population of PushSumNodes driven one gossip round at a time.
+class PushSumSwarm {
+ public:
+  /// One node per entry of `values`; `mode` selects push or push/pull.
+  PushSumSwarm(const std::vector<double>& values, GossipMode mode);
+
+  /// Executes one gossip iteration over the alive hosts.
+  void RunRound(const Environment& env, const Population& pop, Rng& rng);
+
+  double Estimate(HostId id) const { return nodes_[id].Estimate(); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  GossipMode mode() const { return mode_; }
+  const PushSumNode& node(HostId id) const { return nodes_[id]; }
+
+  /// Total mass over alive hosts (conservation diagnostics and tests).
+  Mass TotalAliveMass(const Population& pop) const;
+
+  /// Optionally records over-the-air traffic (self-messages excluded).
+  /// Pass nullptr to disable. The meter must outlive the swarm.
+  void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
+
+ private:
+  std::vector<PushSumNode> nodes_;
+  GossipMode mode_;
+  TrafficMeter* meter_ = nullptr;
+  std::vector<HostId> order_;  // scratch, reused across rounds
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_AGG_PUSH_SUM_H_

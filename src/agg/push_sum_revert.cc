@@ -1,0 +1,53 @@
+#include "agg/push_sum_revert.h"
+
+#include "sim/round_driver.h"
+
+namespace dynagg {
+
+PushSumRevertSwarm::PushSumRevertSwarm(const std::vector<double>& values,
+                                       const PsrParams& params)
+    : nodes_(values.size()), params_(params) {
+  DYNAGG_CHECK_GE(params_.lambda, 0.0);
+  DYNAGG_CHECK_LE(params_.lambda, 1.0);
+  for (size_t i = 0; i < values.size(); ++i) nodes_[i].Init(values[i]);
+}
+
+void PushSumRevertSwarm::RunRound(const Environment& env,
+                                  const Population& pop, Rng& rng) {
+  if (params_.mode == GossipMode::kPush) {
+    for (const HostId i : pop.alive_ids()) {
+      const Mass out =
+          nodes_[i].EmitPushHalf(params_.lambda, params_.revert);
+      const HostId peer = env.SamplePeer(i, pop, rng);
+      nodes_[peer == kInvalidHost ? i : peer].Deposit(out);
+      if (meter_ != nullptr && peer != kInvalidHost) {
+        meter_->RecordMessage(kMassMessageBytes);
+      }
+    }
+    for (const HostId i : pop.alive_ids()) {
+      nodes_[i].EndRoundPush(params_.lambda, params_.revert);
+    }
+    return;
+  }
+  ShuffledAliveOrder(pop, rng, &order_);
+  for (const HostId i : order_) {
+    const HostId peer = env.SamplePeer(i, pop, rng);
+    if (peer == kInvalidHost) continue;
+    PushSumRevertNode::Exchange(nodes_[i], nodes_[peer]);
+    if (meter_ != nullptr) {
+      meter_->RecordMessage(kMassMessageBytes);
+      meter_->RecordMessage(kMassMessageBytes);
+    }
+  }
+  for (const HostId i : pop.alive_ids()) {
+    nodes_[i].EndRoundPushPull(params_.lambda, params_.revert);
+  }
+}
+
+Mass PushSumRevertSwarm::TotalAliveMass(const Population& pop) const {
+  Mass total;
+  for (const HostId id : pop.alive_ids()) total += nodes_[id].mass();
+  return total;
+}
+
+}  // namespace dynagg

@@ -1,0 +1,81 @@
+#include "agg/quantiles.h"
+
+#include <algorithm>
+
+namespace dynagg {
+
+std::vector<double> UniformThresholds(double lo, double hi, int count) {
+  DYNAGG_CHECK_GE(count, 2);
+  DYNAGG_CHECK_LT(lo, hi);
+  std::vector<double> thresholds(count);
+  for (int i = 0; i < count; ++i) {
+    thresholds[i] = lo + (hi - lo) * i / (count - 1);
+  }
+  return thresholds;
+}
+
+namespace {
+std::vector<double> Indicators(const std::vector<double>& values,
+                               double threshold) {
+  std::vector<double> ind(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ind[i] = values[i] <= threshold ? 1.0 : 0.0;
+  }
+  return ind;
+}
+}  // namespace
+
+DynamicCdfSwarm::DynamicCdfSwarm(const std::vector<double>& values,
+                                 const QuantileParams& params)
+    : params_(params) {
+  DYNAGG_CHECK_GE(params_.thresholds.size(), 2u);
+  DYNAGG_CHECK(
+      std::is_sorted(params_.thresholds.begin(), params_.thresholds.end()));
+  instances_.reserve(params_.thresholds.size());
+  for (const double t : params_.thresholds) {
+    instances_.push_back(std::make_unique<PushSumRevertSwarm>(
+        Indicators(values, t), params_.psr));
+  }
+}
+
+void DynamicCdfSwarm::RunRound(const Environment& env, const Population& pop,
+                               Rng& rng) {
+  for (auto& instance : instances_) instance->RunRound(env, pop, rng);
+}
+
+void DynamicCdfSwarm::SetLocalValue(HostId id, double value) {
+  for (size_t t = 0; t < params_.thresholds.size(); ++t) {
+    instances_[t]->node(id).SetLocalValue(
+        value <= params_.thresholds[t] ? 1.0 : 0.0);
+  }
+}
+
+double DynamicCdfSwarm::EstimateCdf(HostId id, int threshold_index) const {
+  DYNAGG_CHECK(threshold_index >= 0 &&
+               threshold_index < num_thresholds());
+  return std::clamp(instances_[threshold_index]->Estimate(id), 0.0, 1.0);
+}
+
+double DynamicCdfSwarm::EstimateQuantile(HostId id, double q) const {
+  DYNAGG_CHECK_GE(q, 0.0);
+  DYNAGG_CHECK_LE(q, 1.0);
+  // Enforce monotonicity over the (noisy) per-threshold estimates with a
+  // running maximum, then interpolate.
+  const int k = num_thresholds();
+  double prev_cdf = 0.0;
+  double prev_t = params_.thresholds.front();
+  for (int t = 0; t < k; ++t) {
+    double cdf = std::max(prev_cdf, EstimateCdf(id, t));
+    const double threshold = params_.thresholds[t];
+    if (cdf >= q) {
+      if (t == 0 || cdf == prev_cdf) return threshold;
+      const double frac = (q - prev_cdf) / (cdf - prev_cdf);
+      return prev_t + frac * (threshold - prev_t);
+    }
+    prev_cdf = cdf;
+    prev_t = threshold;
+  }
+  return params_.thresholds.back();
+}
+
+}  // namespace dynagg

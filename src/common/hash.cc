@@ -1,0 +1,16 @@
+#include "common/hash.h"
+
+namespace dynagg {
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  // A final mix strengthens FNV's weak low-bit diffusion before the value is
+  // consumed by modulo / ctz operations in the sketches.
+  return Mix64(hash);
+}
+
+}  // namespace dynagg

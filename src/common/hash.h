@@ -1,0 +1,62 @@
+// Hashing utilities for counting sketches and deterministic derivations.
+//
+// Flajolet-Martin sketches assume each object's hash behaves as a uniform
+// random bit string. The paper calls for an "L-bit cryptographic hash"; a
+// 64-bit finalizer with full avalanche (splitmix64 / murmur3-style) provides
+// the required uniformity deterministically and at a fraction of the cost
+// (see DESIGN.md, Substitutions).
+
+#ifndef DYNAGG_COMMON_HASH_H_
+#define DYNAGG_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dynagg {
+
+/// splitmix64 finalizer: bijective 64-bit mix with full avalanche.
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 64-bit values into one hash (boost::hash_combine style,
+/// strengthened with a final mix).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  seed ^= Mix64(value) + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  return Mix64(seed);
+}
+
+/// FNV-1a over bytes; used for hashing string identifiers (song names,
+/// device ids) into the 64-bit object space.
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Flajolet-Martin rho: index of the lowest-order set bit of `hash`
+/// (P[rho = k] = 2^-(k+1) for uniform hashes), clamped to `max_level` for
+/// the all-zeros-below case. max_level must be >= 0.
+inline int Rho(uint64_t hash, int max_level) {
+  if (hash == 0) return max_level;
+  const int k = __builtin_ctzll(hash);
+  return k < max_level ? k : max_level;
+}
+
+/// Deterministic sketch placement for object `object_id` under hash seed
+/// `seed`: the stochastic-averaging bin in [0, num_bins) and the geometric
+/// level in [0, max_level].
+struct SketchSlot {
+  int bin;
+  int level;
+};
+
+inline SketchSlot SketchPlace(uint64_t object_id, uint64_t seed, int num_bins,
+                              int max_level) {
+  const uint64_t h1 = Mix64(object_id ^ seed);
+  const uint64_t h2 = Mix64(h1 ^ 0x6a09e667f3bcc909ull);
+  return SketchSlot{static_cast<int>(h1 % static_cast<uint64_t>(num_bins)),
+                    Rho(h2, max_level)};
+}
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_COMMON_HASH_H_

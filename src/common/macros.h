@@ -1,0 +1,55 @@
+// Core assertion and utility macros used throughout dynagg.
+//
+// Following the database-systems convention (no exceptions on hot paths),
+// programmer errors abort via DYNAGG_CHECK; recoverable errors travel as
+// Status/Result values (see status.h).
+
+#ifndef DYNAGG_COMMON_MACROS_H_
+#define DYNAGG_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `condition` is false. Enabled in all build
+// types: simulation results are meaningless if an invariant is broken, so
+// the cost of the branch is always worth paying.
+#define DYNAGG_CHECK(condition)                                           \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::std::fprintf(stderr, "DYNAGG_CHECK failed: %s at %s:%d\n",        \
+                     #condition, __FILE__, __LINE__);                     \
+      ::std::abort();                                                     \
+    }                                                                     \
+  } while (0)
+
+#define DYNAGG_CHECK_OP(lhs, op, rhs)                                     \
+  do {                                                                    \
+    if (!((lhs)op(rhs))) {                                                \
+      ::std::fprintf(stderr, "DYNAGG_CHECK failed: %s %s %s at %s:%d\n",  \
+                     #lhs, #op, #rhs, __FILE__, __LINE__);                \
+      ::std::abort();                                                     \
+    }                                                                     \
+  } while (0)
+
+#define DYNAGG_CHECK_EQ(a, b) DYNAGG_CHECK_OP(a, ==, b)
+#define DYNAGG_CHECK_NE(a, b) DYNAGG_CHECK_OP(a, !=, b)
+#define DYNAGG_CHECK_LT(a, b) DYNAGG_CHECK_OP(a, <, b)
+#define DYNAGG_CHECK_LE(a, b) DYNAGG_CHECK_OP(a, <=, b)
+#define DYNAGG_CHECK_GT(a, b) DYNAGG_CHECK_OP(a, >, b)
+#define DYNAGG_CHECK_GE(a, b) DYNAGG_CHECK_OP(a, >=, b)
+
+// Debug-only checks compile away in optimized builds with NDEBUG.
+#ifdef NDEBUG
+#define DYNAGG_DCHECK(condition) \
+  do {                           \
+  } while (0)
+#else
+#define DYNAGG_DCHECK(condition) DYNAGG_CHECK(condition)
+#endif
+
+// Disallow copy (and implicitly move) for identity-bearing classes.
+#define DYNAGG_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // DYNAGG_COMMON_MACROS_H_

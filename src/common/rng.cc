@@ -1,0 +1,21 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace dynagg {
+
+double Rng::Exponential(double lambda) {
+  DYNAGG_CHECK_GT(lambda, 0.0);
+  // 1 - NextDouble() is in (0, 1], so the log argument is never zero.
+  return -std::log(1.0 - NextDouble()) / lambda;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller transform. u1 in (0,1] avoids log(0).
+  const double u1 = 1.0 - NextDouble();
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace dynagg

@@ -1,0 +1,138 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component in dynagg draws from an explicitly seeded Rng so
+// that experiments are bit-for-bit reproducible. The generator is
+// xoshiro256++ (Blackman & Vigna), seeded through splitmix64 as its authors
+// recommend; it is far faster than std::mt19937_64 and has no detected
+// statistical failures at the scales used here (1e10+ draws per run).
+
+#ifndef DYNAGG_COMMON_RNG_H_
+#define DYNAGG_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace dynagg {
+
+/// splitmix64: a tiny, high-quality 64-bit generator used for seeding and
+/// for stateless per-key derivation (see DeriveSeed).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256++ generator. Value-semantic and cheap to copy, so per-host
+/// generators can live inside contiguous arrays.
+class Rng {
+ public:
+  /// Seeds the four words of state from `seed` via splitmix64. Any seed,
+  /// including 0, yields a valid (non-degenerate) state.
+  explicit Rng(uint64_t seed = 0x2545f4914f6cdd1dull) { Reseed(seed); }
+
+  /// Re-seeds in place.
+  void Reseed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.Next();
+  }
+
+  /// Returns the next raw 64-bit output.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t UniformInt(uint64_t bound) {
+    DYNAGG_CHECK_GT(bound, 0u);
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    DYNAGG_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Bernoulli draw with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Geometric level draw: returns k with P[k] = 2^-(k+1) for k < max_level
+  /// and the remaining tail mass on max_level. This is exactly the
+  /// Flajolet-Martin rho distribution, implemented as the index of the
+  /// lowest set bit of a uniform word (all-zero word -> max_level).
+  int GeometricLevel(int max_level) {
+    DYNAGG_CHECK_GE(max_level, 0);
+    const uint64_t word = Next();
+    if (word == 0) return max_level;
+    const int k = __builtin_ctzll(word);
+    return k < max_level ? k : max_level;
+  }
+
+  /// Exponential draw with rate `lambda` (> 0), via inversion.
+  double Exponential(double lambda);
+
+  /// Standard normal draw (Box-Muller; uses two uniforms per pair, caches
+  /// nothing for simplicity/value-semantics).
+  double Normal(double mean, double stddev);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Derives a decorrelated child seed from (root_seed, stream_id). Used to
+/// give each host / component an independent stream from one experiment seed.
+inline uint64_t DeriveSeed(uint64_t root_seed, uint64_t stream_id) {
+  SplitMix64 sm(root_seed ^ (0x9e3779b97f4a7c15ull * (stream_id + 1)));
+  sm.Next();
+  return sm.Next();
+}
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_COMMON_RNG_H_

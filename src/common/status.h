@@ -1,0 +1,137 @@
+// Lightweight Status / Result<T> error-handling primitives.
+//
+// dynagg avoids exceptions (database-systems convention); operations that can
+// fail for data-dependent reasons (trace parsing, deserialization, config
+// validation) return Status or Result<T>. Programmer errors use DYNAGG_CHECK.
+
+#ifndef DYNAGG_COMMON_STATUS_H_
+#define DYNAGG_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dynagg {
+
+/// Error category carried by a non-ok Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kCorruption = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic success/error indicator with a message for the error case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(StatusCode::kUnimplemented, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result aborts (programmer error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    DYNAGG_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DYNAGG_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    DYNAGG_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    DYNAGG_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status from an expression to the caller.
+#define DYNAGG_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::dynagg::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Unwraps a Result<T> into `lhs`, propagating errors to the caller.
+#define DYNAGG_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  auto _res_##__LINE__ = (rexpr);             \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).value()
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Shared scalar types: host identifiers and simulated time.
+
+#ifndef DYNAGG_COMMON_TYPES_H_
+#define DYNAGG_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace dynagg {
+
+/// Dense host identifier in [0, num_hosts). kInvalidHost marks "no host"
+/// (e.g. no gossip partner reachable this round).
+using HostId = int32_t;
+inline constexpr HostId kInvalidHost = -1;
+
+/// Simulated time in microseconds since experiment start.
+using SimTime = int64_t;
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+
+constexpr SimTime FromMicros(int64_t us) { return us; }
+constexpr SimTime FromMillis(int64_t ms) { return ms * 1000; }
+constexpr SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * 1e6);
+}
+constexpr SimTime FromMinutes(double m) { return FromSeconds(m * 60.0); }
+constexpr SimTime FromHours(double h) { return FromSeconds(h * 3600.0); }
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToMinutes(SimTime t) { return ToSeconds(t) / 60.0; }
+constexpr double ToHours(SimTime t) { return ToSeconds(t) / 3600.0; }
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_COMMON_TYPES_H_

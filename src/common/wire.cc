@@ -1,0 +1,54 @@
+#include "common/wire.h"
+
+namespace dynagg {
+
+void BufWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void BufWriter::PutVarintSigned(int64_t v) { PutVarint(ZigZagEncode(v)); }
+
+void BufWriter::PutBytes(std::string_view bytes) {
+  PutVarint(bytes.size());
+  const auto* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  buf_.insert(buf_.end(), p, p + bytes.size());
+}
+
+Status BufReader::ReadVarint(uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) return Status::Corruption("wire: truncated varint");
+    if (shift >= 70) return Status::Corruption("wire: varint too long");
+    const uint8_t byte = data_[pos_++];
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = result;
+  return Status::OK();
+}
+
+Status BufReader::ReadVarintSigned(int64_t* out) {
+  uint64_t raw = 0;
+  DYNAGG_RETURN_IF_ERROR(ReadVarint(&raw));
+  *out = ZigZagDecode(raw);
+  return Status::OK();
+}
+
+Status BufReader::ReadBytes(std::vector<uint8_t>* out) {
+  uint64_t len = 0;
+  DYNAGG_RETURN_IF_ERROR(ReadVarint(&len));
+  if (remaining() < len) {
+    return Status::Corruption("wire: truncated byte string");
+  }
+  out->assign(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace dynagg

@@ -1,0 +1,101 @@
+// Wire-format substrate: bounded little-endian readers/writers with varint
+// support.
+//
+// Protocol messages in dynagg are real byte payloads (the NodeAggregator
+// facade gossips serialized buffers exactly as a wireless deployment would).
+// Readers are bounds-checked and report Corruption via Status rather than
+// crashing on malformed input.
+
+#ifndef DYNAGG_COMMON_WIRE_H_
+#define DYNAGG_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dynagg {
+
+/// Appends fixed-width and variable-width values to a growable byte buffer.
+class BufWriter {
+ public:
+  BufWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  /// IEEE-754 double, little-endian byte order.
+  void PutDouble(double v) { PutFixed(&v, sizeof(v)); }
+
+  /// LEB128 unsigned varint (1-10 bytes).
+  void PutVarint(uint64_t v);
+  /// Zig-zag encoded signed varint.
+  void PutVarintSigned(int64_t v);
+  /// Length-prefixed byte string (varint length + raw bytes).
+  void PutBytes(std::string_view bytes);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+  /// Moves the accumulated bytes out, leaving the writer empty.
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+
+ private:
+  void PutFixed(const void* src, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(src);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked sequential reader over a byte span. Does not own the data.
+class BufReader {
+ public:
+  BufReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BufReader(const std::vector<uint8_t>& buf)
+      : BufReader(buf.data(), buf.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  Status ReadU8(uint8_t* out) { return ReadFixed(out, sizeof(*out)); }
+  Status ReadU16(uint16_t* out) { return ReadFixed(out, sizeof(*out)); }
+  Status ReadU32(uint32_t* out) { return ReadFixed(out, sizeof(*out)); }
+  Status ReadU64(uint64_t* out) { return ReadFixed(out, sizeof(*out)); }
+  Status ReadDouble(double* out) { return ReadFixed(out, sizeof(*out)); }
+  Status ReadVarint(uint64_t* out);
+  Status ReadVarintSigned(int64_t* out);
+  /// Reads a length-prefixed byte string into `out` (replacing contents).
+  Status ReadBytes(std::vector<uint8_t>* out);
+
+ private:
+  Status ReadFixed(void* dst, size_t n) {
+    if (remaining() < n) {
+      return Status::Corruption("wire: truncated fixed-width field");
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Zig-zag transforms between signed and unsigned integers.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_COMMON_WIRE_H_

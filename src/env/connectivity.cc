@@ -1,0 +1,61 @@
+#include "env/connectivity.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace dynagg {
+
+UnionFind::UnionFind(int n) : parent_(n), size_(n, 1), num_sets_(n) {
+  DYNAGG_CHECK_GE(n, 0);
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int UnionFind::Find(int x) {
+  DYNAGG_DCHECK(x >= 0 && x < static_cast<int>(parent_.size()));
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+int UnionFind::SetSize(int x) { return size_[Find(x)]; }
+
+std::vector<int> ConnectedComponents(
+    int n, const std::vector<std::pair<HostId, HostId>>& edges) {
+  UnionFind uf(n);
+  for (const auto& [a, b] : edges) uf.Union(a, b);
+  std::vector<int> labels(n, -1);
+  int next_label = 0;
+  for (int v = 0; v < n; ++v) {
+    const int root = uf.Find(v);
+    if (labels[root] < 0) labels[root] = next_label++;
+    labels[v] = labels[root];
+  }
+  return labels;
+}
+
+std::vector<int> ComponentSizes(const std::vector<int>& labels) {
+  int max_label = -1;
+  for (const int l : labels) max_label = std::max(max_label, l);
+  std::vector<int> sizes(max_label + 1, 0);
+  for (const int l : labels) {
+    if (l >= 0) ++sizes[l];
+  }
+  return sizes;
+}
+
+}  // namespace dynagg

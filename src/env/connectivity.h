@@ -1,0 +1,47 @@
+// Connectivity utilities: union-find and connected-component labelling.
+//
+// The trace experiments report each host's error relative to the aggregate
+// of its *group* — the connected component of the union of all edges seen in
+// the last 10 minutes (Section V).
+
+#ifndef DYNAGG_ENV_CONNECTIVITY_H_
+#define DYNAGG_ENV_CONNECTIVITY_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dynagg {
+
+/// Disjoint-set forest with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(int n);
+
+  int Find(int x);
+  /// Unions the sets containing a and b; returns true if they were
+  /// previously disjoint.
+  bool Union(int a, int b);
+  /// Size of the set containing x.
+  int SetSize(int x);
+  int num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<int32_t> parent_;
+  std::vector<int32_t> size_;
+  int num_sets_;
+};
+
+/// Labels the connected components of the graph on `n` vertices induced by
+/// `edges`. Returns a vector of component ids in [0, #components), where
+/// ids are assigned in order of first appearance by vertex index.
+std::vector<int> ConnectedComponents(
+    int n, const std::vector<std::pair<HostId, HostId>>& edges);
+
+/// Per-component member counts for a labelling from ConnectedComponents.
+std::vector<int> ComponentSizes(const std::vector<int>& labels);
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_ENV_CONNECTIVITY_H_

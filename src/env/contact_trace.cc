@@ -1,0 +1,151 @@
+#include "env/contact_trace.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace dynagg {
+
+ContactTrace::ContactTrace(int num_devices) : num_devices_(num_devices) {
+  DYNAGG_CHECK_GE(num_devices, 0);
+}
+
+void ContactTrace::AddContact(HostId a, HostId b, SimTime start,
+                              SimTime end) {
+  DYNAGG_CHECK(a >= 0 && a < num_devices_);
+  DYNAGG_CHECK(b >= 0 && b < num_devices_);
+  DYNAGG_CHECK_NE(a, b);
+  DYNAGG_CHECK_LT(start, end);
+  finalized_ = false;
+  ++num_contacts_;
+  if (a > b) std::swap(a, b);
+  events_.push_back(ContactEvent{start, a, b, /*up=*/true});
+  events_.push_back(ContactEvent{end, a, b, /*up=*/false});
+  intervals_.push_back(Interval{a, b, start, end});
+}
+
+void ContactTrace::Finalize() {
+  // Stable sort keeps insertion order for simultaneous events, making
+  // playback deterministic. Down-events sort before up-events at equal
+  // timestamps so zero-gap re-contacts do not transiently double-count.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ContactEvent& x, const ContactEvent& y) {
+                     if (x.time != y.time) return x.time < y.time;
+                     return x.up < y.up;
+                   });
+  finalized_ = true;
+}
+
+const std::vector<ContactEvent>& ContactTrace::Events() const {
+  DYNAGG_CHECK(finalized_);
+  return events_;
+}
+
+SimTime ContactTrace::end_time() const {
+  DYNAGG_CHECK(finalized_);
+  return events_.empty() ? 0 : events_.back().time;
+}
+
+std::string ContactTrace::ToText() const {
+  std::string out = "dynagg-trace v1\n";
+  char line[128];
+  std::snprintf(line, sizeof(line), "devices %d\n", num_devices_);
+  out += line;
+  for (const Interval& iv : intervals_) {
+    std::snprintf(line, sizeof(line), "contact %d %d %.6f %.6f\n", iv.a,
+                  iv.b, ToSeconds(iv.start), ToSeconds(iv.end));
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+// Splits off the next whitespace-trimmed line of `text` starting at `pos`.
+std::string_view NextLine(std::string_view text, size_t* pos) {
+  while (*pos < text.size() && (text[*pos] == '\n' || text[*pos] == '\r')) {
+    ++*pos;
+  }
+  if (*pos >= text.size()) return {};
+  const size_t start = *pos;
+  size_t end = text.find('\n', start);
+  if (end == std::string_view::npos) end = text.size();
+  *pos = end;
+  std::string_view line = text.substr(start, end - start);
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+// Consumes a whitespace-delimited token from `line`.
+std::string_view NextToken(std::string_view* line) {
+  size_t i = 0;
+  while (i < line->size() && (*line)[i] == ' ') ++i;
+  size_t j = i;
+  while (j < line->size() && (*line)[j] != ' ') ++j;
+  std::string_view token = line->substr(i, j - i);
+  line->remove_prefix(j);
+  return token;
+}
+
+bool ParseInt(std::string_view token, int64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool ParseDouble(std::string_view token, double* out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
+Result<ContactTrace> ContactTrace::Parse(std::string_view text) {
+  size_t pos = 0;
+  std::string_view header = NextLine(text, &pos);
+  if (header != "dynagg-trace v1") {
+    return Status::Corruption("contact trace: bad header");
+  }
+  std::string_view devices_line = NextLine(text, &pos);
+  std::string_view keyword = NextToken(&devices_line);
+  int64_t num_devices = 0;
+  if (keyword != "devices" ||
+      !ParseInt(NextToken(&devices_line), &num_devices) || num_devices < 0 ||
+      num_devices > (1 << 24)) {
+    return Status::Corruption("contact trace: bad devices line");
+  }
+  ContactTrace trace(static_cast<int>(num_devices));
+  while (true) {
+    std::string_view line = NextLine(text, &pos);
+    if (line.empty()) break;
+    if (line.front() == '#') continue;  // comment
+    std::string_view kw = NextToken(&line);
+    if (kw != "contact") {
+      return Status::Corruption("contact trace: unknown record");
+    }
+    int64_t a = 0;
+    int64_t b = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    if (!ParseInt(NextToken(&line), &a) || !ParseInt(NextToken(&line), &b) ||
+        !ParseDouble(NextToken(&line), &start_s) ||
+        !ParseDouble(NextToken(&line), &end_s)) {
+      return Status::Corruption("contact trace: malformed contact record");
+    }
+    if (a < 0 || a >= num_devices || b < 0 || b >= num_devices || a == b ||
+        end_s <= start_s) {
+      return Status::Corruption("contact trace: invalid contact record");
+    }
+    trace.AddContact(static_cast<HostId>(a), static_cast<HostId>(b),
+                     FromSeconds(start_s), FromSeconds(end_s));
+  }
+  trace.Finalize();
+  return trace;
+}
+
+}  // namespace dynagg

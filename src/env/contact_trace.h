@@ -1,0 +1,82 @@
+// Contact traces: time-stamped device-adjacency intervals in the style of
+// the CRAWDAD cambridge/haggle datasets.
+//
+// A trace records contacts — intervals during which two devices are in
+// mutual wireless range. The on-disk format is plain text so that converted
+// real-world traces can be dropped in:
+//
+//     dynagg-trace v1
+//     devices <N>
+//     contact <a> <b> <start_seconds> <end_seconds>
+//     ...
+//
+// Events are replayed by TraceEnvironment (trace_env.h); synthetic traces
+// come from haggle_gen.h (see DESIGN.md, Substitutions).
+
+#ifndef DYNAGG_ENV_CONTACT_TRACE_H_
+#define DYNAGG_ENV_CONTACT_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace dynagg {
+
+/// One adjacency edge flip: at `time`, the link (a, b) comes up or goes
+/// down.
+struct ContactEvent {
+  SimTime time = 0;
+  HostId a = kInvalidHost;
+  HostId b = kInvalidHost;
+  bool up = false;
+};
+
+class ContactTrace {
+ public:
+  explicit ContactTrace(int num_devices);
+
+  int num_devices() const { return num_devices_; }
+
+  /// Records that devices `a` and `b` were in contact during
+  /// [start, end); requires 0 <= a,b < num_devices, a != b, start < end.
+  void AddContact(HostId a, HostId b, SimTime start, SimTime end);
+
+  /// Sorts events by time (stable). Must be called after the last
+  /// AddContact and before Events()/end_time().
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  /// Time-ordered up/down events. Requires finalized().
+  const std::vector<ContactEvent>& Events() const;
+  /// Timestamp of the last event (0 for an empty trace). Requires
+  /// finalized().
+  SimTime end_time() const;
+  int64_t num_contacts() const { return num_contacts_; }
+
+  /// Serializes to the dynagg-trace v1 text format.
+  std::string ToText() const;
+
+  /// Parses the text format; returns a finalized trace.
+  static Result<ContactTrace> Parse(std::string_view text);
+
+ private:
+  int num_devices_;
+  int64_t num_contacts_ = 0;
+  bool finalized_ = false;
+  std::vector<ContactEvent> events_;
+  // Contact intervals retained for ToText round-tripping.
+  struct Interval {
+    HostId a;
+    HostId b;
+    SimTime start;
+    SimTime end;
+  };
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_ENV_CONTACT_TRACE_H_

@@ -1,0 +1,136 @@
+#include "env/crawdad.h"
+
+#include <charconv>
+#include <map>
+#include <vector>
+
+namespace dynagg {
+
+namespace {
+
+struct RawContact {
+  int64_t a;
+  int64_t b;
+  double start;
+  double end;
+};
+
+std::string_view NextLine(std::string_view text, size_t* pos) {
+  while (*pos < text.size() && (text[*pos] == '\n' || text[*pos] == '\r')) {
+    ++*pos;
+  }
+  if (*pos >= text.size()) return {};
+  const size_t start = *pos;
+  size_t end = text.find('\n', start);
+  if (end == std::string_view::npos) end = text.size();
+  *pos = end;
+  return text.substr(start, end - start);
+}
+
+std::string_view NextToken(std::string_view* line) {
+  size_t i = 0;
+  while (i < line->size() &&
+         ((*line)[i] == ' ' || (*line)[i] == '\t' || (*line)[i] == '\r')) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < line->size() && (*line)[j] != ' ' && (*line)[j] != '\t' &&
+         (*line)[j] != '\r') {
+    ++j;
+  }
+  std::string_view token = line->substr(i, j - i);
+  line->remove_prefix(j);
+  return token;
+}
+
+bool ParseI64(std::string_view token, int64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool ParseF64(std::string_view token, double* out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
+Result<ContactTrace> ParseCrawdadContacts(std::string_view text,
+                                          const CrawdadOptions& options) {
+  std::vector<RawContact> contacts;
+  double min_start = 0.0;
+  bool have_min = false;
+  size_t pos = 0;
+  while (true) {
+    std::string_view line = NextLine(text, &pos);
+    if (line.empty()) {
+      if (pos >= text.size()) break;
+      continue;
+    }
+    if (line.front() == '#' || line.front() == '%') continue;
+    RawContact rc{};
+    std::string_view rest = line;
+    if (!ParseI64(NextToken(&rest), &rc.a) ||
+        !ParseI64(NextToken(&rest), &rc.b) ||
+        !ParseF64(NextToken(&rest), &rc.start) ||
+        !ParseF64(NextToken(&rest), &rc.end)) {
+      return Status::Corruption("crawdad: malformed record: " +
+                                std::string(line));
+    }
+    if (rc.a == rc.b) {
+      return Status::Corruption("crawdad: self-contact");
+    }
+    if (rc.end < rc.start) {
+      return Status::Corruption("crawdad: inverted interval");
+    }
+    if (rc.end - rc.start < options.min_duration_seconds) continue;
+    if (rc.end == rc.start) continue;
+    contacts.push_back(rc);
+    if (!have_min || rc.start < min_start) {
+      min_start = rc.start;
+      have_min = true;
+    }
+  }
+
+  // Dense id remapping in order of appearance.
+  std::map<int64_t, HostId> id_map;
+  auto map_id = [&](int64_t raw) -> HostId {
+    const auto it = id_map.find(raw);
+    if (it != id_map.end()) return it->second;
+    if (options.max_devices > 0 &&
+        static_cast<int>(id_map.size()) >= options.max_devices) {
+      return kInvalidHost;
+    }
+    const HostId dense = static_cast<HostId>(id_map.size());
+    id_map.emplace(raw, dense);
+    return dense;
+  };
+  struct Mapped {
+    HostId a;
+    HostId b;
+    double start;
+    double end;
+  };
+  std::vector<Mapped> mapped;
+  mapped.reserve(contacts.size());
+  for (const RawContact& rc : contacts) {
+    const HostId a = map_id(rc.a);
+    const HostId b = map_id(rc.b);
+    if (a == kInvalidHost || b == kInvalidHost) continue;
+    mapped.push_back(Mapped{a, b, rc.start, rc.end});
+  }
+
+  const double base =
+      options.rebase_time && have_min ? min_start : 0.0;
+  ContactTrace trace(static_cast<int>(id_map.size()));
+  for (const Mapped& m : mapped) {
+    trace.AddContact(m.a, m.b, FromSeconds(m.start - base),
+                     FromSeconds(m.end - base));
+  }
+  trace.Finalize();
+  return trace;
+}
+
+}  // namespace dynagg

@@ -1,0 +1,44 @@
+// Importer for CRAWDAD-style contact records.
+//
+// The cambridge/haggle datasets distribute per-experiment contact tables
+// with whitespace-separated records
+//
+//     <device_a> <device_b> <start_seconds> <end_seconds> [extra columns]
+//
+// (device ids arbitrary, often 1-based; '#'-prefixed comment lines). This
+// importer converts such tables into a ContactTrace, remapping device ids
+// densely, so anyone with access to the real traces can run the Fig 11
+// harness on them unchanged: parse with ParseCrawdadContacts, write out with
+// ContactTrace::ToText, and pass the file to the bench via the trace tools.
+
+#ifndef DYNAGG_ENV_CRAWDAD_H_
+#define DYNAGG_ENV_CRAWDAD_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "env/contact_trace.h"
+
+namespace dynagg {
+
+/// Options controlling CRAWDAD-table interpretation.
+struct CrawdadOptions {
+  /// Records whose interval is shorter than this are dropped (the iMote
+  /// traces contain sub-second glitch contacts).
+  double min_duration_seconds = 0.0;
+  /// If > 0, only the first `max_devices` distinct device ids (in order of
+  /// appearance) are kept; contacts touching later devices are dropped.
+  int max_devices = 0;
+  /// Shift all timestamps so the earliest contact starts at 0.
+  bool rebase_time = true;
+};
+
+/// Parses a CRAWDAD contact table into a finalized ContactTrace.
+/// Self-contacts and inverted intervals are rejected as corruption; unknown
+/// trailing columns are ignored.
+Result<ContactTrace> ParseCrawdadContacts(std::string_view text,
+                                          const CrawdadOptions& options = {});
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_ENV_CRAWDAD_H_

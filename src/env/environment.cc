@@ -1,0 +1,7 @@
+#include "env/environment.h"
+
+namespace dynagg {
+
+void Environment::AdvanceTo(SimTime t) { (void)t; }
+
+}  // namespace dynagg

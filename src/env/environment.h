@@ -1,0 +1,45 @@
+// Gossip environments.
+//
+// The paper distinguishes gossip *protocols* (the exchange performed) from
+// gossip *environments* (how pairs of hosts are selected, Section V). An
+// Environment answers "whom can host i talk to right now": uniform full
+// connectivity, a spatial grid with 1/d^2 random-walk peering, or playback
+// of a mobility contact trace.
+
+#ifndef DYNAGG_ENV_ENVIRONMENT_H_
+#define DYNAGG_ENV_ENVIRONMENT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/population.h"
+
+namespace dynagg {
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Universe size (must equal the Population's size).
+  virtual int num_hosts() const = 0;
+
+  /// Samples a gossip partner for alive host `i` under the environment's
+  /// peer-selection rule. Returns kInvalidHost if `i` has no reachable alive
+  /// peer this round. Dead hosts are never returned.
+  virtual HostId SamplePeer(HostId i, const Population& pop,
+                            Rng& rng) const = 0;
+
+  /// Appends the alive communication neighbors of `i` to `out` (used by the
+  /// overlay/tree baseline and the grouping metric). Order is unspecified.
+  virtual void AppendNeighbors(HostId i, const Population& pop,
+                               std::vector<HostId>* out) const = 0;
+
+  /// Advances time-varying environments (trace playback) to simulated time
+  /// `t`. Default: static environment, no-op.
+  virtual void AdvanceTo(SimTime t);
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_ENV_ENVIRONMENT_H_

@@ -1,0 +1,149 @@
+#include "env/haggle_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace dynagg {
+
+HaggleGenParams HaggleDataset1() {
+  HaggleGenParams p;
+  p.num_devices = 9;
+  p.duration_hours = 90.0;
+  p.meetings_per_hour_day = 3.0;
+  p.mean_meeting_minutes = 25.0;
+  p.min_group = 2;
+  p.max_group = 5;
+  p.num_communities = 2;
+  p.seed = 0x4a661e01ull;
+  return p;
+}
+
+HaggleGenParams HaggleDataset2() {
+  HaggleGenParams p;
+  p.num_devices = 12;
+  p.duration_hours = 120.0;
+  p.meetings_per_hour_day = 3.5;
+  p.mean_meeting_minutes = 25.0;
+  p.min_group = 2;
+  p.max_group = 6;
+  p.num_communities = 3;
+  p.seed = 0x4a661e02ull;
+  return p;
+}
+
+HaggleGenParams HaggleDataset3() {
+  HaggleGenParams p;
+  p.num_devices = 41;
+  p.duration_hours = 70.0;
+  p.meetings_per_hour_day = 6.0;
+  p.mean_meeting_minutes = 50.0;  // conference sessions
+  p.min_group = 3;
+  p.max_group = 22;
+  p.num_communities = 4;
+  p.community_affinity = 0.6;  // attendees mix across tracks
+  p.seed = 0x4a661e03ull;
+  return p;
+}
+
+namespace {
+
+// Whether local time `hours` (hours since trace start, day 0 starting at
+// midnight) falls in the daytime window.
+bool IsDaytime(double hours, const HaggleGenParams& p) {
+  const double hour_of_day = std::fmod(hours, 24.0);
+  return hour_of_day >= p.day_start_hour && hour_of_day < p.day_end_hour;
+}
+
+// Draws the next gathering arrival after `t_hours` from the
+// piecewise-constant-rate Poisson process via thinning.
+double NextArrivalHours(double t_hours, const HaggleGenParams& p, Rng& rng) {
+  const double max_rate = p.meetings_per_hour_day;
+  DYNAGG_CHECK_GT(max_rate, 0.0);
+  double t = t_hours;
+  while (true) {
+    t += rng.Exponential(max_rate);
+    const double rate = IsDaytime(t, p)
+                            ? p.meetings_per_hour_day
+                            : p.meetings_per_hour_day *
+                                  p.night_activity_factor;
+    if (rng.Bernoulli(rate / max_rate)) return t;
+  }
+}
+
+}  // namespace
+
+ContactTrace GenerateHaggleTrace(const HaggleGenParams& params) {
+  DYNAGG_CHECK_GE(params.num_devices, 2);
+  DYNAGG_CHECK_GT(params.duration_hours, 0.0);
+  DYNAGG_CHECK_GE(params.min_group, 2);
+  DYNAGG_CHECK_GE(params.max_group, params.min_group);
+  DYNAGG_CHECK_GE(params.num_communities, 1);
+
+  Rng rng(params.seed);
+  ContactTrace trace(params.num_devices);
+  const SimTime trace_end = FromHours(params.duration_hours);
+
+  // Round-robin home communities.
+  std::vector<std::vector<HostId>> communities(params.num_communities);
+  for (HostId d = 0; d < params.num_devices; ++d) {
+    communities[d % params.num_communities].push_back(d);
+  }
+
+  std::vector<HostId> members;
+  std::vector<bool> picked(params.num_devices, false);
+  double t_hours = 0.0;
+  while (true) {
+    t_hours = NextArrivalHours(t_hours, params, rng);
+    if (t_hours >= params.duration_hours) break;
+
+    // Gathering size: min_group + Geometric(1/2), truncated.
+    const int span = params.max_group - params.min_group;
+    int size = params.min_group + rng.GeometricLevel(span);
+    size = std::min(size, params.num_devices);
+
+    // Membership: anchored at a community, with (1 - affinity) outsiders.
+    const auto& anchor =
+        communities[rng.UniformInt(communities.size())];
+    members.clear();
+    std::fill(picked.begin(), picked.end(), false);
+    int guard = 0;
+    while (static_cast<int>(members.size()) < size &&
+           guard++ < 64 * params.num_devices) {
+      HostId candidate;
+      if (rng.Bernoulli(params.community_affinity)) {
+        candidate = anchor[rng.UniformInt(anchor.size())];
+      } else {
+        candidate = static_cast<HostId>(
+            rng.UniformInt(static_cast<uint64_t>(params.num_devices)));
+      }
+      if (!picked[candidate]) {
+        picked[candidate] = true;
+        members.push_back(candidate);
+      }
+    }
+    if (members.size() < 2) continue;
+
+    // Meeting length, clamped to [2, 180] minutes and to the trace end.
+    const double minutes = std::clamp(
+        rng.Exponential(1.0 / params.mean_meeting_minutes), 2.0, 180.0);
+    const SimTime start = FromHours(t_hours);
+    const SimTime end =
+        std::min<SimTime>(start + FromMinutes(minutes), trace_end);
+    if (end <= start) continue;
+
+    // Everyone at the gathering is in mutual range: a contact clique.
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        trace.AddContact(members[i], members[j], start, end);
+      }
+    }
+  }
+  trace.Finalize();
+  return trace;
+}
+
+}  // namespace dynagg

@@ -1,0 +1,65 @@
+#include "env/random_graph_env.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace dynagg {
+
+RandomGraphEnvironment::RandomGraphEnvironment(int num_hosts, int degree,
+                                               uint64_t seed)
+    : adjacency_(num_hosts) {
+  DYNAGG_CHECK_GE(num_hosts, 1);
+  DYNAGG_CHECK_GE(degree, 1);
+  DYNAGG_CHECK_LT(degree, num_hosts);
+  Rng rng(seed);
+  // Configuration model: a shuffled multiset of `degree` stubs per vertex,
+  // paired off; self-loops and duplicate edges are dropped (leaving some
+  // vertices slightly below the target degree, which is fine for gossip).
+  std::vector<HostId> stubs;
+  stubs.reserve(static_cast<size_t>(num_hosts) * degree);
+  for (HostId v = 0; v < num_hosts; ++v) {
+    for (int s = 0; s < degree; ++s) stubs.push_back(v);
+  }
+  for (size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.UniformInt(i)]);
+  }
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const HostId a = stubs[i];
+    const HostId b = stubs[i + 1];
+    if (a == b) continue;
+    const auto& nbrs = adjacency_[a];
+    if (std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end()) continue;
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    ++num_edges_;
+  }
+}
+
+HostId RandomGraphEnvironment::SamplePeer(HostId i, const Population& pop,
+                                          Rng& rng) const {
+  const auto& nbrs = adjacency_[i];
+  if (nbrs.empty()) return kInvalidHost;
+  // Rejection sampling over alive neighbors, then exact fallback.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const HostId pick = nbrs[rng.UniformInt(nbrs.size())];
+    if (pop.IsAlive(pick)) return pick;
+  }
+  std::vector<HostId> alive;
+  alive.reserve(nbrs.size());
+  for (const HostId id : nbrs) {
+    if (pop.IsAlive(id)) alive.push_back(id);
+  }
+  if (alive.empty()) return kInvalidHost;
+  return alive[rng.UniformInt(alive.size())];
+}
+
+void RandomGraphEnvironment::AppendNeighbors(HostId i, const Population& pop,
+                                             std::vector<HostId>* out) const {
+  for (const HostId id : adjacency_[i]) {
+    if (pop.IsAlive(id)) out->push_back(id);
+  }
+}
+
+}  // namespace dynagg

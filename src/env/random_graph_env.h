@@ -1,0 +1,52 @@
+// Random-graph gossip environment: a fixed sparse overlay.
+//
+// Between the idealized uniform environment and the spatial grid sits the
+// sparse-but-unstructured case: each host can reach a small random set of
+// peers (e.g. whoever its radio discovered at deployment). This environment
+// builds an approximately k-regular undirected graph via the configuration
+// model (with rejection of self-loops and duplicates) and selects gossip
+// partners uniformly among a host's alive neighbors. Low-connectivity
+// behaviour — slower convergence, larger reversion error (Section V.A's
+// "low connectivity situations") — can be studied by shrinking k.
+
+#ifndef DYNAGG_ENV_RANDOM_GRAPH_ENV_H_
+#define DYNAGG_ENV_RANDOM_GRAPH_ENV_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "env/environment.h"
+
+namespace dynagg {
+
+class RandomGraphEnvironment : public Environment {
+ public:
+  /// Builds an approximately `degree`-regular graph on `num_hosts` vertices
+  /// from `seed`. degree >= 1; the realized degree of a host may be smaller
+  /// when duplicate/self edges are rejected.
+  RandomGraphEnvironment(int num_hosts, int degree, uint64_t seed);
+
+  int num_hosts() const override {
+    return static_cast<int>(adjacency_.size());
+  }
+
+  HostId SamplePeer(HostId i, const Population& pop,
+                    Rng& rng) const override;
+
+  void AppendNeighbors(HostId i, const Population& pop,
+                       std::vector<HostId>* out) const override;
+
+  /// Realized degree of host i (alive or not).
+  int Degree(HostId i) const {
+    return static_cast<int>(adjacency_[i].size());
+  }
+  int64_t num_edges() const { return num_edges_; }
+
+ private:
+  std::vector<std::vector<HostId>> adjacency_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_ENV_RANDOM_GRAPH_ENV_H_

@@ -1,0 +1,65 @@
+#include "env/spatial_env.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dynagg {
+
+SpatialGridEnvironment::SpatialGridEnvironment(int width, int height,
+                                               int max_distance)
+    : width_(width), height_(height), max_distance_(max_distance) {
+  DYNAGG_CHECK_GE(width, 1);
+  DYNAGG_CHECK_GE(height, 1);
+  if (max_distance_ <= 0) max_distance_ = width + height;
+  walk_cdf_.resize(max_distance_);
+  double total = 0.0;
+  for (int d = 1; d <= max_distance_; ++d) {
+    total += 1.0 / (static_cast<double>(d) * d);
+    walk_cdf_[d - 1] = total;
+  }
+  for (auto& w : walk_cdf_) w /= total;
+}
+
+int SpatialGridEnvironment::SampleWalkLength(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(walk_cdf_.begin(), walk_cdf_.end(), u);
+  return static_cast<int>(it - walk_cdf_.begin()) + 1;
+}
+
+HostId SpatialGridEnvironment::SamplePeer(HostId i, const Population& pop,
+                                          Rng& rng) const {
+  const int steps = SampleWalkLength(rng);
+  HostId current = i;
+  HostId neighbors[4];
+  for (int s = 0; s < steps; ++s) {
+    const int x = current % width_;
+    const int y = current / width_;
+    int count = 0;
+    if (x > 0 && pop.IsAlive(current - 1)) neighbors[count++] = current - 1;
+    if (x + 1 < width_ && pop.IsAlive(current + 1)) {
+      neighbors[count++] = current + 1;
+    }
+    if (y > 0 && pop.IsAlive(current - width_)) {
+      neighbors[count++] = current - width_;
+    }
+    if (y + 1 < height_ && pop.IsAlive(current + width_)) {
+      neighbors[count++] = current + width_;
+    }
+    if (count == 0) break;  // walk is stuck; terminate early
+    current = neighbors[rng.UniformInt(static_cast<uint64_t>(count))];
+  }
+  return current == i ? kInvalidHost : current;
+}
+
+void SpatialGridEnvironment::AppendNeighbors(HostId i, const Population& pop,
+                                             std::vector<HostId>* out) const {
+  const int x = i % width_;
+  const int y = i / width_;
+  if (x > 0 && pop.IsAlive(i - 1)) out->push_back(i - 1);
+  if (x + 1 < width_ && pop.IsAlive(i + 1)) out->push_back(i + 1);
+  if (y > 0 && pop.IsAlive(i - width_)) out->push_back(i - width_);
+  if (y + 1 < height_ && pop.IsAlive(i + width_)) out->push_back(i + width_);
+}
+
+}  // namespace dynagg

@@ -1,0 +1,53 @@
+// Spatial gossip environment (Section IV.A).
+//
+// Hosts sit on a 2-D grid and can only talk to grid-adjacent hosts. Uniform
+// peer selection is approximated with multi-hop messages: the sender draws a
+// distance d with P(d) proportional to 1/d^2 (Kempe, Kleinberg & Demers'
+// spatial-gossip distribution) and the message performs a random walk of d
+// hops; the endpoint is the exchange partner. This preserves the logarithmic
+// propagation bounds that Count-Sketch-Reset's cutoff relies on, which
+// ablation_spatial verifies.
+
+#ifndef DYNAGG_ENV_SPATIAL_ENV_H_
+#define DYNAGG_ENV_SPATIAL_ENV_H_
+
+#include <vector>
+
+#include "env/environment.h"
+
+namespace dynagg {
+
+class SpatialGridEnvironment : public Environment {
+ public:
+  /// `width` x `height` grid; host id = y * width + x. `max_distance` caps
+  /// the 1/d^2 walk length (defaults to width + height when <= 0).
+  SpatialGridEnvironment(int width, int height, int max_distance = 0);
+
+  int num_hosts() const override { return width_ * height_; }
+
+  /// Draws a walk length from the 1/d^2 distribution and random-walks over
+  /// alive grid neighbors; returns the endpoint (kInvalidHost if the walk
+  /// is stuck at i, e.g. all neighbors dead).
+  HostId SamplePeer(HostId i, const Population& pop,
+                    Rng& rng) const override;
+
+  /// Alive 4-neighbors on the grid.
+  void AppendNeighbors(HostId i, const Population& pop,
+                       std::vector<HostId>* out) const override;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Draws from P(d) ~ 1/d^2 over [1, max_distance] (exposed for tests).
+  int SampleWalkLength(Rng& rng) const;
+
+ private:
+  int width_;
+  int height_;
+  int max_distance_;
+  std::vector<double> walk_cdf_;  // cumulative 1/d^2 weights
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_ENV_SPATIAL_ENV_H_

@@ -1,0 +1,77 @@
+// Trace-driven gossip environment: replays a ContactTrace as a time-varying
+// adjacency, restricts gossip to devices in wireless range, and computes the
+// paper's group labelling (connected components over the union of all edges
+// seen in the last 10 minutes, Section V).
+
+#ifndef DYNAGG_ENV_TRACE_ENV_H_
+#define DYNAGG_ENV_TRACE_ENV_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "env/contact_trace.h"
+#include "env/environment.h"
+
+namespace dynagg {
+
+class TraceEnvironment : public Environment {
+ public:
+  /// `trace` must be finalized and must outlive the environment.
+  /// `group_window` is the "nearby" window (paper: 10 minutes).
+  explicit TraceEnvironment(const ContactTrace& trace,
+                            SimTime group_window = FromMinutes(10));
+
+  int num_hosts() const override { return trace_->num_devices(); }
+
+  /// Applies all trace events with time <= t. Time must not go backwards.
+  void AdvanceTo(SimTime t) override;
+
+  /// Uniform among the alive devices currently in range of `i`.
+  HostId SamplePeer(HostId i, const Population& pop,
+                    Rng& rng) const override;
+
+  void AppendNeighbors(HostId i, const Population& pop,
+                       std::vector<HostId>* out) const override;
+
+  SimTime now() const { return now_; }
+  /// Number of devices currently in range of i.
+  int Degree(HostId i) const {
+    return static_cast<int>(neighbors_[i].size());
+  }
+  /// Total live links.
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// Group labels at the current time: connected components over current
+  /// links plus links seen within the last `group_window`.
+  std::vector<int> CurrentGroups() const;
+
+  /// Mean, over devices, of the size of the device's own group (the
+  /// "Avg Group Size" series of Fig 11).
+  double AverageGroupSize() const;
+
+ private:
+  using Edge = std::pair<HostId, HostId>;
+  static Edge MakeEdge(HostId a, HostId b) {
+    return a < b ? Edge{a, b} : Edge{b, a};
+  }
+
+  void LinkUp(HostId a, HostId b);
+  void LinkDown(HostId a, HostId b);
+
+  const ContactTrace* trace_;
+  SimTime group_window_;
+  SimTime now_ = 0;
+  size_t next_event_ = 0;
+  // Live adjacency. Contacts may overlap (two simultaneous meetings of the
+  // same pair), so edges are reference-counted.
+  std::vector<std::vector<HostId>> neighbors_;
+  std::map<Edge, int> edges_;
+  // Down-time of recently-dropped links, for the group window. Pruned
+  // lazily as time advances.
+  mutable std::map<Edge, SimTime> recent_down_;
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_ENV_TRACE_ENV_H_

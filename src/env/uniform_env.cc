@@ -1,0 +1,4 @@
+#include "env/uniform_env.h"
+
+// UniformEnvironment is fully defined in the header; this translation unit
+// anchors the vtable.

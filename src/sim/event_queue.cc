@@ -1,0 +1,31 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dynagg {
+
+void EventQueue::Schedule(SimTime at, EventFn fn) {
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::NextTime() const {
+  return heap_.empty() ? kSimTimeMax : heap_.top().at;
+}
+
+SimTime EventQueue::RunNext() {
+  DYNAGG_CHECK(!heap_.empty());
+  // std::priority_queue::top() is const; the entry must be copied out before
+  // pop so the callback can safely schedule further events.
+  Entry entry = heap_.top();
+  heap_.pop();
+  entry.fn();
+  return entry.at;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace dynagg

@@ -1,0 +1,59 @@
+// Discrete-event queue: a time-ordered priority queue of callbacks.
+//
+// Events at equal timestamps fire in insertion order (a monotone sequence
+// number breaks ties), which keeps trace playback deterministic.
+
+#ifndef DYNAGG_SIM_EVENT_QUEUE_H_
+#define DYNAGG_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dynagg {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Enqueues `fn` to run at simulated time `at`.
+  void Schedule(SimTime at, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event; kSimTimeMax when empty.
+  SimTime NextTime() const;
+
+  /// Removes and runs the earliest event; returns its timestamp.
+  /// Must not be called on an empty queue.
+  SimTime RunNext();
+
+  /// Drops all pending events.
+  void Clear();
+
+ private:
+  struct Entry {
+    SimTime at;
+    uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,89 @@
+#include "sim/failure.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dynagg {
+
+void FailurePlan::AddKill(int round, std::vector<HostId> ids) {
+  auto& slot = events_[round].kill;
+  slot.insert(slot.end(), ids.begin(), ids.end());
+}
+
+void FailurePlan::AddRevive(int round, std::vector<HostId> ids) {
+  auto& slot = events_[round].revive;
+  slot.insert(slot.end(), ids.begin(), ids.end());
+}
+
+void FailurePlan::Apply(int round, Population* pop) const {
+  const auto it = events_.find(round);
+  if (it == events_.end()) return;
+  for (const HostId id : it->second.kill) pop->Kill(id);
+  for (const HostId id : it->second.revive) pop->Revive(id);
+}
+
+FailurePlan FailurePlan::KillRandomFraction(int n, int round, double fraction,
+                                            Rng& rng) {
+  DYNAGG_CHECK_GE(fraction, 0.0);
+  DYNAGG_CHECK_LE(fraction, 1.0);
+  std::vector<HostId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  // Partial Fisher-Yates: the first `kill_count` entries become a uniform
+  // sample without replacement.
+  const auto kill_count = static_cast<size_t>(fraction * n + 0.5);
+  for (size_t i = 0; i < kill_count && i + 1 < ids.size(); ++i) {
+    const size_t j = i + rng.UniformInt(ids.size() - i);
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(kill_count);
+  FailurePlan plan;
+  plan.AddKill(round, std::move(ids));
+  return plan;
+}
+
+FailurePlan FailurePlan::KillTopFraction(const std::vector<double>& values,
+                                         int round, double fraction) {
+  DYNAGG_CHECK_GE(fraction, 0.0);
+  DYNAGG_CHECK_LE(fraction, 1.0);
+  const auto n = values.size();
+  std::vector<HostId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  const auto kill_count =
+      static_cast<size_t>(fraction * static_cast<double>(n) + 0.5);
+  std::partial_sort(ids.begin(), ids.begin() + kill_count, ids.end(),
+                    [&values](HostId a, HostId b) {
+                      if (values[a] != values[b]) return values[a] > values[b];
+                      return a < b;
+                    });
+  ids.resize(kill_count);
+  FailurePlan plan;
+  plan.AddKill(round, std::move(ids));
+  return plan;
+}
+
+FailurePlan FailurePlan::Churn(int n, int start_round, int end_round,
+                               double death_prob, double return_prob,
+                               Rng& rng) {
+  FailurePlan plan;
+  std::vector<bool> alive(n, true);
+  for (int round = start_round; round < end_round; ++round) {
+    std::vector<HostId> kills;
+    std::vector<HostId> revives;
+    for (HostId id = 0; id < n; ++id) {
+      if (alive[id]) {
+        if (rng.Bernoulli(death_prob)) {
+          alive[id] = false;
+          kills.push_back(id);
+        }
+      } else if (rng.Bernoulli(return_prob)) {
+        alive[id] = true;
+        revives.push_back(id);
+      }
+    }
+    if (!kills.empty()) plan.AddKill(round, std::move(kills));
+    if (!revives.empty()) plan.AddRevive(round, std::move(revives));
+  }
+  return plan;
+}
+
+}  // namespace dynagg

@@ -1,0 +1,64 @@
+// Failure plans: scripted host departures and arrivals applied between
+// gossip rounds.
+//
+// The evaluation uses two failure modes (Section V.A):
+//  - uncorrelated: a random fraction of hosts fails (law of large numbers
+//    keeps the true average unchanged);
+//  - correlated: the highest-valued fraction fails (the true average drops,
+//    e.g. U[0,100) -> 25 after losing the top half).
+// Churn plans additionally exercise continuous departure/arrival processes.
+
+#ifndef DYNAGG_SIM_FAILURE_H_
+#define DYNAGG_SIM_FAILURE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/population.h"
+
+namespace dynagg {
+
+class FailurePlan {
+ public:
+  FailurePlan() = default;
+
+  /// Schedules `ids` to be killed immediately before round `round`.
+  void AddKill(int round, std::vector<HostId> ids);
+  /// Schedules `ids` to be revived immediately before round `round`.
+  void AddRevive(int round, std::vector<HostId> ids);
+
+  /// Applies all events scheduled for `round` to `pop`.
+  void Apply(int round, Population* pop) const;
+
+  /// True if no events are scheduled.
+  bool empty() const { return events_.empty(); }
+
+  /// Kills a uniformly random `fraction` of the `n` hosts at `round`.
+  static FailurePlan KillRandomFraction(int n, int round, double fraction,
+                                        Rng& rng);
+
+  /// Kills the ceil(fraction * n) hosts with the highest `values` at `round`
+  /// (the paper's correlated-failure mode).
+  static FailurePlan KillTopFraction(const std::vector<double>& values,
+                                     int round, double fraction);
+
+  /// Continuous churn: every round in [start_round, end_round), each alive
+  /// host dies with probability `death_prob` and each dead host returns with
+  /// probability `return_prob`. The schedule is precomputed from `rng` so a
+  /// plan replays identically.
+  static FailurePlan Churn(int n, int start_round, int end_round,
+                           double death_prob, double return_prob, Rng& rng);
+
+ private:
+  struct RoundEvents {
+    std::vector<HostId> kill;
+    std::vector<HostId> revive;
+  };
+  std::map<int, RoundEvents> events_;
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_SIM_FAILURE_H_

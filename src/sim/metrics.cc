@@ -1,0 +1,46 @@
+#include "sim/metrics.h"
+
+namespace dynagg {
+
+double TrueAverage(const std::vector<double>& values, const Population& pop) {
+  const auto& alive = pop.alive_ids();
+  if (alive.empty()) return 0.0;
+  double sum = 0.0;
+  for (const HostId id : alive) sum += values[id];
+  return sum / static_cast<double>(alive.size());
+}
+
+double TrueSum(const std::vector<double>& values, const Population& pop) {
+  double sum = 0.0;
+  for (const HostId id : pop.alive_ids()) sum += values[id];
+  return sum;
+}
+
+double RmsDeviationOverAlive(const Population& pop, double truth,
+                             const std::function<double(HostId)>& estimate) {
+  DeviationStat dev;
+  for (const HostId id : pop.alive_ids()) dev.Add(estimate(id), truth);
+  return dev.rms();
+}
+
+double RmsDeviationPerHost(const Population& pop,
+                           const std::function<double(HostId)>& truth,
+                           const std::function<double(HostId)>& estimate) {
+  DeviationStat dev;
+  for (const HostId id : pop.alive_ids()) dev.Add(estimate(id), truth(id));
+  return dev.rms();
+}
+
+int FirstSustainedBelow(const std::vector<double>& series, double threshold) {
+  int first = -1;
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series[i] < threshold) {
+      if (first < 0) first = static_cast<int>(i);
+    } else {
+      first = -1;
+    }
+  }
+  return first;
+}
+
+}  // namespace dynagg

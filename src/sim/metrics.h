@@ -1,0 +1,40 @@
+// Experiment metrics: truth computation and deviation recording in the
+// paper's convention (RMS deviation of per-host estimates from the correct
+// aggregate over currently-alive hosts).
+
+#ifndef DYNAGG_SIM_METRICS_H_
+#define DYNAGG_SIM_METRICS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/population.h"
+
+namespace dynagg {
+
+/// True average of `values` over currently alive hosts; 0 if none alive.
+double TrueAverage(const std::vector<double>& values, const Population& pop);
+
+/// True sum of `values` over currently alive hosts.
+double TrueSum(const std::vector<double>& values, const Population& pop);
+
+/// RMS deviation of `estimate(id)` from `truth` over alive hosts.
+double RmsDeviationOverAlive(const Population& pop, double truth,
+                             const std::function<double(HostId)>& estimate);
+
+/// RMS deviation with a per-host truth (used for group-relative errors in
+/// the trace experiments).
+double RmsDeviationPerHost(const Population& pop,
+                           const std::function<double(HostId)>& truth,
+                           const std::function<double(HostId)>& estimate);
+
+/// Detects convergence: the first round whose deviation drops below
+/// `threshold` and stays below it for every subsequent recorded round.
+/// Returns -1 if the series never converges.
+int FirstSustainedBelow(const std::vector<double>& series, double threshold);
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_SIM_METRICS_H_

@@ -1,0 +1,53 @@
+#include "sim/population.h"
+
+#include <numeric>
+
+namespace dynagg {
+
+Population::Population(int n) {
+  DYNAGG_CHECK_GE(n, 0);
+  position_.resize(n);
+  alive_ids_.resize(n);
+  std::iota(alive_ids_.begin(), alive_ids_.end(), 0);
+  std::iota(position_.begin(), position_.end(), 0);
+}
+
+void Population::Kill(HostId id) {
+  DYNAGG_CHECK(id >= 0 && id < size());
+  const int32_t pos = position_[id];
+  if (pos < 0) return;
+  // Swap-remove from the alive vector, keeping position_ consistent.
+  const HostId last = alive_ids_.back();
+  alive_ids_[pos] = last;
+  position_[last] = pos;
+  alive_ids_.pop_back();
+  position_[id] = -1;
+}
+
+void Population::Revive(HostId id) {
+  DYNAGG_CHECK(id >= 0 && id < size());
+  if (position_[id] >= 0) return;
+  position_[id] = static_cast<int32_t>(alive_ids_.size());
+  alive_ids_.push_back(id);
+}
+
+HostId Population::SampleAlive(Rng& rng) const {
+  if (alive_ids_.empty()) return kInvalidHost;
+  return alive_ids_[rng.UniformInt(alive_ids_.size())];
+}
+
+HostId Population::SampleAliveExcept(HostId exclude, Rng& rng) const {
+  const size_t n = alive_ids_.size();
+  if (n == 0) return kInvalidHost;
+  if (n == 1) {
+    return alive_ids_[0] == exclude ? kInvalidHost : alive_ids_[0];
+  }
+  // Rejection sampling: terminates quickly because at most one of n >= 2
+  // candidates is excluded.
+  while (true) {
+    const HostId pick = alive_ids_[rng.UniformInt(n)];
+    if (pick != exclude) return pick;
+  }
+}
+
+}  // namespace dynagg

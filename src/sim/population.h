@@ -1,0 +1,55 @@
+// Population: the alive/dead status of every host with O(1) kill/revive and
+// O(1) uniform sampling over alive hosts.
+//
+// Silent failures in the paper are modelled by flipping hosts to dead: they
+// stop initiating gossip, stop being selected as peers, and any mass or
+// sketch state they hold simply leaves the computation — exactly the failure
+// mode Sections III-IV address.
+
+#ifndef DYNAGG_SIM_POPULATION_H_
+#define DYNAGG_SIM_POPULATION_H_
+
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dynagg {
+
+class Population {
+ public:
+  /// Creates `n` hosts, all alive.
+  explicit Population(int n);
+
+  /// Total universe size (alive + dead).
+  int size() const { return static_cast<int>(position_.size()); }
+  int num_alive() const { return static_cast<int>(alive_ids_.size()); }
+  bool IsAlive(HostId id) const {
+    DYNAGG_DCHECK(id >= 0 && id < size());
+    return position_[id] >= 0;
+  }
+
+  /// Marks `id` dead. No-op if already dead.
+  void Kill(HostId id);
+  /// Marks `id` alive. No-op if already alive.
+  void Revive(HostId id);
+
+  /// Uniform random alive host; kInvalidHost if none.
+  HostId SampleAlive(Rng& rng) const;
+  /// Uniform random alive host different from `exclude`; kInvalidHost if no
+  /// such host exists.
+  HostId SampleAliveExcept(HostId exclude, Rng& rng) const;
+
+  /// The alive hosts, in unspecified order. Stable between mutations.
+  const std::vector<HostId>& alive_ids() const { return alive_ids_; }
+
+ private:
+  // position_[id] = index of id within alive_ids_, or -1 if dead.
+  std::vector<int32_t> position_;
+  std::vector<HostId> alive_ids_;
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_SIM_POPULATION_H_

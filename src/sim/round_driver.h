@@ -1,0 +1,46 @@
+// Round driver: the paper's "simulation in rounds" harness.
+//
+// At every iteration each alive host performs its protocol's exchange with
+// peers selected by the environment (Section V). A Swarm is any type
+// exposing
+//     void RunRound(const Environment&, const Population&, Rng&);
+// The driver applies failure-plan events before each round and invokes an
+// observer afterwards so experiments can record metrics.
+
+#ifndef DYNAGG_SIM_ROUND_DRIVER_H_
+#define DYNAGG_SIM_ROUND_DRIVER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "env/environment.h"
+#include "sim/failure.h"
+#include "sim/population.h"
+
+namespace dynagg {
+
+/// Copies the alive ids and Fisher-Yates shuffles them. Push/pull exchanges
+/// are applied sequentially within a round; shuffling removes any host-id
+/// ordering bias.
+void ShuffledAliveOrder(const Population& pop, Rng& rng,
+                        std::vector<HostId>* out);
+
+/// Runs `num_rounds` rounds of `swarm` under `env`/`pop`, applying `failures`
+/// before each round and calling `on_round_end(round)` after each round
+/// (round numbering starts at 0). `on_round_end` may be null.
+template <typename Swarm>
+void RunRounds(Swarm& swarm, const Environment& env, Population& pop,
+               const FailurePlan& failures, int num_rounds, Rng& rng,
+               const std::function<void(int)>& on_round_end = nullptr) {
+  for (int round = 0; round < num_rounds; ++round) {
+    failures.Apply(round, &pop);
+    swarm.RunRound(env, pop, rng);
+    if (on_round_end) on_round_end(round);
+  }
+}
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_SIM_ROUND_DRIVER_H_

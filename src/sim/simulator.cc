@@ -1,0 +1,48 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+namespace dynagg {
+
+void Simulator::ScheduleAt(SimTime at, EventFn fn) {
+  DYNAGG_CHECK_GE(at, now_);
+  queue_.Schedule(at, std::move(fn));
+}
+
+void Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
+  DYNAGG_CHECK_GE(delay, 0);
+  queue_.Schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::SchedulePeriodic(SimTime first, SimTime period,
+                                 std::function<bool()> fn) {
+  DYNAGG_CHECK_GT(period, 0);
+  DYNAGG_CHECK_GE(first, now_);
+  // The wrapper reschedules itself; shared_ptr lets the lambda own a copy of
+  // itself without a dangling reference.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), tick]() {
+    if (!fn()) return;
+    queue_.Schedule(now_ + period, *tick);
+  };
+  queue_.Schedule(first, *tick);
+}
+
+int64_t Simulator::RunUntil(SimTime until) {
+  stop_requested_ = false;
+  int64_t executed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    const SimTime next = queue_.NextTime();
+    if (next > until) break;
+    now_ = next;
+    queue_.RunNext();
+    ++executed;
+  }
+  if (until != kSimTimeMax && now_ < until && queue_.NextTime() > until) {
+    now_ = until;
+  }
+  return executed;
+}
+
+}  // namespace dynagg

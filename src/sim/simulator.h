@@ -1,0 +1,56 @@
+// Simulator: the discrete-event loop (clock + event queue).
+//
+// Trace-driven experiments (Fig 11) run on this core: contact up/down events
+// and 30-second gossip ticks are both scheduled events. The large synchronous
+// uniform-gossip experiments use the round driver directly (round_driver.h),
+// matching the paper's "simulation in rounds".
+
+#ifndef DYNAGG_SIM_SIMULATOR_H_
+#define DYNAGG_SIM_SIMULATOR_H_
+
+#include <functional>
+
+#include "common/macros.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace dynagg {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  DYNAGG_DISALLOW_COPY_AND_ASSIGN(Simulator);
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (must be >= Now()).
+  void ScheduleAt(SimTime at, EventFn fn);
+  /// Schedules `fn` `delay` after Now().
+  void ScheduleAfter(SimTime delay, EventFn fn);
+  /// Schedules `fn` to run every `period`, starting at `first`. Stops when
+  /// `fn` returns false or the simulation ends.
+  void SchedulePeriodic(SimTime first, SimTime period,
+                        std::function<bool()> fn);
+
+  /// Runs events until the queue is empty, `RequestStop()` is called, or the
+  /// next event is later than `until`. The clock ends at min(until, last
+  /// event time). Returns the number of events executed.
+  int64_t RunUntil(SimTime until);
+  /// Runs to queue exhaustion (or RequestStop).
+  int64_t Run() { return RunUntil(kSimTimeMax); }
+
+  /// Makes the run loop return after the current event completes.
+  void RequestStop() { stop_requested_ = true; }
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_SIM_SIMULATOR_H_

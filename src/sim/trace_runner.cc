@@ -1,0 +1,47 @@
+#include "sim/trace_runner.h"
+
+#include <utility>
+
+namespace dynagg {
+
+TraceRunner::TraceRunner(const ContactTrace& trace, SimTime gossip_period,
+                         SimTime group_window)
+    : trace_(&trace),
+      gossip_period_(gossip_period),
+      env_(trace, group_window),
+      pop_(trace.num_devices()) {
+  DYNAGG_CHECK(trace.finalized());
+  DYNAGG_CHECK_GT(gossip_period, 0);
+}
+
+void TraceRunner::EverySample(SimTime period, std::function<void(SimTime)> fn) {
+  DYNAGG_CHECK_GT(period, 0);
+  DYNAGG_CHECK(!ran_);
+  samplers_.push_back(Sampler{period, std::move(fn)});
+}
+
+void TraceRunner::Run() {
+  DYNAGG_CHECK(!ran_);
+  DYNAGG_CHECK(round_fn_ != nullptr);
+  ran_ = true;
+  const SimTime end = trace_->end_time();
+
+  sim_.SchedulePeriodic(gossip_period_, gossip_period_, [this, end] {
+    env_.AdvanceTo(sim_.Now());
+    round_fn_(sim_.Now());
+    ++rounds_run_;
+    return sim_.Now() + gossip_period_ <= end;
+  });
+  for (const Sampler& sampler : samplers_) {
+    // Capture by value: the samplers_ vector must not be mutated after Run.
+    sim_.SchedulePeriodic(
+        sampler.period, sampler.period, [this, end, sampler] {
+          env_.AdvanceTo(sim_.Now());
+          sampler.fn(sim_.Now());
+          return sim_.Now() + sampler.period <= end;
+        });
+  }
+  sim_.RunUntil(end);
+}
+
+}  // namespace dynagg

@@ -1,0 +1,43 @@
+#include "tree/spanning_tree.h"
+
+#include <deque>
+
+#include "common/macros.h"
+
+namespace dynagg {
+
+SpanningTree BuildBfsTree(const Environment& env, const Population& pop,
+                          HostId root) {
+  const int n = env.num_hosts();
+  DYNAGG_CHECK(root >= 0 && root < n);
+  DYNAGG_CHECK(pop.IsAlive(root));
+
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent.assign(n, kInvalidHost);
+  tree.depth.assign(n, -1);
+  tree.children.assign(n, {});
+  tree.depth[root] = 0;
+  tree.num_reached = 1;
+
+  std::deque<HostId> frontier{root};
+  std::vector<HostId> neighbors;
+  while (!frontier.empty()) {
+    const HostId host = frontier.front();
+    frontier.pop_front();
+    neighbors.clear();
+    env.AppendNeighbors(host, pop, &neighbors);
+    for (const HostId next : neighbors) {
+      if (tree.depth[next] >= 0) continue;
+      tree.depth[next] = tree.depth[host] + 1;
+      tree.parent[next] = host;
+      tree.children[host].push_back(next);
+      tree.max_depth = std::max(tree.max_depth, tree.depth[next]);
+      ++tree.num_reached;
+      frontier.push_back(next);
+    }
+  }
+  return tree;
+}
+
+}  // namespace dynagg

@@ -1,0 +1,40 @@
+// Spanning-tree construction for overlay aggregation baselines.
+//
+// Overlay protocols (TAG and kin, Section II.a) flood a query from a leader
+// and use the flood paths as a spanning tree: each host's parent is the
+// neighbor it first heard the query from. BuildBfsTree models that flood as
+// a breadth-first search over the environment's current adjacency.
+
+#ifndef DYNAGG_TREE_SPANNING_TREE_H_
+#define DYNAGG_TREE_SPANNING_TREE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "env/environment.h"
+#include "sim/population.h"
+
+namespace dynagg {
+
+struct SpanningTree {
+  HostId root = kInvalidHost;
+  /// parent[i] = parent of host i; kInvalidHost for the root and for hosts
+  /// the flood never reached.
+  std::vector<HostId> parent;
+  /// depth[i] = hops from root; -1 if unreached.
+  std::vector<int> depth;
+  std::vector<std::vector<HostId>> children;
+  int num_reached = 0;
+  int max_depth = 0;
+
+  bool Reached(HostId id) const { return depth[id] >= 0; }
+};
+
+/// Floods from `root` (which must be alive) over the alive adjacency of
+/// `env` and returns the resulting BFS tree.
+SpanningTree BuildBfsTree(const Environment& env, const Population& pop,
+                          HostId root);
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_TREE_SPANNING_TREE_H_

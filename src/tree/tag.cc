@@ -1,0 +1,63 @@
+#include "tree/tag.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dynagg {
+
+TagEpochResult RunTagEpoch(const SpanningTree& tree,
+                           const std::vector<double>& values, Population& pop,
+                           const FailurePlan& failures, int start_round) {
+  const int n = static_cast<int>(tree.parent.size());
+  DYNAGG_CHECK_EQ(static_cast<int>(values.size()), n);
+
+  // Partial aggregates, seeded with each reached alive host's own value.
+  std::vector<double> psum(n, 0.0);
+  std::vector<double> pcount(n, 0.0);
+  std::vector<HostId> by_depth_order;
+  by_depth_order.reserve(n);
+  for (HostId id = 0; id < n; ++id) {
+    if (!tree.Reached(id) || !pop.IsAlive(id)) continue;
+    psum[id] = values[id];
+    pcount[id] = 1.0;
+    by_depth_order.push_back(id);
+  }
+  std::sort(by_depth_order.begin(), by_depth_order.end(),
+            [&tree](HostId a, HostId b) {
+              if (tree.depth[a] != tree.depth[b]) {
+                return tree.depth[a] > tree.depth[b];
+              }
+              return a < b;
+            });
+
+  TagEpochResult result;
+  result.rounds = tree.max_depth;
+  // Level d transmits at round (max_depth - d); iterate depths descending.
+  size_t cursor = 0;
+  for (int level = tree.max_depth; level >= 1; --level) {
+    const int round = start_round + (tree.max_depth - level);
+    failures.Apply(round, &pop);
+    while (cursor < by_depth_order.size() &&
+           tree.depth[by_depth_order[cursor]] == level) {
+      const HostId host = by_depth_order[cursor++];
+      // A host that died mid-epoch silently drops its whole subtree's
+      // partial aggregate; a dead parent swallows the transmission.
+      if (!pop.IsAlive(host)) continue;
+      const HostId parent = tree.parent[host];
+      if (parent == kInvalidHost || !pop.IsAlive(parent)) continue;
+      psum[parent] += psum[host];
+      pcount[parent] += pcount[host];
+    }
+  }
+
+  if (!pop.IsAlive(tree.root)) return result;  // leader lost: no result
+  result.valid = true;
+  result.sum = psum[tree.root];
+  result.count = pcount[tree.root];
+  result.average = result.count > 0 ? result.sum / result.count : 0.0;
+  result.contributing = static_cast<int>(result.count);
+  return result;
+}
+
+}  // namespace dynagg

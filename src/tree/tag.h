@@ -1,0 +1,45 @@
+// TAG-style tree aggregation baseline (Madden et al., referenced in
+// Sections II.a and VI).
+//
+// One aggregation epoch: partial aggregates <sum, count> climb the spanning
+// tree level by level, one level per round, and the leader combines them.
+// Hosts that fail mid-epoch silently drop their entire accumulated subtree
+// — the failure sensitivity that motivates the paper's unstructured
+// protocols, quantified by ablation_tree_vs_gossip.
+
+#ifndef DYNAGG_TREE_TAG_H_
+#define DYNAGG_TREE_TAG_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/failure.h"
+#include "sim/population.h"
+#include "tree/spanning_tree.h"
+
+namespace dynagg {
+
+/// Outcome of one TAG aggregation epoch.
+struct TagEpochResult {
+  /// True if the leader survived to produce a result.
+  bool valid = false;
+  double sum = 0.0;
+  double count = 0.0;
+  /// sum / count; 0 if no contributions arrived.
+  double average = 0.0;
+  /// Hosts whose value reached the leader.
+  int contributing = 0;
+  /// Rounds consumed (= tree depth).
+  int rounds = 0;
+};
+
+/// Runs one TAG epoch of `values` over `tree`. `failures` is applied with
+/// round offsets start_round, start_round + 1, ... between level
+/// transmissions, mutating `pop` exactly as the gossip swarms see it.
+TagEpochResult RunTagEpoch(const SpanningTree& tree,
+                           const std::vector<double>& values, Population& pop,
+                           const FailurePlan& failures, int start_round);
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_TREE_TAG_H_

@@ -1,0 +1,133 @@
+// NodeAggregator under device churn: late joiners, departures and partition
+// healing through the facade's serialized request/reply exchange.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregator.h"
+#include "common/rng.h"
+
+namespace dynagg {
+namespace {
+
+AggregatorConfig SmallConfig() {
+  AggregatorConfig config;
+  config.lambda = 0.05;
+  // 64 bins keep the sketch quantization (~9.7% expected error) below the
+  // 2x population changes these tests assert on.
+  config.csr.bins = 64;
+  config.csr.levels = 20;
+  config.count_multiplicity = 100;
+  return config;
+}
+
+TEST(AggregatorChurnTest, LateJoinerIsCounted) {
+  AggregatorConfig config = SmallConfig();
+  std::vector<std::unique_ptr<NodeAggregator>> owners;
+  std::vector<NodeAggregator*> mesh;
+  Rng rng(1);
+  for (int i = 0; i < 6; ++i) {
+    owners.push_back(std::make_unique<NodeAggregator>(100 + i, 10.0, config));
+    mesh.push_back(owners.back().get());
+  }
+  auto round = [&](std::vector<NodeAggregator*>& devices) {
+    for (size_t i = 0; i < devices.size(); ++i) {
+      const auto request = devices[i]->BeginRound();
+      size_t j = rng.UniformInt(devices.size() - 1);
+      if (j >= i) ++j;
+      const auto reply = devices[j]->HandleMessage(request);
+      ASSERT_TRUE(reply.ok());
+      ASSERT_TRUE(devices[i]->HandleReply(*reply).ok());
+    }
+    for (auto* device : devices) device->EndRound();
+  };
+  for (int r = 0; r < 40; ++r) round(mesh);
+  const double before = mesh[0]->CountEstimate();
+  EXPECT_NEAR(before, 6.0, 3.0);
+  // Four more devices arrive.
+  for (int i = 6; i < 10; ++i) {
+    owners.push_back(std::make_unique<NodeAggregator>(100 + i, 50.0, config));
+    mesh.push_back(owners.back().get());
+  }
+  for (int r = 0; r < 40; ++r) round(mesh);
+  EXPECT_GT(mesh[0]->CountEstimate(), before);
+  // The average moves towards the newcomers' value.
+  EXPECT_GT(mesh[0]->AverageEstimate(), 15.0);
+}
+
+TEST(AggregatorChurnTest, DepartureShrinksCountAndAverageRecovers) {
+  AggregatorConfig config = SmallConfig();
+  std::vector<std::unique_ptr<NodeAggregator>> owners;
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    owners.push_back(std::make_unique<NodeAggregator>(
+        200 + i, i < 5 ? 10.0 : 90.0, config));
+  }
+  std::vector<NodeAggregator*> mesh;
+  for (auto& o : owners) mesh.push_back(o.get());
+  auto round = [&](std::vector<NodeAggregator*>& devices) {
+    for (size_t i = 0; i < devices.size(); ++i) {
+      const auto request = devices[i]->BeginRound();
+      size_t j = rng.UniformInt(devices.size() - 1);
+      if (j >= i) ++j;
+      const auto reply = devices[j]->HandleMessage(request);
+      ASSERT_TRUE(reply.ok());
+      ASSERT_TRUE(devices[i]->HandleReply(*reply).ok());
+    }
+    for (auto* device : devices) device->EndRound();
+  };
+  for (int r = 0; r < 50; ++r) round(mesh);
+  EXPECT_NEAR(mesh[0]->AverageEstimate(), 50.0, 10.0);
+  const double count_before = mesh[0]->CountEstimate();
+  // The high-valued half walks away (silently: just drop them from the
+  // mesh).
+  mesh.resize(5);
+  for (int r = 0; r < 120; ++r) round(mesh);
+  EXPECT_NEAR(mesh[0]->AverageEstimate(), 10.0, 5.0);
+  EXPECT_LT(mesh[0]->CountEstimate(), count_before);
+  EXPECT_NEAR(mesh[0]->CountEstimate(), 5.0, 3.0);
+}
+
+TEST(AggregatorChurnTest, PartitionsHealAfterReconnection) {
+  AggregatorConfig config = SmallConfig();
+  std::vector<std::unique_ptr<NodeAggregator>> owners;
+  Rng rng(3);
+  for (int i = 0; i < 8; ++i) {
+    owners.push_back(std::make_unique<NodeAggregator>(
+        300 + i, i < 4 ? 20.0 : 80.0, config));
+  }
+  std::vector<NodeAggregator*> left;
+  std::vector<NodeAggregator*> right;
+  std::vector<NodeAggregator*> all;
+  for (int i = 0; i < 8; ++i) {
+    (i < 4 ? left : right).push_back(owners[i].get());
+    all.push_back(owners[i].get());
+  }
+  auto round = [&](std::vector<NodeAggregator*>& devices) {
+    for (size_t i = 0; i < devices.size(); ++i) {
+      const auto request = devices[i]->BeginRound();
+      size_t j = rng.UniformInt(devices.size() - 1);
+      if (j >= i) ++j;
+      const auto reply = devices[j]->HandleMessage(request);
+      ASSERT_TRUE(reply.ok());
+      ASSERT_TRUE(devices[i]->HandleReply(*reply).ok());
+    }
+    for (auto* device : devices) device->EndRound();
+  };
+  // Partitioned: the groups converge to their own averages.
+  for (int r = 0; r < 60; ++r) {
+    round(left);
+    round(right);
+  }
+  EXPECT_NEAR(left[0]->AverageEstimate(), 20.0, 4.0);
+  EXPECT_NEAR(right[0]->AverageEstimate(), 80.0, 4.0);
+  // Reconnected: everyone converges to the global average.
+  for (int r = 0; r < 60; ++r) round(all);
+  EXPECT_NEAR(all[0]->AverageEstimate(), 50.0, 8.0);
+  EXPECT_NEAR(all[7]->AverageEstimate(), 50.0, 8.0);
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,320 @@
+#include "agg/count_sketch_reset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agg/count_sketch.h"
+#include "common/rng.h"
+#include "common/wire.h"
+#include "env/uniform_env.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+CsrParams SmallParams() {
+  CsrParams p;
+  p.bins = 16;
+  p.levels = 16;
+  return p;
+}
+
+TEST(CsrNodeTest, InitPinsOwnedSlotsToZero) {
+  CountSketchResetNode node;
+  node.Init(SmallParams(), /*host_key=*/3, /*multiplicity=*/5);
+  EXPECT_FALSE(node.owned_slots().empty());
+  for (const int32_t offset : node.owned_slots()) {
+    EXPECT_EQ(node.counters()[offset], 0);
+  }
+  // Everything else is infinity.
+  size_t infinite = 0;
+  for (const uint8_t c : node.counters()) {
+    if (c == kCsrInfinity) ++infinite;
+  }
+  EXPECT_EQ(infinite, node.counters().size() - node.owned_slots().size());
+}
+
+TEST(CsrNodeTest, AgeCountersKeepsOwnedAtZeroAndInfinityFixed) {
+  CountSketchResetNode node;
+  node.Init(SmallParams(), 1, 3);
+  node.AgeCounters();
+  node.AgeCounters();
+  for (const int32_t offset : node.owned_slots()) {
+    EXPECT_EQ(node.counters()[offset], 0);
+  }
+  for (size_t i = 0; i < node.counters().size(); ++i) {
+    const bool owned =
+        std::find(node.owned_slots().begin(), node.owned_slots().end(),
+                  static_cast<int32_t>(i)) != node.owned_slots().end();
+    if (!owned) EXPECT_EQ(node.counters()[i], kCsrInfinity);
+  }
+}
+
+TEST(CsrNodeTest, AgeIncrementsFiniteCounters) {
+  CountSketchResetNode a;
+  CountSketchResetNode b;
+  a.Init(SmallParams(), 1, 1);
+  b.Init(SmallParams(), 2, 1);
+  // b learns a's zero counter, then ages it.
+  b.MergeFrom(a);
+  const int32_t a_slot = a.owned_slots()[0];
+  EXPECT_EQ(b.counters()[a_slot], 0);
+  b.AgeCounters();
+  // a's slot may coincide with b's own slot; only check when distinct.
+  if (a_slot != b.owned_slots()[0]) {
+    EXPECT_EQ(b.counters()[a_slot], 1);
+    b.AgeCounters();
+    EXPECT_EQ(b.counters()[a_slot], 2);
+  }
+}
+
+TEST(CsrNodeTest, CountersSaturateBelowInfinity) {
+  CountSketchResetNode a;
+  CountSketchResetNode b;
+  a.Init(SmallParams(), 1, 1);
+  b.Init(SmallParams(), 2, 1);
+  b.MergeFrom(a);
+  for (int i = 0; i < 1000; ++i) b.AgeCounters();
+  for (const uint8_t c : b.counters()) {
+    EXPECT_TRUE(c == 0 || c == kCsrCounterCap || c == kCsrInfinity);
+  }
+}
+
+TEST(CsrNodeTest, MergeTakesElementwiseMin) {
+  CountSketchResetNode a;
+  CountSketchResetNode b;
+  a.Init(SmallParams(), 1, 4);
+  b.Init(SmallParams(), 2, 4);
+  const std::vector<uint8_t> a_before = a.counters();
+  const std::vector<uint8_t> b_before = b.counters();
+  a.MergeFrom(b);
+  for (size_t i = 0; i < a_before.size(); ++i) {
+    EXPECT_EQ(a.counters()[i], std::min(a_before[i], b_before[i]));
+  }
+}
+
+TEST(CsrNodeTest, ExchangeMergeEqualizes) {
+  CountSketchResetNode a;
+  CountSketchResetNode b;
+  a.Init(SmallParams(), 1, 4);
+  b.Init(SmallParams(), 2, 4);
+  CountSketchResetNode::ExchangeMerge(a, b);
+  EXPECT_EQ(a.counters(), b.counters());
+}
+
+TEST(CsrNodeTest, EstimateOfSingleHostIsSmall) {
+  CountSketchResetNode node;
+  CsrParams p;  // default 64-bin geometry
+  node.Init(p, 1, 1);
+  // One owned object: run lengths are 0 or 1, estimate near m/phi.
+  EXPECT_LT(node.EstimateCount(), 2.5 * 64 / kFmPhi);
+}
+
+TEST(CsrNodeTest, BitSetFollowsCutoff) {
+  CsrParams p = SmallParams();
+  p.cutoff_base = 2.0;
+  p.cutoff_slope = 0.0;  // f(k) = 2 for all k
+  CountSketchResetNode a;
+  CountSketchResetNode b;
+  a.Init(p, 1, 1);
+  b.Init(p, 2, 1);
+  b.MergeFrom(a);
+  const int32_t slot = a.owned_slots()[0];
+  if (slot == b.owned_slots()[0]) GTEST_SKIP() << "slot collision";
+  const int bin = slot / p.levels;
+  const int level = slot % p.levels;
+  EXPECT_TRUE(b.BitSet(bin, level));  // counter 0 <= 2
+  b.AgeCounters();
+  b.AgeCounters();
+  EXPECT_TRUE(b.BitSet(bin, level));  // counter 2 <= 2
+  b.AgeCounters();
+  EXPECT_FALSE(b.BitSet(bin, level));  // counter 3 > 2: decayed out
+}
+
+TEST(CsrNodeTest, DisabledCutoffNeverDecays) {
+  CsrParams p = SmallParams();
+  p.cutoff_enabled = false;
+  CountSketchResetNode a;
+  CountSketchResetNode b;
+  a.Init(p, 1, 1);
+  b.Init(p, 2, 1);
+  b.MergeFrom(a);
+  const int32_t slot = a.owned_slots()[0];
+  const int bin = slot / p.levels;
+  const int level = slot % p.levels;
+  for (int i = 0; i < 500; ++i) b.AgeCounters();
+  EXPECT_TRUE(b.BitSet(bin, level));
+}
+
+TEST(CsrNodeTest, DeriveBitsMatchesBitSet) {
+  CountSketchResetNode node;
+  node.Init(SmallParams(), 9, 20);
+  const FmSketch bits = node.DeriveBits();
+  for (int b = 0; b < node.bins(); ++b) {
+    for (int k = 0; k < node.levels(); ++k) {
+      EXPECT_EQ(bits.TestSlot(b, k), node.BitSet(b, k));
+    }
+  }
+}
+
+TEST(CsrNodeTest, SerializedMergeMatchesDirectMerge) {
+  CountSketchResetNode a;
+  CountSketchResetNode b;
+  CountSketchResetNode b_copy;
+  a.Init(SmallParams(), 1, 8);
+  b.Init(SmallParams(), 2, 8);
+  b_copy.Init(SmallParams(), 2, 8);
+  BufWriter w;
+  a.Serialize(&w);
+  BufReader r(w.buffer());
+  ASSERT_TRUE(b.MergeSerialized(&r).ok());
+  b_copy.MergeFrom(a);
+  EXPECT_EQ(b.counters(), b_copy.counters());
+}
+
+TEST(CsrNodeTest, MergeSerializedRejectsGeometryMismatch) {
+  CountSketchResetNode a;
+  CountSketchResetNode b;
+  a.Init(SmallParams(), 1, 1);
+  CsrParams other = SmallParams();
+  other.bins = 32;
+  b.Init(other, 2, 1);
+  BufWriter w;
+  a.Serialize(&w);
+  BufReader r(w.buffer());
+  EXPECT_EQ(b.MergeSerialized(&r).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsrNodeTest, MergeSerializedRejectsTruncation) {
+  CountSketchResetNode a;
+  CountSketchResetNode b;
+  a.Init(SmallParams(), 1, 1);
+  b.Init(SmallParams(), 2, 1);
+  BufWriter w;
+  a.Serialize(&w);
+  std::vector<uint8_t> bytes = w.buffer();
+  bytes.resize(bytes.size() / 2);
+  BufReader r(bytes.data(), bytes.size());
+  EXPECT_FALSE(b.MergeSerialized(&r).ok());
+}
+
+TEST(CsrSwarmTest, ConvergedEstimateNearHostCount) {
+  const int n = 2000;
+  const std::vector<int64_t> ones(n, 1);
+  CsrSwarm swarm(ones, CsrParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(1);
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateCount(0), n, 0.3 * n);
+  EXPECT_NEAR(swarm.EstimateCount(n / 2), n, 0.3 * n);
+}
+
+TEST(CsrSwarmTest, MatchesStaticSketchWhenCutoffDisabled) {
+  // With the cutoff disabled, the converged CSR bits must equal the
+  // converged static Count-Sketch bits: both protocols register identical
+  // object populations (cross-validation of the two implementations).
+  const int n = 300;
+  const std::vector<int64_t> ones(n, 1);
+  CsrParams csr_params;
+  csr_params.cutoff_enabled = false;
+  csr_params.bins = 32;
+  csr_params.levels = 20;
+  CsrSwarm csr(ones, csr_params);
+  CountSketchParams cs_params;
+  cs_params.bins = 32;
+  cs_params.levels = 20;
+  CountSketchSwarm cs(ones, cs_params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng1(2);
+  Rng rng2(2);
+  for (int round = 0; round < 40; ++round) {
+    csr.RunRound(env, pop, rng1);
+    cs.RunRound(env, pop, rng2);
+  }
+  EXPECT_TRUE(csr.node(0).DeriveBits() == cs.node(0).sketch());
+  EXPECT_DOUBLE_EQ(csr.EstimateCount(0), cs.EstimateCount(0));
+}
+
+TEST(CsrSwarmTest, RecoversAfterMassFailure) {
+  // Fig 9: after half the hosts fail, the cutoff ages their bits out and
+  // the estimate reverts to the surviving count within ~f(0)+ rounds.
+  const int n = 2000;
+  const std::vector<int64_t> ones(n, 1);
+  CsrSwarm swarm(ones, CsrParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(3);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  for (HostId id = n / 2; id < n; ++id) pop.Kill(id);
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateCount(0), n / 2, 0.35 * n / 2);
+}
+
+TEST(CsrSwarmTest, WithoutCutoffNeverRecovers) {
+  const int n = 1000;
+  const std::vector<int64_t> ones(n, 1);
+  CsrParams params;
+  params.cutoff_enabled = false;
+  CsrSwarm swarm(ones, params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(4);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  const double before = swarm.EstimateCount(0);
+  for (HostId id = n / 2; id < n; ++id) pop.Kill(id);
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_DOUBLE_EQ(swarm.EstimateCount(0), before);
+}
+
+TEST(CsrSwarmTest, MultiplicityScalesEstimate) {
+  const int n = 100;
+  const int64_t mult = 50;
+  const std::vector<int64_t> mults(n, mult);
+  CsrSwarm swarm(mults, CsrParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(5);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateCount(0) / mult, n, 0.35 * n);
+}
+
+TEST(CsrSwarmTest, PushModeConverges) {
+  const int n = 1000;
+  const std::vector<int64_t> ones(n, 1);
+  CsrParams params;
+  params.mode = GossipMode::kPush;
+  CsrSwarm swarm(ones, params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(6);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateCount(0), n, 0.35 * n);
+}
+
+TEST(CsrSwarmTest, CounterDistributionBoundedByLinearCutoff) {
+  // Fig 6's claim: at convergence, counters for level k are bounded by a
+  // function linear in k and independent of n — check 7 + k/4 + slack.
+  const int n = 5000;
+  const std::vector<int64_t> ones(n, 1);
+  CsrSwarm swarm(ones, CsrParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(7);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  // Levels that at least two hosts own (k <~ log2(n/m)) must have small
+  // counters everywhere.
+  const CountSketchResetNode& node = swarm.node(0);
+  for (int b = 0; b < node.bins(); ++b) {
+    for (int k = 0; k < 4; ++k) {
+      const uint8_t c = node.counter(b, k);
+      if (c == kCsrInfinity) continue;  // never sourced
+      EXPECT_LE(c, 7.0 + k / 4.0 + 6.0) << "bin " << b << " level " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,135 @@
+#include "agg/count_sketch.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+TEST(CountSketchNodeTest, ZeroMultiplicityIsEmpty) {
+  CountSketchNode node;
+  node.Init(CountSketchParams{}, /*host_key=*/1, /*multiplicity=*/0);
+  EXPECT_EQ(node.sketch().PopCount(), 0);
+}
+
+TEST(CountSketchNodeTest, MultiplicityAddsObjects) {
+  CountSketchNode node;
+  node.Init(CountSketchParams{}, 1, 100);
+  EXPECT_GT(node.sketch().PopCount(), 0);
+}
+
+TEST(CountSketchNodeTest, InitIsDeterministicPerHostKey) {
+  CountSketchNode a;
+  CountSketchNode b;
+  a.Init(CountSketchParams{}, 7, 10);
+  b.Init(CountSketchParams{}, 7, 10);
+  EXPECT_TRUE(a.sketch() == b.sketch());
+  CountSketchNode c;
+  c.Init(CountSketchParams{}, 8, 10);
+  EXPECT_FALSE(a.sketch() == c.sketch());
+}
+
+TEST(CountSketchSwarmTest, AllHostsConvergeToHostCount) {
+  const int n = 2000;
+  const std::vector<int64_t> ones(n, 1);
+  CountSketchSwarm swarm(ones, CountSketchParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(1);
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  // After convergence every host holds the identical union sketch.
+  const double est0 = swarm.EstimateCount(0);
+  for (HostId id = 1; id < n; id += 97) {
+    EXPECT_DOUBLE_EQ(swarm.EstimateCount(id), est0);
+  }
+  EXPECT_NEAR(est0, n, 0.3 * n);
+}
+
+TEST(CountSketchSwarmTest, SumViaMultipleInsertions) {
+  // Section IV.B: registering value v as v identifiers estimates the sum.
+  const int n = 500;
+  std::vector<int64_t> values(n);
+  Rng vrng(2);
+  int64_t true_sum = 0;
+  for (auto& v : values) {
+    v = static_cast<int64_t>(vrng.UniformInt(20));
+    true_sum += v;
+  }
+  CountSketchSwarm swarm(values, CountSketchParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(3);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateCount(0), static_cast<double>(true_sum),
+              0.3 * static_cast<double>(true_sum));
+}
+
+TEST(CountSketchSwarmTest, EstimateIsMonotoneNondecreasing) {
+  const int n = 500;
+  const std::vector<int64_t> ones(n, 1);
+  CountSketchSwarm swarm(ones, CountSketchParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(4);
+  double prev = swarm.EstimateCount(0);
+  for (int round = 0; round < 20; ++round) {
+    swarm.RunRound(env, pop, rng);
+    const double now = swarm.EstimateCount(0);
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(CountSketchSwarmTest, DoesNotForgetDepartedHosts) {
+  // The static sketch's defining weakness (Section II.B): after failure the
+  // estimate stays at the old count.
+  const int n = 1000;
+  const std::vector<int64_t> ones(n, 1);
+  CountSketchSwarm swarm(ones, CountSketchParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(5);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  const double before = swarm.EstimateCount(0);
+  for (HostId id = n / 2; id < n; ++id) pop.Kill(id);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_DOUBLE_EQ(swarm.EstimateCount(0), before);
+}
+
+TEST(CountSketchSwarmTest, PushModeAlsoConverges) {
+  const int n = 1000;
+  const std::vector<int64_t> ones(n, 1);
+  CountSketchParams params;
+  params.mode = GossipMode::kPush;
+  CountSketchSwarm swarm(ones, params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(6);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateCount(0), n, 0.35 * n);
+}
+
+TEST(CountSketchSwarmTest, NewArrivalsRaiseTheEstimate) {
+  const int n = 1000;
+  const std::vector<int64_t> ones(n, 1);
+  CountSketchSwarm swarm(ones, CountSketchParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  // Start with only half the hosts alive.
+  for (HostId id = n / 2; id < n; ++id) pop.Kill(id);
+  Rng rng(7);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  const double before = swarm.EstimateCount(0);
+  for (HostId id = n / 2; id < n; ++id) pop.Revive(id);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  const double after = swarm.EstimateCount(0);
+  EXPECT_GT(after, before * 1.3);
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,139 @@
+#include "agg/epoch_push_sum.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+std::vector<double> UniformValues(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.UniformDouble(0, 100);
+  return values;
+}
+
+TEST(EpochNodeTest, TickRollsEpoch) {
+  EpochPushSumNode node;
+  node.Init(5.0, /*phase=*/0);
+  EXPECT_EQ(node.epoch(), 0u);
+  for (int i = 0; i < 10; ++i) node.Tick(10);
+  EXPECT_EQ(node.epoch(), 1u);
+}
+
+TEST(EpochNodeTest, PhaseShiftsRollover) {
+  EpochPushSumNode node;
+  node.Init(5.0, /*phase=*/8);
+  node.Tick(10);
+  node.Tick(10);
+  EXPECT_EQ(node.epoch(), 1u);  // 8 + 2 ticks = rollover
+}
+
+TEST(EpochNodeTest, AdvanceSnapshotsEstimate) {
+  EpochPushSumNode node;
+  node.Init(30.0, 0);
+  node.state().Init(30.0);
+  node.AdvanceToEpoch(1);
+  EXPECT_EQ(node.epoch(), 1u);
+  EXPECT_DOUBLE_EQ(node.Estimate(), 30.0);  // snapshot of completed epoch
+}
+
+TEST(EpochNodeTest, AdvanceToOlderEpochIgnored) {
+  EpochPushSumNode node;
+  node.Init(1.0, 0);
+  node.AdvanceToEpoch(3);
+  node.AdvanceToEpoch(2);
+  EXPECT_EQ(node.epoch(), 3u);
+}
+
+TEST(EpochSwarmTest, SynchronizedClocksConverge) {
+  const int n = 1000;
+  const std::vector<double> values = UniformValues(n, 1);
+  EpochPushSumSwarm swarm(values, {.epoch_length = 25});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(2);
+  const double truth = TrueAverage(values, pop);
+  // Run through one full epoch plus a little; the reported estimate is the
+  // snapshot of the completed epoch, which had time to converge.
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  const double rms = RmsDeviationOverAlive(
+      pop, truth, [&](HostId id) { return swarm.Estimate(id); });
+  EXPECT_LT(rms, 1.0);
+}
+
+TEST(EpochSwarmTest, ShortEpochsNeverConverge) {
+  // Section II.C: if the epoch length is below the convergence time the
+  // protocol resets before converging and reported estimates stay noisy.
+  const int n = 1000;
+  const std::vector<double> values = UniformValues(n, 3);
+  EpochPushSumSwarm swarm(values, {.epoch_length = 2});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(4);
+  const double truth = TrueAverage(values, pop);
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  const double rms = RmsDeviationOverAlive(
+      pop, truth, [&](HostId id) { return swarm.Estimate(id); });
+  EXPECT_GT(rms, 5.0);
+}
+
+TEST(EpochSwarmTest, EpochNumbersSynchronizeThroughGossip) {
+  const int n = 200;
+  const std::vector<double> values = UniformValues(n, 5);
+  std::vector<int> phases(n);
+  Rng prng(6);
+  for (auto& p : phases) p = static_cast<int>(prng.UniformInt(10));
+  EpochPushSumSwarm swarm(values, {.epoch_length = 10}, phases);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(7);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  // All hosts should have been dragged to the maximum epoch.
+  const uint64_t epoch0 = swarm.epoch(0);
+  int mismatches = 0;
+  for (HostId id = 0; id < n; ++id) {
+    if (swarm.epoch(id) != epoch0) ++mismatches;
+  }
+  EXPECT_LE(mismatches, n / 20);  // a few stragglers right after a rollover
+}
+
+TEST(EpochSwarmTest, PhaseSkewDegradesAccuracy) {
+  // Hosts with desynchronized clocks keep dragging each other into new
+  // epochs, destroying in-progress mass (the clique-migration problem).
+  const int n = 500;
+  const std::vector<double> values = UniformValues(n, 8);
+  UniformEnvironment env(n);
+  const double truth = 50.0;
+
+  auto run = [&](bool skewed) {
+    std::vector<int> phases(n, 0);
+    if (skewed) {
+      Rng prng(9);
+      for (auto& p : phases) p = static_cast<int>(prng.UniformInt(25));
+    }
+    EpochPushSumSwarm swarm(values, {.epoch_length = 25}, phases);
+    Population pop(n);
+    Rng rng(10);
+    RunningStat rms_tail;
+    for (int round = 0; round < 100; ++round) {
+      swarm.RunRound(env, pop, rng);
+      if (round >= 50) {
+        rms_tail.Add(RmsDeviationOverAlive(
+            pop, truth, [&](HostId id) { return swarm.Estimate(id); }));
+      }
+    }
+    return rms_tail.mean();
+  };
+
+  EXPECT_GT(run(/*skewed=*/true), run(/*skewed=*/false));
+}
+
+}  // namespace
+}  // namespace dynagg

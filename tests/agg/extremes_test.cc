@@ -1,0 +1,191 @@
+#include "agg/extremes.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+std::vector<uint64_t> SequentialKeys(int n) {
+  std::vector<uint64_t> keys(n);
+  std::iota(keys.begin(), keys.end(), 1000);
+  return keys;
+}
+
+TEST(DynamicExtremeNodeTest, StartsWithOwnValue) {
+  DynamicExtremeNode node;
+  node.Init(5.0, 7);
+  EXPECT_DOUBLE_EQ(node.Estimate(), 5.0);
+  EXPECT_EQ(node.BestKey(), 7u);
+}
+
+TEST(DynamicExtremeNodeTest, OfferAdoptsBetterMax) {
+  ExtremeParams params;
+  DynamicExtremeNode node;
+  node.Init(5.0, 1);
+  node.Offer(ExtremeCandidate{9.0, 2, 0}, params);
+  EXPECT_DOUBLE_EQ(node.Estimate(), 9.0);
+  EXPECT_EQ(node.BestKey(), 2u);
+  node.Offer(ExtremeCandidate{7.0, 3, 0}, params);
+  EXPECT_DOUBLE_EQ(node.Estimate(), 9.0);  // worse candidate ignored
+}
+
+TEST(DynamicExtremeNodeTest, OfferAdoptsBetterMin) {
+  ExtremeParams params;
+  params.kind = ExtremeKind::kMinimum;
+  DynamicExtremeNode node;
+  node.Init(5.0, 1);
+  node.Offer(ExtremeCandidate{2.0, 2, 0}, params);
+  EXPECT_DOUBLE_EQ(node.Estimate(), 2.0);
+  node.Offer(ExtremeCandidate{8.0, 3, 0}, params);
+  EXPECT_DOUBLE_EQ(node.Estimate(), 2.0);
+}
+
+TEST(DynamicExtremeNodeTest, ExpiredCandidatesAreRejected) {
+  ExtremeParams params;
+  params.cutoff = 3;
+  DynamicExtremeNode node;
+  node.Init(5.0, 1);
+  node.Offer(ExtremeCandidate{9.0, 2, 4}, params);  // too old
+  EXPECT_DOUBLE_EQ(node.Estimate(), 5.0);
+}
+
+TEST(DynamicExtremeNodeTest, AdoptedCandidateAgesOut) {
+  ExtremeParams params;
+  params.cutoff = 3;
+  DynamicExtremeNode node;
+  node.Init(5.0, 1);
+  node.Offer(ExtremeCandidate{9.0, 2, 0}, params);
+  for (int round = 0; round < 3; ++round) {
+    node.BeginRound(params);
+    EXPECT_DOUBLE_EQ(node.Estimate(), 9.0) << round;
+  }
+  node.BeginRound(params);  // age 4 > cutoff: falls back to own value
+  EXPECT_DOUBLE_EQ(node.Estimate(), 5.0);
+}
+
+TEST(DynamicExtremeNodeTest, ZeroCutoffDisablesExpiry) {
+  ExtremeParams params;
+  params.cutoff = 0;
+  DynamicExtremeNode node;
+  node.Init(5.0, 1);
+  node.Offer(ExtremeCandidate{9.0, 2, 1000}, params);
+  for (int round = 0; round < 50; ++round) node.BeginRound(params);
+  EXPECT_DOUBLE_EQ(node.Estimate(), 9.0);
+}
+
+TEST(DynamicExtremeSwarmTest, ConvergesToGlobalMax) {
+  const int n = 1000;
+  Rng vrng(1);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(0, 100);
+  values[123] = 250.0;  // unique winner
+  DynamicExtremeSwarm swarm(values, SequentialKeys(n), ExtremeParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(2);
+  for (int round = 0; round < 15; ++round) swarm.RunRound(env, pop, rng);
+  for (HostId id = 0; id < n; id += 37) {
+    EXPECT_DOUBLE_EQ(swarm.Estimate(id), 250.0);
+    EXPECT_EQ(swarm.BestKey(id), 1000u + 123u);
+  }
+}
+
+TEST(DynamicExtremeSwarmTest, RecoversAfterWinnerDeparts) {
+  const int n = 1000;
+  Rng vrng(3);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(0, 100);
+  values[0] = 500.0;  // winner
+  values[1] = 400.0;  // runner-up
+  DynamicExtremeSwarm swarm(values, SequentialKeys(n), ExtremeParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(4);
+  for (int round = 0; round < 15; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_DOUBLE_EQ(swarm.Estimate(500), 500.0);
+  pop.Kill(0);
+  // Winner's candidate must expire within cutoff + propagation slack.
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  for (HostId id = 1; id < n; id += 41) {
+    EXPECT_DOUBLE_EQ(swarm.Estimate(id), 400.0) << id;
+    EXPECT_EQ(swarm.BestKey(id), 1001u);
+  }
+}
+
+TEST(DynamicExtremeSwarmTest, StaticModeNeverForgets) {
+  const int n = 300;
+  std::vector<double> values(n, 1.0);
+  values[0] = 99.0;
+  ExtremeParams params;
+  params.cutoff = 0;  // static gossip extreme
+  DynamicExtremeSwarm swarm(values, SequentialKeys(n), params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(5);
+  for (int round = 0; round < 15; ++round) swarm.RunRound(env, pop, rng);
+  pop.Kill(0);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_DOUBLE_EQ(swarm.Estimate(1), 99.0);  // stale forever
+}
+
+TEST(DynamicExtremeSwarmTest, SetLocalValueChangesWinner) {
+  const int n = 200;
+  std::vector<double> values(n, 10.0);
+  DynamicExtremeSwarm swarm(values, SequentialKeys(n), ExtremeParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(6);
+  for (int round = 0; round < 10; ++round) swarm.RunRound(env, pop, rng);
+  swarm.node(50).SetLocalValue(777.0);
+  for (int round = 0; round < 15; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_DOUBLE_EQ(swarm.Estimate(0), 777.0);
+}
+
+TEST(DynamicExtremeSwarmTest, PushModeConverges) {
+  const int n = 500;
+  Rng vrng(7);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(0, 100);
+  values[7] = 300.0;
+  ExtremeParams params;
+  params.mode = GossipMode::kPush;
+  DynamicExtremeSwarm swarm(values, SequentialKeys(n), params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(8);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  int holders = 0;
+  for (HostId id = 0; id < n; ++id) {
+    if (swarm.Estimate(id) == 300.0) ++holders;
+  }
+  EXPECT_GT(holders, n * 9 / 10);
+}
+
+TEST(DynamicExtremeSwarmTest, MinimumTracksDepartures) {
+  const int n = 400;
+  Rng vrng(9);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(50, 100);
+  values[3] = 1.0;
+  ExtremeParams params;
+  params.kind = ExtremeKind::kMinimum;
+  DynamicExtremeSwarm swarm(values, SequentialKeys(n), params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(10);
+  for (int round = 0; round < 15; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_DOUBLE_EQ(swarm.Estimate(100), 1.0);
+  pop.Kill(3);
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_GT(swarm.Estimate(100), 40.0);  // recovered to a live minimum
+}
+
+}  // namespace
+}  // namespace dynagg

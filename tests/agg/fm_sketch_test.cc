@@ -1,0 +1,174 @@
+#include "agg/fm_sketch.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/wire.h"
+
+namespace dynagg {
+namespace {
+
+TEST(FmSketchTest, EmptySketchHasZeroRuns) {
+  FmSketch sketch(64, 32);
+  for (int b = 0; b < 64; ++b) EXPECT_EQ(sketch.RunLength(b), 0);
+  EXPECT_EQ(sketch.PopCount(), 0);
+}
+
+TEST(FmSketchTest, InsertSlotSetsBit) {
+  FmSketch sketch(8, 16);
+  EXPECT_FALSE(sketch.TestSlot(3, 5));
+  sketch.InsertSlot(3, 5);
+  EXPECT_TRUE(sketch.TestSlot(3, 5));
+  EXPECT_EQ(sketch.PopCount(), 1);
+}
+
+TEST(FmSketchTest, InsertIsIdempotent) {
+  FmSketch sketch(8, 16);
+  sketch.InsertObject(42, 1);
+  const FmSketch once = sketch;
+  sketch.InsertObject(42, 1);
+  EXPECT_TRUE(sketch == once);
+}
+
+TEST(FmSketchTest, RunLengthCountsContiguousOnes) {
+  FmSketch sketch(4, 16);
+  sketch.InsertSlot(0, 0);
+  sketch.InsertSlot(0, 1);
+  sketch.InsertSlot(0, 3);  // gap at 2
+  EXPECT_EQ(sketch.RunLength(0), 2);
+  sketch.InsertSlot(0, 2);
+  EXPECT_EQ(sketch.RunLength(0), 4);
+}
+
+TEST(FmSketchTest, RunLengthFullBin) {
+  FmSketch sketch(2, 8);
+  for (int k = 0; k < 8; ++k) sketch.InsertSlot(0, k);
+  EXPECT_EQ(sketch.RunLength(0), 8);
+  EXPECT_EQ(sketch.RunLength(1), 0);
+}
+
+TEST(FmSketchTest, MergeOrIsUnionAndCommutative) {
+  FmSketch a(8, 16);
+  FmSketch b(8, 16);
+  for (uint64_t id = 0; id < 100; ++id) {
+    (id % 2 ? a : b).InsertObject(id, 7);
+  }
+  FmSketch ab = a;
+  ab.MergeOr(b);
+  FmSketch ba = b;
+  ba.MergeOr(a);
+  EXPECT_TRUE(ab == ba);
+  EXPECT_GE(ab.PopCount(), a.PopCount());
+  EXPECT_GE(ab.PopCount(), b.PopCount());
+}
+
+TEST(FmSketchTest, MergeIsIdempotent) {
+  FmSketch a(8, 16);
+  for (uint64_t id = 0; id < 50; ++id) a.InsertObject(id, 3);
+  FmSketch merged = a;
+  merged.MergeOr(a);
+  EXPECT_TRUE(merged == a);
+}
+
+TEST(FmSketchTest, DuplicateInsensitiveAcrossPartitions) {
+  // Splitting a set across sketches and ORing equals sketching the union —
+  // the property that makes the sketch gossip-able (Section II.B).
+  FmSketch whole(16, 24);
+  FmSketch part1(16, 24);
+  FmSketch part2(16, 24);
+  for (uint64_t id = 0; id < 1000; ++id) {
+    whole.InsertObject(id, 9);
+    part1.InsertObject(id, 9);        // overlapping copies
+    if (id % 3 == 0) part2.InsertObject(id, 9);
+  }
+  part1.MergeOr(part2);
+  EXPECT_TRUE(part1 == whole);
+}
+
+TEST(FmSketchTest, EstimateGrowsWithCount) {
+  FmSketch sketch(64, 32);
+  double prev = sketch.EstimateCount();
+  for (const int target : {100, 1000, 10000}) {
+    FmSketch s(64, 32);
+    for (int id = 0; id < target; ++id) s.InsertObject(id, 11);
+    const double est = s.EstimateCount();
+    EXPECT_GT(est, prev);
+    prev = est;
+  }
+}
+
+TEST(FmSketchTest, EstimateWithin64BucketErrorBound) {
+  // 64 bins -> expected standard error ~9.7% (Flajolet & Martin); allow 3x.
+  for (const int n : {1000, 10000, 100000}) {
+    FmSketch sketch(64, 32);
+    for (int id = 0; id < n; ++id) {
+      sketch.InsertObject(static_cast<uint64_t>(id) * 2654435761u + n, 13);
+    }
+    const double est = sketch.EstimateCount();
+    EXPECT_NEAR(est, n, 0.3 * n) << "n=" << n;
+  }
+}
+
+TEST(FmSketchTest, EstimateAveragedOverSeedsIsUnbiased) {
+  // Across independent hash seeds the mean estimate should be within a few
+  // percent of the truth.
+  const int n = 5000;
+  double total = 0.0;
+  const int trials = 30;
+  for (int seed = 0; seed < trials; ++seed) {
+    FmSketch sketch(64, 32);
+    for (int id = 0; id < n; ++id) sketch.InsertObject(id, 1000 + seed);
+    total += sketch.EstimateCount();
+  }
+  EXPECT_NEAR(total / trials, n, 0.08 * n);
+}
+
+TEST(FmSketchTest, SerializeRoundTrip) {
+  FmSketch sketch(16, 24);
+  for (uint64_t id = 0; id < 500; ++id) sketch.InsertObject(id, 5);
+  BufWriter w;
+  sketch.Serialize(&w);
+  BufReader r(w.buffer());
+  const Result<FmSketch> parsed = FmSketch::Deserialize(&r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == sketch);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(FmSketchTest, DeserializeRejectsGarbage) {
+  const uint8_t garbage[] = {0xff, 0xff, 0xff, 0xff, 0xff};
+  BufReader r(garbage, sizeof(garbage));
+  EXPECT_FALSE(FmSketch::Deserialize(&r).ok());
+}
+
+TEST(FmSketchTest, DeserializeRejectsBitsAboveMask) {
+  BufWriter w;
+  w.PutVarint(1);   // bins
+  w.PutVarint(4);   // levels
+  w.PutVarint(32);  // bit 5 set but only 4 levels allowed
+  BufReader r(w.buffer());
+  const auto result = FmSketch::Deserialize(&r);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FmSketchTest, ClearResets) {
+  FmSketch sketch(4, 8);
+  sketch.InsertSlot(1, 1);
+  sketch.Clear();
+  EXPECT_EQ(sketch.PopCount(), 0);
+}
+
+TEST(FmSketchTest, SixtyFourLevelGeometry) {
+  FmSketch sketch(2, 64);
+  sketch.InsertSlot(0, 63);
+  EXPECT_TRUE(sketch.TestSlot(0, 63));
+  for (int k = 0; k < 64; ++k) sketch.InsertSlot(1, k);
+  EXPECT_EQ(sketch.RunLength(1), 64);
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,100 @@
+#include "agg/invert_average.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+std::vector<double> UniformValues(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.UniformDouble(0, 100);
+  return values;
+}
+
+TEST(InvertAverageTest, SumIsCountTimesAverage) {
+  const std::vector<double> values = {1, 2, 3};
+  InvertAverageSwarm swarm(values, InvertAverageParams{});
+  EXPECT_DOUBLE_EQ(swarm.EstimateSum(0),
+                   swarm.EstimateNetworkSize(0) * swarm.EstimateAverage(0));
+}
+
+TEST(InvertAverageTest, ConvergesToTrueSum) {
+  const int n = 1000;
+  const std::vector<double> values = UniformValues(n, 1);
+  InvertAverageParams params;
+  params.psr.lambda = 0.01;
+  InvertAverageSwarm swarm(values, params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(2);
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  const double truth = TrueSum(values, pop);
+  // Errors multiply: sketch (~10-30%) dominates. Accept 35%.
+  EXPECT_NEAR(swarm.EstimateSum(0), truth, 0.35 * truth);
+}
+
+TEST(InvertAverageTest, NetworkSizeUsesMultiplicity) {
+  const int n = 200;
+  const std::vector<double> values = UniformValues(n, 3);
+  InvertAverageParams params;
+  params.count_multiplicity = 25;
+  InvertAverageSwarm swarm(values, params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(4);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateNetworkSize(0), n, 0.35 * n);
+}
+
+TEST(InvertAverageTest, TracksSumAfterCorrelatedFailure) {
+  // Both components are dynamic, so the composed sum recovers after the
+  // top-valued half leaves (unlike static sketch summation).
+  const int n = 2000;
+  const std::vector<double> values = UniformValues(n, 5);
+  InvertAverageParams params;
+  params.psr.lambda = 0.1;
+  InvertAverageSwarm swarm(values, params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(6);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  std::vector<HostId> ids(n);
+  for (int i = 0; i < n; ++i) ids[i] = i;
+  std::sort(ids.begin(), ids.end(),
+            [&](HostId a, HostId b) { return values[a] > values[b]; });
+  for (int i = 0; i < n / 2; ++i) pop.Kill(ids[i]);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  const double truth = TrueSum(values, pop);
+  // Old sum was ~4x the new one (half the hosts, half the mean); the
+  // estimate must track the new sum within sketch error.
+  EXPECT_NEAR(swarm.EstimateSum(0), truth, 0.45 * truth);
+}
+
+TEST(InvertAverageTest, PerHostAccessorsAgree) {
+  const int n = 50;
+  const std::vector<double> values = UniformValues(n, 7);
+  InvertAverageSwarm swarm(values, InvertAverageParams{});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(8);
+  for (int round = 0; round < 10; ++round) swarm.RunRound(env, pop, rng);
+  for (HostId id = 0; id < n; id += 7) {
+    EXPECT_DOUBLE_EQ(swarm.EstimateAverage(id), swarm.psr().Estimate(id));
+    EXPECT_DOUBLE_EQ(
+        swarm.EstimateNetworkSize(id),
+        swarm.csr().EstimateCount(id) /
+            static_cast<double>(InvertAverageParams{}.count_multiplicity));
+  }
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,112 @@
+#include "agg/moments.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "env/uniform_env.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+TEST(DynamicMomentsTest, ConvergesToPopulationMoments) {
+  const int n = 1000;
+  Rng vrng(1);
+  std::vector<double> values(n);
+  RunningStat truth;
+  for (auto& v : values) {
+    v = vrng.UniformDouble(0, 100);
+    truth.Add(v);
+  }
+  DynamicMomentsSwarm swarm(
+      values, {.lambda = 0.001, .mode = GossipMode::kPushPull});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(2);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateMean(0), truth.mean(), 1.0);
+  EXPECT_NEAR(swarm.EstimateVariance(0), truth.variance(),
+              0.05 * truth.variance());
+  EXPECT_NEAR(swarm.EstimateStdDev(0), truth.stddev(),
+              0.05 * truth.stddev());
+}
+
+TEST(DynamicMomentsTest, UniformValuesHaveZeroVariance) {
+  const int n = 200;
+  const std::vector<double> values(n, 42.0);
+  DynamicMomentsSwarm swarm(
+      values, {.lambda = 0.01, .mode = GossipMode::kPushPull});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateVariance(0), 0.0, 1e-6);
+  EXPECT_NEAR(swarm.EstimateMean(0), 42.0, 1e-6);
+}
+
+TEST(DynamicMomentsTest, VarianceNeverNegative) {
+  const int n = 50;
+  std::vector<double> values(n);
+  for (int i = 0; i < n; ++i) values[i] = i % 2 == 0 ? 10.0 : 10.0001;
+  DynamicMomentsSwarm swarm(
+      values, {.lambda = 0.1, .mode = GossipMode::kPushPull});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(4);
+  for (int round = 0; round < 30; ++round) {
+    swarm.RunRound(env, pop, rng);
+    for (HostId id = 0; id < n; ++id) {
+      ASSERT_GE(swarm.EstimateVariance(id), 0.0);
+    }
+  }
+}
+
+TEST(DynamicMomentsTest, TracksVarianceAfterCorrelatedFailure) {
+  // Two-cluster distribution: values 0 and 100. Killing the 100-cluster
+  // collapses the variance to ~0; the dynamic estimate must follow.
+  const int n = 1000;
+  std::vector<double> values(n);
+  for (int i = 0; i < n; ++i) values[i] = i < n / 2 ? 0.0 : 100.0;
+  DynamicMomentsSwarm swarm(
+      values, {.lambda = 0.1, .mode = GossipMode::kPushPull});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(5);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  // Population variance of a 0/100 half-half split is 2500.
+  EXPECT_NEAR(swarm.EstimateVariance(0), 2500.0, 300.0);
+  for (HostId id = n / 2; id < n; ++id) pop.Kill(id);
+  for (int round = 0; round < 80; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_LT(swarm.EstimateVariance(0), 300.0);
+  EXPECT_NEAR(swarm.EstimateMean(0), 0.0, 3.0);
+}
+
+TEST(DynamicMomentsTest, SetLocalValueUpdatesBothMoments) {
+  const int n = 100;
+  const std::vector<double> values(n, 10.0);
+  DynamicMomentsSwarm swarm(
+      values, {.lambda = 0.2, .mode = GossipMode::kPushPull});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(6);
+  for (HostId id = 0; id < n; ++id) swarm.SetLocalValue(id, 20.0);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateMean(0), 20.0, 0.5);
+  EXPECT_NEAR(swarm.EstimateVariance(0), 0.0, 15.0);
+}
+
+TEST(DynamicMomentsTest, SizeAndAccessors) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  DynamicMomentsSwarm swarm(values, PsrParams{});
+  EXPECT_EQ(swarm.size(), 3);
+  EXPECT_DOUBLE_EQ(swarm.mean_swarm().Estimate(2), 3.0);
+  EXPECT_DOUBLE_EQ(swarm.square_swarm().Estimate(2), 9.0);
+}
+
+}  // namespace
+}  // namespace dynagg

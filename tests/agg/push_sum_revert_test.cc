@@ -1,0 +1,226 @@
+#include "agg/push_sum_revert.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+std::vector<double> UniformValues(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.UniformDouble(0, 100);
+  return values;
+}
+
+double SwarmRms(const PushSumRevertSwarm& swarm, const Population& pop,
+                double truth) {
+  return RmsDeviationOverAlive(
+      pop, truth, [&](HostId id) { return swarm.Estimate(id); });
+}
+
+TEST(PushSumRevertNodeTest, EmissionAppliesReversion) {
+  PushSumRevertNode node;
+  node.Init(10.0);
+  // With lambda = 1 the outgoing mass is exactly the initial mass.
+  const Mass half = node.EmitPushHalf(1.0, RevertMode::kFixed);
+  EXPECT_DOUBLE_EQ(half.weight, 0.5);
+  EXPECT_DOUBLE_EQ(half.value, 5.0);
+}
+
+TEST(PushSumRevertNodeTest, LambdaZeroMatchesPlainPushSum) {
+  PushSumRevertNode node;
+  node.Init(30.0);
+  const Mass half = node.EmitPushHalf(0.0, RevertMode::kFixed);
+  EXPECT_DOUBLE_EQ(half.weight, 0.5);
+  EXPECT_DOUBLE_EQ(half.value, 15.0);
+}
+
+TEST(PushSumRevertNodeTest, RevertStepConservesMassAtEquilibrium) {
+  // Section III: sum_i revert(v_i) = sum_i v_i when mass equals initial
+  // mass. Two nodes with exchanged-but-conserved mass must keep total mass
+  // constant through the revert.
+  PushSumRevertNode a;
+  PushSumRevertNode b;
+  a.Init(10.0);
+  b.Init(50.0);
+  PushSumRevertNode::Exchange(a, b);
+  const double before_w = a.mass().weight + b.mass().weight;
+  const double before_v = a.mass().value + b.mass().value;
+  a.EndRoundPushPull(0.3, RevertMode::kFixed);
+  b.EndRoundPushPull(0.3, RevertMode::kFixed);
+  EXPECT_NEAR(a.mass().weight + b.mass().weight, before_w, 1e-12);
+  EXPECT_NEAR(a.mass().value + b.mass().value, before_v, 1e-12);
+}
+
+TEST(PushSumRevertNodeTest, SetLocalValueChangesReversionTarget) {
+  PushSumRevertNode node;
+  node.Init(10.0);
+  node.SetLocalValue(90.0);
+  // With lambda = 1, push/pull reversion snaps straight to the new value.
+  node.EndRoundPushPull(1.0, RevertMode::kFixed);
+  EXPECT_DOUBLE_EQ(node.Estimate(), 90.0);
+}
+
+TEST(PushSumRevertSwarmTest, ConvergesLikePushSumWhenStable) {
+  const int n = 1000;
+  const std::vector<double> values = UniformValues(n, 1);
+  for (const GossipMode mode : {GossipMode::kPush, GossipMode::kPushPull}) {
+    PushSumRevertSwarm swarm(values, {.lambda = 0.01, .mode = mode});
+    UniformEnvironment env(n);
+    Population pop(n);
+    Rng rng(2);
+    const double truth = TrueAverage(values, pop);
+    for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+    // Reversion adds a bias floor but the estimate must be close.
+    EXPECT_LT(SwarmRms(swarm, pop, truth), 2.0);
+  }
+}
+
+TEST(PushSumRevertSwarmTest, MassConservedWithStableMembership) {
+  const int n = 300;
+  const std::vector<double> values = UniformValues(n, 3);
+  double value_sum = 0.0;
+  for (const double v : values) value_sum += v;
+  PushSumRevertSwarm swarm(
+      values, {.lambda = 0.1, .mode = GossipMode::kPushPull});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(4);
+  for (int round = 0; round < 50; ++round) {
+    swarm.RunRound(env, pop, rng);
+    const Mass total = swarm.TotalAliveMass(pop);
+    ASSERT_NEAR(total.weight, n, 1e-9 * n);
+    ASSERT_NEAR(total.value, value_sum, 1e-9 * value_sum);
+  }
+}
+
+TEST(PushSumRevertSwarmTest, RecoversFromCorrelatedFailure) {
+  // The paper's headline behaviour (Fig 10a): after the top-valued half
+  // fails, reverting protocols re-converge to the new average while the
+  // static protocol (lambda = 0) stays biased.
+  const int n = 2000;
+  const std::vector<double> values = UniformValues(n, 5);
+  UniformEnvironment env(n);
+
+  auto run = [&](double lambda) {
+    PushSumRevertSwarm swarm(
+        values, {.lambda = lambda, .mode = GossipMode::kPushPull});
+    Population pop(n);
+    Rng rng(6);
+    for (int round = 0; round < 20; ++round) swarm.RunRound(env, pop, rng);
+    // Kill top half.
+    std::vector<HostId> ids(n);
+    for (int i = 0; i < n; ++i) ids[i] = i;
+    std::sort(ids.begin(), ids.end(), [&](HostId a, HostId b) {
+      return values[a] > values[b];
+    });
+    for (int i = 0; i < n / 2; ++i) pop.Kill(ids[i]);
+    for (int round = 0; round < 60; ++round) swarm.RunRound(env, pop, rng);
+    return SwarmRms(swarm, pop, TrueAverage(values, pop));
+  };
+
+  const double static_rms = run(0.0);
+  const double revert_rms = run(0.1);
+  EXPECT_GT(static_rms, 15.0);  // stuck near the stale average
+  EXPECT_LT(revert_rms, 6.0);   // reverted to the new average
+}
+
+TEST(PushSumRevertSwarmTest, HigherLambdaConvergesFasterWithHigherFloor) {
+  const int n = 2000;
+  const std::vector<double> values = UniformValues(n, 7);
+  UniformEnvironment env(n);
+
+  struct Outcome {
+    int recovery_round = -1;
+    double floor = 0.0;
+  };
+  auto run = [&](double lambda) {
+    PushSumRevertSwarm swarm(
+        values, {.lambda = lambda, .mode = GossipMode::kPushPull});
+    Population pop(n);
+    Rng rng(8);
+    for (int round = 0; round < 20; ++round) swarm.RunRound(env, pop, rng);
+    std::vector<HostId> ids(n);
+    for (int i = 0; i < n; ++i) ids[i] = i;
+    std::sort(ids.begin(), ids.end(), [&](HostId a, HostId b) {
+      return values[a] > values[b];
+    });
+    for (int i = 0; i < n / 2; ++i) pop.Kill(ids[i]);
+    Outcome out;
+    std::vector<double> series;
+    for (int round = 0; round < 80; ++round) {
+      swarm.RunRound(env, pop, rng);
+      series.push_back(SwarmRms(swarm, pop, TrueAverage(values, pop)));
+    }
+    out.floor = series.back();
+    out.recovery_round = FirstSustainedBelow(series, 2.0 * out.floor + 0.5);
+    return out;
+  };
+
+  const Outcome fast = run(0.5);
+  const Outcome slow = run(0.05);
+  // Higher lambda: faster recovery...
+  EXPECT_GE(slow.recovery_round, fast.recovery_round);
+  // ...but a larger converged error.
+  EXPECT_GT(fast.floor, slow.floor);
+}
+
+TEST(PushSumRevertSwarmTest, UncorrelatedFailureHasNoLastingEffect) {
+  const int n = 2000;
+  const std::vector<double> values = UniformValues(n, 9);
+  PushSumRevertSwarm swarm(
+      values, {.lambda = 0.01, .mode = GossipMode::kPushPull});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(10);
+  for (int round = 0; round < 20; ++round) swarm.RunRound(env, pop, rng);
+  Rng kill_rng(11);
+  for (int i = 0; i < n / 2; ++i) {
+    const HostId victim = pop.SampleAlive(kill_rng);
+    if (victim != kInvalidHost) pop.Kill(victim);
+  }
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_LT(SwarmRms(swarm, pop, TrueAverage(values, pop)), 3.0);
+}
+
+TEST(PushSumRevertSwarmTest, AdaptiveRevertConvergesToComparableFloor) {
+  const int n = 1000;
+  const std::vector<double> values = UniformValues(n, 12);
+  PushSumRevertSwarm swarm(values, {.lambda = 0.05,
+                                    .mode = GossipMode::kPush,
+                                    .revert = RevertMode::kAdaptive});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(13);
+  for (int round = 0; round < 50; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_LT(SwarmRms(swarm, pop, TrueAverage(values, pop)), 8.0);
+}
+
+TEST(PushSumRevertSwarmTest, IsolatedHostRevertsToOwnValue) {
+  // A host with no peers must drift back to its own (correct-for-it) value
+  // — the key advantage in sparse mobile networks (Fig 11 dataset 1).
+  const std::vector<double> values = {10.0, 90.0};
+  PushSumRevertSwarm swarm(
+      values, {.lambda = 0.1, .mode = GossipMode::kPushPull});
+  UniformEnvironment env(2);
+  Population pop(2);
+  Rng rng(14);
+  // Mix them together first.
+  for (int round = 0; round < 10; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.Estimate(0), 50.0, 10.0);
+  // Now isolate host 0.
+  pop.Kill(1);
+  for (int round = 0; round < 100; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.Estimate(0), 10.0, 1.0);
+}
+
+}  // namespace
+}  // namespace dynagg

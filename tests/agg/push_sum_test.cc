@@ -1,0 +1,172 @@
+#include "agg/push_sum.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+std::vector<double> UniformValues(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.UniformDouble(0, 100);
+  return values;
+}
+
+TEST(PushSumNodeTest, InitialEstimateIsOwnValue) {
+  PushSumNode node;
+  node.Init(42.0);
+  EXPECT_DOUBLE_EQ(node.Estimate(), 42.0);
+  EXPECT_DOUBLE_EQ(node.mass().weight, 1.0);
+  EXPECT_DOUBLE_EQ(node.mass().value, 42.0);
+}
+
+TEST(PushSumNodeTest, EmitHalvesAndDepositsSelf) {
+  PushSumNode node;
+  node.Init(10.0);
+  const Mass half = node.EmitPushHalf();
+  EXPECT_DOUBLE_EQ(half.weight, 0.5);
+  EXPECT_DOUBLE_EQ(half.value, 5.0);
+  node.EndRound();  // only the self-half arrives
+  EXPECT_DOUBLE_EQ(node.mass().weight, 0.5);
+  EXPECT_DOUBLE_EQ(node.mass().value, 5.0);
+  EXPECT_DOUBLE_EQ(node.Estimate(), 10.0);  // ratio unchanged
+}
+
+TEST(PushSumNodeTest, TwoNodeExchangeConservesMass) {
+  PushSumNode a;
+  PushSumNode b;
+  a.Init(0.0);
+  b.Init(100.0);
+  for (int round = 0; round < 10; ++round) {
+    const Mass from_a = a.EmitPushHalf();
+    const Mass from_b = b.EmitPushHalf();
+    b.Deposit(from_a);
+    a.Deposit(from_b);
+    a.EndRound();
+    b.EndRound();
+    EXPECT_NEAR(a.mass().weight + b.mass().weight, 2.0, 1e-12);
+    EXPECT_NEAR(a.mass().value + b.mass().value, 100.0, 1e-12);
+  }
+  EXPECT_NEAR(a.Estimate(), 50.0, 1e-6);
+  EXPECT_NEAR(b.Estimate(), 50.0, 1e-6);
+}
+
+TEST(PushSumNodeTest, PushPullExchangeEqualizes) {
+  PushSumNode a;
+  PushSumNode b;
+  a.Init(10.0);
+  b.Init(30.0);
+  PushSumNode::Exchange(a, b);
+  EXPECT_DOUBLE_EQ(a.mass().weight, 1.0);
+  EXPECT_DOUBLE_EQ(a.mass().value, 20.0);
+  EXPECT_DOUBLE_EQ(b.mass().value, 20.0);
+  EXPECT_DOUBLE_EQ(a.Estimate(), 20.0);
+  EXPECT_DOUBLE_EQ(b.Estimate(), 20.0);
+}
+
+TEST(PushSumSwarmTest, ConvergesToAverageUnderPush) {
+  const int n = 1000;
+  const std::vector<double> values = UniformValues(n, 1);
+  PushSumSwarm swarm(values, GossipMode::kPush);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(2);
+  const double truth = TrueAverage(values, pop);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  const double rms = RmsDeviationOverAlive(
+      pop, truth, [&](HostId id) { return swarm.Estimate(id); });
+  EXPECT_LT(rms, 0.01);
+}
+
+TEST(PushSumSwarmTest, ConvergesToAverageUnderPushPull) {
+  const int n = 1000;
+  const std::vector<double> values = UniformValues(n, 3);
+  PushSumSwarm swarm(values, GossipMode::kPushPull);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(4);
+  const double truth = TrueAverage(values, pop);
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  const double rms = RmsDeviationOverAlive(
+      pop, truth, [&](HostId id) { return swarm.Estimate(id); });
+  EXPECT_LT(rms, 0.01);
+}
+
+TEST(PushSumSwarmTest, MassConservedExactlyWithoutFailures) {
+  const int n = 200;
+  const std::vector<double> values = UniformValues(n, 5);
+  double value_sum = 0.0;
+  for (const double v : values) value_sum += v;
+  for (const GossipMode mode : {GossipMode::kPush, GossipMode::kPushPull}) {
+    PushSumSwarm swarm(values, mode);
+    UniformEnvironment env(n);
+    Population pop(n);
+    Rng rng(6);
+    for (int round = 0; round < 50; ++round) {
+      swarm.RunRound(env, pop, rng);
+      const Mass total = swarm.TotalAliveMass(pop);
+      ASSERT_NEAR(total.weight, n, 1e-9 * n);
+      ASSERT_NEAR(total.value, value_sum, 1e-9 * value_sum);
+    }
+  }
+}
+
+TEST(PushSumSwarmTest, ErrorDecaysMonotonically) {
+  const int n = 2000;
+  const std::vector<double> values = UniformValues(n, 7);
+  PushSumSwarm swarm(values, GossipMode::kPushPull);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(8);
+  const double truth = TrueAverage(values, pop);
+  double prev = 1e18;
+  for (int round = 0; round < 20; ++round) {
+    swarm.RunRound(env, pop, rng);
+    const double rms = RmsDeviationOverAlive(
+        pop, truth, [&](HostId id) { return swarm.Estimate(id); });
+    EXPECT_LT(rms, prev * 1.05);  // allow tiny stochastic wiggle
+    prev = rms;
+  }
+}
+
+TEST(PushSumSwarmTest, StaticProtocolKeepsDepartedMassBias) {
+  // The failure mode that motivates the paper: kill the top-valued half and
+  // classic Push-Sum keeps converging towards the *old* average.
+  const int n = 2000;
+  std::vector<double> values(n);
+  for (int i = 0; i < n; ++i) values[i] = (i < n / 2) ? 0.0 : 100.0;
+  PushSumSwarm swarm(values, GossipMode::kPushPull);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(9);
+  for (int round = 0; round < 20; ++round) swarm.RunRound(env, pop, rng);
+  // Kill every host with value 100 (ids n/2..n-1).
+  for (HostId id = n / 2; id < n; ++id) pop.Kill(id);
+  for (int round = 0; round < 30; ++round) swarm.RunRound(env, pop, rng);
+  const double new_truth = TrueAverage(values, pop);  // now 0
+  EXPECT_DOUBLE_EQ(new_truth, 0.0);
+  const double rms = RmsDeviationOverAlive(
+      pop, new_truth, [&](HostId id) { return swarm.Estimate(id); });
+  EXPECT_GT(rms, 25.0);  // stuck near the stale average of 50
+}
+
+TEST(PushSumSwarmTest, LonelyHostKeepsOwnValue) {
+  const std::vector<double> values = {7.0};
+  PushSumSwarm swarm(values, GossipMode::kPush);
+  UniformEnvironment env(1);
+  Population pop(1);
+  Rng rng(10);
+  for (int round = 0; round < 5; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_DOUBLE_EQ(swarm.Estimate(0), 7.0);
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,141 @@
+#include "agg/quantiles.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+TEST(UniformThresholdsTest, EvenSpacing) {
+  const auto t = UniformThresholds(0.0, 100.0, 5);
+  EXPECT_EQ(t, (std::vector<double>{0.0, 25.0, 50.0, 75.0, 100.0}));
+}
+
+TEST(UniformThresholdsTest, TwoPoints) {
+  const auto t = UniformThresholds(-1.0, 1.0, 2);
+  EXPECT_EQ(t, (std::vector<double>{-1.0, 1.0}));
+}
+
+QuantileParams DefaultParams() {
+  QuantileParams params;
+  params.thresholds = UniformThresholds(0.0, 100.0, 11);
+  params.psr.lambda = 0.01;
+  return params;
+}
+
+TEST(DynamicCdfTest, InitialCdfIsLocalIndicator) {
+  const std::vector<double> values = {30.0, 70.0};
+  DynamicCdfSwarm swarm(values, DefaultParams());
+  // Host 0 (value 30): indicator 0 for thresholds < 30, 1 for >= 30.
+  EXPECT_DOUBLE_EQ(swarm.EstimateCdf(0, 2), 0.0);  // t = 20
+  EXPECT_DOUBLE_EQ(swarm.EstimateCdf(0, 3), 1.0);  // t = 30
+  EXPECT_DOUBLE_EQ(swarm.EstimateCdf(1, 6), 0.0);  // t = 60 < 70
+  EXPECT_DOUBLE_EQ(swarm.EstimateCdf(1, 7), 1.0);  // t = 70
+}
+
+TEST(DynamicCdfTest, ConvergesToTrueCdf) {
+  const int n = 1000;
+  Rng vrng(1);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(0, 100);
+  DynamicCdfSwarm swarm(values, DefaultParams());
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(2);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  // U[0,100): P[v <= t] = t / 100.
+  for (int t = 0; t < swarm.num_thresholds(); ++t) {
+    EXPECT_NEAR(swarm.EstimateCdf(0, t), swarm.threshold(t) / 100.0, 0.05)
+        << "threshold " << swarm.threshold(t);
+  }
+}
+
+TEST(DynamicCdfTest, QuantilesOfUniformDistribution) {
+  const int n = 1000;
+  Rng vrng(3);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(0, 100);
+  DynamicCdfSwarm swarm(values, DefaultParams());
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(4);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateQuantile(0, 0.5), 50.0, 6.0);
+  EXPECT_NEAR(swarm.EstimateQuantile(0, 0.9), 90.0, 6.0);
+  EXPECT_NEAR(swarm.EstimateQuantile(0, 0.1), 10.0, 6.0);
+}
+
+TEST(DynamicCdfTest, QuantileIsMonotoneInQ) {
+  const int n = 300;
+  Rng vrng(5);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(0, 100);
+  DynamicCdfSwarm swarm(values, DefaultParams());
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(6);
+  for (int round = 0; round < 20; ++round) swarm.RunRound(env, pop, rng);
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.1) {
+    const double quantile = swarm.EstimateQuantile(0, q);
+    EXPECT_GE(quantile, prev);
+    prev = quantile;
+  }
+}
+
+TEST(DynamicCdfTest, TracksDistributionAfterCorrelatedFailure) {
+  // Kill every host above 50: the median must fall towards ~25.
+  const int n = 1000;
+  Rng vrng(7);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(0, 100);
+  QuantileParams params = DefaultParams();
+  params.psr.lambda = 0.1;
+  DynamicCdfSwarm swarm(values, params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(8);
+  for (int round = 0; round < 25; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateQuantile(0, 0.5), 50.0, 8.0);
+  for (HostId id = 0; id < n; ++id) {
+    if (values[id] > 50.0) pop.Kill(id);
+  }
+  for (int round = 0; round < 60; ++round) swarm.RunRound(env, pop, rng);
+  EXPECT_NEAR(swarm.EstimateQuantile(0, 0.5), 25.0, 8.0);
+}
+
+TEST(DynamicCdfTest, SetLocalValueReanchorsIndicators) {
+  const int n = 100;
+  const std::vector<double> values(n, 10.0);
+  QuantileParams params = DefaultParams();
+  params.psr.lambda = 0.2;
+  DynamicCdfSwarm swarm(values, params);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(9);
+  for (HostId id = 0; id < n; ++id) swarm.SetLocalValue(id, 80.0);
+  for (int round = 0; round < 40; ++round) swarm.RunRound(env, pop, rng);
+  // All values now 80: CDF at 70 ~ 0, at 80 ~ 1.
+  EXPECT_LT(swarm.EstimateCdf(0, 7), 0.1);
+  EXPECT_GT(swarm.EstimateCdf(0, 8), 0.9);
+}
+
+TEST(DynamicCdfTest, EstimatesClampedToUnitInterval) {
+  const std::vector<double> values = {0.0, 100.0};
+  DynamicCdfSwarm swarm(values, DefaultParams());
+  for (int t = 0; t < swarm.num_thresholds(); ++t) {
+    for (HostId id = 0; id < 2; ++id) {
+      const double cdf = swarm.EstimateCdf(id, t);
+      EXPECT_GE(cdf, 0.0);
+      EXPECT_LE(cdf, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynagg

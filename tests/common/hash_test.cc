@@ -1,0 +1,120 @@
+#include "common/hash.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynagg {
+namespace {
+
+TEST(Mix64Test, Deterministic) { EXPECT_EQ(Mix64(42), Mix64(42)); }
+
+TEST(Mix64Test, IsBijectiveOnSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64Test, AvalancheOnSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const uint64_t base = Mix64(0x123456789abcdef0ull);
+  double total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const uint64_t flipped = Mix64(0x123456789abcdef0ull ^ (1ull << bit));
+    total_flips += __builtin_popcountll(base ^ flipped);
+  }
+  const double avg = total_flips / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(HashCombineTest, SeedSensitive) {
+  EXPECT_NE(HashCombine(1, 42), HashCombine(2, 42));
+}
+
+TEST(Fnv1a64Test, KnownDistinctStrings) {
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("world"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+  EXPECT_EQ(Fnv1a64("device-17"), Fnv1a64("device-17"));
+}
+
+TEST(Fnv1a64Test, NoCollisionsOnSmallCorpus) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 10000; ++i) {
+    hashes.insert(Fnv1a64("object-" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 10000u);
+}
+
+TEST(RhoTest, LowestSetBit) {
+  EXPECT_EQ(Rho(0b1, 63), 0);
+  EXPECT_EQ(Rho(0b10, 63), 1);
+  EXPECT_EQ(Rho(0b100, 63), 2);
+  EXPECT_EQ(Rho(0b1100, 63), 2);
+  EXPECT_EQ(Rho(1ull << 63, 63), 63);
+}
+
+TEST(RhoTest, ZeroClampsToMax) {
+  EXPECT_EQ(Rho(0, 17), 17);
+  EXPECT_EQ(Rho(0, 0), 0);
+}
+
+TEST(RhoTest, ClampAboveMax) { EXPECT_EQ(Rho(1ull << 40, 10), 10); }
+
+TEST(RhoTest, GeometricDistributionOverHashes) {
+  // rho over mixed sequential integers must follow P[k] = 2^-(k+1).
+  const int n = 200000;
+  std::vector<int> counts(30, 0);
+  for (uint64_t i = 0; i < n; ++i) ++counts[Rho(Mix64(i), 29)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.125, 0.01);
+}
+
+TEST(SketchPlaceTest, Deterministic) {
+  const SketchSlot a = SketchPlace(123, 7, 64, 23);
+  const SketchSlot b = SketchPlace(123, 7, 64, 23);
+  EXPECT_EQ(a.bin, b.bin);
+  EXPECT_EQ(a.level, b.level);
+}
+
+TEST(SketchPlaceTest, WithinBounds) {
+  for (uint64_t id = 0; id < 10000; ++id) {
+    const SketchSlot slot = SketchPlace(id, 99, 64, 23);
+    EXPECT_GE(slot.bin, 0);
+    EXPECT_LT(slot.bin, 64);
+    EXPECT_GE(slot.level, 0);
+    EXPECT_LE(slot.level, 23);
+  }
+}
+
+TEST(SketchPlaceTest, BinsRoughlyUniform) {
+  constexpr int kBins = 16;
+  std::vector<int> counts(kBins, 0);
+  const int n = 160000;
+  for (uint64_t id = 0; id < n; ++id) {
+    ++counts[SketchPlace(id, 1, kBins, 23).bin];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, n / kBins, 600);
+}
+
+TEST(SketchPlaceTest, SeedChangesPlacement) {
+  int moved = 0;
+  for (uint64_t id = 0; id < 1000; ++id) {
+    const SketchSlot a = SketchPlace(id, 1, 64, 23);
+    const SketchSlot b = SketchPlace(id, 2, 64, 23);
+    if (a.bin != b.bin || a.level != b.level) ++moved;
+  }
+  EXPECT_GT(moved, 900);
+}
+
+}  // namespace
+}  // namespace dynagg

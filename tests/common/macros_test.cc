@@ -1,0 +1,48 @@
+#include "common/macros.h"
+
+#include <gtest/gtest.h>
+
+namespace dynagg {
+namespace {
+
+TEST(CheckMacroTest, PassingChecksAreSilent) {
+  DYNAGG_CHECK(true);
+  DYNAGG_CHECK_EQ(1, 1);
+  DYNAGG_CHECK_NE(1, 2);
+  DYNAGG_CHECK_LT(1, 2);
+  DYNAGG_CHECK_LE(2, 2);
+  DYNAGG_CHECK_GT(3, 2);
+  DYNAGG_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+using CheckMacroDeathTest = ::testing::Test;
+
+TEST(CheckMacroDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ DYNAGG_CHECK(1 == 2); }, "DYNAGG_CHECK failed");
+}
+
+TEST(CheckMacroDeathTest, FailingCheckOpAbortsWithOperands) {
+  EXPECT_DEATH({ DYNAGG_CHECK_EQ(1, 2); }, "1 == 2");
+  EXPECT_DEATH({ DYNAGG_CHECK_LT(5, 3); }, "5 < 3");
+}
+
+TEST(CheckMacroDeathTest, CheckEvaluatesConditionExactlyOnce) {
+  int calls = 0;
+  auto increment = [&calls]() {
+    ++calls;
+    return true;
+  };
+  DYNAGG_CHECK(increment());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(DCheckMacroTest, CompilesInBothModes) {
+  // In optimized builds DYNAGG_DCHECK is a no-op; in debug it checks. Either
+  // way a passing condition is silent.
+  DYNAGG_DCHECK(true);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dynagg

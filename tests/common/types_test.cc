@@ -1,0 +1,39 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace dynagg {
+namespace {
+
+TEST(SimTimeTest, ConversionConstants) {
+  EXPECT_EQ(FromMicros(1), 1);
+  EXPECT_EQ(FromMillis(1), 1000);
+  EXPECT_EQ(FromSeconds(1.0), 1000000);
+  EXPECT_EQ(FromMinutes(1.0), 60000000);
+  EXPECT_EQ(FromHours(1.0), 3600000000LL);
+}
+
+TEST(SimTimeTest, RoundTrips) {
+  EXPECT_DOUBLE_EQ(ToSeconds(FromSeconds(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(ToMinutes(FromMinutes(3.25)), 3.25);
+  EXPECT_DOUBLE_EQ(ToHours(FromHours(90.0)), 90.0);
+}
+
+TEST(SimTimeTest, FractionalSeconds) {
+  EXPECT_EQ(FromSeconds(0.5), 500000);
+  EXPECT_EQ(FromSeconds(1e-6), 1);
+}
+
+TEST(SimTimeTest, CrossUnitConsistency) {
+  EXPECT_EQ(FromMinutes(60.0), FromHours(1.0));
+  EXPECT_EQ(FromSeconds(60.0), FromMinutes(1.0));
+  EXPECT_DOUBLE_EQ(ToHours(FromMinutes(90.0)), 1.5);
+}
+
+TEST(SimTimeTest, HostConstants) {
+  EXPECT_EQ(kInvalidHost, -1);
+  EXPECT_GT(kSimTimeMax, FromHours(1e9));
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,179 @@
+#include "common/wire.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dynagg {
+namespace {
+
+TEST(WireTest, FixedWidthRoundTrip) {
+  BufWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutDouble(3.14159);
+
+  BufReader r(w.buffer());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  double d;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, VarintBoundaries) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            (1ull << 32) - 1,
+                            1ull << 32,
+                            std::numeric_limits<uint64_t>::max()};
+  BufWriter w;
+  for (const uint64_t v : cases) w.PutVarint(v);
+  BufReader r(w.buffer());
+  for (const uint64_t v : cases) {
+    uint64_t out = 0;
+    ASSERT_TRUE(r.ReadVarint(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, VarintCompactness) {
+  BufWriter w;
+  w.PutVarint(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.Clear();
+  w.PutVarint(300);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(WireTest, SignedVarintRoundTrip) {
+  const int64_t cases[] = {0,
+                           -1,
+                           1,
+                           -64,
+                           63,
+                           -1000000,
+                           1000000,
+                           std::numeric_limits<int64_t>::min(),
+                           std::numeric_limits<int64_t>::max()};
+  BufWriter w;
+  for (const int64_t v : cases) w.PutVarintSigned(v);
+  BufReader r(w.buffer());
+  for (const int64_t v : cases) {
+    int64_t out = 0;
+    ASSERT_TRUE(r.ReadVarintSigned(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(WireTest, ZigZag) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  for (int64_t v : {int64_t{-5}, int64_t{0}, int64_t{12345},
+                    std::numeric_limits<int64_t>::min()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(WireTest, BytesRoundTrip) {
+  BufWriter w;
+  w.PutBytes("hello");
+  w.PutBytes("");
+  w.PutBytes(std::string(1000, 'z'));
+  BufReader r(w.buffer());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(r.ReadBytes(&out).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "hello");
+  ASSERT_TRUE(r.ReadBytes(&out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(r.ReadBytes(&out).ok());
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+TEST(WireTest, TruncatedFixedFails) {
+  BufWriter w;
+  w.PutU8(1);
+  BufReader r(w.buffer());
+  uint32_t out;
+  EXPECT_EQ(r.ReadU32(&out).code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, TruncatedVarintFails) {
+  const uint8_t bytes[] = {0x80, 0x80};  // continuation bits, no terminator
+  BufReader r(bytes, sizeof(bytes));
+  uint64_t out;
+  EXPECT_EQ(r.ReadVarint(&out).code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, OverlongVarintFails) {
+  const uint8_t bytes[] = {0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                           0xff, 0xff, 0xff, 0xff, 0xff, 0x01};
+  BufReader r(bytes, sizeof(bytes));
+  uint64_t out;
+  EXPECT_EQ(r.ReadVarint(&out).code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, TruncatedBytesFails) {
+  BufWriter w;
+  w.PutVarint(100);  // claims 100 bytes follow
+  w.PutU8(1);
+  BufReader r(w.buffer());
+  std::vector<uint8_t> out;
+  EXPECT_EQ(r.ReadBytes(&out).code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, ReleaseEmptiesWriter) {
+  BufWriter w;
+  w.PutU32(7);
+  const std::vector<uint8_t> bytes = w.Release();
+  EXPECT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(WireTest, RandomizedVarintRoundTrip) {
+  Rng rng(77);
+  BufWriter w;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    // Bias towards small values but cover the full range.
+    const int shift = static_cast<int>(rng.UniformInt(64));
+    const uint64_t v = rng.Next() >> shift;
+    values.push_back(v);
+    w.PutVarint(v);
+  }
+  BufReader r(w.buffer());
+  for (const uint64_t v : values) {
+    uint64_t out = 0;
+    ASSERT_TRUE(r.ReadVarint(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace dynagg

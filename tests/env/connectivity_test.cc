@@ -1,0 +1,95 @@
+#include "env/connectivity.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynagg {
+namespace {
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_EQ(uf.num_sets(), 3);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_EQ(uf.SetSize(0), 2);
+  EXPECT_EQ(uf.SetSize(2), 1);
+}
+
+TEST(UnionFindTest, TransitiveUnion) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_EQ(uf.Find(0), uf.Find(3));
+  EXPECT_EQ(uf.SetSize(3), 4);
+  EXPECT_EQ(uf.num_sets(), 3);
+}
+
+TEST(UnionFindTest, ChainCollapse) {
+  const int n = 1000;
+  UnionFind uf(n);
+  for (int i = 0; i + 1 < n; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1);
+  EXPECT_EQ(uf.SetSize(0), n);
+  EXPECT_EQ(uf.Find(0), uf.Find(n - 1));
+}
+
+TEST(ConnectedComponentsTest, NoEdges) {
+  const auto labels = ConnectedComponents(4, {});
+  EXPECT_EQ(labels, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ConnectedComponentsTest, TwoComponents) {
+  const std::vector<std::pair<HostId, HostId>> edges = {{0, 1}, {2, 3}};
+  const auto labels = ConnectedComponents(5, edges);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[4], labels[0]);
+  EXPECT_NE(labels[4], labels[2]);
+}
+
+TEST(ConnectedComponentsTest, LabelsAreDenseAndOrdered) {
+  const std::vector<std::pair<HostId, HostId>> edges = {{3, 4}, {0, 1}};
+  const auto labels = ConnectedComponents(5, edges);
+  // First appearance order by vertex index: {0,1} -> 0, {2} -> 1, {3,4} -> 2.
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 0);
+  EXPECT_EQ(labels[2], 1);
+  EXPECT_EQ(labels[3], 2);
+  EXPECT_EQ(labels[4], 2);
+}
+
+TEST(ConnectedComponentsTest, FullClique) {
+  std::vector<std::pair<HostId, HostId>> edges;
+  for (HostId a = 0; a < 8; ++a) {
+    for (HostId b = a + 1; b < 8; ++b) edges.push_back({a, b});
+  }
+  const auto labels = ConnectedComponents(8, edges);
+  for (const int l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(ComponentSizesTest, CountsMembers) {
+  const std::vector<int> labels = {0, 0, 1, 2, 2, 2};
+  const auto sizes = ComponentSizes(labels);
+  EXPECT_EQ(sizes, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(ComponentSizesTest, EmptyLabels) {
+  EXPECT_TRUE(ComponentSizes({}).empty());
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,129 @@
+#include "env/contact_trace.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dynagg {
+namespace {
+
+TEST(ContactTraceTest, EmptyTrace) {
+  ContactTrace trace(5);
+  trace.Finalize();
+  EXPECT_EQ(trace.num_devices(), 5);
+  EXPECT_TRUE(trace.Events().empty());
+  EXPECT_EQ(trace.end_time(), 0);
+  EXPECT_EQ(trace.num_contacts(), 0);
+}
+
+TEST(ContactTraceTest, ContactYieldsUpAndDownEvents) {
+  ContactTrace trace(3);
+  trace.AddContact(0, 1, FromSeconds(10), FromSeconds(20));
+  trace.Finalize();
+  const auto& events = trace.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time, FromSeconds(10));
+  EXPECT_TRUE(events[0].up);
+  EXPECT_EQ(events[1].time, FromSeconds(20));
+  EXPECT_FALSE(events[1].up);
+  EXPECT_EQ(events[0].a, 0);
+  EXPECT_EQ(events[0].b, 1);
+}
+
+TEST(ContactTraceTest, EventsSortedByTime) {
+  ContactTrace trace(4);
+  trace.AddContact(2, 3, FromSeconds(50), FromSeconds(60));
+  trace.AddContact(0, 1, FromSeconds(5), FromSeconds(70));
+  trace.AddContact(1, 2, FromSeconds(30), FromSeconds(40));
+  trace.Finalize();
+  const auto& events = trace.Events();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  EXPECT_EQ(trace.end_time(), FromSeconds(70));
+}
+
+TEST(ContactTraceTest, NormalizesEdgeOrder) {
+  ContactTrace trace(3);
+  trace.AddContact(2, 0, FromSeconds(1), FromSeconds(2));
+  trace.Finalize();
+  EXPECT_EQ(trace.Events()[0].a, 0);
+  EXPECT_EQ(trace.Events()[0].b, 2);
+}
+
+TEST(ContactTraceTest, DownSortsBeforeUpAtSameInstant) {
+  ContactTrace trace(2);
+  trace.AddContact(0, 1, FromSeconds(0), FromSeconds(10));
+  trace.AddContact(0, 1, FromSeconds(10), FromSeconds(20));
+  trace.Finalize();
+  const auto& events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_FALSE(events[1].up);  // the t=10 down-event precedes the up-event
+  EXPECT_TRUE(events[2].up);
+}
+
+TEST(ContactTraceTest, TextRoundTrip) {
+  ContactTrace trace(9);
+  trace.AddContact(0, 1, FromSeconds(1.5), FromSeconds(3.25));
+  trace.AddContact(4, 7, FromSeconds(100), FromSeconds(250.75));
+  trace.Finalize();
+  const std::string text = trace.ToText();
+  const Result<ContactTrace> parsed = ContactTrace::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_devices(), 9);
+  EXPECT_EQ(parsed->num_contacts(), 2);
+  ASSERT_EQ(parsed->Events().size(), 4u);
+  EXPECT_EQ(parsed->Events()[0].time, FromSeconds(1.5));
+  EXPECT_EQ(parsed->end_time(), FromSeconds(250.75));
+}
+
+TEST(ContactTraceTest, ParseRejectsBadHeader) {
+  EXPECT_FALSE(ContactTrace::Parse("nonsense v9\ndevices 3\n").ok());
+}
+
+TEST(ContactTraceTest, ParseRejectsMissingDevices) {
+  EXPECT_FALSE(ContactTrace::Parse("dynagg-trace v1\nwidgets 3\n").ok());
+}
+
+TEST(ContactTraceTest, ParseRejectsOutOfRangeDevice) {
+  const std::string text =
+      "dynagg-trace v1\ndevices 3\ncontact 0 5 1.0 2.0\n";
+  const auto result = ContactTrace::Parse(text);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ContactTraceTest, ParseRejectsSelfContact) {
+  EXPECT_FALSE(
+      ContactTrace::Parse("dynagg-trace v1\ndevices 3\ncontact 1 1 0 1\n")
+          .ok());
+}
+
+TEST(ContactTraceTest, ParseRejectsInvertedInterval) {
+  EXPECT_FALSE(
+      ContactTrace::Parse("dynagg-trace v1\ndevices 3\ncontact 0 1 5 5\n")
+          .ok());
+}
+
+TEST(ContactTraceTest, ParseRejectsMalformedNumbers) {
+  EXPECT_FALSE(
+      ContactTrace::Parse("dynagg-trace v1\ndevices 3\ncontact 0 1 x 2\n")
+          .ok());
+}
+
+TEST(ContactTraceTest, ParseSkipsComments) {
+  const auto result = ContactTrace::Parse(
+      "dynagg-trace v1\ndevices 2\n# a comment\ncontact 0 1 0.0 1.0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_contacts(), 1);
+}
+
+TEST(ContactTraceTest, ParseEmptyTraceBody) {
+  const auto result = ContactTrace::Parse("dynagg-trace v1\ndevices 7\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_devices(), 7);
+  EXPECT_TRUE(result->Events().empty());
+}
+
+}  // namespace
+}  // namespace dynagg

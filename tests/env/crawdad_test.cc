@@ -1,0 +1,115 @@
+#include "env/crawdad.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dynagg {
+namespace {
+
+TEST(CrawdadTest, ParsesBasicTable) {
+  const std::string text =
+      "# experiment 1\n"
+      "1 2 100.0 200.0\n"
+      "2 3 150.0 300.0\n";
+  const auto trace = ParseCrawdadContacts(text);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace->num_devices(), 3);
+  EXPECT_EQ(trace->num_contacts(), 2);
+  // Time rebased: earliest start (100) becomes 0.
+  EXPECT_EQ(trace->Events().front().time, FromSeconds(0));
+  EXPECT_EQ(trace->end_time(), FromSeconds(200));
+}
+
+TEST(CrawdadTest, DenseIdRemappingInOrderOfAppearance) {
+  const std::string text =
+      "17 42 0 10\n"
+      "42 5 5 15\n";
+  const auto trace = ParseCrawdadContacts(text);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_devices(), 3);  // 17 -> 0, 42 -> 1, 5 -> 2
+  const auto& first_up = trace->Events().front();
+  EXPECT_EQ(first_up.a, 0);
+  EXPECT_EQ(first_up.b, 1);
+}
+
+TEST(CrawdadTest, IgnoresExtraColumnsAndComments) {
+  const std::string text =
+      "% matlab-style comment\n"
+      "1 2 0 10 1 99 extra\n";
+  const auto trace = ParseCrawdadContacts(text);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_contacts(), 1);
+}
+
+TEST(CrawdadTest, MinDurationFilter) {
+  CrawdadOptions options;
+  options.min_duration_seconds = 5.0;
+  const std::string text =
+      "1 2 0 3\n"    // 3 s: dropped
+      "1 2 10 20\n"  // 10 s: kept
+      "2 3 30 31\n";  // 1 s: dropped
+  const auto trace = ParseCrawdadContacts(text, options);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_contacts(), 1);
+}
+
+TEST(CrawdadTest, MaxDevicesFilter) {
+  CrawdadOptions options;
+  options.max_devices = 2;
+  const std::string text =
+      "1 2 0 10\n"
+      "3 4 0 10\n"   // devices 3 and 4 exceed the cap: dropped
+      "2 1 20 30\n";
+  const auto trace = ParseCrawdadContacts(text, options);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_devices(), 2);
+  EXPECT_EQ(trace->num_contacts(), 2);
+}
+
+TEST(CrawdadTest, NoRebaseOption) {
+  CrawdadOptions options;
+  options.rebase_time = false;
+  const auto trace = ParseCrawdadContacts("1 2 100 200\n", options);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->Events().front().time, FromSeconds(100));
+}
+
+TEST(CrawdadTest, RejectsSelfContact) {
+  const auto result = ParseCrawdadContacts("3 3 0 10\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CrawdadTest, RejectsInvertedInterval) {
+  EXPECT_FALSE(ParseCrawdadContacts("1 2 10 5\n").ok());
+}
+
+TEST(CrawdadTest, RejectsMalformedRecord) {
+  EXPECT_FALSE(ParseCrawdadContacts("1 2 abc 10\n").ok());
+  EXPECT_FALSE(ParseCrawdadContacts("1 2 10\n").ok());
+}
+
+TEST(CrawdadTest, SkipsZeroLengthContacts) {
+  const auto trace = ParseCrawdadContacts("1 2 5 5\n1 2 6 7\n");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_contacts(), 1);
+}
+
+TEST(CrawdadTest, EmptyInput) {
+  const auto trace = ParseCrawdadContacts("");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_devices(), 0);
+  EXPECT_EQ(trace->num_contacts(), 0);
+}
+
+TEST(CrawdadTest, RoundTripsThroughTraceText) {
+  const auto trace = ParseCrawdadContacts("1 2 0 10\n2 3 5 20\n");
+  ASSERT_TRUE(trace.ok());
+  const auto reparsed = ContactTrace::Parse(trace->ToText());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_contacts(), trace->num_contacts());
+}
+
+}  // namespace
+}  // namespace dynagg

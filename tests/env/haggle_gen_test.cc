@@ -1,0 +1,119 @@
+#include "env/haggle_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "env/trace_env.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+TEST(HaggleGenTest, PresetsMatchPaperScales) {
+  EXPECT_EQ(HaggleDataset1().num_devices, 9);
+  EXPECT_EQ(HaggleDataset2().num_devices, 12);
+  EXPECT_EQ(HaggleDataset3().num_devices, 41);
+  EXPECT_NEAR(HaggleDataset1().duration_hours, 90.0, 1e-9);
+  EXPECT_NEAR(HaggleDataset2().duration_hours, 120.0, 1e-9);
+  EXPECT_NEAR(HaggleDataset3().duration_hours, 70.0, 1e-9);
+}
+
+TEST(HaggleGenTest, GeneratesNonEmptyTrace) {
+  const ContactTrace trace = GenerateHaggleTrace(HaggleDataset1());
+  EXPECT_GT(trace.num_contacts(), 50);
+  EXPECT_LE(trace.end_time(), FromHours(90.0));
+  EXPECT_GT(trace.end_time(), FromHours(10.0));
+}
+
+TEST(HaggleGenTest, DeterministicForSeed) {
+  const ContactTrace a = GenerateHaggleTrace(HaggleDataset2());
+  const ContactTrace b = GenerateHaggleTrace(HaggleDataset2());
+  EXPECT_EQ(a.ToText(), b.ToText());
+}
+
+TEST(HaggleGenTest, SeedChangesTrace) {
+  HaggleGenParams p1 = HaggleDataset1();
+  HaggleGenParams p2 = HaggleDataset1();
+  p2.seed = p1.seed + 1;
+  EXPECT_NE(GenerateHaggleTrace(p1).ToText(),
+            GenerateHaggleTrace(p2).ToText());
+}
+
+TEST(HaggleGenTest, TraceRoundTripsThroughText) {
+  const ContactTrace trace = GenerateHaggleTrace(HaggleDataset1());
+  const auto parsed = ContactTrace::Parse(trace.ToText());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_contacts(), trace.num_contacts());
+  EXPECT_EQ(parsed->num_devices(), trace.num_devices());
+}
+
+TEST(HaggleGenTest, GroupSizesStayInPlausibleRange) {
+  const ContactTrace trace = GenerateHaggleTrace(HaggleDataset1());
+  TraceEnvironment env(trace);
+  double max_avg_group = 0.0;
+  double sum_avg_group = 0.0;
+  int samples = 0;
+  for (double h = 1.0; h < 90.0; h += 1.0) {
+    env.AdvanceTo(FromHours(h));
+    const double g = env.AverageGroupSize();
+    max_avg_group = std::max(max_avg_group, g);
+    sum_avg_group += g;
+    ++samples;
+  }
+  // Devices sometimes gather (groups form) but are not permanently merged.
+  EXPECT_GT(max_avg_group, 2.0);
+  EXPECT_LE(max_avg_group, 9.0);
+  EXPECT_GT(sum_avg_group / samples, 1.0);
+  EXPECT_LT(sum_avg_group / samples, 7.0);
+}
+
+TEST(HaggleGenTest, ConferencePresetFormsLargerGroups) {
+  const ContactTrace trace = GenerateHaggleTrace(HaggleDataset3());
+  TraceEnvironment env(trace);
+  double max_avg_group = 0.0;
+  for (double h = 0.5; h < 70.0; h += 0.5) {
+    env.AdvanceTo(FromHours(h));
+    max_avg_group = std::max(max_avg_group, env.AverageGroupSize());
+  }
+  EXPECT_GT(max_avg_group, 8.0);  // conference sessions merge many devices
+}
+
+TEST(HaggleGenTest, DayNightCycleModulatesActivity) {
+  HaggleGenParams p = HaggleDataset1();
+  p.night_activity_factor = 0.0;  // nothing happens at night
+  const ContactTrace trace = GenerateHaggleTrace(p);
+  int day_events = 0;
+  int night_events = 0;
+  for (const ContactEvent& ev : trace.Events()) {
+    if (!ev.up) continue;
+    const double hour_of_day = std::fmod(ToHours(ev.time), 24.0);
+    if (hour_of_day >= p.day_start_hour && hour_of_day < p.day_end_hour) {
+      ++day_events;
+    } else {
+      ++night_events;
+    }
+  }
+  EXPECT_GT(day_events, 0);
+  EXPECT_EQ(night_events, 0);
+}
+
+TEST(HaggleGenTest, RespectsMaxGroupBound) {
+  HaggleGenParams p = HaggleDataset1();
+  p.max_group = 3;
+  const ContactTrace trace = GenerateHaggleTrace(p);
+  // A gathering of k members creates k*(k-1)/2 simultaneous contacts with
+  // identical start times; max_group 3 allows at most 3 contacts per start.
+  std::map<SimTime, int> per_start;
+  for (const ContactEvent& ev : trace.Events()) {
+    if (ev.up) ++per_start[ev.time];
+  }
+  for (const auto& [time, count] : per_start) {
+    EXPECT_LE(count, 3) << "gathering too large at " << time;
+  }
+}
+
+}  // namespace
+}  // namespace dynagg

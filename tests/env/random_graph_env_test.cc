@@ -1,0 +1,140 @@
+#include "env/random_graph_env.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agg/push_sum.h"
+#include "common/rng.h"
+#include "env/connectivity.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+TEST(RandomGraphEnvTest, DegreesNearTarget) {
+  RandomGraphEnvironment env(500, 8, /*seed=*/1);
+  double total_degree = 0;
+  for (HostId id = 0; id < 500; ++id) {
+    EXPECT_LE(env.Degree(id), 8);
+    total_degree += env.Degree(id);
+  }
+  // Configuration-model rejections lose only a few edges.
+  EXPECT_GT(total_degree / 500.0, 7.0);
+  EXPECT_EQ(static_cast<int64_t>(total_degree), 2 * env.num_edges());
+}
+
+TEST(RandomGraphEnvTest, AdjacencyIsSymmetric) {
+  RandomGraphEnvironment env(100, 4, 2);
+  Population pop(100);
+  for (HostId a = 0; a < 100; ++a) {
+    std::vector<HostId> nbrs;
+    env.AppendNeighbors(a, pop, &nbrs);
+    for (const HostId b : nbrs) {
+      std::vector<HostId> back;
+      env.AppendNeighbors(b, pop, &back);
+      EXPECT_NE(std::find(back.begin(), back.end(), a), back.end())
+          << a << "<->" << b;
+    }
+  }
+}
+
+TEST(RandomGraphEnvTest, NoSelfLoopsOrDuplicates) {
+  RandomGraphEnvironment env(200, 6, 3);
+  Population pop(200);
+  for (HostId a = 0; a < 200; ++a) {
+    std::vector<HostId> nbrs;
+    env.AppendNeighbors(a, pop, &nbrs);
+    std::sort(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(std::adjacent_find(nbrs.begin(), nbrs.end()), nbrs.end());
+    EXPECT_EQ(std::find(nbrs.begin(), nbrs.end(), a), nbrs.end());
+  }
+}
+
+TEST(RandomGraphEnvTest, DeterministicForSeed) {
+  RandomGraphEnvironment a(100, 4, 42);
+  RandomGraphEnvironment b(100, 4, 42);
+  Population pop(100);
+  for (HostId id = 0; id < 100; ++id) {
+    std::vector<HostId> na;
+    std::vector<HostId> nb;
+    a.AppendNeighbors(id, pop, &na);
+    b.AppendNeighbors(id, pop, &nb);
+    EXPECT_EQ(na, nb);
+  }
+}
+
+TEST(RandomGraphEnvTest, SamplePeerReturnsAliveNeighbors) {
+  RandomGraphEnvironment env(100, 5, 4);
+  Population pop(100);
+  for (HostId id = 0; id < 100; id += 2) pop.Kill(id);
+  Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const HostId i = 1 + 2 * static_cast<HostId>(rng.UniformInt(50));
+    const HostId peer = env.SamplePeer(i, pop, rng);
+    if (peer == kInvalidHost) continue;
+    EXPECT_TRUE(pop.IsAlive(peer));
+    std::vector<HostId> nbrs;
+    env.AppendNeighbors(i, pop, &nbrs);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), peer), nbrs.end());
+  }
+}
+
+TEST(RandomGraphEnvTest, DegreeEightGraphIsConnected) {
+  // k-regular random graphs are connected whp for k >= 3; verify at k = 8.
+  RandomGraphEnvironment env(1000, 8, 6);
+  Population pop(1000);
+  std::vector<std::pair<HostId, HostId>> edges;
+  std::vector<HostId> nbrs;
+  for (HostId a = 0; a < 1000; ++a) {
+    nbrs.clear();
+    env.AppendNeighbors(a, pop, &nbrs);
+    for (const HostId b : nbrs) {
+      if (a < b) edges.push_back({a, b});
+    }
+  }
+  const auto labels = ConnectedComponents(1000, edges);
+  for (const int l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(RandomGraphEnvTest, PushSumConvergesOnSparseGraph) {
+  const int n = 1000;
+  Rng vrng(7);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(0, 100);
+  PushSumSwarm swarm(values, GossipMode::kPushPull);
+  RandomGraphEnvironment env(n, 6, 8);
+  Population pop(n);
+  Rng rng(9);
+  const double truth = TrueAverage(values, pop);
+  for (int round = 0; round < 60; ++round) swarm.RunRound(env, pop, rng);
+  const double rms = RmsDeviationOverAlive(
+      pop, truth, [&](HostId id) { return swarm.Estimate(id); });
+  EXPECT_LT(rms, 1.0);
+}
+
+TEST(RandomGraphEnvTest, LowerDegreeConvergesSlower) {
+  auto rounds_to_converge = [](int degree) {
+    const int n = 500;
+    Rng vrng(10);
+    std::vector<double> values(n);
+    for (auto& v : values) v = vrng.UniformDouble(0, 100);
+    PushSumSwarm swarm(values, GossipMode::kPushPull);
+    RandomGraphEnvironment env(n, degree, 11);
+    Population pop(n);
+    Rng rng(12);
+    const double truth = TrueAverage(values, pop);
+    for (int round = 0; round < 300; ++round) {
+      swarm.RunRound(env, pop, rng);
+      const double rms = RmsDeviationOverAlive(
+          pop, truth, [&](HostId id) { return swarm.Estimate(id); });
+      if (rms < 1.0) return round + 1;
+    }
+    return 300;
+  };
+  EXPECT_LE(rounds_to_converge(16), rounds_to_converge(3));
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,121 @@
+#include "env/spatial_env.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+TEST(SpatialEnvTest, Geometry) {
+  SpatialGridEnvironment env(8, 5);
+  EXPECT_EQ(env.num_hosts(), 40);
+  EXPECT_EQ(env.width(), 8);
+  EXPECT_EQ(env.height(), 5);
+}
+
+TEST(SpatialEnvTest, NeighborsInterior) {
+  SpatialGridEnvironment env(4, 4);
+  Population pop(16);
+  std::vector<HostId> neighbors;
+  env.AppendNeighbors(5, pop, &neighbors);  // (x=1, y=1)
+  EXPECT_EQ(neighbors.size(), 4u);
+}
+
+TEST(SpatialEnvTest, NeighborsCorner) {
+  SpatialGridEnvironment env(4, 4);
+  Population pop(16);
+  std::vector<HostId> neighbors;
+  env.AppendNeighbors(0, pop, &neighbors);
+  EXPECT_EQ(neighbors.size(), 2u);  // right and down only
+}
+
+TEST(SpatialEnvTest, NeighborsSkipDead) {
+  SpatialGridEnvironment env(3, 3);
+  Population pop(9);
+  pop.Kill(1);  // north neighbor of center
+  std::vector<HostId> neighbors;
+  env.AppendNeighbors(4, pop, &neighbors);
+  EXPECT_EQ(neighbors.size(), 3u);
+}
+
+TEST(SpatialEnvTest, WalkLengthDistributionFollowsInverseSquare) {
+  SpatialGridEnvironment env(10, 10, /*max_distance=*/8);
+  Rng rng(1);
+  std::vector<int> counts(9, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[env.SampleWalkLength(rng)];
+  // P(d) ~ 1/d^2: d=1 should be ~4x as likely as d=2, ~9x as d=3.
+  const double p1 = static_cast<double>(counts[1]) / draws;
+  const double p2 = static_cast<double>(counts[2]) / draws;
+  const double p3 = static_cast<double>(counts[3]) / draws;
+  EXPECT_NEAR(p1 / p2, 4.0, 0.25);
+  EXPECT_NEAR(p1 / p3, 9.0, 0.8);
+}
+
+TEST(SpatialEnvTest, WalkLengthWithinBounds) {
+  SpatialGridEnvironment env(5, 5, 6);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const int d = env.SampleWalkLength(rng);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 6);
+  }
+}
+
+TEST(SpatialEnvTest, SamplePeerStaysOnGridAndAlive) {
+  SpatialGridEnvironment env(6, 6);
+  Population pop(36);
+  pop.Kill(7);
+  pop.Kill(22);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const HostId peer = env.SamplePeer(14, pop, rng);
+    if (peer == kInvalidHost) continue;
+    EXPECT_GE(peer, 0);
+    EXPECT_LT(peer, 36);
+    EXPECT_TRUE(pop.IsAlive(peer));
+    EXPECT_NE(peer, 14);
+  }
+}
+
+TEST(SpatialEnvTest, SamplePeerReachesBeyondAdjacency) {
+  // Multi-hop random walks must reach hosts farther than one grid step.
+  SpatialGridEnvironment env(9, 9);
+  Population pop(81);
+  Rng rng(4);
+  const HostId center = 40;  // (4,4)
+  bool far_reached = false;
+  for (int i = 0; i < 5000 && !far_reached; ++i) {
+    const HostId peer = env.SamplePeer(center, pop, rng);
+    if (peer == kInvalidHost) continue;
+    const int dx = std::abs(peer % 9 - 4);
+    const int dy = std::abs(peer / 9 - 4);
+    if (dx + dy >= 3) far_reached = true;
+  }
+  EXPECT_TRUE(far_reached);
+}
+
+TEST(SpatialEnvTest, IsolatedHostHasNoPeer) {
+  SpatialGridEnvironment env(3, 1);
+  Population pop(3);
+  pop.Kill(1);  // host 0's only neighbor
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(env.SamplePeer(0, pop, rng), kInvalidHost);
+  }
+}
+
+TEST(SpatialEnvTest, SingleCellGrid) {
+  SpatialGridEnvironment env(1, 1);
+  Population pop(1);
+  Rng rng(6);
+  EXPECT_EQ(env.SamplePeer(0, pop, rng), kInvalidHost);
+}
+
+}  // namespace
+}  // namespace dynagg

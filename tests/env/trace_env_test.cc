@@ -1,0 +1,152 @@
+#include "env/trace_env.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "env/contact_trace.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+ContactTrace MakeSimpleTrace() {
+  // 0-1 in contact during [10s, 100s); 1-2 during [50s, 150s).
+  ContactTrace trace(4);
+  trace.AddContact(0, 1, FromSeconds(10), FromSeconds(100));
+  trace.AddContact(1, 2, FromSeconds(50), FromSeconds(150));
+  trace.Finalize();
+  return trace;
+}
+
+TEST(TraceEnvTest, AdjacencyFollowsEvents) {
+  const ContactTrace trace = MakeSimpleTrace();
+  TraceEnvironment env(trace);
+  EXPECT_EQ(env.Degree(0), 0);
+  env.AdvanceTo(FromSeconds(10));
+  EXPECT_EQ(env.Degree(0), 1);
+  EXPECT_EQ(env.Degree(1), 1);
+  env.AdvanceTo(FromSeconds(60));
+  EXPECT_EQ(env.Degree(1), 2);
+  env.AdvanceTo(FromSeconds(100));
+  EXPECT_EQ(env.Degree(0), 0);  // 0-1 link dropped
+  EXPECT_EQ(env.Degree(1), 1);
+  env.AdvanceTo(FromSeconds(150));
+  EXPECT_EQ(env.num_edges(), 0);
+}
+
+TEST(TraceEnvTest, SamplePeerRespectsRange) {
+  const ContactTrace trace = MakeSimpleTrace();
+  TraceEnvironment env(trace);
+  Population pop(4);
+  Rng rng(1);
+  env.AdvanceTo(FromSeconds(60));
+  // Host 0's only neighbor is 1.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(env.SamplePeer(0, pop, rng), 1);
+  // Host 3 is isolated.
+  EXPECT_EQ(env.SamplePeer(3, pop, rng), kInvalidHost);
+  // Host 1 sees 0 and 2.
+  bool saw0 = false;
+  bool saw2 = false;
+  for (int i = 0; i < 200; ++i) {
+    const HostId p = env.SamplePeer(1, pop, rng);
+    saw0 |= (p == 0);
+    saw2 |= (p == 2);
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw2);
+}
+
+TEST(TraceEnvTest, SamplePeerSkipsDeadDevices) {
+  const ContactTrace trace = MakeSimpleTrace();
+  TraceEnvironment env(trace);
+  Population pop(4);
+  pop.Kill(0);
+  Rng rng(2);
+  env.AdvanceTo(FromSeconds(60));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(env.SamplePeer(1, pop, rng), 2);
+}
+
+TEST(TraceEnvTest, OverlappingContactsRefCount) {
+  ContactTrace trace(2);
+  trace.AddContact(0, 1, FromSeconds(0), FromSeconds(100));
+  trace.AddContact(0, 1, FromSeconds(50), FromSeconds(150));
+  trace.Finalize();
+  TraceEnvironment env(trace);
+  env.AdvanceTo(FromSeconds(60));
+  EXPECT_EQ(env.Degree(0), 1);  // one logical link, not two
+  env.AdvanceTo(FromSeconds(100));
+  EXPECT_EQ(env.Degree(0), 1);  // second interval still active
+  env.AdvanceTo(FromSeconds(150));
+  EXPECT_EQ(env.Degree(0), 0);
+}
+
+TEST(TraceEnvTest, GroupsUseTenMinuteWindow) {
+  ContactTrace trace(3);
+  // 0-1 contact ends at t=600s; they remain grouped until t=1200s.
+  trace.AddContact(0, 1, FromSeconds(0), FromSeconds(600));
+  trace.Finalize();
+  TraceEnvironment env(trace, FromMinutes(10));
+  env.AdvanceTo(FromSeconds(700));
+  auto labels = env.CurrentGroups();
+  EXPECT_EQ(labels[0], labels[1]);  // recent edge keeps them "nearby"
+  EXPECT_NE(labels[0], labels[2]);
+  env.AdvanceTo(FromSeconds(1201));
+  labels = env.CurrentGroups();
+  EXPECT_NE(labels[0], labels[1]);  // window expired
+}
+
+TEST(TraceEnvTest, GroupsIncludeTransitivePaths) {
+  // Per the paper, "nearby" is path connectivity over the window union:
+  // 0-1 recently dropped plus 1-2 live must group {0,1,2}.
+  ContactTrace trace(4);
+  trace.AddContact(0, 1, FromSeconds(0), FromSeconds(100));
+  trace.AddContact(1, 2, FromSeconds(90), FromSeconds(500));
+  trace.Finalize();
+  TraceEnvironment env(trace, FromMinutes(10));
+  env.AdvanceTo(FromSeconds(200));
+  const auto labels = env.CurrentGroups();
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_NE(labels[3], labels[0]);
+}
+
+TEST(TraceEnvTest, AverageGroupSizeHostWeighted) {
+  ContactTrace trace(4);
+  trace.AddContact(0, 1, FromSeconds(0), FromSeconds(100));
+  trace.AddContact(1, 2, FromSeconds(0), FromSeconds(100));
+  trace.Finalize();
+  TraceEnvironment env(trace, FromSeconds(0));
+  env.AdvanceTo(FromSeconds(50));
+  // Groups: {0,1,2} and {3}: host-weighted mean = (3+3+3+1)/4 = 2.5.
+  EXPECT_DOUBLE_EQ(env.AverageGroupSize(), 2.5);
+}
+
+TEST(TraceEnvTest, ZeroWindowDropsEdgesImmediately) {
+  ContactTrace trace(2);
+  trace.AddContact(0, 1, FromSeconds(0), FromSeconds(10));
+  trace.Finalize();
+  TraceEnvironment env(trace, FromSeconds(0));
+  env.AdvanceTo(FromSeconds(10));
+  const auto labels = env.CurrentGroups();
+  // The edge went down exactly at t=10 with a zero window: still within
+  // horizon (>= now - 0), so the pair remains grouped at this instant...
+  EXPECT_EQ(labels[0], labels[1]);
+  env.AdvanceTo(FromSeconds(11));
+  const auto labels2 = env.CurrentGroups();
+  EXPECT_NE(labels2[0], labels2[1]);
+}
+
+TEST(TraceEnvTest, AppendNeighborsMatchesDegree) {
+  const ContactTrace trace = MakeSimpleTrace();
+  TraceEnvironment env(trace);
+  Population pop(4);
+  env.AdvanceTo(FromSeconds(60));
+  std::vector<HostId> neighbors;
+  env.AppendNeighbors(1, pop, &neighbors);
+  EXPECT_EQ(static_cast<int>(neighbors.size()), env.Degree(1));
+}
+
+}  // namespace
+}  // namespace dynagg

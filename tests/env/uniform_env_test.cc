@@ -1,0 +1,84 @@
+#include "env/uniform_env.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+TEST(UniformEnvTest, SamplePeerNeverSelf) {
+  UniformEnvironment env(20);
+  Population pop(20);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const HostId peer = env.SamplePeer(3, pop, rng);
+    ASSERT_NE(peer, kInvalidHost);
+    EXPECT_NE(peer, 3);
+  }
+}
+
+TEST(UniformEnvTest, SamplePeerSkipsDead) {
+  UniformEnvironment env(10);
+  Population pop(10);
+  for (HostId id = 5; id < 10; ++id) pop.Kill(id);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const HostId peer = env.SamplePeer(0, pop, rng);
+    ASSERT_NE(peer, kInvalidHost);
+    EXPECT_LT(peer, 5);
+    EXPECT_NE(peer, 0);
+  }
+}
+
+TEST(UniformEnvTest, SamplePeerIsUniform) {
+  UniformEnvironment env(5);
+  Population pop(5);
+  Rng rng(3);
+  std::vector<int> counts(5, 0);
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) ++counts[env.SamplePeer(0, pop, rng)];
+  EXPECT_EQ(counts[0], 0);
+  for (HostId id = 1; id < 5; ++id) EXPECT_NEAR(counts[id], draws / 4, 400);
+}
+
+TEST(UniformEnvTest, NoPeerWhenAlone) {
+  UniformEnvironment env(3);
+  Population pop(3);
+  pop.Kill(1);
+  pop.Kill(2);
+  Rng rng(4);
+  EXPECT_EQ(env.SamplePeer(0, pop, rng), kInvalidHost);
+}
+
+TEST(UniformEnvTest, NeighborsAreAllAliveOthers) {
+  UniformEnvironment env(6);
+  Population pop(6);
+  pop.Kill(4);
+  std::vector<HostId> neighbors;
+  env.AppendNeighbors(2, pop, &neighbors);
+  EXPECT_EQ(neighbors.size(), 4u);  // 6 hosts - self - 1 dead
+  for (const HostId id : neighbors) {
+    EXPECT_NE(id, 2);
+    EXPECT_NE(id, 4);
+  }
+}
+
+TEST(UniformEnvTest, NumHosts) {
+  UniformEnvironment env(123);
+  EXPECT_EQ(env.num_hosts(), 123);
+}
+
+TEST(UniformEnvTest, AdvanceToIsNoOp) {
+  UniformEnvironment env(4);
+  env.AdvanceTo(FromHours(5));  // must not crash or change behaviour
+  Population pop(4);
+  Rng rng(5);
+  EXPECT_NE(env.SamplePeer(0, pop, rng), kInvalidHost);
+}
+
+}  // namespace
+}  // namespace dynagg

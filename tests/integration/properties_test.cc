@@ -1,0 +1,291 @@
+// Property-based tests: algebraic invariants checked over parameterized
+// sweeps of protocol configurations and randomized states.
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agg/count_sketch_reset.h"
+#include "agg/fm_sketch.h"
+#include "agg/push_sum.h"
+#include "agg/push_sum_revert.h"
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mass conservation sweep: every (lambda, mode, n) combination must conserve
+// total mass exactly while membership is stable (Section III's invariant).
+// ---------------------------------------------------------------------------
+
+using MassParams = std::tuple<double, GossipMode, int>;
+
+class MassConservationTest : public ::testing::TestWithParam<MassParams> {};
+
+TEST_P(MassConservationTest, TotalMassInvariant) {
+  const auto [lambda, mode, n] = GetParam();
+  Rng vrng(42);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(-50, 150);
+  double value_sum = 0.0;
+  for (const double v : values) value_sum += v;
+
+  PushSumRevertSwarm swarm(values, {.lambda = lambda, .mode = mode});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(7);
+  for (int round = 0; round < 25; ++round) {
+    swarm.RunRound(env, pop, rng);
+    const Mass total = swarm.TotalAliveMass(pop);
+    ASSERT_NEAR(total.weight, n, 1e-9 * n) << "round " << round;
+    ASSERT_NEAR(total.value, value_sum, 1e-7 * std::abs(value_sum) + 1e-7)
+        << "round " << round;
+  }
+}
+
+std::string MassParamName(const ::testing::TestParamInfo<MassParams>& info) {
+  const double lambda = std::get<0>(info.param);
+  const GossipMode mode = std::get<1>(info.param);
+  const int n = std::get<2>(info.param);
+  std::string name = "lambda";
+  for (const char c : std::to_string(lambda)) {
+    name += (c == '.' || c == '-') ? '_' : c;
+  }
+  name += mode == GossipMode::kPush ? "_push_" : "_pushpull_";
+  name += std::to_string(n);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LambdaModeSizeSweep, MassConservationTest,
+    ::testing::Combine(::testing::Values(0.0, 0.001, 0.01, 0.1, 0.5, 1.0),
+                       ::testing::Values(GossipMode::kPush,
+                                         GossipMode::kPushPull),
+                       ::testing::Values(2, 17, 256)),
+    MassParamName);
+
+// ---------------------------------------------------------------------------
+// Convergence sweep: for every lambda the converged estimate must sit within
+// an analytically motivated floor (bias grows with lambda).
+// ---------------------------------------------------------------------------
+
+class LambdaFloorTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaFloorTest, ConvergedFloorBoundedByLambda) {
+  const double lambda = GetParam();
+  const int n = 1000;
+  Rng vrng(1);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(0, 100);
+  PushSumRevertSwarm swarm(values,
+                           {.lambda = lambda, .mode = GossipMode::kPushPull});
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(2);
+  for (int round = 0; round < 60; ++round) swarm.RunRound(env, pop, rng);
+  const double rms = RmsDeviationOverAlive(
+      pop, TrueAverage(values, pop),
+      [&](HostId id) { return swarm.Estimate(id); });
+  // stddev(U[0,100)) ~ 28.9; the equilibrium bias is empirically about
+  // 1.4 * lambda times that, plus gossip noise.
+  EXPECT_LE(rms, 1.6 * 29.0 * lambda + 1.0) << "lambda " << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaFloorTest,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05, 0.1, 0.25,
+                                           0.5));
+
+// ---------------------------------------------------------------------------
+// Sketch algebra: OR-merge and min-merge must form idempotent commutative
+// monoids; the estimators must be monotone under merge.
+// ---------------------------------------------------------------------------
+
+class SketchAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+FmSketch RandomSketch(Rng& rng) {
+  FmSketch sketch(16, 20);
+  const int inserts = 1 + static_cast<int>(rng.UniformInt(200));
+  for (int i = 0; i < inserts; ++i) {
+    sketch.InsertObject(rng.Next(), 99);
+  }
+  return sketch;
+}
+
+TEST_P(SketchAlgebraTest, OrMergeMonoidLaws) {
+  Rng rng(GetParam());
+  const FmSketch a = RandomSketch(rng);
+  const FmSketch b = RandomSketch(rng);
+  const FmSketch c = RandomSketch(rng);
+
+  // Commutativity.
+  FmSketch ab = a;
+  ab.MergeOr(b);
+  FmSketch ba = b;
+  ba.MergeOr(a);
+  EXPECT_TRUE(ab == ba);
+
+  // Associativity.
+  FmSketch ab_c = ab;
+  ab_c.MergeOr(c);
+  FmSketch bc = b;
+  bc.MergeOr(c);
+  FmSketch a_bc = a;
+  a_bc.MergeOr(bc);
+  EXPECT_TRUE(ab_c == a_bc);
+
+  // Idempotence.
+  FmSketch aa = a;
+  aa.MergeOr(a);
+  EXPECT_TRUE(aa == a);
+
+  // Identity (empty sketch).
+  FmSketch a_id = a;
+  a_id.MergeOr(FmSketch(16, 20));
+  EXPECT_TRUE(a_id == a);
+
+  // Monotone estimator.
+  EXPECT_GE(ab.EstimateCount(), a.EstimateCount());
+  EXPECT_GE(ab.EstimateCount(), b.EstimateCount());
+}
+
+CountSketchResetNode RandomCsrNode(Rng& rng, int ages) {
+  CsrParams params;
+  params.bins = 8;
+  params.levels = 12;
+  CountSketchResetNode node;
+  node.Init(params, rng.Next(), 1 + static_cast<int>(rng.UniformInt(30)));
+  for (int i = 0; i < ages; ++i) node.AgeCounters();
+  return node;
+}
+
+TEST_P(SketchAlgebraTest, MinMergeMonoidLaws) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  CountSketchResetNode a = RandomCsrNode(rng, 3);
+  CountSketchResetNode b = RandomCsrNode(rng, 9);
+  CountSketchResetNode c = RandomCsrNode(rng, 1);
+
+  // Commutativity on counter arrays.
+  CountSketchResetNode ab = a;
+  ab.MergeFrom(b);
+  CountSketchResetNode ba = b;
+  ba.MergeFrom(a);
+  EXPECT_EQ(ab.counters(), ba.counters());
+
+  // Associativity.
+  CountSketchResetNode ab_c = ab;
+  ab_c.MergeFrom(c);
+  CountSketchResetNode bc = b;
+  bc.MergeFrom(c);
+  CountSketchResetNode a_bc = a;
+  a_bc.MergeFrom(bc);
+  EXPECT_EQ(ab_c.counters(), a_bc.counters());
+
+  // Idempotence.
+  CountSketchResetNode aa = a;
+  aa.MergeFrom(a);
+  EXPECT_EQ(aa.counters(), a.counters());
+
+  // Merge never raises a counter.
+  for (size_t i = 0; i < a.counters().size(); ++i) {
+    EXPECT_LE(ab.counters()[i], a.counters()[i]);
+  }
+}
+
+TEST_P(SketchAlgebraTest, AgeThenMergeNeverResurrectsBeyondSource) {
+  // After any interleaving of ages and merges, a counter can never be lower
+  // than (youngest source's age since reset), i.e. merges only propagate
+  // values that some owner legitimately produced.
+  Rng rng(GetParam() ^ 0x1234);
+  CountSketchResetNode a = RandomCsrNode(rng, 0);
+  CountSketchResetNode b = RandomCsrNode(rng, 0);
+  for (int step = 0; step < 20; ++step) {
+    a.AgeCounters();
+    b.AgeCounters();
+    if (rng.Bernoulli(0.5)) {
+      CountSketchResetNode::ExchangeMerge(a, b);
+    }
+    for (const uint8_t counter : a.counters()) {
+      // A counter is either pinned (0 at an owner), a finite age bounded by
+      // the number of elapsed steps, the cap, or infinity.
+      EXPECT_TRUE(counter <= step + 1 || counter == kCsrCounterCap ||
+                  counter == kCsrInfinity);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SketchAlgebraTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+// ---------------------------------------------------------------------------
+// Exchange invariants: a single push/pull exchange preserves the pairwise
+// sums of weights and values for any state.
+// ---------------------------------------------------------------------------
+
+class ExchangeInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExchangeInvariantTest, PairwiseExchangeIsZeroSum) {
+  Rng rng(GetParam());
+  PushSumNode a;
+  PushSumNode b;
+  a.Init(rng.UniformDouble(-100, 100));
+  b.Init(rng.UniformDouble(-100, 100));
+  // Random pre-mixing.
+  for (int i = 0; i < 5; ++i) PushSumNode::Exchange(a, b);
+  const double w_before = a.mass().weight + b.mass().weight;
+  const double v_before = a.mass().value + b.mass().value;
+  PushSumNode::Exchange(a, b);
+  EXPECT_NEAR(a.mass().weight + b.mass().weight, w_before, 1e-12);
+  EXPECT_NEAR(a.mass().value + b.mass().value, v_before, 1e-12);
+}
+
+TEST_P(ExchangeInvariantTest, PushEmissionIsZeroSum) {
+  Rng rng(GetParam() ^ 0x9999);
+  PushSumNode a;
+  a.Init(rng.UniformDouble(-100, 100));
+  const double w_before = a.mass().weight;
+  const double v_before = a.mass().value;
+  const Mass out = a.EmitPushHalf();
+  a.EndRound();  // self half only
+  EXPECT_NEAR(out.weight + a.mass().weight, w_before, 1e-12);
+  EXPECT_NEAR(out.value + a.mass().value, v_before, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExchangeInvariantTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds must reproduce identical experiments.
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalTrajectories) {
+  const int n = 300;
+  Rng vrng(5);
+  std::vector<double> values(n);
+  for (auto& v : values) v = vrng.UniformDouble(0, 100);
+
+  auto run = [&values, n]() {
+    PushSumRevertSwarm swarm(
+        values, {.lambda = 0.01, .mode = GossipMode::kPushPull});
+    UniformEnvironment env(n);
+    Population pop(n);
+    Rng rng(1234);
+    std::vector<double> estimates;
+    for (int round = 0; round < 20; ++round) swarm.RunRound(env, pop, rng);
+    for (HostId id = 0; id < n; ++id) {
+      estimates.push_back(swarm.Estimate(id));
+    }
+    return estimates;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dynagg

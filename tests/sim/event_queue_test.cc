@@ -1,0 +1,74 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynagg {
+namespace {
+
+TEST(EventQueueTest, EmptyByDefault) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.NextTime(), kSimTimeMax);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.NextTime(), 10);
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesRunInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.RunNext();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, RunNextReturnsTimestamp) {
+  EventQueue q;
+  q.Schedule(42, [] {});
+  EXPECT_EQ(q.RunNext(), 42);
+}
+
+TEST(EventQueueTest, CallbackMayScheduleMore) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.Schedule(1, [&] {
+    fired.push_back(1);
+    q.Schedule(2, [&] { fired.push_back(2); });
+  });
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(fired, (std::vector<SimTime>{1, 2}));
+}
+
+TEST(EventQueueTest, ClearDropsEverything) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(1, [&] { ++fired; });
+  q.Schedule(2, [&] { ++fired; });
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, SizeTracksPending) {
+  EventQueue q;
+  q.Schedule(1, [] {});
+  q.Schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.RunNext();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dynagg

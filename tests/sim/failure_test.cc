@@ -1,0 +1,152 @@
+#include "sim/failure.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+TEST(FailurePlanTest, EmptyPlanDoesNothing) {
+  FailurePlan plan;
+  Population pop(10);
+  EXPECT_TRUE(plan.empty());
+  plan.Apply(0, &pop);
+  EXPECT_EQ(pop.num_alive(), 10);
+}
+
+TEST(FailurePlanTest, KillAtScheduledRoundOnly) {
+  FailurePlan plan;
+  plan.AddKill(5, {1, 2, 3});
+  Population pop(10);
+  plan.Apply(4, &pop);
+  EXPECT_EQ(pop.num_alive(), 10);
+  plan.Apply(5, &pop);
+  EXPECT_EQ(pop.num_alive(), 7);
+  EXPECT_FALSE(pop.IsAlive(1));
+  EXPECT_FALSE(pop.IsAlive(2));
+  EXPECT_FALSE(pop.IsAlive(3));
+  plan.Apply(6, &pop);
+  EXPECT_EQ(pop.num_alive(), 7);
+}
+
+TEST(FailurePlanTest, ReviveRestoresHosts) {
+  FailurePlan plan;
+  plan.AddKill(1, {0, 1});
+  plan.AddRevive(3, {0});
+  Population pop(4);
+  plan.Apply(1, &pop);
+  EXPECT_EQ(pop.num_alive(), 2);
+  plan.Apply(3, &pop);
+  EXPECT_EQ(pop.num_alive(), 3);
+  EXPECT_TRUE(pop.IsAlive(0));
+  EXPECT_FALSE(pop.IsAlive(1));
+}
+
+TEST(FailurePlanTest, KillRandomFractionCount) {
+  Rng rng(1);
+  const FailurePlan plan = FailurePlan::KillRandomFraction(1000, 20, 0.5, rng);
+  Population pop(1000);
+  plan.Apply(20, &pop);
+  EXPECT_EQ(pop.num_alive(), 500);
+}
+
+TEST(FailurePlanTest, KillRandomFractionIsUnbiasedOnValues) {
+  // Survivor mean should stay near the full-population mean.
+  Rng rng(2);
+  const int n = 10000;
+  std::vector<double> values(n);
+  Rng vrng(3);
+  for (auto& v : values) v = vrng.UniformDouble(0, 100);
+  const FailurePlan plan = FailurePlan::KillRandomFraction(n, 0, 0.5, rng);
+  Population pop(n);
+  plan.Apply(0, &pop);
+  double sum = 0;
+  for (const HostId id : pop.alive_ids()) sum += values[id];
+  EXPECT_NEAR(sum / pop.num_alive(), 50.0, 2.0);
+}
+
+TEST(FailurePlanTest, KillTopFractionRemovesHighest) {
+  const std::vector<double> values = {5, 1, 9, 3, 7, 2, 8, 0, 6, 4};
+  const FailurePlan plan = FailurePlan::KillTopFraction(values, 20, 0.5);
+  Population pop(10);
+  plan.Apply(20, &pop);
+  EXPECT_EQ(pop.num_alive(), 5);
+  // Hosts with values 5..9 must be dead; 0..4 alive.
+  for (HostId id = 0; id < 10; ++id) {
+    EXPECT_EQ(pop.IsAlive(id), values[id] < 5.0) << id;
+  }
+}
+
+TEST(FailurePlanTest, KillTopFractionHalvesUniformAverage) {
+  const int n = 10000;
+  std::vector<double> values(n);
+  Rng rng(4);
+  for (auto& v : values) v = rng.UniformDouble(0, 100);
+  const FailurePlan plan = FailurePlan::KillTopFraction(values, 0, 0.5);
+  Population pop(n);
+  plan.Apply(0, &pop);
+  double sum = 0;
+  for (const HostId id : pop.alive_ids()) sum += values[id];
+  // U[0,100) loses its top half: expected survivor mean 25.
+  EXPECT_NEAR(sum / pop.num_alive(), 25.0, 1.5);
+}
+
+TEST(FailurePlanTest, KillTopFractionZeroAndFull) {
+  const std::vector<double> values = {1, 2, 3};
+  Population pop(3);
+  FailurePlan::KillTopFraction(values, 0, 0.0).Apply(0, &pop);
+  EXPECT_EQ(pop.num_alive(), 3);
+  FailurePlan::KillTopFraction(values, 0, 1.0).Apply(0, &pop);
+  EXPECT_EQ(pop.num_alive(), 0);
+}
+
+TEST(FailurePlanTest, ChurnKeepsPopulationBounded) {
+  Rng rng(5);
+  const int n = 500;
+  const FailurePlan plan = FailurePlan::Churn(n, 0, 100, 0.02, 0.2, rng);
+  Population pop(n);
+  for (int round = 0; round < 100; ++round) {
+    plan.Apply(round, &pop);
+    EXPECT_GE(pop.num_alive(), 0);
+    EXPECT_LE(pop.num_alive(), n);
+  }
+  // Steady state for death 0.02 / return 0.2 is ~ n * (0.2 / 0.22) ~ 0.91n.
+  EXPECT_GT(pop.num_alive(), n / 2);
+  EXPECT_LT(pop.num_alive(), n);
+}
+
+TEST(FailurePlanTest, ChurnIsReplayable) {
+  Rng rng_a(6);
+  Rng rng_b(6);
+  const FailurePlan plan_a = FailurePlan::Churn(100, 0, 50, 0.05, 0.1, rng_a);
+  const FailurePlan plan_b = FailurePlan::Churn(100, 0, 50, 0.05, 0.1, rng_b);
+  Population pop_a(100);
+  Population pop_b(100);
+  for (int round = 0; round < 50; ++round) {
+    plan_a.Apply(round, &pop_a);
+    plan_b.Apply(round, &pop_b);
+    ASSERT_EQ(pop_a.num_alive(), pop_b.num_alive()) << round;
+  }
+  for (HostId id = 0; id < 100; ++id) {
+    EXPECT_EQ(pop_a.IsAlive(id), pop_b.IsAlive(id));
+  }
+}
+
+TEST(FailurePlanTest, MultipleEventsSameRoundCompose) {
+  FailurePlan plan;
+  plan.AddKill(2, {0});
+  plan.AddKill(2, {1});
+  plan.AddRevive(2, {0});
+  Population pop(3);
+  plan.Apply(2, &pop);
+  // Kills apply before revives within a round.
+  EXPECT_TRUE(pop.IsAlive(0));
+  EXPECT_FALSE(pop.IsAlive(1));
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,127 @@
+#include "sim/population.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dynagg {
+namespace {
+
+TEST(PopulationTest, StartsAllAlive) {
+  Population pop(10);
+  EXPECT_EQ(pop.size(), 10);
+  EXPECT_EQ(pop.num_alive(), 10);
+  for (HostId id = 0; id < 10; ++id) EXPECT_TRUE(pop.IsAlive(id));
+}
+
+TEST(PopulationTest, KillAndRevive) {
+  Population pop(5);
+  pop.Kill(2);
+  EXPECT_FALSE(pop.IsAlive(2));
+  EXPECT_EQ(pop.num_alive(), 4);
+  pop.Revive(2);
+  EXPECT_TRUE(pop.IsAlive(2));
+  EXPECT_EQ(pop.num_alive(), 5);
+}
+
+TEST(PopulationTest, KillIsIdempotent) {
+  Population pop(3);
+  pop.Kill(1);
+  pop.Kill(1);
+  EXPECT_EQ(pop.num_alive(), 2);
+}
+
+TEST(PopulationTest, ReviveIsIdempotent) {
+  Population pop(3);
+  pop.Revive(1);
+  EXPECT_EQ(pop.num_alive(), 3);
+}
+
+TEST(PopulationTest, AliveIdsMatchesStatus) {
+  Population pop(20);
+  for (HostId id = 0; id < 20; id += 2) pop.Kill(id);
+  const auto& alive = pop.alive_ids();
+  EXPECT_EQ(alive.size(), 10u);
+  std::set<HostId> alive_set(alive.begin(), alive.end());
+  for (HostId id = 0; id < 20; ++id) {
+    EXPECT_EQ(pop.IsAlive(id), alive_set.count(id) == 1) << id;
+  }
+}
+
+TEST(PopulationTest, KillAll) {
+  Population pop(4);
+  for (HostId id = 0; id < 4; ++id) pop.Kill(id);
+  EXPECT_EQ(pop.num_alive(), 0);
+  Rng rng(1);
+  EXPECT_EQ(pop.SampleAlive(rng), kInvalidHost);
+  EXPECT_EQ(pop.SampleAliveExcept(0, rng), kInvalidHost);
+}
+
+TEST(PopulationTest, SampleAliveOnlyReturnsAlive) {
+  Population pop(50);
+  Rng rng(2);
+  for (HostId id = 0; id < 50; id += 3) pop.Kill(id);
+  for (int i = 0; i < 1000; ++i) {
+    const HostId pick = pop.SampleAlive(rng);
+    ASSERT_NE(pick, kInvalidHost);
+    EXPECT_TRUE(pop.IsAlive(pick));
+  }
+}
+
+TEST(PopulationTest, SampleAliveExceptExcludes) {
+  Population pop(10);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const HostId pick = pop.SampleAliveExcept(4, rng);
+    ASSERT_NE(pick, kInvalidHost);
+    EXPECT_NE(pick, 4);
+  }
+}
+
+TEST(PopulationTest, SampleAliveExceptSoleSurvivor) {
+  Population pop(3);
+  pop.Kill(0);
+  pop.Kill(2);
+  Rng rng(4);
+  EXPECT_EQ(pop.SampleAliveExcept(1, rng), kInvalidHost);
+  EXPECT_EQ(pop.SampleAliveExcept(0, rng), 1);
+}
+
+TEST(PopulationTest, SamplingIsUniform) {
+  Population pop(10);
+  pop.Kill(0);
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int draws = 90000;
+  for (int i = 0; i < draws; ++i) ++counts[pop.SampleAlive(rng)];
+  EXPECT_EQ(counts[0], 0);
+  for (HostId id = 1; id < 10; ++id) {
+    EXPECT_NEAR(counts[id], draws / 9, 400) << id;
+  }
+}
+
+TEST(PopulationTest, MassKillRevivesCleanly) {
+  Population pop(1000);
+  Rng rng(6);
+  for (HostId id = 0; id < 1000; ++id) {
+    if (rng.Bernoulli(0.5)) pop.Kill(id);
+  }
+  const int alive_after_kill = pop.num_alive();
+  for (HostId id = 0; id < 1000; ++id) pop.Revive(id);
+  EXPECT_EQ(pop.num_alive(), 1000);
+  EXPECT_LT(alive_after_kill, 1000);
+  EXPECT_GT(alive_after_kill, 0);
+}
+
+TEST(PopulationTest, EmptyPopulation) {
+  Population pop(0);
+  Rng rng(7);
+  EXPECT_EQ(pop.size(), 0);
+  EXPECT_EQ(pop.SampleAlive(rng), kInvalidHost);
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,102 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynagg {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(SimulatorTest, RunAdvancesClock) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.ScheduleAt(FromSeconds(5), [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, FromSeconds(5));
+  EXPECT_EQ(sim.Now(), FromSeconds(5));
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.ScheduleAt(100, [&] {
+    times.push_back(sim.Now());
+    sim.ScheduleAfter(50, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{100, 150}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  sim.ScheduleAt(30, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(20), 2);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.RunUntil(kSimTimeMax), 1);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+TEST(SimulatorTest, RequestStopHaltsLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] {
+    ++fired;
+    sim.RequestStop();
+  });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  // A later Run resumes with remaining events.
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, PeriodicFiresUntilFalse) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  sim.SchedulePeriodic(FromSeconds(30), FromSeconds(30), [&] {
+    ticks.push_back(sim.Now());
+    return ticks.size() < 4;
+  });
+  sim.Run();
+  EXPECT_EQ(ticks, (std::vector<SimTime>{FromSeconds(30), FromSeconds(60),
+                                         FromSeconds(90), FromSeconds(120)}));
+}
+
+TEST(SimulatorTest, PeriodicInterleavesWithOtherEvents) {
+  Simulator sim;
+  std::vector<int> sequence;
+  sim.SchedulePeriodic(10, 10, [&] {
+    sequence.push_back(0);
+    return sim.Now() < 40;
+  });
+  sim.ScheduleAt(15, [&] { sequence.push_back(1); });
+  sim.ScheduleAt(35, [&] { sequence.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(sequence, (std::vector<int>{0, 1, 0, 0, 2, 0}));
+}
+
+TEST(SimulatorTest, ReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.ScheduleAt(i, [] {});
+  EXPECT_EQ(sim.Run(), 7);
+}
+
+}  // namespace
+}  // namespace dynagg

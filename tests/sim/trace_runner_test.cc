@@ -1,0 +1,126 @@
+#include "sim/trace_runner.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agg/push_sum_revert.h"
+#include "common/rng.h"
+
+namespace dynagg {
+namespace {
+
+ContactTrace TwoPhaseTrace() {
+  ContactTrace trace(3);
+  trace.AddContact(0, 1, FromMinutes(0), FromMinutes(30));
+  trace.AddContact(1, 2, FromMinutes(20), FromMinutes(60));
+  trace.Finalize();
+  return trace;
+}
+
+TEST(TraceRunnerTest, RunsOneRoundPerPeriod) {
+  const ContactTrace trace = TwoPhaseTrace();
+  TraceRunner runner(trace, FromSeconds(30));
+  std::vector<SimTime> round_times;
+  runner.OnRound([&](SimTime t) { round_times.push_back(t); });
+  runner.Run();
+  // Trace ends at 60 min = 3600 s -> 120 rounds at 30 s.
+  EXPECT_EQ(runner.rounds_run(), 120);
+  ASSERT_FALSE(round_times.empty());
+  EXPECT_EQ(round_times.front(), FromSeconds(30));
+  EXPECT_EQ(round_times.back(), FromMinutes(60));
+}
+
+TEST(TraceRunnerTest, EnvironmentIsAdvancedBeforeCallbacks) {
+  const ContactTrace trace = TwoPhaseTrace();
+  TraceRunner runner(trace, FromSeconds(30));
+  bool checked_early = false;
+  bool checked_late = false;
+  runner.OnRound([&](SimTime t) {
+    if (t == FromMinutes(10)) {
+      // Only the 0-1 contact is live.
+      EXPECT_EQ(runner.env().Degree(1), 1);
+      checked_early = true;
+    }
+    if (t == FromMinutes(25)) {
+      // Both contacts are live.
+      EXPECT_EQ(runner.env().Degree(1), 2);
+      checked_late = true;
+    }
+  });
+  runner.Run();
+  EXPECT_TRUE(checked_early);
+  EXPECT_TRUE(checked_late);
+}
+
+TEST(TraceRunnerTest, SamplersFireAtTheirPeriod) {
+  const ContactTrace trace = TwoPhaseTrace();
+  TraceRunner runner(trace, FromSeconds(30));
+  runner.OnRound([](SimTime) {});
+  std::vector<SimTime> samples;
+  runner.EverySample(FromMinutes(15), [&](SimTime t) {
+    samples.push_back(t);
+  });
+  runner.Run();
+  EXPECT_EQ(samples, (std::vector<SimTime>{FromMinutes(15), FromMinutes(30),
+                                           FromMinutes(45),
+                                           FromMinutes(60)}));
+}
+
+TEST(TraceRunnerTest, MultipleSamplersCoexist) {
+  const ContactTrace trace = TwoPhaseTrace();
+  TraceRunner runner(trace, FromSeconds(30));
+  runner.OnRound([](SimTime) {});
+  int coarse = 0;
+  int fine = 0;
+  runner.EverySample(FromMinutes(30), [&](SimTime) { ++coarse; });
+  runner.EverySample(FromMinutes(10), [&](SimTime) { ++fine; });
+  runner.Run();
+  EXPECT_EQ(coarse, 2);
+  EXPECT_EQ(fine, 6);
+}
+
+TEST(TraceRunnerTest, MatchesManualLoop) {
+  // Driving a protocol through TraceRunner must produce exactly the same
+  // estimates as the hand-rolled advance/gossip loop with the same seed.
+  const ContactTrace trace = TwoPhaseTrace();
+  const std::vector<double> values = {10.0, 50.0, 90.0};
+  const PsrParams params{.lambda = 0.01, .mode = GossipMode::kPushPull};
+
+  // Manual loop.
+  PushSumRevertSwarm manual(values, params);
+  TraceEnvironment manual_env(trace);
+  Population manual_pop(3);
+  Rng manual_rng(42);
+  const SimTime period = FromSeconds(30);
+  for (SimTime t = period; t <= trace.end_time(); t += period) {
+    manual_env.AdvanceTo(t);
+    manual.RunRound(manual_env, manual_pop, manual_rng);
+  }
+
+  // Runner loop.
+  PushSumRevertSwarm driven(values, params);
+  TraceRunner runner(trace, period);
+  Rng runner_rng(42);
+  runner.OnRound([&](SimTime) {
+    driven.RunRound(runner.env(), runner.pop(), runner_rng);
+  });
+  runner.Run();
+
+  for (HostId id = 0; id < 3; ++id) {
+    EXPECT_DOUBLE_EQ(manual.Estimate(id), driven.Estimate(id)) << id;
+  }
+}
+
+TEST(TraceRunnerTest, EmptyTraceRunsNothing) {
+  ContactTrace trace(2);
+  trace.Finalize();
+  TraceRunner runner(trace, FromSeconds(30));
+  int rounds = 0;
+  runner.OnRound([&](SimTime) { ++rounds; });
+  runner.Run();
+  EXPECT_EQ(rounds, 0);
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,103 @@
+#include "tree/spanning_tree.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "env/spatial_env.h"
+#include "env/uniform_env.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+TEST(SpanningTreeTest, UniformEnvIsOneLevelDeep) {
+  UniformEnvironment env(10);
+  Population pop(10);
+  const SpanningTree tree = BuildBfsTree(env, pop, /*root=*/3);
+  EXPECT_EQ(tree.root, 3);
+  EXPECT_EQ(tree.num_reached, 10);
+  EXPECT_EQ(tree.max_depth, 1);
+  EXPECT_EQ(tree.children[3].size(), 9u);
+  for (HostId id = 0; id < 10; ++id) {
+    if (id == 3) {
+      EXPECT_EQ(tree.parent[id], kInvalidHost);
+      EXPECT_EQ(tree.depth[id], 0);
+    } else {
+      EXPECT_EQ(tree.parent[id], 3);
+      EXPECT_EQ(tree.depth[id], 1);
+    }
+  }
+}
+
+TEST(SpanningTreeTest, GridDepthsAreManhattanDistances) {
+  SpatialGridEnvironment env(5, 5);
+  Population pop(25);
+  const SpanningTree tree = BuildBfsTree(env, pop, /*root=*/0);
+  EXPECT_EQ(tree.num_reached, 25);
+  for (HostId id = 0; id < 25; ++id) {
+    const int x = id % 5;
+    const int y = id / 5;
+    EXPECT_EQ(tree.depth[id], x + y) << id;
+  }
+  EXPECT_EQ(tree.max_depth, 8);
+}
+
+TEST(SpanningTreeTest, ParentsAreValidTreeEdges) {
+  SpatialGridEnvironment env(6, 4);
+  Population pop(24);
+  const SpanningTree tree = BuildBfsTree(env, pop, 10);
+  for (HostId id = 0; id < 24; ++id) {
+    if (id == tree.root || !tree.Reached(id)) continue;
+    const HostId p = tree.parent[id];
+    ASSERT_NE(p, kInvalidHost);
+    EXPECT_EQ(tree.depth[id], tree.depth[p] + 1);
+    // Parent must be grid-adjacent.
+    const int dx = std::abs(id % 6 - p % 6);
+    const int dy = std::abs(id / 6 - p / 6);
+    EXPECT_EQ(dx + dy, 1);
+  }
+}
+
+TEST(SpanningTreeTest, DeadHostsPartitionTheFlood) {
+  // Kill the middle column of a 3-wide grid: the right side is unreachable.
+  SpatialGridEnvironment env(3, 3);
+  Population pop(9);
+  pop.Kill(1);
+  pop.Kill(4);
+  pop.Kill(7);
+  const SpanningTree tree = BuildBfsTree(env, pop, 0);
+  EXPECT_EQ(tree.num_reached, 3);  // left column only
+  EXPECT_TRUE(tree.Reached(0));
+  EXPECT_TRUE(tree.Reached(3));
+  EXPECT_TRUE(tree.Reached(6));
+  EXPECT_FALSE(tree.Reached(2));
+  EXPECT_FALSE(tree.Reached(5));
+  EXPECT_FALSE(tree.Reached(8));
+}
+
+TEST(SpanningTreeTest, ChildrenInverseOfParents) {
+  SpatialGridEnvironment env(4, 4);
+  Population pop(16);
+  const SpanningTree tree = BuildBfsTree(env, pop, 5);
+  int edge_count = 0;
+  for (HostId p = 0; p < 16; ++p) {
+    for (const HostId c : tree.children[p]) {
+      EXPECT_EQ(tree.parent[c], p);
+      ++edge_count;
+    }
+  }
+  EXPECT_EQ(edge_count, tree.num_reached - 1);
+}
+
+TEST(SpanningTreeTest, SingleHostTree) {
+  UniformEnvironment env(1);
+  Population pop(1);
+  const SpanningTree tree = BuildBfsTree(env, pop, 0);
+  EXPECT_EQ(tree.num_reached, 1);
+  EXPECT_EQ(tree.max_depth, 0);
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,127 @@
+#include "tree/tag.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "env/spatial_env.h"
+#include "env/uniform_env.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+TEST(TagTest, ExactAggregateWithoutFailures) {
+  SpatialGridEnvironment env(4, 4);
+  Population pop(16);
+  std::vector<double> values(16);
+  double sum = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    values[i] = i * 1.5;
+    sum += values[i];
+  }
+  const SpanningTree tree = BuildBfsTree(env, pop, 0);
+  const TagEpochResult result =
+      RunTagEpoch(tree, values, pop, FailurePlan{}, 0);
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.sum, sum);
+  EXPECT_DOUBLE_EQ(result.count, 16.0);
+  EXPECT_DOUBLE_EQ(result.average, sum / 16.0);
+  EXPECT_EQ(result.contributing, 16);
+  EXPECT_EQ(result.rounds, tree.max_depth);
+}
+
+TEST(TagTest, SingleHostEpoch) {
+  UniformEnvironment env(1);
+  Population pop(1);
+  const SpanningTree tree = BuildBfsTree(env, pop, 0);
+  const TagEpochResult result =
+      RunTagEpoch(tree, {7.0}, pop, FailurePlan{}, 0);
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.sum, 7.0);
+  EXPECT_DOUBLE_EQ(result.count, 1.0);
+}
+
+TEST(TagTest, MidEpochFailureDropsSubtree) {
+  // Line topology 0-1-2-3 rooted at 0; killing host 1 before it transmits
+  // loses hosts 1, 2 and 3 even though 2 and 3 already sent their values.
+  SpatialGridEnvironment env(4, 1);
+  Population pop(4);
+  const std::vector<double> values = {1.0, 10.0, 100.0, 1000.0};
+  const SpanningTree tree = BuildBfsTree(env, pop, 0);
+  EXPECT_EQ(tree.max_depth, 3);
+  FailurePlan failures;
+  // Epoch rounds: round 0 sends depth 3, round 1 depth 2, round 2 depth 1.
+  // Kill host 1 (depth 1) at round 2, just before it forwards.
+  failures.AddKill(2, {1});
+  const TagEpochResult result = RunTagEpoch(tree, values, pop, failures, 0);
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.sum, 1.0);  // only the root's own value survived
+  EXPECT_EQ(result.contributing, 1);
+}
+
+TEST(TagTest, LeafFailureLosesOnlyLeaf) {
+  SpatialGridEnvironment env(4, 1);
+  Population pop(4);
+  const std::vector<double> values = {1.0, 10.0, 100.0, 1000.0};
+  const SpanningTree tree = BuildBfsTree(env, pop, 0);
+  FailurePlan failures;
+  failures.AddKill(0, {3});  // depth-3 leaf dies before transmitting
+  const TagEpochResult result = RunTagEpoch(tree, values, pop, failures, 0);
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.sum, 111.0);
+  EXPECT_EQ(result.contributing, 3);
+}
+
+TEST(TagTest, RootFailureInvalidatesEpoch) {
+  SpatialGridEnvironment env(3, 1);
+  Population pop(3);
+  const SpanningTree tree = BuildBfsTree(env, pop, 0);
+  FailurePlan failures;
+  failures.AddKill(1, {0});
+  const TagEpochResult result =
+      RunTagEpoch(tree, {1.0, 2.0, 3.0}, pop, failures, 0);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(TagTest, FailureAfterTransmissionDoesNotLoseValue) {
+  SpatialGridEnvironment env(4, 1);
+  Population pop(4);
+  const std::vector<double> values = {1.0, 10.0, 100.0, 1000.0};
+  const SpanningTree tree = BuildBfsTree(env, pop, 0);
+  FailurePlan failures;
+  // Host 3 (depth 3) transmits at round 0; it dies at round 1 — too late to
+  // lose its contribution.
+  failures.AddKill(1, {3});
+  const TagEpochResult result = RunTagEpoch(tree, values, pop, failures, 0);
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.sum, 1111.0);
+}
+
+TEST(TagTest, StartRoundOffsetsFailureSchedule) {
+  SpatialGridEnvironment env(4, 1);
+  Population pop(4);
+  const std::vector<double> values = {1.0, 10.0, 100.0, 1000.0};
+  const SpanningTree tree = BuildBfsTree(env, pop, 0);
+  FailurePlan failures;
+  failures.AddKill(102, {1});  // fires at epoch round 2 with start_round=100
+  const TagEpochResult result =
+      RunTagEpoch(tree, values, pop, failures, /*start_round=*/100);
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.sum, 1.0);
+}
+
+TEST(TagTest, UnreachedHostsDoNotContribute) {
+  SpatialGridEnvironment env(3, 1);
+  Population pop(3);
+  pop.Kill(1);  // splits the line; host 2 unreachable from 0
+  const SpanningTree tree = BuildBfsTree(env, pop, 0);
+  const TagEpochResult result =
+      RunTagEpoch(tree, {5.0, 7.0, 9.0}, pop, FailurePlan{}, 0);
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.sum, 5.0);
+  EXPECT_EQ(result.contributing, 1);
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -1,0 +1,152 @@
+// trace_tool: generate, convert and inspect dynagg contact traces.
+//
+//   trace_tool gen --dataset=1 [--hours=90] [--seed=N] > trace.txt
+//       Generate a synthetic Haggle-style trace (presets 1/2/3).
+//   trace_tool convert < crawdad_contacts.dat > trace.txt
+//       Convert a CRAWDAD-style contact table (a b start end per line)
+//       into the dynagg trace format.
+//   trace_tool stats < trace.txt
+//       Print device count, duration, contact statistics and the hourly
+//       average group size (the right-hand axis of Fig 11).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/stats.h"
+#include "env/contact_trace.h"
+#include "env/crawdad.h"
+#include "env/haggle_gen.h"
+#include "env/trace_env.h"
+
+namespace dynagg {
+namespace {
+
+std::string ReadAllStdin() {
+  std::string text;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+    text.append(buf, n);
+  }
+  return text;
+}
+
+int Generate(int dataset, double hours, uint64_t seed) {
+  HaggleGenParams params;
+  switch (dataset) {
+    case 1:
+      params = HaggleDataset1();
+      break;
+    case 2:
+      params = HaggleDataset2();
+      break;
+    case 3:
+      params = HaggleDataset3();
+      break;
+    default:
+      std::fprintf(stderr, "unknown dataset %d (use 1, 2 or 3)\n", dataset);
+      return 2;
+  }
+  if (hours > 0) params.duration_hours = hours;
+  if (seed != 0) params.seed = seed;
+  const ContactTrace trace = GenerateHaggleTrace(params);
+  const std::string text = trace.ToText();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
+
+int Convert() {
+  const auto trace = ParseCrawdadContacts(ReadAllStdin());
+  if (!trace.ok()) {
+    std::fprintf(stderr, "convert failed: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+  const std::string text = trace->ToText();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
+
+int Stats() {
+  const auto parsed = ContactTrace::Parse(ReadAllStdin());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const ContactTrace& trace = *parsed;
+  std::printf("devices: %d\n", trace.num_devices());
+  std::printf("contacts: %lld\n",
+              static_cast<long long>(trace.num_contacts()));
+  std::printf("duration_hours: %.2f\n", ToHours(trace.end_time()));
+
+  // Contact-length distribution: match up/down events per edge.
+  RunningStat lengths;
+  std::map<std::pair<HostId, HostId>, SimTime> open;
+  for (const ContactEvent& ev : trace.Events()) {
+    const auto edge = std::make_pair(ev.a, ev.b);
+    if (ev.up) {
+      open.emplace(edge, ev.time);
+    } else {
+      const auto it = open.find(edge);
+      if (it != open.end()) {
+        lengths.Add(ToMinutes(ev.time - it->second));
+        open.erase(it);
+      }
+    }
+  }
+  std::printf("contact_minutes: mean=%.1f min=%.1f max=%.1f\n",
+              lengths.mean(), lengths.min(), lengths.max());
+
+  // Hourly average group size.
+  TraceEnvironment env(trace);
+  RunningStat group;
+  std::printf("hour,avg_group_size\n");
+  for (double h = 1.0; h <= ToHours(trace.end_time()); h += 1.0) {
+    env.AdvanceTo(FromHours(h));
+    const double g = env.AverageGroupSize();
+    group.Add(g);
+    std::printf("%.0f,%.3f\n", h, g);
+  }
+  std::printf("# avg_group_size over trace: mean=%.2f max=%.2f\n",
+              group.mean(), group.max());
+  return 0;
+}
+
+double FlagValue(int argc, char** argv, const char* name, double def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::stod(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+}  // namespace
+}  // namespace dynagg
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: trace_tool gen|convert|stats [--flags]\n"
+                 "  gen     --dataset=1|2|3 [--hours=H] [--seed=N]\n"
+                 "  convert reads a CRAWDAD contact table from stdin\n"
+                 "  stats   reads a dynagg trace from stdin\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "gen") {
+    return dynagg::Generate(
+        static_cast<int>(dynagg::FlagValue(argc, argv, "dataset", 1)),
+        dynagg::FlagValue(argc, argv, "hours", 0),
+        static_cast<uint64_t>(dynagg::FlagValue(argc, argv, "seed", 0)));
+  }
+  if (cmd == "convert") return dynagg::Convert();
+  if (cmd == "stats") return dynagg::Stats();
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}
