@@ -15,6 +15,7 @@
 
 #include "common/macros.h"
 #include "common/rng.h"
+#include "sim/workload.h"
 
 namespace dynagg {
 namespace bench {
@@ -56,14 +57,10 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
-/// Values drawn uniformly from [0, 100), the paper's default workload
-/// ("when hosts are required to have values, the values are selected
-/// uniformly in the range [0,100)", Section V).
+/// Values drawn uniformly from [0, 100), the paper's default workload.
+/// Delegates to the shared parity-critical definition in sim/workload.h.
 inline std::vector<double> UniformValues(int n, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> values(n);
-  for (auto& v : values) v = rng.UniformDouble(0, 100);
-  return values;
+  return UniformWorkloadValues(n, seed);
 }
 
 /// Prints "# " prefixed header lines (experiment provenance).

@@ -126,11 +126,20 @@ class Result {
     if (!_st.ok()) return _st;                \
   } while (0)
 
-/// Unwraps a Result<T> into `lhs`, propagating errors to the caller.
-#define DYNAGG_ASSIGN_OR_RETURN(lhs, rexpr)   \
-  auto _res_##__LINE__ = (rexpr);             \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = std::move(_res_##__LINE__).value()
+#define DYNAGG_STATUS_CONCAT_INNER_(a, b) a##b
+#define DYNAGG_STATUS_CONCAT_(a, b) DYNAGG_STATUS_CONCAT_INNER_(a, b)
+
+#define DYNAGG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+/// Unwraps a Result<T> into `lhs`, propagating errors to the caller. The
+/// indirection expands __LINE__ before pasting, so multiple uses in one
+/// scope get distinct temporaries.
+#define DYNAGG_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DYNAGG_ASSIGN_OR_RETURN_IMPL_(            \
+      DYNAGG_STATUS_CONCAT_(_res_, __LINE__), lhs, rexpr)
 
 }  // namespace dynagg
 

@@ -1,0 +1,138 @@
+// Builtin environment catalog: uniform, spatial, random-graph, haggle.
+//
+// Each factory validates its env.* parameters against an allowlist (typos
+// fail loudly) and returns a fully constructed EnvHandle. Stochastic
+// environments derive their seeds from the trial seed so trials stay
+// independent and the parallel executor deterministic.
+
+#include <memory>
+#include <utility>
+
+#include "common/rng.h"
+#include "env/haggle_gen.h"
+#include "env/random_graph_env.h"
+#include "env/spatial_env.h"
+#include "env/trace_env.h"
+#include "env/uniform_env.h"
+#include "scenario/trial.h"
+
+namespace dynagg {
+namespace scenario {
+namespace {
+
+Result<EnvHandle> MakeUniform(const TrialContext& ctx) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("env.", {}));
+  if (spec.hosts <= 0) {
+    return Status::InvalidArgument(
+        "uniform environment requires hosts > 0");
+  }
+  EnvHandle handle;
+  handle.env = std::make_unique<UniformEnvironment>(spec.hosts);
+  return handle;
+}
+
+Result<EnvHandle> MakeSpatial(const TrialContext& ctx) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(
+      spec.CheckParams("env.", {"width", "height", "max_distance"}));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t width,
+                          spec.ParamInt("env.width", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t height,
+                          spec.ParamInt("env.height", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t max_distance,
+                          spec.ParamInt("env.max_distance", 0));
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument(
+        "spatial environment requires env.width > 0 and env.height > 0");
+  }
+  EnvHandle handle;
+  handle.env = std::make_unique<SpatialGridEnvironment>(
+      static_cast<int>(width), static_cast<int>(height),
+      static_cast<int>(max_distance));
+  return handle;
+}
+
+Result<EnvHandle> MakeRandomGraph(const TrialContext& ctx) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(
+      spec.CheckParams("env.", {"degree", "seed_stream"}));
+  if (spec.hosts <= 0) {
+    return Status::InvalidArgument(
+        "random-graph environment requires hosts > 0");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t degree,
+                          spec.ParamInt("env.degree", 8));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t stream,
+                          spec.ParamInt("env.seed_stream", 0x9a17));
+  if (degree < 1) {
+    return Status::InvalidArgument("env.degree must be >= 1");
+  }
+  EnvHandle handle;
+  handle.env = std::make_unique<RandomGraphEnvironment>(
+      spec.hosts, static_cast<int>(degree),
+      DeriveSeed(ctx.trial_seed, static_cast<uint64_t>(stream)));
+  return handle;
+}
+
+Result<EnvHandle> MakeHaggle(const TrialContext& ctx) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "env.",
+      {"dataset", "hours", "gossip_seconds", "group_window_minutes",
+       "seed_stream"}));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t dataset,
+                          spec.ParamInt("env.dataset", 1));
+  DYNAGG_ASSIGN_OR_RETURN(const double hours,
+                          spec.ParamDouble("env.hours", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(const double gossip_seconds,
+                          spec.ParamDouble("env.gossip_seconds", 30.0));
+  DYNAGG_ASSIGN_OR_RETURN(
+      const double group_window,
+      spec.ParamDouble("env.group_window_minutes", 10.0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t stream,
+                          spec.ParamInt("env.seed_stream", 0x7a5e));
+
+  HaggleGenParams params;
+  switch (dataset) {
+    case 1:
+      params = HaggleDataset1();
+      break;
+    case 2:
+      params = HaggleDataset2();
+      break;
+    case 3:
+      params = HaggleDataset3();
+      break;
+    default:
+      return Status::InvalidArgument("env.dataset must be 1, 2 or 3");
+  }
+  if (hours > 0) params.duration_hours = hours;
+  if (gossip_seconds <= 0) {
+    return Status::InvalidArgument("env.gossip_seconds must be > 0");
+  }
+  params.seed = DeriveSeed(ctx.trial_seed, static_cast<uint64_t>(stream));
+
+  EnvHandle handle;
+  handle.trace =
+      std::make_shared<const ContactTrace>(GenerateHaggleTrace(params));
+  handle.env = std::make_unique<TraceEnvironment>(
+      *handle.trace, FromMinutes(group_window));
+  handle.advance_period = FromSeconds(gossip_seconds);
+  return handle;
+}
+
+}  // namespace
+
+namespace internal {
+
+void RegisterBuiltinEnvironments(Registry<EnvironmentFactory>& registry) {
+  DYNAGG_CHECK(registry.Register("uniform", MakeUniform).ok());
+  DYNAGG_CHECK(registry.Register("spatial", MakeSpatial).ok());
+  DYNAGG_CHECK(registry.Register("random-graph", MakeRandomGraph).ok());
+  DYNAGG_CHECK(registry.Register("haggle", MakeHaggle).ok());
+}
+
+}  // namespace internal
+}  // namespace scenario
+}  // namespace dynagg

@@ -1,0 +1,145 @@
+#include "scenario/executor.h"
+
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "scenario/trial.h"
+
+namespace dynagg {
+namespace scenario {
+
+namespace {
+
+/// Applies one sweep override to a copy of the spec. Doubles are stored
+/// with %.17g so the runner parses back the exact swept value.
+Result<ScenarioSpec> ApplySweep(const ScenarioSpec& spec, double value) {
+  ScenarioSpec out = spec;
+  if (spec.sweep_key == "hosts" || spec.sweep_key == "rounds") {
+    const auto v = static_cast<int64_t>(value);
+    if (v <= 0 || static_cast<double>(v) != value) {
+      return Status::InvalidArgument(
+          "sweep over " + spec.sweep_key +
+          " requires positive integer values");
+    }
+    (spec.sweep_key == "hosts" ? out.hosts : out.rounds) =
+        static_cast<int>(v);
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out.params[spec.sweep_key] = buf;
+  }
+  return out;
+}
+
+/// Column header for the sweep: the last path segment of the swept key
+/// ("protocol.lambda" -> "lambda"), matching the legacy bench tables.
+std::string SweepColumnName(const std::string& sweep_key) {
+  const size_t dot = sweep_key.rfind('.');
+  return dot == std::string::npos ? sweep_key : sweep_key.substr(dot + 1);
+}
+
+}  // namespace
+
+Result<CsvTable> RunExperiment(const ScenarioSpec& spec, int threads) {
+  if (spec.protocol.empty()) {
+    return Status::InvalidArgument("experiment '" + spec.name +
+                                   "': no protocol configured");
+  }
+  if (spec.rounds < 1 || spec.trials < 1) {
+    return Status::InvalidArgument("experiment '" + spec.name +
+                                   "': rounds and trials must be >= 1");
+  }
+  // Fail fast on unknown names before spinning up workers.
+  DYNAGG_ASSIGN_OR_RETURN(const ProtocolRunner runner,
+                          ProtocolRegistry().Find(spec.protocol));
+  DYNAGG_RETURN_IF_ERROR(
+      EnvironmentRegistry().Find(spec.environment).status());
+
+  const bool has_sweep = !spec.sweep_key.empty();
+  const int num_sweep =
+      has_sweep ? static_cast<int>(spec.sweep_values.size()) : 1;
+  const int num_units = num_sweep * spec.trials;
+
+  std::vector<std::optional<Result<TrialResult>>> slots(num_units);
+  std::atomic<int> next_unit{0};
+  const auto worker = [&] {
+    for (;;) {
+      const int unit = next_unit.fetch_add(1);
+      if (unit >= num_units) return;
+      const int sweep_index = unit / spec.trials;
+      const int trial = unit % spec.trials;
+
+      ScenarioSpec unit_spec = spec;
+      TrialContext ctx;
+      ctx.trial = trial;
+      ctx.trial_seed = TrialSeed(spec.seed, trial);
+      if (has_sweep) {
+        ctx.sweep_index = sweep_index;
+        ctx.sweep_value = spec.sweep_values[sweep_index];
+        Result<ScenarioSpec> swept = ApplySweep(spec, ctx.sweep_value);
+        if (!swept.ok()) {
+          slots[unit].emplace(swept.status());
+          continue;
+        }
+        unit_spec = std::move(swept).value();
+      }
+      ctx.spec = &unit_spec;
+      slots[unit].emplace(runner(ctx));
+    }
+  };
+
+  if (threads < 1) threads = 1;
+  if (threads > num_units) threads = num_units;
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  // Assemble in deterministic sweep-major unit order.
+  std::vector<std::string> columns;
+  if (has_sweep) columns.push_back(SweepColumnName(spec.sweep_key));
+  if (spec.trials > 1) columns.push_back("trial");
+  std::optional<CsvTable> table;
+  for (int unit = 0; unit < num_units; ++unit) {
+    const Result<TrialResult>& result = *slots[unit];
+    if (!result.ok()) {
+      return Status::InvalidArgument(
+          "experiment '" + spec.name + "' unit " + std::to_string(unit) +
+          ": " + result.status().ToString());
+    }
+    if (!table.has_value()) {
+      std::vector<std::string> full = columns;
+      full.insert(full.end(), result->columns.begin(),
+                  result->columns.end());
+      table.emplace(full);
+    } else if (static_cast<int>(columns.size() + result->columns.size()) !=
+               static_cast<int>(table->columns().size())) {
+      return Status::InvalidArgument(
+          "experiment '" + spec.name +
+          "': trials reported inconsistent column sets");
+    }
+    const int sweep_index = unit / spec.trials;
+    const int trial = unit % spec.trials;
+    for (const std::vector<double>& row : result->rows) {
+      std::vector<double> full;
+      full.reserve(columns.size() + row.size());
+      if (has_sweep) full.push_back(spec.sweep_values[sweep_index]);
+      if (spec.trials > 1) full.push_back(static_cast<double>(trial));
+      full.insert(full.end(), row.begin(), row.end());
+      table->AddRow(full);
+    }
+  }
+  DYNAGG_CHECK(table.has_value());
+  return std::move(*table);
+}
+
+}  // namespace scenario
+}  // namespace dynagg

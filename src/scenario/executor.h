@@ -1,0 +1,31 @@
+// Parallel trial executor.
+//
+// An experiment expands into independent units — one per (sweep value,
+// trial) pair — that are sharded across std::thread workers. Every unit
+// derives all of its randomness from TrialSeed(spec.seed, trial), so the
+// assembled table is a pure function of the spec: running with 1 worker or
+// N workers produces byte-identical output (executor_test asserts this).
+
+#ifndef DYNAGG_SCENARIO_EXECUTOR_H_
+#define DYNAGG_SCENARIO_EXECUTOR_H_
+
+#include <string>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "scenario/spec.h"
+
+namespace dynagg {
+namespace scenario {
+
+/// Runs every (sweep value, trial) unit of `spec` on up to `threads`
+/// workers and assembles one table: the sweep column (named after the
+/// swept key's last path segment), a trial column when trials > 1, then the
+/// protocol's metric columns. Unit order in the table is sweep-major and
+/// thread-count independent.
+Result<CsvTable> RunExperiment(const ScenarioSpec& spec, int threads = 1);
+
+}  // namespace scenario
+}  // namespace dynagg
+
+#endif  // DYNAGG_SCENARIO_EXECUTOR_H_

@@ -1,0 +1,652 @@
+// Builtin protocol catalog.
+//
+// Round-based protocols (the gossip swarms) share one driver,
+// DriveRoundTrial, which wraps the library's RunRounds harness
+// (sim/round_driver.h) with the spec-declared failure plan, metric
+// recording, and RNG stream layout. The stream conventions deliberately
+// reproduce the legacy bench binaries so a 1-trial scenario is numerically
+// identical to the main() it replaced:
+//   - values:        Rng(trial_seed), U[0,100) per host;
+//   - gossip rounds: Rng(DeriveSeed(trial_seed, seeds.round_stream));
+//   - failure plan:  Rng(DeriveSeed(trial_seed, seeds.failure_stream)),
+//     where churn plans default the stream to floor(death_prob * 1e5) —
+//     the convention of ablation_tree_vs_gossip.
+// The TAG overlay baseline (tag-tree) owns its whole trial loop because its
+// epochs are tree-depth-sized rather than fixed-length.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agg/count_sketch.h"
+#include "agg/count_sketch_reset.h"
+#include "agg/epoch_push_sum.h"
+#include "agg/extremes.h"
+#include "agg/full_transfer.h"
+#include "agg/push_sum.h"
+#include "agg/push_sum_revert.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "scenario/trial.h"
+#include "sim/failure.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+#include "sim/round_driver.h"
+#include "sim/workload.h"
+#include "tree/spanning_tree.h"
+#include "tree/tag.h"
+
+namespace dynagg {
+namespace scenario {
+namespace {
+
+Result<GossipMode> ParseGossipMode(const ScenarioSpec& spec) {
+  DYNAGG_ASSIGN_OR_RETURN(const std::string mode,
+                          spec.ParamString("protocol.mode", "pushpull"));
+  if (mode == "push") return GossipMode::kPush;
+  if (mode == "pushpull") return GossipMode::kPushPull;
+  return Status::InvalidArgument(
+      "protocol.mode must be push or pushpull, got '" + mode + "'");
+}
+
+Result<RevertMode> ParseRevertMode(const ScenarioSpec& spec) {
+  DYNAGG_ASSIGN_OR_RETURN(const std::string revert,
+                          spec.ParamString("protocol.revert", "fixed"));
+  if (revert == "fixed") return RevertMode::kFixed;
+  if (revert == "adaptive") return RevertMode::kAdaptive;
+  return Status::InvalidArgument(
+      "protocol.revert must be fixed or adaptive, got '" + revert + "'");
+}
+
+// --------------------------------------------------------- record config ---
+
+struct RecordConfig {
+  enum class Kind { kPerRound, kTailMean, kConvergence };
+  Kind kind = Kind::kPerRound;
+  int from = 0;
+  int every = 1;
+  double threshold = 1.0;
+  bool threshold_relative = false;
+};
+
+Result<RecordConfig> ParseRecordConfig(const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "record.", {"kind", "from", "every", "threshold",
+                  "threshold_relative"}));
+  RecordConfig cfg;
+  DYNAGG_ASSIGN_OR_RETURN(const std::string kind,
+                          spec.ParamString("record.kind", "per_round"));
+  if (kind == "per_round") {
+    cfg.kind = RecordConfig::Kind::kPerRound;
+  } else if (kind == "tail_mean") {
+    cfg.kind = RecordConfig::Kind::kTailMean;
+  } else if (kind == "convergence") {
+    cfg.kind = RecordConfig::Kind::kConvergence;
+  } else {
+    return Status::InvalidArgument(
+        "record.kind must be per_round, tail_mean or convergence, got '" +
+        kind + "'");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t from,
+                          spec.ParamInt("record.from", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t every,
+                          spec.ParamInt("record.every", 1));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.threshold,
+                          spec.ParamDouble("record.threshold", 1.0));
+  DYNAGG_ASSIGN_OR_RETURN(
+      cfg.threshold_relative,
+      spec.ParamBool("record.threshold_relative", false));
+  if (from < 0 || every < 1) {
+    return Status::InvalidArgument(
+        "record.from must be >= 0 and record.every >= 1");
+  }
+  cfg.from = static_cast<int>(from);
+  cfg.every = static_cast<int>(every);
+  if (cfg.kind == RecordConfig::Kind::kTailMean && cfg.from >= spec.rounds) {
+    // An empty averaging window would fabricate a perfect score of 0.
+    return Status::InvalidArgument(
+        "record.from = " + std::to_string(cfg.from) +
+        " leaves no rounds to average (rounds = " +
+        std::to_string(spec.rounds) + ")");
+  }
+  return cfg;
+}
+
+// -------------------------------------------------------- failure config ---
+
+struct FailureConfig {
+  enum class Kind { kNone, kKillRandomFraction, kKillTopFraction, kChurn };
+  Kind kind = Kind::kNone;
+  int round = 0;          // kill_* trigger round
+  double fraction = 0.5;  // kill_* fraction
+  int start = 0;          // churn window
+  int end = -1;           // churn window end; -1 = spec.rounds
+  double death_prob = 0.0;
+  double return_factor = 4.0;
+  double return_prob = -1.0;  // -1 = death_prob * return_factor
+  HostId pin_alive = kInvalidHost;
+};
+
+Result<FailureConfig> ParseFailureConfig(const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "failure.", {"kind", "round", "fraction", "start", "end", "death_prob",
+                   "return_factor", "return_prob", "pin_alive"}));
+  FailureConfig cfg;
+  DYNAGG_ASSIGN_OR_RETURN(const std::string kind,
+                          spec.ParamString("failure.kind", "none"));
+  if (kind == "none") {
+    cfg.kind = FailureConfig::Kind::kNone;
+  } else if (kind == "kill_random_fraction") {
+    cfg.kind = FailureConfig::Kind::kKillRandomFraction;
+  } else if (kind == "kill_top_fraction") {
+    cfg.kind = FailureConfig::Kind::kKillTopFraction;
+  } else if (kind == "churn") {
+    cfg.kind = FailureConfig::Kind::kChurn;
+  } else {
+    return Status::InvalidArgument(
+        "failure.kind must be none, kill_random_fraction, "
+        "kill_top_fraction or churn, got '" +
+        kind + "'");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t round,
+                          spec.ParamInt("failure.round", 0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.fraction,
+                          spec.ParamDouble("failure.fraction", 0.5));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t start,
+                          spec.ParamInt("failure.start", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t end,
+                          spec.ParamInt("failure.end", -1));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.death_prob,
+                          spec.ParamDouble("failure.death_prob", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.return_factor,
+                          spec.ParamDouble("failure.return_factor", 4.0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.return_prob,
+                          spec.ParamDouble("failure.return_prob", -1.0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t pin,
+                          spec.ParamInt("failure.pin_alive", kInvalidHost));
+  cfg.round = static_cast<int>(round);
+  cfg.start = static_cast<int>(start);
+  cfg.end = static_cast<int>(end);
+  cfg.pin_alive = static_cast<HostId>(pin);
+  if (cfg.fraction < 0.0 || cfg.fraction > 1.0) {
+    return Status::InvalidArgument("failure.fraction must be in [0, 1]");
+  }
+  if (cfg.death_prob < 0.0 || cfg.death_prob > 1.0) {
+    return Status::InvalidArgument("failure.death_prob must be in [0, 1]");
+  }
+  return cfg;
+}
+
+double ChurnReturnProb(const FailureConfig& cfg) {
+  return cfg.return_prob >= 0.0 ? cfg.return_prob
+                                : cfg.death_prob * cfg.return_factor;
+}
+
+/// Resolves the failure RNG stream: explicit seeds.failure_stream wins;
+/// churn plans default to floor(death_prob * 1e5) — the stream convention
+/// of the legacy churn ablation — and everything else to stream 2.
+Result<uint64_t> FailureStream(const ScenarioSpec& spec,
+                               const FailureConfig& cfg) {
+  if (spec.HasParam("seeds.failure_stream")) {
+    DYNAGG_ASSIGN_OR_RETURN(const int64_t stream,
+                            spec.ParamInt("seeds.failure_stream", 2));
+    return static_cast<uint64_t>(stream);
+  }
+  if (cfg.kind == FailureConfig::Kind::kChurn) {
+    return static_cast<uint64_t>(cfg.death_prob * 1e5);
+  }
+  return uint64_t{2};
+}
+
+/// Builds the scripted plan. `values` backs kill_top_fraction and may be
+/// null for protocols without per-host scalar values.
+Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,
+                                     int rounds,
+                                     const std::vector<double>* values,
+                                     Rng& fail_rng) {
+  switch (cfg.kind) {
+    case FailureConfig::Kind::kNone:
+      return FailurePlan();
+    case FailureConfig::Kind::kKillRandomFraction:
+      return FailurePlan::KillRandomFraction(n, cfg.round, cfg.fraction,
+                                             fail_rng);
+    case FailureConfig::Kind::kKillTopFraction:
+      if (values == nullptr) {
+        return Status::InvalidArgument(
+            "failure.kind = kill_top_fraction requires a value-based "
+            "protocol");
+      }
+      return FailurePlan::KillTopFraction(*values, cfg.round, cfg.fraction);
+    case FailureConfig::Kind::kChurn: {
+      const int end = cfg.end >= 0 ? cfg.end : rounds;
+      return FailurePlan::Churn(n, cfg.start, end, cfg.death_prob,
+                                ChurnReturnProb(cfg), fail_rng);
+    }
+  }
+  return Status::InvalidArgument("unreachable failure kind");
+}
+
+// ------------------------------------------------------------ round loop ---
+
+/// Swarm adapter slotted into RunRounds: advances trace-backed
+/// environments, re-pins a host alive (between the failure application and
+/// the gossip exchange, exactly where the legacy benches revive their
+/// leader), then delegates to the real swarm.
+template <typename Swarm>
+struct RoundHooks {
+  Swarm& swarm;
+  Environment* env;
+  SimTime advance_period;
+  HostId pin_alive;
+  int round = 0;
+
+  void RunRound(const Environment& e, Population& pop, Rng& rng) {
+    if (advance_period > 0) {
+      env->AdvanceTo(static_cast<SimTime>(round + 1) * advance_period);
+    }
+    if (pin_alive != kInvalidHost) pop.Revive(pin_alive);
+    swarm.RunRound(e, pop, rng);
+    ++round;
+  }
+};
+
+/// Drives `swarm` for spec.rounds rounds under the spec's environment,
+/// failure plan and recording config. `truth` is re-evaluated every round
+/// over the live population; `failure_values` backs kill_top_fraction.
+template <typename Swarm>
+Result<TrialResult> DriveRoundTrial(
+    const TrialContext& ctx, EnvHandle& env, Swarm& swarm,
+    const std::function<double(HostId)>& estimate,
+    const std::function<double(const Population&)>& truth,
+    const std::vector<double>* failure_values) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream",
+                                                     "failure_stream"}));
+  DYNAGG_ASSIGN_OR_RETURN(const RecordConfig rec, ParseRecordConfig(spec));
+  DYNAGG_ASSIGN_OR_RETURN(const FailureConfig fail, ParseFailureConfig(spec));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t round_stream,
+                          spec.ParamInt("seeds.round_stream", 1));
+  DYNAGG_ASSIGN_OR_RETURN(const uint64_t fail_stream,
+                          FailureStream(spec, fail));
+
+  const int n = env.env->num_hosts();
+  Rng fail_rng(DeriveSeed(ctx.trial_seed, fail_stream));
+  DYNAGG_ASSIGN_OR_RETURN(
+      const FailurePlan plan,
+      BuildFailurePlan(fail, n, spec.rounds, failure_values, fail_rng));
+  if (fail.pin_alive != kInvalidHost &&
+      (fail.pin_alive < 0 || fail.pin_alive >= n)) {
+    return Status::InvalidArgument("failure.pin_alive out of range");
+  }
+
+  Population pop(n);
+  Rng rng(DeriveSeed(ctx.trial_seed,
+                     static_cast<uint64_t>(round_stream)));
+
+  TrialResult out;
+  RunningStat tail;
+  int converged_round = -1;
+  const auto on_round_end = [&](int round) {
+    const double tr = truth(pop);
+    const double rms = RmsDeviationOverAlive(pop, tr, estimate);
+    switch (rec.kind) {
+      case RecordConfig::Kind::kPerRound:
+        if (round >= rec.from && (round - rec.from) % rec.every == 0) {
+          out.rows.push_back({static_cast<double>(round + 1), rms});
+        }
+        break;
+      case RecordConfig::Kind::kTailMean:
+        if (round >= rec.from) tail.Add(rms);
+        break;
+      case RecordConfig::Kind::kConvergence: {
+        const double limit =
+            rec.threshold_relative ? rec.threshold * tr : rec.threshold;
+        if (converged_round < 0 && rms < limit) {
+          converged_round = round + 1;
+          // Later rounds cannot change the result; stop paying for them.
+          return false;
+        }
+        break;
+      }
+    }
+    return true;
+  };
+
+  RoundHooks<Swarm> hooks{swarm, env.env.get(), env.advance_period,
+                          fail.pin_alive};
+  RunRoundsUntil(hooks, *env.env, pop, plan, spec.rounds, rng,
+                 on_round_end);
+
+  switch (rec.kind) {
+    case RecordConfig::Kind::kPerRound:
+      out.columns = {"round", "rms"};
+      break;
+    case RecordConfig::Kind::kTailMean:
+      out.columns = {"rms_tail_mean"};
+      out.rows.push_back({tail.mean()});
+      break;
+    case RecordConfig::Kind::kConvergence:
+      out.columns = {"rounds_to_converge"};
+      out.rows.push_back({static_cast<double>(converged_round)});
+      break;
+  }
+  return out;
+}
+
+/// Truth callback for averaging protocols.
+std::function<double(const Population&)> AverageTruth(
+    const std::vector<double>& values) {
+  return [&values](const Population& pop) {
+    return TrueAverage(values, pop);
+  };
+}
+
+Result<int> CheckedHosts(const EnvHandle& env) {
+  const int n = env.env->num_hosts();
+  if (n <= 0) return Status::InvalidArgument("environment has no hosts");
+  return n;
+}
+
+// --------------------------------------------------- averaging protocols ---
+
+Result<TrialResult> RunPushSum(const TrialContext& ctx) {
+  DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams("protocol.", {"mode"}));
+  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
+  PushSumSwarm swarm(values, mode);
+  return DriveRoundTrial(
+      ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
+      AverageTruth(values), &values);
+}
+
+Result<TrialResult> RunPushSumRevert(const TrialContext& ctx) {
+  DYNAGG_RETURN_IF_ERROR(
+      ctx.spec->CheckParams("protocol.", {"lambda", "mode", "revert"}));
+  DYNAGG_ASSIGN_OR_RETURN(const double lambda,
+                          ctx.spec->ParamDouble("protocol.lambda", 0.01));
+  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
+  DYNAGG_ASSIGN_OR_RETURN(const RevertMode revert,
+                          ParseRevertMode(*ctx.spec));
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
+  PushSumRevertSwarm swarm(
+      values, {.lambda = lambda, .mode = mode, .revert = revert});
+  return DriveRoundTrial(
+      ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
+      AverageTruth(values), &values);
+}
+
+Result<TrialResult> RunEpochPushSum(const TrialContext& ctx) {
+  DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
+      "protocol.", {"epoch_length", "mode", "phase_spread"}));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t epoch_length,
+                          ctx.spec->ParamInt("protocol.epoch_length", 10));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t phase_spread,
+                          ctx.spec->ParamInt("protocol.phase_spread", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
+  if (epoch_length < 1) {
+    return Status::InvalidArgument("protocol.epoch_length must be >= 1");
+  }
+  if (phase_spread < 0 || phase_spread > epoch_length) {
+    return Status::InvalidArgument(
+        "protocol.phase_spread must be in [0, epoch_length]");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
+  std::vector<int> phases;
+  if (phase_spread > 0) {
+    phases.resize(n);
+    for (int i = 0; i < n; ++i) {
+      phases[i] = i % static_cast<int>(phase_spread);
+    }
+  }
+  EpochPushSumSwarm swarm(
+      values,
+      EpochParams{.epoch_length = static_cast<int>(epoch_length),
+                  .mode = mode},
+      phases);
+  return DriveRoundTrial(
+      ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
+      AverageTruth(values), &values);
+}
+
+Result<TrialResult> RunFullTransfer(const TrialContext& ctx) {
+  DYNAGG_RETURN_IF_ERROR(
+      ctx.spec->CheckParams("protocol.", {"lambda", "parcels", "window"}));
+  DYNAGG_ASSIGN_OR_RETURN(const double lambda,
+                          ctx.spec->ParamDouble("protocol.lambda", 0.1));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t parcels,
+                          ctx.spec->ParamInt("protocol.parcels", 4));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t window,
+                          ctx.spec->ParamInt("protocol.window", 3));
+  if (parcels < 1 || window < 1) {
+    return Status::InvalidArgument(
+        "protocol.parcels and protocol.window must be >= 1");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
+  FullTransferSwarm swarm(values,
+                          {.lambda = lambda,
+                           .parcels = static_cast<int>(parcels),
+                           .window = static_cast<int>(window)});
+  return DriveRoundTrial(
+      ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
+      AverageTruth(values), &values);
+}
+
+Result<TrialResult> RunExtremes(const TrialContext& ctx) {
+  DYNAGG_RETURN_IF_ERROR(
+      ctx.spec->CheckParams("protocol.", {"kind", "cutoff", "mode"}));
+  DYNAGG_ASSIGN_OR_RETURN(const std::string kind_name,
+                          ctx.spec->ParamString("protocol.kind", "max"));
+  ExtremeKind kind;
+  if (kind_name == "max") {
+    kind = ExtremeKind::kMaximum;
+  } else if (kind_name == "min") {
+    kind = ExtremeKind::kMinimum;
+  } else {
+    return Status::InvalidArgument(
+        "protocol.kind must be max or min, got '" + kind_name + "'");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t cutoff,
+                          ctx.spec->ParamInt("protocol.cutoff", 12));
+  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
+  std::vector<uint64_t> keys(n);
+  std::iota(keys.begin(), keys.end(), uint64_t{0});
+  DynamicExtremeSwarm swarm(values, keys,
+                            ExtremeParams{.kind = kind,
+                                          .cutoff = static_cast<int>(cutoff),
+                                          .mode = mode});
+  const auto truth = [&values, kind](const Population& pop) {
+    bool first = true;
+    double best = 0.0;
+    for (const HostId id : pop.alive_ids()) {
+      const double v = values[id];
+      if (first || (kind == ExtremeKind::kMaximum ? v > best : v < best)) {
+        best = v;
+        first = false;
+      }
+    }
+    return best;
+  };
+  return DriveRoundTrial(
+      ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); }, truth,
+      &values);
+}
+
+// ---------------------------------------------------- counting protocols ---
+
+Result<std::vector<int64_t>> Multiplicities(const TrialContext& ctx, int n) {
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t mult,
+                          ctx.spec->ParamInt("protocol.multiplicity", 1));
+  if (mult < 0) {
+    return Status::InvalidArgument("protocol.multiplicity must be >= 0");
+  }
+  return std::vector<int64_t>(n, mult);
+}
+
+std::function<double(const Population&)> CountTruth(
+    std::vector<int64_t> multiplicities) {
+  return [mult = std::move(multiplicities)](const Population& pop) {
+    int64_t total = 0;
+    for (const HostId id : pop.alive_ids()) total += mult[id];
+    return static_cast<double>(total);
+  };
+}
+
+Result<TrialResult> RunCountSketch(const TrialContext& ctx) {
+  DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
+      "protocol.", {"bins", "levels", "mode", "multiplicity"}));
+  CountSketchParams params;
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t bins,
+                          ctx.spec->ParamInt("protocol.bins", params.bins));
+  DYNAGG_ASSIGN_OR_RETURN(
+      const int64_t levels,
+      ctx.spec->ParamInt("protocol.levels", params.levels));
+  DYNAGG_ASSIGN_OR_RETURN(params.mode, ParseGossipMode(*ctx.spec));
+  params.bins = static_cast<int>(bins);
+  params.levels = static_cast<int>(levels);
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  DYNAGG_ASSIGN_OR_RETURN(const std::vector<int64_t> mult,
+                          Multiplicities(ctx, n));
+  CountSketchSwarm swarm(mult, params);
+  return DriveRoundTrial(
+      ctx, env, swarm, [&](HostId id) { return swarm.EstimateCount(id); },
+      CountTruth(mult), nullptr);
+}
+
+Result<TrialResult> RunCountSketchReset(const TrialContext& ctx) {
+  DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
+      "protocol.", {"bins", "levels", "cutoff_base", "cutoff_slope",
+                    "cutoff_enabled", "mode", "multiplicity"}));
+  CsrParams params;
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t bins,
+                          ctx.spec->ParamInt("protocol.bins", params.bins));
+  DYNAGG_ASSIGN_OR_RETURN(
+      const int64_t levels,
+      ctx.spec->ParamInt("protocol.levels", params.levels));
+  DYNAGG_ASSIGN_OR_RETURN(
+      params.cutoff_base,
+      ctx.spec->ParamDouble("protocol.cutoff_base", params.cutoff_base));
+  DYNAGG_ASSIGN_OR_RETURN(
+      params.cutoff_slope,
+      ctx.spec->ParamDouble("protocol.cutoff_slope", params.cutoff_slope));
+  DYNAGG_ASSIGN_OR_RETURN(params.cutoff_enabled,
+                          ctx.spec->ParamBool("protocol.cutoff_enabled",
+                                              params.cutoff_enabled));
+  DYNAGG_ASSIGN_OR_RETURN(params.mode, ParseGossipMode(*ctx.spec));
+  params.bins = static_cast<int>(bins);
+  params.levels = static_cast<int>(levels);
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  DYNAGG_ASSIGN_OR_RETURN(const std::vector<int64_t> mult,
+                          Multiplicities(ctx, n));
+  CsrSwarm swarm(mult, params);
+  return DriveRoundTrial(
+      ctx, env, swarm, [&](HostId id) { return swarm.EstimateCount(id); },
+      CountTruth(mult), nullptr);
+}
+
+// ------------------------------------------------------ overlay baseline ---
+
+/// TAG spanning-tree aggregation over repeated epochs under churn,
+/// reproducing the loop of ablation_tree_vs_gossip: each epoch floods a
+/// fresh BFS tree from the root, runs one tree-depth-sized epoch under a
+/// churn plan drawn from a shared stream, revives the leader, and records
+/// the leader's error against the live truth.
+Result<TrialResult> RunTagTree(const TrialContext& ctx) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("protocol.", {"epochs", "root"}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream",
+                                                     "failure_stream"}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", {}));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t epochs,
+                          spec.ParamInt("protocol.epochs", 30));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t root_id,
+                          spec.ParamInt("protocol.root", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const FailureConfig fail,
+                          ParseFailureConfig(spec));
+  if (fail.kind != FailureConfig::Kind::kNone &&
+      fail.kind != FailureConfig::Kind::kChurn) {
+    return Status::InvalidArgument(
+        "tag-tree supports failure.kind none or churn");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(const uint64_t fail_stream,
+                          FailureStream(spec, fail));
+  if (epochs < 1) {
+    return Status::InvalidArgument("protocol.epochs must be >= 1");
+  }
+
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  const HostId root = static_cast<HostId>(root_id);
+  if (root < 0 || root >= n) {
+    return Status::InvalidArgument("protocol.root out of range");
+  }
+  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
+
+  Rng churn_rng(DeriveSeed(ctx.trial_seed, fail_stream));
+  Population pop(n);
+  RunningStat err;
+  int failed_epochs = 0;
+  int round = 0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const SpanningTree tree = BuildBfsTree(*env.env, pop, root);
+    FailurePlan churn;
+    if (fail.kind == FailureConfig::Kind::kChurn) {
+      churn = FailurePlan::Churn(n, round, round + tree.max_depth + 1,
+                                 fail.death_prob, ChurnReturnProb(fail),
+                                 churn_rng);
+    }
+    const TagEpochResult result =
+        RunTagEpoch(tree, values, pop, churn, round);
+    round += tree.max_depth + 1;
+    // Keep the leader alive so epochs stay comparable.
+    pop.Revive(root);
+    if (!result.valid || result.count == 0) {
+      ++failed_epochs;
+      continue;
+    }
+    const double truth = TrueAverage(values, pop);
+    err.Add(std::abs(result.average - truth));
+  }
+
+  TrialResult out;
+  out.columns = {"tag_mean_abs_err", "tag_failed_epochs_pct"};
+  out.rows.push_back(
+      {err.mean(), 100.0 * failed_epochs / static_cast<double>(epochs)});
+  return out;
+}
+
+}  // namespace
+
+namespace internal {
+
+void RegisterBuiltinProtocols(Registry<ProtocolRunner>& registry) {
+  DYNAGG_CHECK(registry.Register("push-sum", RunPushSum).ok());
+  DYNAGG_CHECK(registry.Register("push-sum-revert", RunPushSumRevert).ok());
+  DYNAGG_CHECK(registry.Register("epoch-push-sum", RunEpochPushSum).ok());
+  DYNAGG_CHECK(registry.Register("full-transfer", RunFullTransfer).ok());
+  DYNAGG_CHECK(registry.Register("extremes", RunExtremes).ok());
+  DYNAGG_CHECK(registry.Register("count-sketch", RunCountSketch).ok());
+  DYNAGG_CHECK(
+      registry.Register("count-sketch-reset", RunCountSketchReset).ok());
+  DYNAGG_CHECK(registry.Register("tag-tree", RunTagTree).ok());
+}
+
+}  // namespace internal
+}  // namespace scenario
+}  // namespace dynagg

@@ -1,0 +1,73 @@
+// String-keyed factory registry shared by the protocol and environment
+// catalogs.
+//
+// New workloads register themselves under a name and become addressable
+// from scenario files without touching the runner; a lookup miss is a
+// NotFound Status that lists what IS registered, so typos in specs produce
+// actionable errors rather than crashes.
+
+#ifndef DYNAGG_SCENARIO_REGISTRY_H_
+#define DYNAGG_SCENARIO_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dynagg {
+namespace scenario {
+
+template <typename Factory>
+class Registry {
+ public:
+  /// `kind` names the registry in error messages ("protocol",
+  /// "environment").
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers `factory` under `name`; re-registering a name is an error
+  /// (catches accidental double registration of builtins).
+  Status Register(const std::string& name, Factory factory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] = map_.emplace(name, std::move(factory));
+    if (!inserted) {
+      return Status::FailedPrecondition(kind_ + " '" + name +
+                                        "' is already registered");
+    }
+    return Status::OK();
+  }
+
+  /// Looks up `name`; NotFound lists the registered names.
+  Result<Factory> Find(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(name);
+    if (it == map_.end()) {
+      std::string msg = "unknown " + kind_ + " '" + name + "' (registered:";
+      for (const auto& [key, factory] : map_) msg += " " + key;
+      msg += ")";
+      return Status::NotFound(msg);
+    }
+    return it->second;
+  }
+
+  /// Registered names in sorted order.
+  std::vector<std::string> Names() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(map_.size());
+    for (const auto& [key, factory] : map_) names.push_back(key);
+    return names;
+  }
+
+ private:
+  const std::string kind_;
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> map_;
+};
+
+}  // namespace scenario
+}  // namespace dynagg
+
+#endif  // DYNAGG_SCENARIO_REGISTRY_H_

@@ -1,0 +1,100 @@
+#include "scenario/sink.h"
+
+#include <cstdio>
+
+namespace dynagg {
+namespace scenario {
+
+namespace {
+
+/// JSON string escaping for column/experiment names (control characters,
+/// quotes, backslashes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderJsonl(const CsvTable& table,
+                        const std::string& experiment) {
+  std::string out;
+  const std::string name = JsonEscape(experiment);
+  char buf[64];
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    out += "{\"experiment\":\"" + name + "\"";
+    const std::vector<double>& row = table.row(i);
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::snprintf(buf, sizeof(buf), "%.17g", row[c]);
+      out += ",\"" + JsonEscape(table.columns()[c]) + "\":" + buf;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> RenderTable(const CsvTable& table,
+                                const std::string& experiment,
+                                const std::string& format) {
+  if (format == "csv") {
+    return "# experiment: " + experiment + "\n" + table.ToCsv();
+  }
+  if (format == "jsonl") {
+    return RenderJsonl(table, experiment);
+  }
+  return Status::InvalidArgument("unknown output format '" + format +
+                                 "' (csv or jsonl)");
+}
+
+Status WriteTable(const CsvTable& table, const std::string& experiment,
+                  const std::string& format, const std::string& path,
+                  bool append) {
+  DYNAGG_ASSIGN_OR_RETURN(const std::string text,
+                          RenderTable(table, experiment, format));
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return Status::OK();
+  }
+  std::FILE* f = std::fopen(path.c_str(), append ? "a" : "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open output file '" + path +
+                                   "'");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != text.size() || close_err != 0) {
+    return Status::Corruption("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace scenario
+}  // namespace dynagg

@@ -1,0 +1,37 @@
+// Metric sinks: render an assembled experiment table as CSV or JSONL.
+//
+// CSV mirrors the legacy bench output (%.6g values, one header row) so
+// ported scenarios stay diffable against the binaries they replaced; JSONL
+// emits one self-describing object per row with %.17g values for lossless
+// downstream processing.
+
+#ifndef DYNAGG_SCENARIO_SINK_H_
+#define DYNAGG_SCENARIO_SINK_H_
+
+#include <string>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace dynagg {
+namespace scenario {
+
+/// Renders `table` in `format` ("csv" or "jsonl"). CSV gets a
+/// "# experiment: <name>" provenance comment; JSONL carries the name in
+/// every object.
+Result<std::string> RenderTable(const CsvTable& table,
+                                const std::string& experiment,
+                                const std::string& format);
+
+/// Renders and writes to `path` ("-" = stdout). `append` controls whether
+/// an existing file is extended or truncated: callers writing several
+/// experiments to one path must append after the first so earlier tables
+/// are not silently destroyed.
+Status WriteTable(const CsvTable& table, const std::string& experiment,
+                  const std::string& format, const std::string& path,
+                  bool append = false);
+
+}  // namespace scenario
+}  // namespace dynagg
+
+#endif  // DYNAGG_SCENARIO_SINK_H_

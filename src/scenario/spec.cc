@@ -1,0 +1,298 @@
+#include "scenario/spec.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+namespace dynagg {
+namespace scenario {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && (s[b] == ' ' || s[b] == '\t')) ++b;
+  size_t e = s.size();
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' ||
+                   s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Quoted(std::string_view s) {
+  return "'" + std::string(s) + "'";
+}
+
+}  // namespace
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  const std::string s(Trim(text));
+  if (s.empty()) return Status::InvalidArgument("empty integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 0);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("integer out of range: " + Quoted(s));
+  }
+  if (end != s.c_str() + s.size()) {
+    return Status::InvalidArgument("not an integer: " + Quoted(s));
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string s(Trim(text));
+  if (s.empty()) return Status::InvalidArgument("empty number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return Status::InvalidArgument("not a number: " + Quoted(s));
+  }
+  return v;
+}
+
+Result<bool> ParseBool(std::string_view text) {
+  const std::string s(Trim(text));
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  return Status::InvalidArgument("not a boolean: " + Quoted(s));
+}
+
+Result<std::string> ScenarioSpec::ParamString(const std::string& key,
+                                              std::string def) const {
+  const auto it = params.find(key);
+  return it == params.end() ? std::move(def) : it->second;
+}
+
+Result<int64_t> ScenarioSpec::ParamInt(const std::string& key,
+                                       int64_t def) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return def;
+  Result<int64_t> v = ParseInt64(it->second);
+  if (!v.ok()) {
+    return Status::InvalidArgument(key + ": " + v.status().message());
+  }
+  return v;
+}
+
+Result<double> ScenarioSpec::ParamDouble(const std::string& key,
+                                         double def) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return def;
+  Result<double> v = ParseDouble(it->second);
+  if (!v.ok()) {
+    return Status::InvalidArgument(key + ": " + v.status().message());
+  }
+  return v;
+}
+
+Result<bool> ScenarioSpec::ParamBool(const std::string& key, bool def) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return def;
+  Result<bool> v = ParseBool(it->second);
+  if (!v.ok()) {
+    return Status::InvalidArgument(key + ": " + v.status().message());
+  }
+  return v;
+}
+
+Status ScenarioSpec::CheckParams(
+    const std::string& prefix,
+    const std::vector<std::string>& allowed) const {
+  for (const auto& [key, value] : params) {
+    if (key.rfind(prefix, 0) != 0) continue;
+    const std::string suffix = key.substr(prefix.size());
+    bool ok = false;
+    for (const auto& a : allowed) {
+      if (suffix == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      std::string msg = "unknown parameter " + Quoted(key) + " (allowed: ";
+      for (size_t i = 0; i < allowed.size(); ++i) {
+        if (i) msg += ", ";
+        msg += prefix + allowed[i];
+      }
+      msg += ")";
+      return Status::InvalidArgument(msg);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+const char* const kParamPrefixes[] = {"protocol.", "env.", "failure.",
+                                      "record.", "seeds."};
+
+bool IsNamespacedKey(std::string_view key) {
+  for (const char* prefix : kParamPrefixes) {
+    if (key.rfind(prefix, 0) == 0 && key.size() > std::string(prefix).size())
+      return true;
+  }
+  return false;
+}
+
+Status AtLine(int line, const Status& st) {
+  return Status(st.ok() ? st
+                        : Status::InvalidArgument(
+                              "line " + std::to_string(line) + ": " +
+                              st.message()));
+}
+
+/// Applies one key = value assignment to `spec`.
+Status ApplyKey(ScenarioSpec* spec, const std::string& key,
+                const std::string& value, int line) {
+  if (IsNamespacedKey(key)) {
+    spec->params[key] = value;
+    return Status::OK();
+  }
+  if (key == "name") {
+    spec->name = value;
+  } else if (key == "protocol") {
+    spec->protocol = value;
+  } else if (key == "environment") {
+    spec->environment = value;
+  } else if (key == "output") {
+    spec->output = value;
+  } else if (key == "format") {
+    if (value != "csv" && value != "jsonl") {
+      return AtLine(line, Status::InvalidArgument(
+                              "format must be csv or jsonl, got " +
+                              Quoted(value)));
+    }
+    spec->format = value;
+  } else if (key == "hosts" || key == "rounds" || key == "trials") {
+    Result<int64_t> v = ParseInt64(value);
+    if (!v.ok()) return AtLine(line, v.status());
+    if (*v < 0 || (key != "hosts" && *v < 1)) {
+      return AtLine(line,
+                    Status::InvalidArgument(key + " must be positive"));
+    }
+    if (key == "hosts") spec->hosts = static_cast<int>(*v);
+    if (key == "rounds") spec->rounds = static_cast<int>(*v);
+    if (key == "trials") spec->trials = static_cast<int>(*v);
+  } else if (key == "seed") {
+    Result<int64_t> v = ParseInt64(value);
+    if (!v.ok()) return AtLine(line, v.status());
+    spec->seed = static_cast<uint64_t>(*v);
+  } else if (key == "sweep") {
+    // "key: v1, v2, ..." — swept over one full run per value.
+    const size_t colon = value.find(':');
+    if (colon == std::string::npos) {
+      return AtLine(line, Status::InvalidArgument(
+                              "sweep must be 'key: v1, v2, ...'"));
+    }
+    const std::string sweep_key(Trim(value.substr(0, colon)));
+    if (sweep_key != "hosts" && sweep_key != "rounds" &&
+        !IsNamespacedKey(sweep_key)) {
+      return AtLine(line, Status::InvalidArgument(
+                              "sweep key " + Quoted(sweep_key) +
+                              " is not sweepable (use hosts, rounds, or a "
+                              "namespaced parameter)"));
+    }
+    std::vector<double> values;
+    std::string_view rest(value);
+    rest.remove_prefix(colon + 1);
+    while (!rest.empty()) {
+      const size_t comma = rest.find(',');
+      const std::string_view item =
+          comma == std::string_view::npos ? rest : rest.substr(0, comma);
+      Result<double> v = ParseDouble(item);
+      if (!v.ok()) return AtLine(line, v.status());
+      values.push_back(*v);
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+    }
+    if (values.empty()) {
+      return AtLine(line,
+                    Status::InvalidArgument("sweep needs at least one value"));
+    }
+    spec->sweep_key = sweep_key;
+    spec->sweep_values = std::move(values);
+  } else {
+    return AtLine(line, Status::InvalidArgument(
+                            "unknown key " + Quoted(key) +
+                            " (namespaced parameters must start with "
+                            "protocol./env./failure./record./seeds.)"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<ScenarioSpec>> ParseScenarioFile(
+    std::string_view text, const std::string& default_name) {
+  ScenarioSpec globals;
+  globals.name = default_name;
+  std::vector<std::pair<std::string, ScenarioSpec>> sections;
+  bool in_section = false;
+
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return AtLine(line_no,
+                      Status::InvalidArgument("unterminated [section]"));
+      }
+      const std::string section(Trim(line.substr(1, line.size() - 2)));
+      if (section.empty()) {
+        return AtLine(line_no,
+                      Status::InvalidArgument("empty section name"));
+      }
+      // Sections inherit every global default set so far.
+      sections.emplace_back(section, globals);
+      in_section = true;
+      continue;
+    }
+
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return AtLine(line_no, Status::InvalidArgument(
+                                 "expected 'key = value', got " +
+                                 Quoted(line)));
+    }
+    const std::string key(Trim(line.substr(0, eq)));
+    const std::string value(Trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      return AtLine(line_no, Status::InvalidArgument("empty key"));
+    }
+    ScenarioSpec* target = in_section ? &sections.back().second : &globals;
+    DYNAGG_RETURN_IF_ERROR(ApplyKey(target, key, value, line_no));
+  }
+
+  std::vector<ScenarioSpec> specs;
+  if (sections.empty()) {
+    specs.push_back(std::move(globals));
+  } else {
+    for (auto& [section, spec] : sections) {
+      spec.name = spec.name + "/" + section;
+      specs.push_back(std::move(spec));
+    }
+  }
+  for (const ScenarioSpec& spec : specs) {
+    if (spec.protocol.empty()) {
+      return Status::InvalidArgument("experiment '" + spec.name +
+                                     "': missing required key 'protocol'");
+    }
+  }
+  return specs;
+}
+
+}  // namespace scenario
+}  // namespace dynagg

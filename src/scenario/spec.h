@@ -1,0 +1,107 @@
+// Declarative experiment specifications.
+//
+// A scenario file describes a whole experiment — protocol, environment,
+// population, rounds, failure plan, seeds, sweeps, trials, output — in a
+// simple key = value text format, replacing the hand-rolled main() of each
+// bench harness. One file holds one or more experiments: keys before the
+// first [section] are shared defaults; each [section] inherits them and
+// overrides what it needs. Example:
+//
+//     # Compare two gossip modes on the same population.
+//     name = my_experiment
+//     hosts = 1000
+//     rounds = 60
+//     seed = 42
+//     sweep = protocol.lambda: 0, 0.01, 0.1
+//
+//     [push]
+//     protocol = push-sum-revert
+//     protocol.mode = push
+//
+//     [pushpull]
+//     protocol = push-sum-revert
+//     protocol.mode = pushpull
+//
+// Top-level keys are strictly validated (a typo is an error); namespaced
+// keys (protocol.*, env.*, failure.*, record.*, seeds.*) are collected into
+// a parameter map and validated by the protocol / environment factories
+// that consume them (scenario/protocols.cc, scenario/environments.cc).
+
+#ifndef DYNAGG_SCENARIO_SPEC_H_
+#define DYNAGG_SCENARIO_SPEC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dynagg {
+namespace scenario {
+
+/// Strict numeric/boolean parsers ("12x" is an error, unlike std::stoll).
+Result<int64_t> ParseInt64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+Result<bool> ParseBool(std::string_view text);
+
+/// One experiment: a protocol x environment x failure-plan configuration,
+/// optionally swept over one parameter and replicated over trials.
+struct ScenarioSpec {
+  /// Experiment name; "<scenario name>/<section>" for sectioned files.
+  std::string name = "scenario";
+  /// Protocol registry key (see scenario/trial.h). Required.
+  std::string protocol;
+  /// Environment registry key.
+  std::string environment = "uniform";
+  /// Population size. 0 means "derive from the environment" (allowed for
+  /// environments with intrinsic size, e.g. spatial grids and traces).
+  int hosts = 0;
+  /// Gossip rounds per trial.
+  int rounds = 200;
+  /// Independent repetitions. Trial 0 replays the base seed exactly (legacy
+  /// bench parity); trial t > 0 uses a derived, decorrelated seed.
+  int trials = 1;
+  /// Base RNG seed for the whole experiment.
+  uint64_t seed = 1;
+  /// Swept parameter ("" = no sweep). May be "hosts", "rounds", or any
+  /// namespaced key; one full run is executed per value in sweep_values.
+  std::string sweep_key;
+  std::vector<double> sweep_values;
+  /// Output destination: "-" for stdout or a file path.
+  std::string output = "-";
+  /// Output format: "csv" or "jsonl".
+  std::string format = "csv";
+  /// Namespaced parameters (protocol.*, env.*, failure.*, record.*,
+  /// seeds.*), consumed by the factories.
+  std::map<std::string, std::string> params;
+
+  bool HasParam(const std::string& key) const {
+    return params.count(key) != 0;
+  }
+  /// Typed parameter accessors; the default is returned when the key is
+  /// absent, a bad value is an InvalidArgument naming the key.
+  Result<std::string> ParamString(const std::string& key,
+                                  std::string def) const;
+  Result<int64_t> ParamInt(const std::string& key, int64_t def) const;
+  Result<double> ParamDouble(const std::string& key, double def) const;
+  Result<bool> ParamBool(const std::string& key, bool def) const;
+
+  /// Rejects any parameter under `prefix` (e.g. "protocol.") whose suffix is
+  /// not in `allowed`: factories call this so typos in namespaced keys fail
+  /// loudly instead of silently using defaults.
+  Status CheckParams(const std::string& prefix,
+                     const std::vector<std::string>& allowed) const;
+};
+
+/// Parses a scenario file into one spec per [section] (or a single spec for
+/// a sectionless file). `default_name` seeds ScenarioSpec::name when the
+/// file sets none (callers pass the file stem). Errors carry line numbers.
+Result<std::vector<ScenarioSpec>> ParseScenarioFile(
+    std::string_view text, const std::string& default_name = "scenario");
+
+}  // namespace scenario
+}  // namespace dynagg
+
+#endif  // DYNAGG_SCENARIO_SPEC_H_

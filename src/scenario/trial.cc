@@ -1,0 +1,45 @@
+#include "scenario/trial.h"
+
+namespace dynagg {
+namespace scenario {
+
+namespace internal {
+// Defined in scenario/protocols.cc and scenario/environments.cc.
+void RegisterBuiltinProtocols(Registry<ProtocolRunner>& registry);
+void RegisterBuiltinEnvironments(Registry<EnvironmentFactory>& registry);
+}  // namespace internal
+
+Registry<ProtocolRunner>& ProtocolRegistry() {
+  static Registry<ProtocolRunner>* registry = [] {
+    auto* r = new Registry<ProtocolRunner>("protocol");
+    internal::RegisterBuiltinProtocols(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Registry<EnvironmentFactory>& EnvironmentRegistry() {
+  static Registry<EnvironmentFactory>* registry = [] {
+    auto* r = new Registry<EnvironmentFactory>("environment");
+    internal::RegisterBuiltinEnvironments(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Result<EnvHandle> MakeEnvironment(const TrialContext& ctx) {
+  DYNAGG_ASSIGN_OR_RETURN(const EnvironmentFactory factory,
+                          EnvironmentRegistry().Find(ctx.spec->environment));
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle handle, factory(ctx));
+  if (ctx.spec->hosts > 0 &&
+      ctx.spec->hosts != handle.env->num_hosts()) {
+    return Status::InvalidArgument(
+        "hosts = " + std::to_string(ctx.spec->hosts) +
+        " does not match the environment's intrinsic size " +
+        std::to_string(handle.env->num_hosts()));
+  }
+  return handle;
+}
+
+}  // namespace scenario
+}  // namespace dynagg

@@ -1,0 +1,90 @@
+// Trial-level plumbing between the executor and the registered workloads.
+//
+// A *trial* is one independent end-to-end run of an experiment unit (one
+// sweep value, one repetition). The executor (scenario/executor.h) hands a
+// TrialContext to a ProtocolRunner looked up by name; the runner builds its
+// environment through the environment registry, drives the simulation, and
+// returns its metric rows. Every source of randomness inside a trial is
+// derived from ctx.trial_seed, which is what makes trials independent and
+// the parallel executor deterministic.
+
+#ifndef DYNAGG_SCENARIO_TRIAL_H_
+#define DYNAGG_SCENARIO_TRIAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "env/contact_trace.h"
+#include "env/environment.h"
+#include "scenario/registry.h"
+#include "scenario/spec.h"
+
+namespace dynagg {
+namespace scenario {
+
+/// An instantiated environment plus whatever backing storage it needs.
+/// `trace` is declared before `env` so the environment is destroyed first.
+struct EnvHandle {
+  std::shared_ptr<const ContactTrace> trace;
+  std::unique_ptr<Environment> env;
+  /// When > 0, the round loop advances the environment to
+  /// (round + 1) * advance_period before each round (trace playback).
+  SimTime advance_period = 0;
+};
+
+/// Everything a runner needs to execute one trial. The spec already has the
+/// sweep override applied (the swept parameter reads back the sweep value).
+struct TrialContext {
+  const ScenarioSpec* spec = nullptr;
+  /// Index into spec->sweep_values, or -1 when the experiment has no sweep.
+  int sweep_index = -1;
+  double sweep_value = 0.0;
+  int trial = 0;
+  /// Root seed of this trial; all in-trial streams derive from it.
+  uint64_t trial_seed = 0;
+};
+
+/// Metric rows produced by one trial. All trials of one experiment must
+/// report identical columns; the executor prepends sweep/trial columns.
+struct TrialResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Runs one trial to completion.
+using ProtocolRunner =
+    std::function<Result<TrialResult>(const TrialContext&)>;
+/// Builds the environment for one trial.
+using EnvironmentFactory =
+    std::function<Result<EnvHandle>(const TrialContext&)>;
+
+/// Global registries, with the builtin catalog (push-sum, push-sum-revert,
+/// epoch-push-sum, full-transfer, extremes, count-sketch,
+/// count-sketch-reset, tag-tree / uniform, spatial, random-graph, haggle)
+/// registered on first use.
+Registry<ProtocolRunner>& ProtocolRegistry();
+Registry<EnvironmentFactory>& EnvironmentRegistry();
+
+/// Per-trial root seed: trial 0 replays the experiment's base seed exactly
+/// (so a 1-trial scenario is bit-identical to the legacy bench binary it
+/// replaces); later trials get decorrelated derived streams.
+inline uint64_t TrialSeed(uint64_t base_seed, int trial) {
+  return trial == 0
+             ? base_seed
+             : DeriveSeed(base_seed, 0x74726961ull /* "tria" */ + trial);
+}
+
+/// Instantiates ctx.spec's environment via the registry (factories validate
+/// their env.* parameters and spec.hosts consistency).
+Result<EnvHandle> MakeEnvironment(const TrialContext& ctx);
+
+}  // namespace scenario
+}  // namespace dynagg
+
+#endif  // DYNAGG_SCENARIO_TRIAL_H_

@@ -27,6 +27,24 @@ namespace dynagg {
 void ShuffledAliveOrder(const Population& pop, Rng& rng,
                         std::vector<HostId>* out);
 
+/// Runs up to `max_rounds` rounds of `swarm` under `env`/`pop`, applying
+/// `failures` before each round and calling `on_round_end(round)` after each
+/// round (round numbering starts at 0). Stops early when `on_round_end`
+/// returns false — convergence-style experiments use this to avoid paying
+/// for rounds that cannot change their result. Returns the number of rounds
+/// executed.
+template <typename Swarm>
+int RunRoundsUntil(Swarm& swarm, const Environment& env, Population& pop,
+                   const FailurePlan& failures, int max_rounds, Rng& rng,
+                   const std::function<bool(int)>& on_round_end) {
+  for (int round = 0; round < max_rounds; ++round) {
+    failures.Apply(round, &pop);
+    swarm.RunRound(env, pop, rng);
+    if (on_round_end && !on_round_end(round)) return round + 1;
+  }
+  return max_rounds;
+}
+
 /// Runs `num_rounds` rounds of `swarm` under `env`/`pop`, applying `failures`
 /// before each round and calling `on_round_end(round)` after each round
 /// (round numbering starts at 0). `on_round_end` may be null.
@@ -34,11 +52,11 @@ template <typename Swarm>
 void RunRounds(Swarm& swarm, const Environment& env, Population& pop,
                const FailurePlan& failures, int num_rounds, Rng& rng,
                const std::function<void(int)>& on_round_end = nullptr) {
-  for (int round = 0; round < num_rounds; ++round) {
-    failures.Apply(round, &pop);
-    swarm.RunRound(env, pop, rng);
-    if (on_round_end) on_round_end(round);
-  }
+  RunRoundsUntil(swarm, env, pop, failures, num_rounds, rng,
+                 [&on_round_end](int round) {
+                   if (on_round_end) on_round_end(round);
+                   return true;
+                 });
 }
 
 }  // namespace dynagg

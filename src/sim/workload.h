@@ -1,0 +1,30 @@
+// Shared experiment workloads.
+//
+// The paper's default value workload: "when hosts are required to have
+// values, the values are selected uniformly in the range [0,100)"
+// (Section V). The exact Rng construction and draw order here are
+// parity-critical: the bench harnesses, the scenario engine, and the
+// parity tests must all generate identical populations from one seed, so
+// this is the single definition they all share.
+
+#ifndef DYNAGG_SIM_WORKLOAD_H_
+#define DYNAGG_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dynagg {
+
+/// `n` values drawn uniformly from [0, 100) via Rng(seed).
+inline std::vector<double> UniformWorkloadValues(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.UniformDouble(0, 100);
+  return values;
+}
+
+}  // namespace dynagg
+
+#endif  // DYNAGG_SIM_WORKLOAD_H_

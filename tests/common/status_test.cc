@@ -91,6 +91,13 @@ Result<int> ChainedResult(int x) {
   return d + 1;
 }
 
+// Two unwraps in one scope: the macro's temporaries must not collide.
+Result<int> DoubleChainedResult(int x) {
+  DYNAGG_ASSIGN_OR_RETURN(const int a, Doubled(x));
+  DYNAGG_ASSIGN_OR_RETURN(const int b, Doubled(a));
+  return a + b;
+}
+
 }  // namespace helpers
 
 TEST(StatusMacroTest, ReturnIfErrorPropagates) {
@@ -104,6 +111,13 @@ TEST(StatusMacroTest, AssignOrReturnPropagates) {
   EXPECT_EQ(ok.value(), 21);
   const Result<int> err = helpers::ChainedResult(-1);
   EXPECT_FALSE(err.ok());
+}
+
+TEST(StatusMacroTest, AssignOrReturnTwiceInOneScope) {
+  const Result<int> ok = helpers::DoubleChainedResult(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 6 + 12);
+  EXPECT_FALSE(helpers::DoubleChainedResult(-1).ok());
 }
 
 }  // namespace

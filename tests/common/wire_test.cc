@@ -1,6 +1,8 @@
 #include "common/wire.h"
 
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <vector>
@@ -153,6 +155,135 @@ TEST(WireTest, ReleaseEmptiesWriter) {
   const std::vector<uint8_t> bytes = w.Release();
   EXPECT_EQ(bytes.size(), 4u);
   EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(WireTest, DoubleRoundTripSpecialValues) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          -1.0,
+                          3.141592653589793,
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max(),
+                          -std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::epsilon()};
+  BufWriter w;
+  for (const double v : cases) w.PutDouble(v);
+  BufReader r(w.buffer());
+  for (const double v : cases) {
+    double out = 0;
+    ASSERT_TRUE(r.ReadDouble(&out).ok());
+    // Bit-exact round trip, including the sign of -0.0.
+    uint64_t expect_bits, got_bits;
+    std::memcpy(&expect_bits, &v, sizeof(v));
+    std::memcpy(&got_bits, &out, sizeof(out));
+    EXPECT_EQ(got_bits, expect_bits);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, NanRoundTripsAsNan) {
+  BufWriter w;
+  w.PutDouble(std::numeric_limits<double>::quiet_NaN());
+  BufReader r(w.buffer());
+  double out = 0;
+  ASSERT_TRUE(r.ReadDouble(&out).ok());
+  EXPECT_TRUE(std::isnan(out));
+}
+
+TEST(WireTest, RandomizedDoubleRoundTrip) {
+  Rng rng(2026);
+  BufWriter w;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble(-1e12, 1e12);
+    values.push_back(v);
+    w.PutDouble(v);
+  }
+  BufReader r(w.buffer());
+  for (const double v : values) {
+    double out = 0;
+    ASSERT_TRUE(r.ReadDouble(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, TruncatedDoubleFailsAtEveryPrefixLength) {
+  BufWriter w;
+  w.PutDouble(2.718281828459045);
+  const std::vector<uint8_t>& full = w.buffer();
+  ASSERT_EQ(full.size(), sizeof(double));
+  for (size_t len = 0; len < full.size(); ++len) {
+    BufReader r(full.data(), len);
+    double out = 0;
+    EXPECT_EQ(r.ReadDouble(&out).code(), StatusCode::kCorruption)
+        << "prefix length " << len;
+    // A failed read must not consume input.
+    EXPECT_EQ(r.remaining(), len);
+  }
+}
+
+TEST(WireTest, TruncationSweepNeverCrashes) {
+  // A realistic mixed message: every prefix of it must decode to a clean
+  // Corruption (never a crash, never a bogus success of the full message).
+  BufWriter w;
+  w.PutVarint(42);
+  w.PutDouble(1.5);
+  w.PutVarintSigned(-12345);
+  w.PutBytes("payload");
+  w.PutU32(0xfeedface);
+  const std::vector<uint8_t> full = w.Release();
+  for (size_t len = 0; len < full.size(); ++len) {
+    BufReader r(full.data(), len);
+    uint64_t u = 0;
+    double d = 0;
+    int64_t s = 0;
+    std::vector<uint8_t> bytes;
+    uint32_t u32 = 0;
+    Status st = r.ReadVarint(&u);
+    if (st.ok()) st = r.ReadDouble(&d);
+    if (st.ok()) st = r.ReadVarintSigned(&s);
+    if (st.ok()) st = r.ReadBytes(&bytes);
+    if (st.ok()) st = r.ReadU32(&u32);
+    EXPECT_EQ(st.code(), StatusCode::kCorruption) << "prefix length " << len;
+  }
+  // The untruncated message round-trips.
+  BufReader r(full.data(), full.size());
+  uint64_t u = 0;
+  double d = 0;
+  int64_t s = 0;
+  std::vector<uint8_t> bytes;
+  uint32_t u32 = 0;
+  ASSERT_TRUE(r.ReadVarint(&u).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  ASSERT_TRUE(r.ReadVarintSigned(&s).ok());
+  ASSERT_TRUE(r.ReadBytes(&bytes).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  EXPECT_EQ(u, 42u);
+  EXPECT_EQ(d, 1.5);
+  EXPECT_EQ(s, -12345);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "payload");
+  EXPECT_EQ(u32, 0xfeedfaceu);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, GarbageBytesNeverCrashReader) {
+  // Random byte soup through every read path; all outcomes must be clean
+  // Status results.
+  Rng rng(424242);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> junk(rng.UniformInt(64));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.UniformInt(256));
+    BufReader r(junk.data(), junk.size());
+    uint64_t u = 0;
+    std::vector<uint8_t> bytes;
+    while (r.ReadVarint(&u).ok() && r.ReadBytes(&bytes).ok()) {
+    }
+  }
 }
 
 TEST(WireTest, RandomizedVarintRoundTrip) {

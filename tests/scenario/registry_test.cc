@@ -1,0 +1,113 @@
+#include "scenario/registry.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenario/executor.h"
+#include "scenario/spec.h"
+#include "scenario/trial.h"
+
+namespace dynagg {
+namespace scenario {
+namespace {
+
+TEST(RegistryTest, FindMissReturnsNotFoundListingNames) {
+  Registry<int> reg("widget");
+  ASSERT_TRUE(reg.Register("alpha", 1).ok());
+  ASSERT_TRUE(reg.Register("beta", 2).ok());
+  const Result<int> miss = reg.Find("gamma");
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(miss.status().message().find("gamma"), std::string::npos);
+  EXPECT_NE(miss.status().message().find("alpha"), std::string::npos);
+  EXPECT_NE(miss.status().message().find("beta"), std::string::npos);
+}
+
+TEST(RegistryTest, DuplicateRegistrationIsError) {
+  Registry<int> reg("widget");
+  ASSERT_TRUE(reg.Register("alpha", 1).ok());
+  const Status st = reg.Register("alpha", 2);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  // The original registration survives.
+  EXPECT_EQ(reg.Find("alpha").value(), 1);
+}
+
+TEST(RegistryTest, NamesAreSorted) {
+  Registry<int> reg("widget");
+  ASSERT_TRUE(reg.Register("zeta", 1).ok());
+  ASSERT_TRUE(reg.Register("alpha", 2).ok());
+  const std::vector<std::string> names = reg.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(BuiltinRegistryTest, ProtocolCatalogIsComplete) {
+  for (const char* name :
+       {"push-sum", "push-sum-revert", "epoch-push-sum", "full-transfer",
+        "extremes", "count-sketch", "count-sketch-reset", "tag-tree"}) {
+    EXPECT_TRUE(ProtocolRegistry().Find(name).ok()) << name;
+  }
+}
+
+TEST(BuiltinRegistryTest, EnvironmentCatalogIsComplete) {
+  for (const char* name :
+       {"uniform", "spatial", "random-graph", "haggle"}) {
+    EXPECT_TRUE(EnvironmentRegistry().Find(name).ok()) << name;
+  }
+}
+
+TEST(BuiltinRegistryTest, UnknownProtocolFailsExperimentCleanly) {
+  ScenarioSpec spec;
+  spec.protocol = "no-such-protocol";
+  spec.hosts = 10;
+  const Result<CsvTable> table = RunExperiment(spec);
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("no-such-protocol"),
+            std::string::npos);
+}
+
+TEST(BuiltinRegistryTest, UnknownEnvironmentFailsExperimentCleanly) {
+  ScenarioSpec spec;
+  spec.protocol = "push-sum";
+  spec.environment = "no-such-env";
+  spec.hosts = 10;
+  const Result<CsvTable> table = RunExperiment(spec);
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("no-such-env"),
+            std::string::npos);
+}
+
+// A workload registered from outside the engine becomes runnable from a
+// spec without touching the runner: the whole point of the registries.
+TEST(BuiltinRegistryTest, CustomProtocolPlugsIntoExecutor) {
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    ASSERT_TRUE(ProtocolRegistry()
+                    .Register("test-constant",
+                              [](const TrialContext& ctx)
+                                  -> Result<TrialResult> {
+                                TrialResult out;
+                                out.columns = {"seed_lo"};
+                                out.rows.push_back({static_cast<double>(
+                                    ctx.trial_seed % 1000)});
+                                return out;
+                              })
+                    .ok());
+  }
+  ScenarioSpec spec;
+  spec.name = "custom";
+  spec.protocol = "test-constant";
+  spec.hosts = 1;
+  spec.seed = 123456;
+  const Result<CsvTable> table = RunExperiment(spec);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->num_rows(), 1);
+  EXPECT_DOUBLE_EQ(table->row(0)[0], 456.0);
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace dynagg

@@ -1,0 +1,179 @@
+#include "scenario/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace dynagg {
+namespace scenario {
+namespace {
+
+TEST(ParseHelpersTest, StrictInt64) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64(" -7 ").value(), -7);
+  EXPECT_EQ(ParseInt64("0x10").value(), 16);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("999999999999999999999999").ok());
+}
+
+TEST(ParseHelpersTest, StrictDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.25").value(), 0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e-3").value(), 1e-3);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("0.25furlongs").ok());
+}
+
+TEST(ParseHelpersTest, StrictBool) {
+  EXPECT_TRUE(ParseBool("true").value());
+  EXPECT_TRUE(ParseBool("1").value());
+  EXPECT_FALSE(ParseBool("off").value());
+  EXPECT_FALSE(ParseBool("maybe").ok());
+}
+
+TEST(SpecParseTest, MinimalFileUsesDefaults) {
+  const auto specs =
+      ParseScenarioFile("protocol = push-sum\n", "from_file");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 1u);
+  const ScenarioSpec& spec = (*specs)[0];
+  EXPECT_EQ(spec.name, "from_file");
+  EXPECT_EQ(spec.protocol, "push-sum");
+  EXPECT_EQ(spec.environment, "uniform");
+  EXPECT_EQ(spec.rounds, 200);
+  EXPECT_EQ(spec.trials, 1);
+  EXPECT_EQ(spec.format, "csv");
+  EXPECT_TRUE(spec.sweep_key.empty());
+}
+
+TEST(SpecParseTest, FullFileWithCommentsAndParams) {
+  const char* text =
+      "# header comment\n"
+      "name = my_exp   # trailing comment\n"
+      "protocol = push-sum-revert\n"
+      "environment = spatial\n"
+      "hosts = 1024\n"
+      "rounds = 60\n"
+      "trials = 5\n"
+      "seed = 20090401\n"
+      "\n"
+      "protocol.lambda = 0.05\n"
+      "env.width = 32\n"
+      "failure.kind = churn\n"
+      "record.kind = tail_mean\n"
+      "seeds.round_stream = 77\n";
+  const auto specs = ParseScenarioFile(text);
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  const ScenarioSpec& spec = (*specs)[0];
+  EXPECT_EQ(spec.name, "my_exp");
+  EXPECT_EQ(spec.hosts, 1024);
+  EXPECT_EQ(spec.rounds, 60);
+  EXPECT_EQ(spec.trials, 5);
+  EXPECT_EQ(spec.seed, 20090401u);
+  EXPECT_DOUBLE_EQ(spec.ParamDouble("protocol.lambda", 0).value(), 0.05);
+  EXPECT_EQ(spec.ParamInt("env.width", 0).value(), 32);
+  EXPECT_EQ(spec.ParamString("failure.kind", "").value(), "churn");
+  EXPECT_EQ(spec.ParamInt("seeds.round_stream", 1).value(), 77);
+  // Absent keys fall back to the caller's default.
+  EXPECT_EQ(spec.ParamInt("env.height", 99).value(), 99);
+}
+
+TEST(SpecParseTest, SectionsInheritAndOverrideGlobals) {
+  const char* text =
+      "name = base\n"
+      "hosts = 100\n"
+      "seed = 7\n"
+      "protocol.lambda = 0.5\n"
+      "\n"
+      "[a]\n"
+      "protocol = push-sum\n"
+      "\n"
+      "[b]\n"
+      "protocol = push-sum-revert\n"
+      "hosts = 200\n"
+      "protocol.lambda = 0.9\n";
+  const auto specs = ParseScenarioFile(text);
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 2u);
+  EXPECT_EQ((*specs)[0].name, "base/a");
+  EXPECT_EQ((*specs)[0].hosts, 100);
+  EXPECT_EQ((*specs)[0].seed, 7u);
+  EXPECT_DOUBLE_EQ((*specs)[0].ParamDouble("protocol.lambda", 0).value(),
+                   0.5);
+  EXPECT_EQ((*specs)[1].name, "base/b");
+  EXPECT_EQ((*specs)[1].hosts, 200);
+  EXPECT_DOUBLE_EQ((*specs)[1].ParamDouble("protocol.lambda", 0).value(),
+                   0.9);
+}
+
+TEST(SpecParseTest, SweepParses) {
+  const auto specs = ParseScenarioFile(
+      "protocol = push-sum-revert\n"
+      "sweep = protocol.lambda: 0, 0.001, 0.5\n");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  const ScenarioSpec& spec = (*specs)[0];
+  EXPECT_EQ(spec.sweep_key, "protocol.lambda");
+  ASSERT_EQ(spec.sweep_values.size(), 3u);
+  EXPECT_DOUBLE_EQ(spec.sweep_values[1], 0.001);
+}
+
+TEST(SpecParseTest, SweepOverHostsParses) {
+  const auto specs = ParseScenarioFile(
+      "protocol = push-sum\nsweep = hosts: 1000, 10000\n");
+  ASSERT_TRUE(specs.ok());
+  EXPECT_EQ((*specs)[0].sweep_key, "hosts");
+}
+
+TEST(SpecParseTest, UnknownTopLevelKeyIsErrorWithLineNumber) {
+  const auto specs = ParseScenarioFile(
+      "protocol = push-sum\n"
+      "prtocol = typo\n");
+  ASSERT_FALSE(specs.ok());
+  EXPECT_EQ(specs.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(specs.status().message().find("line 2"), std::string::npos)
+      << specs.status().ToString();
+  EXPECT_NE(specs.status().message().find("prtocol"), std::string::npos);
+}
+
+TEST(SpecParseTest, BadValueIsError) {
+  EXPECT_FALSE(ParseScenarioFile("protocol = p\nhosts = many\n").ok());
+  EXPECT_FALSE(ParseScenarioFile("protocol = p\nrounds = 0\n").ok());
+  EXPECT_FALSE(ParseScenarioFile("protocol = p\nformat = xml\n").ok());
+  EXPECT_FALSE(
+      ParseScenarioFile("protocol = p\nsweep = lambda 0,1\n").ok());
+  EXPECT_FALSE(
+      ParseScenarioFile("protocol = p\nsweep = oops.key: 1\n").ok());
+  EXPECT_FALSE(ParseScenarioFile("protocol = p\n[unterminated\n").ok());
+  EXPECT_FALSE(ParseScenarioFile("protocol = p\nno_equals_sign\n").ok());
+}
+
+TEST(SpecParseTest, MissingProtocolIsError) {
+  const auto specs = ParseScenarioFile("hosts = 10\n");
+  ASSERT_FALSE(specs.ok());
+  EXPECT_NE(specs.status().message().find("protocol"), std::string::npos);
+}
+
+TEST(SpecParseTest, BadParamValueSurfacesKeyName) {
+  const auto specs =
+      ParseScenarioFile("protocol = p\nprotocol.lambda = abc\n");
+  ASSERT_TRUE(specs.ok());  // stored as string; typed access fails
+  const auto lambda = (*specs)[0].ParamDouble("protocol.lambda", 0);
+  ASSERT_FALSE(lambda.ok());
+  EXPECT_NE(lambda.status().message().find("protocol.lambda"),
+            std::string::npos);
+}
+
+TEST(SpecParseTest, CheckParamsRejectsUnknownSuffix) {
+  const auto specs = ParseScenarioFile(
+      "protocol = p\nprotocol.lamda = 0.5\n");  // typo'd suffix
+  ASSERT_TRUE(specs.ok());
+  const Status st =
+      (*specs)[0].CheckParams("protocol.", {"lambda", "mode"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("protocol.lamda"), std::string::npos);
+  // Other prefixes are not this factory's concern.
+  EXPECT_TRUE((*specs)[0].CheckParams("env.", {}).ok());
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace dynagg

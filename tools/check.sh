@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verify sequence (CI entrypoint): configure, build, ctest.
+# Usage: tools/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+# cd instead of --test-dir: the latter needs ctest >= 3.20, the project's
+# declared minimum is 3.16.
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")

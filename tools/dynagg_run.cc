@@ -1,0 +1,149 @@
+// dynagg_run: execute declarative scenario files.
+//
+//   dynagg_run [--threads=N] [--output=PATH] [--format=csv|jsonl] \
+//              file.scenario [more.scenario ...]
+//       Run every experiment in each file and write its metric table to
+//       the spec's `output` (default stdout). --output / --format override
+//       the spec for all experiments (useful for quick redirection).
+//   dynagg_run --list
+//       Print the registered protocols and environments.
+//
+// Exit status: 0 on success, 1 on any experiment error, 2 on usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "scenario/executor.h"
+#include "scenario/sink.h"
+#include "scenario/spec.h"
+#include "scenario/trial.h"
+
+namespace dynagg {
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+/// "bench/scenarios/foo.scenario" -> "foo".
+std::string FileStem(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path
+                                                : path.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return name;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dynagg_run [--threads=N] [--output=PATH] "
+      "[--format=csv|jsonl] file.scenario...\n"
+      "       dynagg_run --list\n");
+  return 2;
+}
+
+int ListRegistries() {
+  std::printf("protocols:\n");
+  for (const auto& name : scenario::ProtocolRegistry().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("environments:\n");
+  for (const auto& name : scenario::EnvironmentRegistry().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  std::string output_override;
+  std::string format_override;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") return ListRegistries();
+    if (arg.rfind("--threads=", 0) == 0) {
+      Result<int64_t> v = scenario::ParseInt64(arg.substr(10));
+      if (!v.ok() || *v < 1) {
+        std::fprintf(stderr, "dynagg_run: bad --threads value\n");
+        return 2;
+      }
+      threads = static_cast<int>(*v);
+    } else if (arg.rfind("--output=", 0) == 0) {
+      output_override = arg.substr(9);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format_override = arg.substr(9);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "dynagg_run: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage();
+
+  // Paths already written this invocation: the first experiment truncates,
+  // later ones append, so experiments sharing one output file all survive.
+  std::set<std::string> written_paths;
+  for (const std::string& file : files) {
+    Result<std::string> text = ReadFile(file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "dynagg_run: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    Result<std::vector<scenario::ScenarioSpec>> specs =
+        scenario::ParseScenarioFile(*text, FileStem(file));
+    if (!specs.ok()) {
+      std::fprintf(stderr, "dynagg_run: %s: %s\n", file.c_str(),
+                   specs.status().ToString().c_str());
+      return 1;
+    }
+    for (const scenario::ScenarioSpec& spec : *specs) {
+      Result<CsvTable> table = scenario::RunExperiment(spec, threads);
+      if (!table.ok()) {
+        std::fprintf(stderr, "dynagg_run: %s: %s\n", file.c_str(),
+                     table.status().ToString().c_str());
+        return 1;
+      }
+      const std::string output =
+          output_override.empty() ? spec.output : output_override;
+      const std::string format =
+          format_override.empty() ? spec.format : format_override;
+      const bool append =
+          output != "-" && !written_paths.insert(output).second;
+      const Status st =
+          scenario::WriteTable(*table, spec.name, format, output, append);
+      if (!st.ok()) {
+        std::fprintf(stderr, "dynagg_run: %s: %s\n", file.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dynagg
+
+int main(int argc, char** argv) { return dynagg::Run(argc, argv); }
