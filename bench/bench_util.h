@@ -43,15 +43,6 @@ class Flags {
     const auto it = values_.find(key);
     return it == values_.end() ? def : std::stoll(it->second);
   }
-  double Double(const std::string& key, double def) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? def : std::stod(it->second);
-  }
-  bool Bool(const std::string& key, bool def) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return def;
-    return it->second != "0" && it->second != "false";
-  }
 
  private:
   std::map<std::string, std::string> values_;

@@ -110,11 +110,29 @@ void CsvTable::AddRow(const std::vector<double>& row) {
   rows_.push_back(row);
 }
 
+namespace {
+
+/// RFC 4180 field escaping for header cells: quote when the cell contains
+/// a separator, quote or newline, doubling embedded quotes. Values are
+/// numeric and never need escaping.
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string CsvTable::ToCsv() const {
   std::string out;
   for (size_t i = 0; i < columns_.size(); ++i) {
     if (i > 0) out += ',';
-    out += columns_[i];
+    out += CsvEscape(columns_[i]);
   }
   out += '\n';
   char buf[64];

@@ -1,7 +1,9 @@
 #include "scenario/executor.h"
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <map>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -14,81 +16,510 @@ namespace scenario {
 
 namespace {
 
-/// Applies one sweep override to a copy of the spec. Doubles are stored
-/// with %.17g so the runner parses back the exact swept value.
-Result<ScenarioSpec> ApplySweep(const ScenarioSpec& spec, double value) {
+/// Applies one sweep override for `key` to a copy of the spec. Doubles are
+/// stored with %.17g so the runner parses back the exact swept value.
+Result<ScenarioSpec> ApplySweepKey(const ScenarioSpec& spec,
+                                   const std::string& key, double value) {
   ScenarioSpec out = spec;
-  if (spec.sweep_key == "hosts" || spec.sweep_key == "rounds") {
+  if (key == "hosts" || key == "rounds") {
     const auto v = static_cast<int64_t>(value);
     if (v <= 0 || static_cast<double>(v) != value) {
-      return Status::InvalidArgument(
-          "sweep over " + spec.sweep_key +
-          " requires positive integer values");
+      return Status::InvalidArgument("sweep over " + key +
+                                     " requires positive integer values");
     }
-    (spec.sweep_key == "hosts" ? out.hosts : out.rounds) =
-        static_cast<int>(v);
+    (key == "hosts" ? out.hosts : out.rounds) = static_cast<int>(v);
   } else {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", value);
-    out.params[spec.sweep_key] = buf;
+    out.params[key] = buf;
   }
   return out;
 }
 
-/// Column header for the sweep: the last path segment of the swept key
+/// Column header for a sweep: the last path segment of the swept key
 /// ("protocol.lambda" -> "lambda"), matching the legacy bench tables.
 std::string SweepColumnName(const std::string& sweep_key) {
   const size_t dot = sweep_key.rfind('.');
   return dot == std::string::npos ? sweep_key : sweep_key.substr(dot + 1);
 }
 
+/// How units map onto the (sweep, sweep2, trial) axes and which axis
+/// columns the assembled tables carry.
+struct AxisLayout {
+  bool has_sweep = false;
+  bool has_sweep2 = false;
+  bool has_trial = false;  // trial column present (trials > 1, no aggregate)
+  int num_sweep = 1;
+  int num_sweep2 = 1;
+  int trials = 1;
+
+  int num_units() const { return num_sweep * num_sweep2 * trials; }
+  int num_cells() const { return num_sweep * num_sweep2; }
+  int sweep_index(int unit) const { return unit / (num_sweep2 * trials); }
+  int sweep2_index(int unit) const { return (unit / trials) % num_sweep2; }
+  int trial(int unit) const { return unit % trials; }
+
+  std::vector<std::string> ColumnNames(const ScenarioSpec& spec) const {
+    std::vector<std::string> columns;
+    if (has_sweep) columns.push_back(SweepColumnName(spec.sweep_key));
+    if (has_sweep2) {
+      std::string name = SweepColumnName(spec.sweep2_key);
+      // "protocol.lambda" vs "env.lambda" would collide; disambiguate.
+      if (has_sweep && name == columns.back()) name += "2";
+      columns.push_back(name);
+    }
+    if (has_trial) columns.push_back("trial");
+    return columns;
+  }
+
+  /// Axis values of `unit` (cell axes only when `with_trial` is false).
+  std::vector<double> Values(const ScenarioSpec& spec, int unit,
+                             bool with_trial) const {
+    std::vector<double> values;
+    if (has_sweep) values.push_back(spec.sweep_values[sweep_index(unit)]);
+    if (has_sweep2) values.push_back(spec.sweep2_values[sweep2_index(unit)]);
+    if (has_trial && with_trial) {
+      values.push_back(static_cast<double>(trial(unit)));
+    }
+    return values;
+  }
+};
+
+std::string UnitError(const ScenarioSpec& spec, int unit,
+                      const std::string& what) {
+  return "experiment '" + spec.name + "' unit " + std::to_string(unit) +
+         ": " + what;
+}
+
+/// Verifies that `batch` has the same record structure as `proto` (same
+/// names, same order, same metadata) — the record-level analogue of the old
+/// "trials reported inconsistent column sets" check.
+Status CheckSameStructure(const ScenarioSpec& spec, const RecordBatch& proto,
+                          const RecordBatch& batch, int unit) {
+  const auto mismatch = [&](const std::string& what) {
+    return Status::InvalidArgument(
+        UnitError(spec, unit, "inconsistent record structure (" + what +
+                                  ") across trials"));
+  };
+  if (batch.scalars.size() != proto.scalars.size()) {
+    return mismatch("scalar count");
+  }
+  for (size_t i = 0; i < proto.scalars.size(); ++i) {
+    if (batch.scalars[i].name != proto.scalars[i].name) {
+      return mismatch("scalar '" + batch.scalars[i].name + "'");
+    }
+  }
+  if (batch.series.size() != proto.series.size()) {
+    return mismatch("series count");
+  }
+  for (size_t i = 0; i < proto.series.size(); ++i) {
+    if (batch.series[i].name != proto.series[i].name ||
+        batch.series[i].x_name != proto.series[i].x_name) {
+      return mismatch("series '" + batch.series[i].name + "'");
+    }
+  }
+  if (batch.histograms.size() != proto.histograms.size()) {
+    return mismatch("histogram count");
+  }
+  for (size_t i = 0; i < proto.histograms.size(); ++i) {
+    const HistogramRecord& a = proto.histograms[i];
+    const HistogramRecord& b = batch.histograms[i];
+    // min_key_total is deliberately NOT compared here: it may scale with a
+    // swept parameter (fig06's n/100 + 1 under a hosts sweep) and only has
+    // to agree across the trials of one cell (checked in
+    // AssembleHistogram).
+    if (a.label != b.label || a.key_name != b.key_name ||
+        a.bucket_name != b.bucket_name || a.value_name != b.value_name ||
+        a.cumulative != b.cumulative) {
+      return mismatch("histogram '" + b.label + "'");
+    }
+  }
+  if (batch.has_bandwidth != proto.has_bandwidth) {
+    return mismatch("bandwidth record");
+  }
+  return Status::OK();
+}
+
+double StatValue(const RunningStat& stat, const std::string& aggregate) {
+  if (aggregate == "mean") return stat.mean();
+  // Sample stddev: the conventional trial-to-trial spread estimate.
+  if (aggregate == "stddev") return std::sqrt(stat.sample_variance());
+  if (aggregate == "min") return stat.min();
+  return stat.max();
+}
+
+/// Flattens a batch's summary values: scalars, then bandwidth columns.
+std::vector<double> SummaryValues(const RecordBatch& batch) {
+  std::vector<double> values;
+  values.reserve(batch.scalars.size() + (batch.has_bandwidth ? 3 : 0));
+  for (const ScalarRecord& s : batch.scalars) values.push_back(s.value);
+  if (batch.has_bandwidth) {
+    values.push_back(batch.bandwidth.msgs_per_host_round);
+    values.push_back(batch.bandwidth.bytes_per_host_round);
+    values.push_back(batch.bandwidth.state_bytes);
+  }
+  return values;
+}
+
+std::vector<std::string> SummaryColumns(const RecordBatch& batch) {
+  std::vector<std::string> columns;
+  for (const ScalarRecord& s : batch.scalars) columns.push_back(s.name);
+  if (batch.has_bandwidth) {
+    columns.push_back("msgs_per_host_round");
+    columns.push_back("bytes_per_host_round");
+    columns.push_back("state_bytes");
+  }
+  return columns;
+}
+
+/// Assembles the summary table (scalars + bandwidth), one row per unit, or
+/// one row per cell with aggregate columns.
+Result<ResultTable> AssembleSummary(const ScenarioSpec& spec,
+                                    const AxisLayout& axes,
+                                    const std::vector<RecordBatch>& batches) {
+  const std::vector<std::string> value_columns = SummaryColumns(batches[0]);
+  std::vector<std::string> columns = axes.ColumnNames(spec);
+  if (spec.aggregates.empty()) {
+    columns.insert(columns.end(), value_columns.begin(), value_columns.end());
+    CsvTable table(columns);
+    for (int unit = 0; unit < axes.num_units(); ++unit) {
+      std::vector<double> row = axes.Values(spec, unit, /*with_trial=*/true);
+      const std::vector<double> values = SummaryValues(batches[unit]);
+      row.insert(row.end(), values.begin(), values.end());
+      table.AddRow(row);
+    }
+    return ResultTable{"summary", std::move(table)};
+  }
+  for (const std::string& col : value_columns) {
+    for (const std::string& agg : spec.aggregates) {
+      columns.push_back(col + "_" + agg);
+    }
+  }
+  CsvTable table(columns);
+  for (int cell = 0; cell < axes.num_cells(); ++cell) {
+    const int base = cell * axes.trials;
+    std::vector<RunningStat> stats(value_columns.size());
+    for (int t = 0; t < axes.trials; ++t) {
+      const std::vector<double> values = SummaryValues(batches[base + t]);
+      for (size_t c = 0; c < values.size(); ++c) stats[c].Add(values[c]);
+    }
+    std::vector<double> row = axes.Values(spec, base, /*with_trial=*/false);
+    for (const RunningStat& stat : stats) {
+      for (const std::string& agg : spec.aggregates) {
+        row.push_back(StatValue(stat, agg));
+      }
+    }
+    table.AddRow(row);
+  }
+  return ResultTable{"summary", std::move(table)};
+}
+
+/// Assembles the series table: one row per (unit, x) — or per (cell, x)
+/// with aggregation, matching points by x position across trials.
+Result<ResultTable> AssembleSeries(const ScenarioSpec& spec,
+                                   const AxisLayout& axes,
+                                   const std::vector<RecordBatch>& batches) {
+  const std::vector<SeriesRecord>& proto = batches[0].series;
+  const std::string& x_name = proto[0].x_name;
+  for (const SeriesRecord& s : proto) {
+    if (s.x_name != x_name) {
+      return Status::InvalidArgument(
+          "experiment '" + spec.name + "': series '" + s.name +
+          "' uses x axis '" + s.x_name + "' but '" + proto[0].name +
+          "' uses '" + x_name + "' (one series table per experiment)");
+    }
+  }
+  // Within one unit every series must sample the same x values (they are
+  // emitted from the same round loop).
+  const auto check_unit_spine = [&](const RecordBatch& batch,
+                                    int unit) -> Status {
+    const std::vector<SeriesRecord::Point>& spine = batch.series[0].points;
+    for (const SeriesRecord& s : batch.series) {
+      if (s.points.size() != spine.size()) {
+        return Status::InvalidArgument(UnitError(
+            spec, unit, "series '" + s.name + "' has a different length"));
+      }
+      for (size_t p = 0; p < spine.size(); ++p) {
+        if (s.points[p].x != spine[p].x) {
+          return Status::InvalidArgument(UnitError(
+              spec, unit, "series '" + s.name + "' has mismatched x values"));
+        }
+      }
+    }
+    return Status::OK();
+  };
+  for (int unit = 0; unit < axes.num_units(); ++unit) {
+    DYNAGG_RETURN_IF_ERROR(check_unit_spine(batches[unit], unit));
+  }
+
+  std::vector<std::string> columns = axes.ColumnNames(spec);
+  columns.push_back(x_name);
+  if (spec.aggregates.empty()) {
+    for (const SeriesRecord& s : proto) columns.push_back(s.name);
+    CsvTable table(columns);
+    for (int unit = 0; unit < axes.num_units(); ++unit) {
+      const RecordBatch& batch = batches[unit];
+      const std::vector<double> axis_values =
+          axes.Values(spec, unit, /*with_trial=*/true);
+      for (size_t p = 0; p < batch.series[0].points.size(); ++p) {
+        std::vector<double> row = axis_values;
+        row.push_back(batch.series[0].points[p].x);
+        for (const SeriesRecord& s : batch.series) {
+          row.push_back(s.points[p].value);
+        }
+        table.AddRow(row);
+      }
+    }
+    return ResultTable{"series", std::move(table)};
+  }
+  for (const SeriesRecord& s : proto) {
+    for (const std::string& agg : spec.aggregates) {
+      columns.push_back(s.name + "_" + agg);
+    }
+  }
+  CsvTable table(columns);
+  for (int cell = 0; cell < axes.num_cells(); ++cell) {
+    const int base = cell * axes.trials;
+    // Aggregation matches points by x across a cell's trials, so every
+    // trial must have recorded the identical x spine.
+    const std::vector<SeriesRecord::Point>& spine =
+        batches[base].series[0].points;
+    for (int t = 1; t < axes.trials; ++t) {
+      const std::vector<SeriesRecord::Point>& other =
+          batches[base + t].series[0].points;
+      if (other.size() != spine.size()) {
+        return Status::InvalidArgument(UnitError(
+            spec, base + t,
+            "series length differs across trials; cannot aggregate"));
+      }
+      for (size_t p = 0; p < spine.size(); ++p) {
+        if (other[p].x != spine[p].x) {
+          return Status::InvalidArgument(UnitError(
+              spec, base + t,
+              "series x values differ across trials; cannot aggregate"));
+        }
+      }
+    }
+    const std::vector<double> axis_values =
+        axes.Values(spec, base, /*with_trial=*/false);
+    for (size_t p = 0; p < spine.size(); ++p) {
+      std::vector<double> row = axis_values;
+      row.push_back(spine[p].x);
+      for (size_t s = 0; s < proto.size(); ++s) {
+        RunningStat stat;
+        for (int t = 0; t < axes.trials; ++t) {
+          stat.Add(batches[base + t].series[s].points[p].value);
+        }
+        for (const std::string& agg : spec.aggregates) {
+          row.push_back(StatValue(stat, agg));
+        }
+      }
+      table.AddRow(row);
+    }
+  }
+  return ResultTable{"series", std::move(table)};
+}
+
+/// Emits one histogram's rows for a bucket sequence: cumulative fraction
+/// (or raw count) per bucket, grouped by key. Key groups whose total stays
+/// below meta.min_key_total are suppressed here — after any cross-trial
+/// pooling — so runners can emit a structurally fixed bucket layout and
+/// still skip effectively-empty groups (fig06's sparse counter levels).
+void EmitHistogramRows(const HistogramRecord& meta,
+                       const std::vector<HistogramRecord::Bucket>& buckets,
+                       const std::vector<double>& axis_values,
+                       CsvTable* table) {
+  std::map<double, int64_t> totals;
+  for (const HistogramRecord::Bucket& b : buckets) totals[b.key] += b.count;
+  std::map<double, int64_t> running;
+  for (const HistogramRecord::Bucket& b : buckets) {
+    if (totals[b.key] < meta.min_key_total) continue;
+    double value;
+    if (meta.cumulative) {
+      const int64_t cumulative = (running[b.key] += b.count);
+      const int64_t total = totals[b.key];
+      value = total > 0 ? static_cast<double>(cumulative) /
+                              static_cast<double>(total)
+                        : 0.0;
+    } else {
+      value = static_cast<double>(b.count);
+    }
+    std::vector<double> row = axis_values;
+    if (!meta.key_name.empty()) row.push_back(b.key);
+    row.push_back(b.upper);
+    row.push_back(value);
+    table->AddRow(row);
+  }
+}
+
+/// Assembles histogram record `index` into its own table; under aggregation
+/// the bucket counts of a cell's trials are pooled.
+Result<ResultTable> AssembleHistogram(const ScenarioSpec& spec,
+                                      const AxisLayout& axes,
+                                      const std::vector<RecordBatch>& batches,
+                                      size_t index) {
+  const HistogramRecord& meta = batches[0].histograms[index];
+  std::vector<std::string> columns = axes.ColumnNames(spec);
+  if (!meta.key_name.empty()) columns.push_back(meta.key_name);
+  columns.push_back(meta.bucket_name);
+  columns.push_back(meta.value_name);
+  CsvTable table(columns);
+
+  if (spec.aggregates.empty()) {
+    for (int unit = 0; unit < axes.num_units(); ++unit) {
+      // The unit's own metadata carries its min_key_total (which may scale
+      // with a swept parameter); names were checked identical already.
+      EmitHistogramRows(batches[unit].histograms[index],
+                        batches[unit].histograms[index].buckets,
+                        axes.Values(spec, unit, /*with_trial=*/true), &table);
+    }
+    return ResultTable{meta.label, std::move(table)};
+  }
+  for (int cell = 0; cell < axes.num_cells(); ++cell) {
+    const int base = cell * axes.trials;
+    // Pool counts across the cell's trials; bucket sequences (and the
+    // suppression threshold) must align within the cell.
+    const HistogramRecord& cell_meta = batches[base].histograms[index];
+    std::vector<HistogramRecord::Bucket> pooled = cell_meta.buckets;
+    for (int t = 1; t < axes.trials; ++t) {
+      const HistogramRecord& other = batches[base + t].histograms[index];
+      if (other.buckets.size() != pooled.size() ||
+          other.min_key_total != cell_meta.min_key_total) {
+        return Status::InvalidArgument(UnitError(
+            spec, base + t, "histogram '" + meta.label +
+                                "' buckets differ across trials"));
+      }
+      for (size_t b = 0; b < pooled.size(); ++b) {
+        if (other.buckets[b].key != pooled[b].key ||
+            other.buckets[b].upper != pooled[b].upper) {
+          return Status::InvalidArgument(UnitError(
+              spec, base + t, "histogram '" + meta.label +
+                                  "' buckets differ across trials"));
+        }
+        pooled[b].count += other.buckets[b].count;
+      }
+    }
+    EmitHistogramRows(cell_meta, pooled,
+                      axes.Values(spec, base, /*with_trial=*/false), &table);
+  }
+  return ResultTable{meta.label, std::move(table)};
+}
+
 }  // namespace
 
-Result<CsvTable> RunExperiment(const ScenarioSpec& spec, int threads) {
-  if (spec.protocol.empty()) {
-    return Status::InvalidArgument("experiment '" + spec.name +
-                                   "': no protocol configured");
-  }
+Status ValidateExperiment(const ScenarioSpec& spec) {
+  const auto invalid = [&](const std::string& what) {
+    return Status::InvalidArgument("experiment '" + spec.name + "': " + what);
+  };
+  if (spec.protocol.empty()) return invalid("no protocol configured");
   if (spec.rounds < 1 || spec.trials < 1) {
-    return Status::InvalidArgument("experiment '" + spec.name +
-                                   "': rounds and trials must be >= 1");
+    return invalid("rounds and trials must be >= 1");
   }
-  // Fail fast on unknown names before spinning up workers.
-  DYNAGG_ASSIGN_OR_RETURN(const ProtocolRunner runner,
-                          ProtocolRegistry().Find(spec.protocol));
+  DYNAGG_RETURN_IF_ERROR(ProtocolRegistry().Find(spec.protocol).status());
   DYNAGG_RETURN_IF_ERROR(
       EnvironmentRegistry().Find(spec.environment).status());
+  DYNAGG_RETURN_IF_ERROR(ValidateMetricList(spec.metrics));
+  DYNAGG_RETURN_IF_ERROR(ValidateAggregateList(spec.aggregates));
+  if (!spec.aggregates.empty() && spec.trials < 2) {
+    // A one-trial stddev would silently read 0, faking perfect
+    // reproducibility.
+    return invalid("aggregate requires trials >= 2");
+  }
+  if (!spec.sweep_key.empty() && spec.sweep_values.empty()) {
+    return invalid("sweep over '" + spec.sweep_key + "' has no values");
+  }
+  if (spec.sweep_key.empty() && !spec.sweep_values.empty()) {
+    return invalid("sweep values set without a sweep key");
+  }
+  if (spec.sweep2_key.empty() && !spec.sweep2_values.empty()) {
+    return invalid("sweep2 values set without a sweep2 key");
+  }
+  if (!spec.sweep2_key.empty()) {
+    if (spec.sweep_key.empty()) {
+      return invalid("sweep2 requires a primary sweep");
+    }
+    if (spec.sweep2_key == spec.sweep_key) {
+      return invalid("sweep2 key '" + spec.sweep2_key +
+                     "' duplicates the sweep key");
+    }
+    if (spec.sweep2_values.empty()) {
+      return invalid("sweep2 over '" + spec.sweep2_key + "' has no values");
+    }
+  }
+  // Dry-apply every sweep value so e.g. a fractional hosts sweep fails in
+  // --dry-run, not halfway through a long run.
+  for (const double v : spec.sweep_values) {
+    DYNAGG_RETURN_IF_ERROR(ApplySweepKey(spec, spec.sweep_key, v).status());
+  }
+  for (const double v : spec.sweep2_values) {
+    DYNAGG_RETURN_IF_ERROR(ApplySweepKey(spec, spec.sweep2_key, v).status());
+  }
+  return Status::OK();
+}
 
-  const bool has_sweep = !spec.sweep_key.empty();
-  const int num_sweep =
-      has_sweep ? static_cast<int>(spec.sweep_values.size()) : 1;
-  const int num_units = num_sweep * spec.trials;
+Result<std::vector<ResultTable>> RunExperiment(const ScenarioSpec& spec,
+                                               int threads) {
+  DYNAGG_RETURN_IF_ERROR(ValidateExperiment(spec));
+  DYNAGG_ASSIGN_OR_RETURN(const ProtocolRunner runner,
+                          ProtocolRegistry().Find(spec.protocol));
 
-  std::vector<std::optional<Result<TrialResult>>> slots(num_units);
+  AxisLayout axes;
+  axes.has_sweep = !spec.sweep_key.empty();
+  axes.has_sweep2 = !spec.sweep2_key.empty();
+  axes.num_sweep =
+      axes.has_sweep ? static_cast<int>(spec.sweep_values.size()) : 1;
+  axes.num_sweep2 =
+      axes.has_sweep2 ? static_cast<int>(spec.sweep2_values.size()) : 1;
+  axes.trials = spec.trials;
+  axes.has_trial = spec.trials > 1 && spec.aggregates.empty();
+  const int num_units = axes.num_units();
+
+  std::vector<std::optional<Result<RecordBatch>>> slots(num_units);
   std::atomic<int> next_unit{0};
   const auto worker = [&] {
     for (;;) {
       const int unit = next_unit.fetch_add(1);
       if (unit >= num_units) return;
-      const int sweep_index = unit / spec.trials;
-      const int trial = unit % spec.trials;
 
       ScenarioSpec unit_spec = spec;
       TrialContext ctx;
-      ctx.trial = trial;
-      ctx.trial_seed = TrialSeed(spec.seed, trial);
-      if (has_sweep) {
-        ctx.sweep_index = sweep_index;
-        ctx.sweep_value = spec.sweep_values[sweep_index];
-        Result<ScenarioSpec> swept = ApplySweep(spec, ctx.sweep_value);
-        if (!swept.ok()) {
-          slots[unit].emplace(swept.status());
-          continue;
+      ctx.trial = axes.trial(unit);
+      ctx.trial_seed = TrialSeed(spec.seed, ctx.trial);
+      Status sweep_status = Status::OK();
+      if (axes.has_sweep) {
+        ctx.sweep_index = axes.sweep_index(unit);
+        ctx.sweep_value = spec.sweep_values[ctx.sweep_index];
+        Result<ScenarioSpec> swept =
+            ApplySweepKey(unit_spec, spec.sweep_key, ctx.sweep_value);
+        if (swept.ok()) {
+          unit_spec = std::move(swept).value();
+        } else {
+          sweep_status = swept.status();
         }
-        unit_spec = std::move(swept).value();
+      }
+      if (sweep_status.ok() && axes.has_sweep2) {
+        ctx.sweep2_index = axes.sweep2_index(unit);
+        ctx.sweep2_value = spec.sweep2_values[ctx.sweep2_index];
+        Result<ScenarioSpec> swept =
+            ApplySweepKey(unit_spec, spec.sweep2_key, ctx.sweep2_value);
+        if (swept.ok()) {
+          unit_spec = std::move(swept).value();
+        } else {
+          sweep_status = swept.status();
+        }
+      }
+      if (!sweep_status.ok()) {
+        slots[unit].emplace(sweep_status);
+        continue;
       }
       ctx.spec = &unit_spec;
-      slots[unit].emplace(runner(ctx));
+      Recorder rec;
+      const Status st = runner(ctx, rec);
+      if (st.ok()) {
+        slots[unit].emplace(rec.TakeBatch());
+      } else {
+        slots[unit].emplace(st);
+      }
     }
   };
 
@@ -103,42 +534,45 @@ Result<CsvTable> RunExperiment(const ScenarioSpec& spec, int threads) {
     for (auto& th : pool) th.join();
   }
 
-  // Assemble in deterministic sweep-major unit order.
-  std::vector<std::string> columns;
-  if (has_sweep) columns.push_back(SweepColumnName(spec.sweep_key));
-  if (spec.trials > 1) columns.push_back("trial");
-  std::optional<CsvTable> table;
+  std::vector<RecordBatch> batches;
+  batches.reserve(num_units);
   for (int unit = 0; unit < num_units; ++unit) {
-    const Result<TrialResult>& result = *slots[unit];
+    Result<RecordBatch>& result = *slots[unit];
     if (!result.ok()) {
       return Status::InvalidArgument(
-          "experiment '" + spec.name + "' unit " + std::to_string(unit) +
-          ": " + result.status().ToString());
+          UnitError(spec, unit, result.status().ToString()));
     }
-    if (!table.has_value()) {
-      std::vector<std::string> full = columns;
-      full.insert(full.end(), result->columns.begin(),
-                  result->columns.end());
-      table.emplace(full);
-    } else if (static_cast<int>(columns.size() + result->columns.size()) !=
-               static_cast<int>(table->columns().size())) {
-      return Status::InvalidArgument(
-          "experiment '" + spec.name +
-          "': trials reported inconsistent column sets");
-    }
-    const int sweep_index = unit / spec.trials;
-    const int trial = unit % spec.trials;
-    for (const std::vector<double>& row : result->rows) {
-      std::vector<double> full;
-      full.reserve(columns.size() + row.size());
-      if (has_sweep) full.push_back(spec.sweep_values[sweep_index]);
-      if (spec.trials > 1) full.push_back(static_cast<double>(trial));
-      full.insert(full.end(), row.begin(), row.end());
-      table->AddRow(full);
-    }
+    batches.push_back(std::move(*result));
   }
-  DYNAGG_CHECK(table.has_value());
-  return std::move(*table);
+  for (int unit = 1; unit < num_units; ++unit) {
+    DYNAGG_RETURN_IF_ERROR(
+        CheckSameStructure(spec, batches[0], batches[unit], unit));
+  }
+  const RecordBatch& proto = batches[0];
+  if (proto.scalars.empty() && proto.series.empty() &&
+      proto.histograms.empty() && !proto.has_bandwidth) {
+    return Status::InvalidArgument("experiment '" + spec.name +
+                                   "': trials recorded nothing");
+  }
+
+  // Deterministic merge, in sweep-major unit order throughout.
+  std::vector<ResultTable> out;
+  if (!proto.scalars.empty() || proto.has_bandwidth) {
+    DYNAGG_ASSIGN_OR_RETURN(ResultTable table,
+                            AssembleSummary(spec, axes, batches));
+    out.push_back(std::move(table));
+  }
+  if (!proto.series.empty()) {
+    DYNAGG_ASSIGN_OR_RETURN(ResultTable table,
+                            AssembleSeries(spec, axes, batches));
+    out.push_back(std::move(table));
+  }
+  for (size_t h = 0; h < proto.histograms.size(); ++h) {
+    DYNAGG_ASSIGN_OR_RETURN(ResultTable table,
+                            AssembleHistogram(spec, axes, batches, h));
+    out.push_back(std::move(table));
+  }
+  return out;
 }
 
 }  // namespace scenario

@@ -1,29 +1,50 @@
 // Parallel trial executor.
 //
 // An experiment expands into independent units — one per (sweep value,
-// trial) pair — that are sharded across std::thread workers. Every unit
-// derives all of its randomness from TrialSeed(spec.seed, trial), so the
-// assembled table is a pure function of the spec: running with 1 worker or
-// N workers produces byte-identical output (executor_test asserts this).
+// sweep2 value, trial) triple — that are sharded across std::thread
+// workers. Every unit derives all of its randomness from
+// TrialSeed(spec.seed, trial), so the assembled tables are a pure function
+// of the spec: running with 1 worker or N workers produces byte-identical
+// output (executor_test asserts this).
+//
+// Each unit emits a typed RecordBatch (scenario/trial.h); the executor
+// merges the batches deterministically, in sweep-major unit order, into one
+// table per record group:
+//   - a summary table (scalars + bandwidth), one row per unit;
+//   - one series table (all series share an x axis), one row per x;
+//   - one table per histogram record, one row per bucket.
+// With `aggregate = ...` the trial axis is collapsed instead: scalar,
+// bandwidth and series columns become one column per requested statistic,
+// and histogram bucket counts are pooled before the CDF is computed.
 
 #ifndef DYNAGG_SCENARIO_EXECUTOR_H_
 #define DYNAGG_SCENARIO_EXECUTOR_H_
 
-#include <string>
+#include <vector>
 
-#include "common/stats.h"
 #include "common/status.h"
+#include "scenario/result.h"
 #include "scenario/spec.h"
 
 namespace dynagg {
 namespace scenario {
 
-/// Runs every (sweep value, trial) unit of `spec` on up to `threads`
-/// workers and assembles one table: the sweep column (named after the
-/// swept key's last path segment), a trial column when trials > 1, then the
-/// protocol's metric columns. Unit order in the table is sweep-major and
-/// thread-count independent.
-Result<CsvTable> RunExperiment(const ScenarioSpec& spec, int threads = 1);
+/// Structural validation without executing a trial: registry lookups,
+/// rounds/trials bounds, metric/aggregate grammar, sweep axis sanity
+/// (including that every sweep value is applicable to its key). This is
+/// the whole preflight of RunExperiment and the backing of
+/// `dynagg_run --dry-run`; protocol/environment parameter values are
+/// validated by the factories at execution time.
+Status ValidateExperiment(const ScenarioSpec& spec);
+
+/// Runs every (sweep value, sweep2 value, trial) unit of `spec` on up to
+/// `threads` workers and assembles the result tables. Axis columns come
+/// first in every table: the sweep column (named after the swept key's
+/// last path segment), the sweep2 column, then a trial column when
+/// trials > 1 and no aggregation collapses it. Unit order in the tables is
+/// sweep-major, then sweep2, then trial, and thread-count independent.
+Result<std::vector<ResultTable>> RunExperiment(const ScenarioSpec& spec,
+                                               int threads = 1);
 
 }  // namespace scenario
 }  // namespace dynagg

@@ -2,17 +2,29 @@
 //
 // Round-based protocols (the gossip swarms) share one driver,
 // DriveRoundTrial, which wraps the library's RunRounds harness
-// (sim/round_driver.h) with the spec-declared failure plan, metric
-// recording, and RNG stream layout. The stream conventions deliberately
-// reproduce the legacy bench binaries so a 1-trial scenario is numerically
-// identical to the main() it replaced:
+// (sim/round_driver.h) with the spec-declared failure plan, multi-metric
+// recording, and RNG stream layout. All requested metrics are recorded in
+// ONE pass over the rounds:
+//   - rms                 per-round RMS-deviation series (record.from/every)
+//   - rms_tail_mean       scalar mean RMS over rounds >= record.from
+//   - rounds_to_converge  first round with RMS < record.threshold
+//   - bandwidth           measured traffic via TrafficMeter + state size
+//   - cdf(final_error)    per-host |estimate - truth| CDF after the last
+//                         round (record.cdf_lo/cdf_hi/cdf_buckets)
+// The RNG stream conventions deliberately reproduce the legacy bench
+// binaries so a 1-trial scenario is numerically identical to the main() it
+// replaced:
 //   - values:        Rng(trial_seed), U[0,100) per host;
-//   - gossip rounds: Rng(DeriveSeed(trial_seed, seeds.round_stream));
+//   - gossip rounds: Rng(DeriveSeed(trial_seed, seeds.round_stream)),
+//     where the symbolic value `hosts` resolves to the population size
+//     (the per-size decorrelation convention of fig06);
 //   - failure plan:  Rng(DeriveSeed(trial_seed, seeds.failure_stream)),
 //     where churn plans default the stream to floor(death_prob * 1e5) —
 //     the convention of ablation_tree_vs_gossip.
 // The TAG overlay baseline (tag-tree) owns its whole trial loop because its
-// epochs are tree-depth-sized rather than fixed-length.
+// epochs are tree-depth-sized rather than fixed-length. The node-aggregator
+// protocol drives the serialized NodeAggregator facade (agg/aggregator.h)
+// over the wire format, making the deployment path scenario-reachable.
 
 #include <algorithm>
 #include <cmath>
@@ -22,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "agg/aggregator.h"
 #include "agg/count_sketch.h"
 #include "agg/count_sketch_reset.h"
 #include "agg/epoch_push_sum.h"
@@ -32,6 +45,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "scenario/trial.h"
+#include "sim/bandwidth.h"
 #include "sim/failure.h"
 #include "sim/metrics.h"
 #include "sim/population.h"
@@ -64,33 +78,72 @@ Result<RevertMode> ParseRevertMode(const ScenarioSpec& spec) {
 
 // --------------------------------------------------------- record config ---
 
+/// Which of the round driver's metrics the spec requests.
+struct MetricFlags {
+  bool rms = false;
+  bool tail_mean = false;
+  bool convergence = false;
+  bool bandwidth = false;
+  bool final_error_cdf = false;
+  /// Any selector the caller listed as extra (handled after the loop).
+  bool extra = false;
+
+  bool NeedsRoundEvaluation() const {
+    return rms || tail_mean || convergence;
+  }
+  /// Early convergence stop is only sound when no other metric needs the
+  /// remaining rounds.
+  bool OnlyConvergence() const {
+    return convergence && !rms && !tail_mean && !bandwidth &&
+           !final_error_cdf && !extra;
+  }
+};
+
+/// Validates the spec's metric list against the round driver's catalog plus
+/// the caller's `extra` selectors and flags what is requested.
+Result<MetricFlags> ClassifyDriverMetrics(
+    const ScenarioSpec& spec, const std::vector<std::string>& extra) {
+  std::vector<std::string> supported = {"rms", "rms_tail_mean",
+                                        "rounds_to_converge", "bandwidth",
+                                        "cdf(final_error)"};
+  supported.insert(supported.end(), extra.begin(), extra.end());
+  DYNAGG_RETURN_IF_ERROR(CheckMetricsSupported(spec, supported));
+  MetricFlags flags;
+  flags.rms = MetricRequested(spec, "rms");
+  flags.tail_mean = MetricRequested(spec, "rms_tail_mean");
+  flags.convergence = MetricRequested(spec, "rounds_to_converge");
+  flags.bandwidth = MetricRequested(spec, "bandwidth");
+  flags.final_error_cdf = MetricRequested(spec, "cdf(final_error)");
+  for (const std::string& selector : extra) {
+    flags.extra = flags.extra || MetricRequested(spec, selector);
+  }
+  return flags;
+}
+
 struct RecordConfig {
-  enum class Kind { kPerRound, kTailMean, kConvergence };
-  Kind kind = Kind::kPerRound;
   int from = 0;
   int every = 1;
   double threshold = 1.0;
   bool threshold_relative = false;
+  double cdf_lo = 0.0;
+  double cdf_hi = 0.0;
+  int cdf_buckets = 20;
 };
 
-Result<RecordConfig> ParseRecordConfig(const ScenarioSpec& spec) {
-  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
-      "record.", {"kind", "from", "every", "threshold",
-                  "threshold_relative"}));
-  RecordConfig cfg;
-  DYNAGG_ASSIGN_OR_RETURN(const std::string kind,
-                          spec.ParamString("record.kind", "per_round"));
-  if (kind == "per_round") {
-    cfg.kind = RecordConfig::Kind::kPerRound;
-  } else if (kind == "tail_mean") {
-    cfg.kind = RecordConfig::Kind::kTailMean;
-  } else if (kind == "convergence") {
-    cfg.kind = RecordConfig::Kind::kConvergence;
-  } else {
+Result<RecordConfig> ParseRecordConfig(
+    const ScenarioSpec& spec, const std::vector<std::string>& extra_keys) {
+  if (spec.HasParam("record.kind")) {
     return Status::InvalidArgument(
-        "record.kind must be per_round, tail_mean or convergence, got '" +
-        kind + "'");
+        "record.kind was replaced by the top-level metric list: use "
+        "'record = rms' (per_round), 'record = rms_tail_mean' (tail_mean) "
+        "or 'record = rounds_to_converge' (convergence)");
   }
+  std::vector<std::string> allowed = {
+      "from",   "every",  "threshold", "threshold_relative",
+      "cdf_lo", "cdf_hi", "cdf_buckets"};
+  allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", allowed));
+  RecordConfig cfg;
   DYNAGG_ASSIGN_OR_RETURN(const int64_t from,
                           spec.ParamInt("record.from", 0));
   DYNAGG_ASSIGN_OR_RETURN(const int64_t every,
@@ -100,19 +153,17 @@ Result<RecordConfig> ParseRecordConfig(const ScenarioSpec& spec) {
   DYNAGG_ASSIGN_OR_RETURN(
       cfg.threshold_relative,
       spec.ParamBool("record.threshold_relative", false));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.cdf_lo, spec.ParamDouble("record.cdf_lo", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.cdf_hi, spec.ParamDouble("record.cdf_hi", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t cdf_buckets,
+                          spec.ParamInt("record.cdf_buckets", 20));
   if (from < 0 || every < 1) {
     return Status::InvalidArgument(
         "record.from must be >= 0 and record.every >= 1");
   }
   cfg.from = static_cast<int>(from);
   cfg.every = static_cast<int>(every);
-  if (cfg.kind == RecordConfig::Kind::kTailMean && cfg.from >= spec.rounds) {
-    // An empty averaging window would fabricate a perfect score of 0.
-    return Status::InvalidArgument(
-        "record.from = " + std::to_string(cfg.from) +
-        " leaves no rounds to average (rounds = " +
-        std::to_string(spec.rounds) + ")");
-  }
+  cfg.cdf_buckets = static_cast<int>(cdf_buckets);
   return cfg;
 }
 
@@ -202,6 +253,18 @@ Result<uint64_t> FailureStream(const ScenarioSpec& spec,
   return uint64_t{2};
 }
 
+/// Resolves the gossip-round RNG stream: an integer, or the symbolic value
+/// `hosts` which resolves to the population size `n` (fig06 decorrelates
+/// its per-size runs this way).
+Result<uint64_t> RoundStream(const ScenarioSpec& spec, int n) {
+  DYNAGG_ASSIGN_OR_RETURN(const std::string text,
+                          spec.ParamString("seeds.round_stream", "1"));
+  if (text == "hosts") return static_cast<uint64_t>(n);
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t stream,
+                          spec.ParamInt("seeds.round_stream", 1));
+  return static_cast<uint64_t>(stream);
+}
+
 /// Builds the scripted plan. `values` backs kill_top_fraction and may be
 /// null for protocols without per-host scalar values.
 Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,
@@ -255,25 +318,63 @@ struct RoundHooks {
 };
 
 /// Drives `swarm` for spec.rounds rounds under the spec's environment,
-/// failure plan and recording config. `truth` is re-evaluated every round
-/// over the live population; `failure_values` backs kill_top_fraction.
+/// failure plan and requested metrics, recording everything in one pass.
+/// `truth` is re-evaluated every round over the live population;
+/// `failure_values` backs kill_top_fraction; `state_bytes` is the
+/// protocol's per-host state footprint (bandwidth record). Callers that
+/// handle additional metric selectors after the loop list them in
+/// `extra_metrics` (and extra record.* knobs in `extra_record_keys`).
 template <typename Swarm>
-Result<TrialResult> DriveRoundTrial(
-    const TrialContext& ctx, EnvHandle& env, Swarm& swarm,
-    const std::function<double(HostId)>& estimate,
-    const std::function<double(const Population&)>& truth,
-    const std::vector<double>* failure_values) {
+Status DriveRoundTrial(const TrialContext& ctx, EnvHandle& env, Swarm& swarm,
+                       const std::function<double(HostId)>& estimate,
+                       const std::function<double(const Population&)>& truth,
+                       const std::vector<double>* failure_values,
+                       double state_bytes, Recorder& rec,
+                       const std::vector<std::string>& extra_metrics = {},
+                       const std::vector<std::string>& extra_record_keys =
+                           {}) {
   const ScenarioSpec& spec = *ctx.spec;
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream",
                                                      "failure_stream"}));
-  DYNAGG_ASSIGN_OR_RETURN(const RecordConfig rec, ParseRecordConfig(spec));
+  DYNAGG_ASSIGN_OR_RETURN(const MetricFlags metrics,
+                          ClassifyDriverMetrics(spec, extra_metrics));
+  DYNAGG_ASSIGN_OR_RETURN(const RecordConfig cfg,
+                          ParseRecordConfig(spec, extra_record_keys));
   DYNAGG_ASSIGN_OR_RETURN(const FailureConfig fail, ParseFailureConfig(spec));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t round_stream,
-                          spec.ParamInt("seeds.round_stream", 1));
+  const int n = env.env->num_hosts();
+  DYNAGG_ASSIGN_OR_RETURN(const uint64_t round_stream,
+                          RoundStream(spec, n));
   DYNAGG_ASSIGN_OR_RETURN(const uint64_t fail_stream,
                           FailureStream(spec, fail));
 
-  const int n = env.env->num_hosts();
+  if (metrics.tail_mean && cfg.from >= spec.rounds) {
+    // An empty averaging window would fabricate a perfect score of 0.
+    return Status::InvalidArgument(
+        "record.from = " + std::to_string(cfg.from) +
+        " leaves no rounds to average (rounds = " +
+        std::to_string(spec.rounds) + ")");
+  }
+  if (metrics.final_error_cdf &&
+      (cfg.cdf_buckets < 1 || cfg.cdf_hi <= cfg.cdf_lo)) {
+    return Status::InvalidArgument(
+        "cdf(final_error) needs record.cdf_hi > record.cdf_lo and "
+        "record.cdf_buckets >= 1");
+  }
+
+  constexpr bool kHasMeter = requires(Swarm& s, TrafficMeter* m) {
+    s.set_traffic_meter(m);
+  };
+  TrafficMeter meter;
+  if (metrics.bandwidth) {
+    if constexpr (kHasMeter) {
+      swarm.set_traffic_meter(&meter);
+    } else {
+      return Status::InvalidArgument(
+          "protocol '" + spec.protocol +
+          "' does not support the bandwidth metric");
+    }
+  }
+
   Rng fail_rng(DeriveSeed(ctx.trial_seed, fail_stream));
   DYNAGG_ASSIGN_OR_RETURN(
       const FailurePlan plan,
@@ -284,33 +385,33 @@ Result<TrialResult> DriveRoundTrial(
   }
 
   Population pop(n);
-  Rng rng(DeriveSeed(ctx.trial_seed,
-                     static_cast<uint64_t>(round_stream)));
+  Rng rng(DeriveSeed(ctx.trial_seed, round_stream));
 
-  TrialResult out;
   RunningStat tail;
   int converged_round = -1;
+  const bool early_stop = metrics.OnlyConvergence();
+  // Declare the series up front: a unit whose recording window is empty
+  // (record.from >= its rounds under a rounds sweep) must still carry the
+  // series so batches stay structurally identical across units.
+  if (metrics.rms) rec.MutableSeries("round", "rms");
   const auto on_round_end = [&](int round) {
+    if (!metrics.NeedsRoundEvaluation()) return true;
     const double tr = truth(pop);
     const double rms = RmsDeviationOverAlive(pop, tr, estimate);
-    switch (rec.kind) {
-      case RecordConfig::Kind::kPerRound:
-        if (round >= rec.from && (round - rec.from) % rec.every == 0) {
-          out.rows.push_back({static_cast<double>(round + 1), rms});
-        }
-        break;
-      case RecordConfig::Kind::kTailMean:
-        if (round >= rec.from) tail.Add(rms);
-        break;
-      case RecordConfig::Kind::kConvergence: {
-        const double limit =
-            rec.threshold_relative ? rec.threshold * tr : rec.threshold;
-        if (converged_round < 0 && rms < limit) {
-          converged_round = round + 1;
-          // Later rounds cannot change the result; stop paying for them.
-          return false;
-        }
-        break;
+    if (metrics.rms && round >= cfg.from &&
+        (round - cfg.from) % cfg.every == 0) {
+      rec.AddSeriesPoint("round", "rms", static_cast<double>(round + 1),
+                         rms);
+    }
+    if (metrics.tail_mean && round >= cfg.from) tail.Add(rms);
+    if (metrics.convergence && converged_round < 0) {
+      const double limit =
+          cfg.threshold_relative ? cfg.threshold * tr : cfg.threshold;
+      if (rms < limit) {
+        converged_round = round + 1;
+        // Later rounds cannot change the result; stop paying for them
+        // unless another metric still needs them.
+        if (early_stop) return false;
       }
     }
     return true;
@@ -318,23 +419,49 @@ Result<TrialResult> DriveRoundTrial(
 
   RoundHooks<Swarm> hooks{swarm, env.env.get(), env.advance_period,
                           fail.pin_alive};
-  RunRoundsUntil(hooks, *env.env, pop, plan, spec.rounds, rng,
-                 on_round_end);
+  const int executed = RunRoundsUntil(hooks, *env.env, pop, plan,
+                                      spec.rounds, rng, on_round_end);
 
-  switch (rec.kind) {
-    case RecordConfig::Kind::kPerRound:
-      out.columns = {"round", "rms"};
-      break;
-    case RecordConfig::Kind::kTailMean:
-      out.columns = {"rms_tail_mean"};
-      out.rows.push_back({tail.mean()});
-      break;
-    case RecordConfig::Kind::kConvergence:
-      out.columns = {"rounds_to_converge"};
-      out.rows.push_back({static_cast<double>(converged_round)});
-      break;
+  if (metrics.tail_mean) rec.AddScalar("rms_tail_mean", tail.mean());
+  if (metrics.convergence) {
+    if (converged_round < 0 && !spec.aggregates.empty()) {
+      // Averaging the -1 "never converged" sentinel into mean/stddev would
+      // produce a plausible-looking but meaningless statistic.
+      return Status::InvalidArgument(
+          "trial " + std::to_string(ctx.trial) +
+          " did not converge within " + std::to_string(spec.rounds) +
+          " rounds; rounds_to_converge = -1 cannot be aggregated (raise "
+          "rounds or drop aggregate)");
+    }
+    rec.AddScalar("rounds_to_converge",
+                  static_cast<double>(converged_round));
   }
-  return out;
+  if (metrics.bandwidth) {
+    if constexpr (kHasMeter) {
+      const double denom = static_cast<double>(n) * executed;
+      rec.SetBandwidth(meter.total().messages / denom,
+                       meter.total().bytes / denom, state_bytes);
+    }
+  }
+  if (metrics.final_error_cdf) {
+    Histogram hist(cfg.cdf_lo, cfg.cdf_hi, cfg.cdf_buckets);
+    const double tr = truth(pop);
+    for (const HostId id : pop.alive_ids()) {
+      hist.Add(std::abs(estimate(id) - tr));
+    }
+    HistogramRecord* record = rec.MutableHistogram(
+        "final_error_cdf", /*key_name=*/"", "final_error", "cdf",
+        /*cumulative=*/true);
+    for (int b = 0; b < hist.num_buckets(); ++b) {
+      // Fold the out-of-range tails into the edge buckets so the CDF
+      // reaches 1 over the declared range.
+      int64_t count = hist.bucket_count(b);
+      if (b == 0) count += hist.underflow();
+      if (b == hist.num_buckets() - 1) count += hist.overflow();
+      record->buckets.push_back({0.0, hist.bucket_upper(b), count});
+    }
+  }
+  return Status::OK();
 }
 
 /// Truth callback for averaging protocols.
@@ -353,7 +480,7 @@ Result<int> CheckedHosts(const EnvHandle& env) {
 
 // --------------------------------------------------- averaging protocols ---
 
-Result<TrialResult> RunPushSum(const TrialContext& ctx) {
+Status RunPushSum(const TrialContext& ctx, Recorder& rec) {
   DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams("protocol.", {"mode"}));
   DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
   DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
@@ -362,10 +489,10 @@ Result<TrialResult> RunPushSum(const TrialContext& ctx) {
   PushSumSwarm swarm(values, mode);
   return DriveRoundTrial(
       ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
-      AverageTruth(values), &values);
+      AverageTruth(values), &values, 2.0 * sizeof(double), rec);
 }
 
-Result<TrialResult> RunPushSumRevert(const TrialContext& ctx) {
+Status RunPushSumRevert(const TrialContext& ctx, Recorder& rec) {
   DYNAGG_RETURN_IF_ERROR(
       ctx.spec->CheckParams("protocol.", {"lambda", "mode", "revert"}));
   DYNAGG_ASSIGN_OR_RETURN(const double lambda,
@@ -380,10 +507,10 @@ Result<TrialResult> RunPushSumRevert(const TrialContext& ctx) {
       values, {.lambda = lambda, .mode = mode, .revert = revert});
   return DriveRoundTrial(
       ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
-      AverageTruth(values), &values);
+      AverageTruth(values), &values, 3.0 * sizeof(double), rec);
 }
 
-Result<TrialResult> RunEpochPushSum(const TrialContext& ctx) {
+Status RunEpochPushSum(const TrialContext& ctx, Recorder& rec) {
   DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
       "protocol.", {"epoch_length", "mode", "phase_spread"}));
   DYNAGG_ASSIGN_OR_RETURN(const int64_t epoch_length,
@@ -415,10 +542,10 @@ Result<TrialResult> RunEpochPushSum(const TrialContext& ctx) {
       phases);
   return DriveRoundTrial(
       ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
-      AverageTruth(values), &values);
+      AverageTruth(values), &values, /*state_bytes=*/0.0, rec);
 }
 
-Result<TrialResult> RunFullTransfer(const TrialContext& ctx) {
+Status RunFullTransfer(const TrialContext& ctx, Recorder& rec) {
   DYNAGG_RETURN_IF_ERROR(
       ctx.spec->CheckParams("protocol.", {"lambda", "parcels", "window"}));
   DYNAGG_ASSIGN_OR_RETURN(const double lambda,
@@ -438,12 +565,15 @@ Result<TrialResult> RunFullTransfer(const TrialContext& ctx) {
                           {.lambda = lambda,
                            .parcels = static_cast<int>(parcels),
                            .window = static_cast<int>(window)});
+  // State: the mass plus the estimate window of <weight, value> pairs.
+  const double state_bytes =
+      (2.0 + 2.0 * static_cast<double>(window)) * sizeof(double);
   return DriveRoundTrial(
       ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
-      AverageTruth(values), &values);
+      AverageTruth(values), &values, state_bytes, rec);
 }
 
-Result<TrialResult> RunExtremes(const TrialContext& ctx) {
+Status RunExtremes(const TrialContext& ctx, Recorder& rec) {
   DYNAGG_RETURN_IF_ERROR(
       ctx.spec->CheckParams("protocol.", {"kind", "cutoff", "mode"}));
   DYNAGG_ASSIGN_OR_RETURN(const std::string kind_name,
@@ -483,7 +613,7 @@ Result<TrialResult> RunExtremes(const TrialContext& ctx) {
   };
   return DriveRoundTrial(
       ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); }, truth,
-      &values);
+      &values, /*state_bytes=*/0.0, rec);
 }
 
 // ---------------------------------------------------- counting protocols ---
@@ -506,7 +636,7 @@ std::function<double(const Population&)> CountTruth(
   };
 }
 
-Result<TrialResult> RunCountSketch(const TrialContext& ctx) {
+Status RunCountSketch(const TrialContext& ctx, Recorder& rec) {
   DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
       "protocol.", {"bins", "levels", "mode", "multiplicity"}));
   CountSketchParams params;
@@ -523,12 +653,15 @@ Result<TrialResult> RunCountSketch(const TrialContext& ctx) {
   DYNAGG_ASSIGN_OR_RETURN(const std::vector<int64_t> mult,
                           Multiplicities(ctx, n));
   CountSketchSwarm swarm(mult, params);
+  // One uint64 bit string per bin.
+  const double state_bytes =
+      static_cast<double>(params.bins) * sizeof(uint64_t);
   return DriveRoundTrial(
       ctx, env, swarm, [&](HostId id) { return swarm.EstimateCount(id); },
-      CountTruth(mult), nullptr);
+      CountTruth(mult), nullptr, state_bytes, rec);
 }
 
-Result<TrialResult> RunCountSketchReset(const TrialContext& ctx) {
+Status RunCountSketchReset(const TrialContext& ctx, Recorder& rec) {
   DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
       "protocol.", {"bins", "levels", "cutoff_base", "cutoff_slope",
                     "cutoff_enabled", "mode", "multiplicity"}));
@@ -555,9 +688,168 @@ Result<TrialResult> RunCountSketchReset(const TrialContext& ctx) {
   DYNAGG_ASSIGN_OR_RETURN(const std::vector<int64_t> mult,
                           Multiplicities(ctx, n));
   CsrSwarm swarm(mult, params);
-  return DriveRoundTrial(
+  // One byte-sized age counter per (bin, level) slot.
+  const double state_bytes =
+      static_cast<double>(params.bins) * params.levels;
+  DYNAGG_RETURN_IF_ERROR(DriveRoundTrial(
       ctx, env, swarm, [&](HostId id) { return swarm.EstimateCount(id); },
-      CountTruth(mult), nullptr);
+      CountTruth(mult), nullptr, state_bytes, rec,
+      /*extra_metrics=*/{"cdf(counter)"},
+      /*extra_record_keys=*/{"max_counter"}));
+
+  // Fig 6's bit-counter distribution: pool the N[n][k] age counters over
+  // all hosts and bins after the last round and report the per-bit CDF of
+  // the finite counters (infinity = the level was never sourced), clamping
+  // the deep tail into the last bucket. Every level is emitted so the
+  // bucket structure is seed-independent (trials must align for pooling);
+  // levels that effectively never appear (< n/100 + 1 finite counters, as
+  // in the legacy harness) are suppressed at assembly via min_key_total —
+  // after cross-trial pooling when aggregating.
+  if (MetricRequested(*ctx.spec, "cdf(counter)")) {
+    DYNAGG_ASSIGN_OR_RETURN(const int64_t max_counter,
+                            ctx.spec->ParamInt("record.max_counter", 12));
+    if (max_counter < 1 || max_counter >= kCsrInfinity) {
+      return Status::InvalidArgument(
+          "record.max_counter must be in [1, 254]");
+    }
+    const int max_c = static_cast<int>(max_counter);
+    std::vector<std::vector<int64_t>> histograms(
+        params.levels, std::vector<int64_t>(max_c + 1, 0));
+    for (HostId id = 0; id < n; ++id) {
+      const CountSketchResetNode& node = swarm.node(id);
+      for (int b = 0; b < params.bins; ++b) {
+        for (int k = 0; k < params.levels; ++k) {
+          const uint8_t c = node.counter(b, k);
+          if (c == kCsrInfinity) continue;
+          ++histograms[k][c <= max_c ? c : max_c];
+        }
+      }
+    }
+    HistogramRecord* record = rec.MutableHistogram(
+        "counter_cdf", /*key_name=*/"bit", "counter_value", "cdf",
+        /*cumulative=*/true, /*min_key_total=*/n / 100 + 1);
+    for (int k = 0; k < params.levels; ++k) {
+      for (int c = 0; c <= max_c; ++c) {
+        record->buckets.push_back({static_cast<double>(k),
+                                   static_cast<double>(c),
+                                   histograms[k][c]});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------- serialized facade ---
+
+/// A population of NodeAggregator facades (agg/aggregator.h) gossiping
+/// through their serialized wire payloads — the deployment path, driven
+/// like a swarm. Exchanges are sequential within a round in a shuffled
+/// alive order, mirroring the push/pull swarms: each initiator serializes
+/// its request, the peer merges it and replies, the initiator merges the
+/// reply and closes its round.
+class NodeAggregatorSwarm {
+ public:
+  NodeAggregatorSwarm(const std::vector<double>& values,
+                      const AggregatorConfig& config) {
+    aggs_.reserve(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      aggs_.emplace_back(/*device_id=*/static_cast<uint64_t>(i), values[i],
+                         config);
+    }
+  }
+
+  void RunRound(const Environment& env, const Population& pop, Rng& rng) {
+    ShuffledAliveOrder(pop, rng, &order_);
+    for (const HostId i : order_) {
+      const std::vector<uint8_t> request = aggs_[i].BeginRound();
+      const HostId peer = env.SamplePeer(i, pop, rng);
+      if (peer != kInvalidHost) {
+        Result<std::vector<uint8_t>> reply =
+            aggs_[peer].HandleMessage(request);
+        // In-process payloads cannot be malformed; a failure is a bug.
+        DYNAGG_CHECK(reply.ok());
+        DYNAGG_CHECK(aggs_[i].HandleReply(*reply).ok());
+        if (meter_ != nullptr) {
+          meter_->RecordMessage(static_cast<int64_t>(request.size()));
+          meter_->RecordMessage(static_cast<int64_t>(reply->size()));
+        }
+      }
+      aggs_[i].EndRound();
+    }
+  }
+
+  const NodeAggregator& device(HostId id) const { return aggs_[id]; }
+  void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
+
+ private:
+  std::vector<NodeAggregator> aggs_;
+  TrafficMeter* meter_ = nullptr;
+  std::vector<HostId> order_;  // scratch
+};
+
+Status RunNodeAggregator(const TrialContext& ctx, Recorder& rec) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "protocol.", {"lambda", "bins", "levels", "multiplicity", "metric"}));
+  AggregatorConfig config;
+  DYNAGG_ASSIGN_OR_RETURN(config.lambda,
+                          spec.ParamDouble("protocol.lambda", config.lambda));
+  DYNAGG_ASSIGN_OR_RETURN(
+      const int64_t bins,
+      spec.ParamInt("protocol.bins", config.csr.bins));
+  DYNAGG_ASSIGN_OR_RETURN(
+      const int64_t levels,
+      spec.ParamInt("protocol.levels", config.csr.levels));
+  DYNAGG_ASSIGN_OR_RETURN(
+      config.count_multiplicity,
+      spec.ParamInt("protocol.multiplicity", config.count_multiplicity));
+  DYNAGG_ASSIGN_OR_RETURN(const std::string metric,
+                          spec.ParamString("protocol.metric", "average"));
+  if (config.lambda < 0.0 || config.lambda > 1.0) {
+    return Status::InvalidArgument("protocol.lambda must be in [0, 1]");
+  }
+  if (bins < 1 || levels < 1 || levels > kCsrMaxLevels) {
+    return Status::InvalidArgument(
+        "protocol.bins must be >= 1 and protocol.levels in [1, " +
+        std::to_string(kCsrMaxLevels) + "]");
+  }
+  if (config.count_multiplicity < 1) {
+    return Status::InvalidArgument("protocol.multiplicity must be >= 1");
+  }
+  config.csr.bins = static_cast<int>(bins);
+  config.csr.levels = static_cast<int>(levels);
+
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
+  NodeAggregatorSwarm swarm(values, config);
+
+  std::function<double(HostId)> estimate;
+  std::function<double(const Population&)> truth;
+  if (metric == "average") {
+    estimate = [&](HostId id) { return swarm.device(id).AverageEstimate(); };
+    truth = AverageTruth(values);
+  } else if (metric == "count") {
+    estimate = [&](HostId id) { return swarm.device(id).CountEstimate(); };
+    truth = [](const Population& pop) {
+      return static_cast<double>(pop.num_alive());
+    };
+  } else if (metric == "sum") {
+    estimate = [&](HostId id) { return swarm.device(id).SumEstimate(); };
+    truth = [&values](const Population& pop) {
+      return TrueSum(values, pop);
+    };
+  } else {
+    return Status::InvalidArgument(
+        "protocol.metric must be average, count or sum, got '" + metric +
+        "'");
+  }
+  // Push-Sum-Revert mass (3 doubles) plus the CSR counter array.
+  const double state_bytes =
+      3.0 * sizeof(double) +
+      static_cast<double>(config.csr.bins) * config.csr.levels;
+  return DriveRoundTrial(ctx, env, swarm, estimate, truth, &values,
+                         state_bytes, rec);
 }
 
 // ------------------------------------------------------ overlay baseline ---
@@ -566,13 +858,16 @@ Result<TrialResult> RunCountSketchReset(const TrialContext& ctx) {
 /// reproducing the loop of ablation_tree_vs_gossip: each epoch floods a
 /// fresh BFS tree from the root, runs one tree-depth-sized epoch under a
 /// churn plan drawn from a shared stream, revives the leader, and records
-/// the leader's error against the live truth.
-Result<TrialResult> RunTagTree(const TrialContext& ctx) {
+/// the leader's error against the live truth. The default `rms` metric
+/// selector maps onto the protocol's own error scalars
+/// (tag_mean_abs_err, tag_failed_epochs_pct).
+Status RunTagTree(const TrialContext& ctx, Recorder& rec) {
   const ScenarioSpec& spec = *ctx.spec;
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("protocol.", {"epochs", "root"}));
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream",
                                                      "failure_stream"}));
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", {}));
+  DYNAGG_RETURN_IF_ERROR(CheckMetricsSupported(spec, {"rms"}));
   DYNAGG_ASSIGN_OR_RETURN(const int64_t epochs,
                           spec.ParamInt("protocol.epochs", 30));
   DYNAGG_ASSIGN_OR_RETURN(const int64_t root_id,
@@ -624,11 +919,10 @@ Result<TrialResult> RunTagTree(const TrialContext& ctx) {
     err.Add(std::abs(result.average - truth));
   }
 
-  TrialResult out;
-  out.columns = {"tag_mean_abs_err", "tag_failed_epochs_pct"};
-  out.rows.push_back(
-      {err.mean(), 100.0 * failed_epochs / static_cast<double>(epochs)});
-  return out;
+  rec.AddScalar("tag_mean_abs_err", err.mean());
+  rec.AddScalar("tag_failed_epochs_pct",
+                100.0 * failed_epochs / static_cast<double>(epochs));
+  return Status::OK();
 }
 
 }  // namespace
@@ -644,6 +938,7 @@ void RegisterBuiltinProtocols(Registry<ProtocolRunner>& registry) {
   DYNAGG_CHECK(registry.Register("count-sketch", RunCountSketch).ok());
   DYNAGG_CHECK(
       registry.Register("count-sketch-reset", RunCountSketchReset).ok());
+  DYNAGG_CHECK(registry.Register("node-aggregator", RunNodeAggregator).ok());
   DYNAGG_CHECK(registry.Register("tag-tree", RunTagTree).ok());
 }
 

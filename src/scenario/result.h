@@ -1,0 +1,24 @@
+// The executor's output unit, shared with the sinks.
+
+#ifndef DYNAGG_SCENARIO_RESULT_H_
+#define DYNAGG_SCENARIO_RESULT_H_
+
+#include <string>
+
+#include "common/stats.h"
+
+namespace dynagg {
+namespace scenario {
+
+/// One assembled output table. Experiments recording a single group produce
+/// exactly one table; multi-metric experiments produce several, labelled
+/// "summary", "series", or the histogram's record label.
+struct ResultTable {
+  std::string label;
+  CsvTable table;
+};
+
+}  // namespace scenario
+}  // namespace dynagg
+
+#endif  // DYNAGG_SCENARIO_RESULT_H_

@@ -42,43 +42,60 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-std::string RenderJsonl(const CsvTable& table,
-                        const std::string& experiment) {
-  std::string out;
+void RenderJsonl(const CsvTable& table, const std::string& experiment,
+                 const std::string& record, std::string* out) {
   const std::string name = JsonEscape(experiment);
+  const std::string record_field =
+      record.empty() ? "" : ",\"record\":\"" + JsonEscape(record) + "\"";
   char buf[64];
   for (int64_t i = 0; i < table.num_rows(); ++i) {
-    out += "{\"experiment\":\"" + name + "\"";
+    *out += "{\"experiment\":\"" + name + "\"" + record_field;
     const std::vector<double>& row = table.row(i);
     for (size_t c = 0; c < row.size(); ++c) {
       std::snprintf(buf, sizeof(buf), "%.17g", row[c]);
-      out += ",\"" + JsonEscape(table.columns()[c]) + "\":" + buf;
+      *out += ",\"" + JsonEscape(table.columns()[c]) + "\":" + buf;
     }
-    out += "}\n";
+    *out += "}\n";
   }
-  return out;
 }
 
 }  // namespace
 
-Result<std::string> RenderTable(const CsvTable& table,
-                                const std::string& experiment,
-                                const std::string& format) {
+Result<std::string> RenderTables(const std::vector<ResultTable>& tables,
+                                 const std::string& experiment,
+                                 const std::string& format) {
+  if (tables.empty()) {
+    return Status::InvalidArgument("experiment '" + experiment +
+                                   "' produced no tables");
+  }
+  // A lone table keeps the pre-Recorder output layout byte-for-byte; the
+  // record label only appears once there is more than one group.
+  const bool labelled = tables.size() > 1;
   if (format == "csv") {
-    return "# experiment: " + experiment + "\n" + table.ToCsv();
+    std::string out = "# experiment: " + experiment + "\n";
+    for (const ResultTable& result : tables) {
+      if (labelled) out += "# record: " + result.label + "\n";
+      out += result.table.ToCsv();
+    }
+    return out;
   }
   if (format == "jsonl") {
-    return RenderJsonl(table, experiment);
+    std::string out;
+    for (const ResultTable& result : tables) {
+      RenderJsonl(result.table, experiment,
+                  labelled ? result.label : std::string(), &out);
+    }
+    return out;
   }
   return Status::InvalidArgument("unknown output format '" + format +
                                  "' (csv or jsonl)");
 }
 
-Status WriteTable(const CsvTable& table, const std::string& experiment,
-                  const std::string& format, const std::string& path,
-                  bool append) {
+Status WriteTables(const std::vector<ResultTable>& tables,
+                   const std::string& experiment, const std::string& format,
+                   const std::string& path, bool append) {
   DYNAGG_ASSIGN_OR_RETURN(const std::string text,
-                          RenderTable(table, experiment, format));
+                          RenderTables(tables, experiment, format));
   if (path == "-") {
     std::fwrite(text.data(), 1, text.size(), stdout);
     return Status::OK();

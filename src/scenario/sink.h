@@ -1,35 +1,41 @@
-// Metric sinks: render an assembled experiment table as CSV or JSONL.
+// Metric sinks: render an experiment's assembled result tables as CSV or
+// JSONL.
 //
 // CSV mirrors the legacy bench output (%.6g values, one header row) so
 // ported scenarios stay diffable against the binaries they replaced; JSONL
 // emits one self-describing object per row with %.17g values for lossless
-// downstream processing.
+// downstream processing. A single-table experiment renders exactly as it
+// did before the Recorder API: multi-table experiments additionally carry
+// each table's record label ("# record: <label>" comment rows in CSV, a
+// "record" field in JSONL) so the groups stay distinguishable in one
+// stream.
 
 #ifndef DYNAGG_SCENARIO_SINK_H_
 #define DYNAGG_SCENARIO_SINK_H_
 
 #include <string>
+#include <vector>
 
-#include "common/stats.h"
 #include "common/status.h"
+#include "scenario/result.h"
 
 namespace dynagg {
 namespace scenario {
 
-/// Renders `table` in `format` ("csv" or "jsonl"). CSV gets a
+/// Renders `tables` in `format` ("csv" or "jsonl"). CSV gets a
 /// "# experiment: <name>" provenance comment; JSONL carries the name in
 /// every object.
-Result<std::string> RenderTable(const CsvTable& table,
-                                const std::string& experiment,
-                                const std::string& format);
+Result<std::string> RenderTables(const std::vector<ResultTable>& tables,
+                                 const std::string& experiment,
+                                 const std::string& format);
 
 /// Renders and writes to `path` ("-" = stdout). `append` controls whether
 /// an existing file is extended or truncated: callers writing several
 /// experiments to one path must append after the first so earlier tables
 /// are not silently destroyed.
-Status WriteTable(const CsvTable& table, const std::string& experiment,
-                  const std::string& format, const std::string& path,
-                  bool append = false);
+Status WriteTables(const std::vector<ResultTable>& tables,
+                   const std::string& experiment, const std::string& format,
+                   const std::string& path, bool append = false);
 
 }  // namespace scenario
 }  // namespace dynagg

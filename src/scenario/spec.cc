@@ -96,6 +96,45 @@ Result<bool> ScenarioSpec::ParamBool(const std::string& key, bool def) const {
   return v;
 }
 
+Status ValidateMetricList(const std::vector<MetricSpec>& metrics) {
+  if (metrics.empty()) {
+    return Status::InvalidArgument("record list is empty");
+  }
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (metrics[i].name.empty()) {
+      return Status::InvalidArgument("metric " +
+                                     Quoted(metrics[i].ToString()) +
+                                     " has an empty name");
+    }
+    for (size_t j = i + 1; j < metrics.size(); ++j) {
+      if (metrics[i] == metrics[j]) {
+        return Status::InvalidArgument(
+            "metric " + Quoted(metrics[i].ToString()) + " is listed twice");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateAggregateList(const std::vector<std::string>& aggregates) {
+  for (const std::string& agg : aggregates) {
+    if (agg != "mean" && agg != "stddev" && agg != "min" && agg != "max") {
+      return Status::InvalidArgument(
+          "aggregate " + Quoted(agg) +
+          " is not supported (mean, stddev, min, max)");
+    }
+  }
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    for (size_t j = i + 1; j < aggregates.size(); ++j) {
+      if (aggregates[i] == aggregates[j]) {
+        return Status::InvalidArgument("aggregate " + Quoted(aggregates[i]) +
+                                       " is listed twice");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status ScenarioSpec::CheckParams(
     const std::string& prefix,
     const std::vector<std::string>& allowed) const {
@@ -142,6 +181,90 @@ Status AtLine(int line, const Status& st) {
                               st.message()));
 }
 
+/// Splits `text` on commas and trims each item; empty items are errors.
+Result<std::vector<std::string>> SplitList(std::string_view text,
+                                           const std::string& what) {
+  std::vector<std::string> items;
+  while (true) {
+    const size_t comma = text.find(',');
+    const std::string item(
+        Trim(comma == std::string_view::npos ? text : text.substr(0, comma)));
+    if (item.empty()) {
+      return Status::InvalidArgument(what + " list has an empty entry");
+    }
+    items.push_back(item);
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+  }
+  return items;
+}
+
+/// Parses "key: v1, v2, ..." for `sweep` / `sweep2`.
+Status ParseSweepSpec(const std::string& value, const std::string& what,
+                      std::string* key_out, std::vector<double>* values_out) {
+  const size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(what + " must be 'key: v1, v2, ...'");
+  }
+  const std::string sweep_key(Trim(value.substr(0, colon)));
+  if (sweep_key != "hosts" && sweep_key != "rounds" &&
+      !IsNamespacedKey(sweep_key)) {
+    return Status::InvalidArgument(
+        what + " key " + Quoted(sweep_key) +
+        " is not sweepable (use hosts, rounds, or a namespaced parameter)");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(
+      const std::vector<std::string> items,
+      SplitList(std::string_view(value).substr(colon + 1), what));
+  std::vector<double> values;
+  for (const std::string& item : items) {
+    Result<double> v = ParseDouble(item);
+    if (!v.ok()) return v.status();
+    values.push_back(*v);
+  }
+  *key_out = sweep_key;
+  *values_out = std::move(values);
+  return Status::OK();
+}
+
+/// Parses the `record =` metric list: comma-separated selectors, each
+/// `name` or `name(arg)`.
+Result<std::vector<MetricSpec>> ParseMetricList(const std::string& value) {
+  DYNAGG_ASSIGN_OR_RETURN(const std::vector<std::string> items,
+                          SplitList(value, "record"));
+  std::vector<MetricSpec> metrics;
+  for (const std::string& item : items) {
+    MetricSpec m;
+    const size_t open = item.find('(');
+    if (open == std::string::npos) {
+      m.name = item;
+    } else {
+      if (item.back() != ')') {
+        return Status::InvalidArgument("metric " + Quoted(item) +
+                                       " has an unterminated argument");
+      }
+      m.name = std::string(Trim(std::string_view(item).substr(0, open)));
+      m.arg = std::string(Trim(
+          std::string_view(item).substr(open + 1, item.size() - open - 2)));
+      if (m.arg.empty()) {
+        return Status::InvalidArgument("metric " + Quoted(item) +
+                                       " has an empty argument");
+      }
+    }
+    metrics.push_back(std::move(m));
+  }
+  DYNAGG_RETURN_IF_ERROR(ValidateMetricList(metrics));
+  return metrics;
+}
+
+/// Parses the `aggregate =` statistic list.
+Result<std::vector<std::string>> ParseAggregateList(const std::string& value) {
+  DYNAGG_ASSIGN_OR_RETURN(const std::vector<std::string> items,
+                          SplitList(value, "aggregate"));
+  DYNAGG_RETURN_IF_ERROR(ValidateAggregateList(items));
+  return items;
+}
+
 /// Applies one key = value assignment to `spec`.
 Status ApplyKey(ScenarioSpec* spec, const std::string& key,
                 const std::string& value, int line) {
@@ -178,40 +301,22 @@ Status ApplyKey(ScenarioSpec* spec, const std::string& key,
     Result<int64_t> v = ParseInt64(value);
     if (!v.ok()) return AtLine(line, v.status());
     spec->seed = static_cast<uint64_t>(*v);
-  } else if (key == "sweep") {
+  } else if (key == "sweep" || key == "sweep2") {
     // "key: v1, v2, ..." — swept over one full run per value.
-    const size_t colon = value.find(':');
-    if (colon == std::string::npos) {
-      return AtLine(line, Status::InvalidArgument(
-                              "sweep must be 'key: v1, v2, ...'"));
-    }
-    const std::string sweep_key(Trim(value.substr(0, colon)));
-    if (sweep_key != "hosts" && sweep_key != "rounds" &&
-        !IsNamespacedKey(sweep_key)) {
-      return AtLine(line, Status::InvalidArgument(
-                              "sweep key " + Quoted(sweep_key) +
-                              " is not sweepable (use hosts, rounds, or a "
-                              "namespaced parameter)"));
-    }
-    std::vector<double> values;
-    std::string_view rest(value);
-    rest.remove_prefix(colon + 1);
-    while (!rest.empty()) {
-      const size_t comma = rest.find(',');
-      const std::string_view item =
-          comma == std::string_view::npos ? rest : rest.substr(0, comma);
-      Result<double> v = ParseDouble(item);
-      if (!v.ok()) return AtLine(line, v.status());
-      values.push_back(*v);
-      if (comma == std::string_view::npos) break;
-      rest.remove_prefix(comma + 1);
-    }
-    if (values.empty()) {
-      return AtLine(line,
-                    Status::InvalidArgument("sweep needs at least one value"));
-    }
-    spec->sweep_key = sweep_key;
-    spec->sweep_values = std::move(values);
+    std::string* sweep_key =
+        key == "sweep" ? &spec->sweep_key : &spec->sweep2_key;
+    std::vector<double>* sweep_values =
+        key == "sweep" ? &spec->sweep_values : &spec->sweep2_values;
+    const Status st = ParseSweepSpec(value, key, sweep_key, sweep_values);
+    if (!st.ok()) return AtLine(line, st);
+  } else if (key == "record") {
+    Result<std::vector<MetricSpec>> metrics = ParseMetricList(value);
+    if (!metrics.ok()) return AtLine(line, metrics.status());
+    spec->metrics = std::move(*metrics);
+  } else if (key == "aggregate") {
+    Result<std::vector<std::string>> aggs = ParseAggregateList(value);
+    if (!aggs.ok()) return AtLine(line, aggs.status());
+    spec->aggregates = std::move(*aggs);
   } else {
     return AtLine(line, Status::InvalidArgument(
                             "unknown key " + Quoted(key) +
@@ -285,6 +390,9 @@ Result<std::vector<ScenarioSpec>> ParseScenarioFile(
       specs.push_back(std::move(spec));
     }
   }
+  // Cross-field rules (sweep2 requires sweep, distinct keys, ...) live in
+  // ValidateExperiment — the one preflight every execution path runs — so
+  // they are not duplicated here.
   for (const ScenarioSpec& spec : specs) {
     if (spec.protocol.empty()) {
       return Status::InvalidArgument("experiment '" + spec.name +

@@ -12,7 +12,11 @@
 //     hosts = 1000
 //     rounds = 60
 //     seed = 42
+//     trials = 5
 //     sweep = protocol.lambda: 0, 0.01, 0.1
+//     sweep2 = rounds: 30, 60
+//     record = rms, bandwidth, cdf(final_error)
+//     aggregate = mean, stddev
 //
 //     [push]
 //     protocol = push-sum-revert
@@ -46,6 +50,23 @@ Result<int64_t> ParseInt64(std::string_view text);
 Result<double> ParseDouble(std::string_view text);
 Result<bool> ParseBool(std::string_view text);
 
+/// One entry of the `record =` metric list: a metric name plus an optional
+/// parenthesised argument — `rms`, `bandwidth`, `cdf(final_error)`. Which
+/// selectors exist is decided by the protocol runner that executes the
+/// trial; the spec layer only carries the grammar.
+struct MetricSpec {
+  std::string name;
+  std::string arg;  // "" when no (...) argument was given
+
+  /// "name" or "name(arg)" — the canonical selector spelling.
+  std::string ToString() const {
+    return arg.empty() ? name : name + "(" + arg + ")";
+  }
+  bool operator==(const MetricSpec& other) const {
+    return name == other.name && arg == other.arg;
+  }
+};
+
 /// One experiment: a protocol x environment x failure-plan configuration,
 /// optionally swept over one parameter and replicated over trials.
 struct ScenarioSpec {
@@ -69,6 +90,22 @@ struct ScenarioSpec {
   /// namespaced key; one full run is executed per value in sweep_values.
   std::string sweep_key;
   std::vector<double> sweep_values;
+  /// Optional second sweep axis (`sweep2 = key: v1, v2, ...`): the
+  /// experiment runs the full cross product sweep x sweep2 x trials. Only
+  /// valid together with `sweep`, and must name a different key.
+  std::string sweep2_key;
+  std::vector<double> sweep2_values;
+  /// Metrics recorded in one pass per trial (`record = rms, bandwidth,
+  /// cdf(final_error)`). The protocol runner decides which selectors it
+  /// supports and errors on unknown ones. Defaults to the paper's per-round
+  /// RMS-deviation series.
+  std::vector<MetricSpec> metrics = {{"rms", ""}};
+  /// Cross-trial aggregation (`aggregate = mean, stddev`): when non-empty,
+  /// the executor collapses the trial axis and reports, per metric column,
+  /// one column per listed statistic (mean, stddev, min, max). Histogram
+  /// records are pooled (bucket counts summed) instead. Requires
+  /// trials >= 2 — a one-trial stddev would silently read 0.
+  std::vector<std::string> aggregates;
   /// Output destination: "-" for stdout or a file path.
   std::string output = "-";
   /// Output format: "csv" or "jsonl".
@@ -95,9 +132,18 @@ struct ScenarioSpec {
                      const std::vector<std::string>& allowed) const;
 };
 
+/// Validates a metric list (non-empty names, no duplicate selectors) and an
+/// aggregate list (known statistics, no duplicates). Shared by the file
+/// parser and the executor preflight so file-parsed and hand-built specs
+/// agree on validity.
+Status ValidateMetricList(const std::vector<MetricSpec>& metrics);
+Status ValidateAggregateList(const std::vector<std::string>& aggregates);
+
 /// Parses a scenario file into one spec per [section] (or a single spec for
 /// a sectionless file). `default_name` seeds ScenarioSpec::name when the
 /// file sets none (callers pass the file stem). Errors carry line numbers.
+/// Cross-field rules (sweep2 axis sanity, aggregate/trials interplay) are
+/// enforced by the executor's ValidateExperiment preflight, not here.
 Result<std::vector<ScenarioSpec>> ParseScenarioFile(
     std::string_view text, const std::string& default_name = "scenario");
 

@@ -1,7 +1,102 @@
 #include "scenario/trial.h"
 
+#include <utility>
+
+#include "common/macros.h"
+
 namespace dynagg {
 namespace scenario {
+
+void Recorder::AddScalar(const std::string& name, double value) {
+  for (const ScalarRecord& s : batch_.scalars) {
+    DYNAGG_CHECK(s.name != name);  // runner bug: duplicate scalar name
+  }
+  batch_.scalars.push_back({name, value});
+}
+
+SeriesRecord* Recorder::MutableSeries(const std::string& x_name,
+                                      const std::string& name) {
+  for (SeriesRecord& s : batch_.series) {
+    if (s.name == name) {
+      DYNAGG_CHECK(s.x_name == x_name);
+      return &s;
+    }
+  }
+  SeriesRecord series;
+  series.x_name = x_name;
+  series.name = name;
+  batch_.series.push_back(std::move(series));
+  return &batch_.series.back();
+}
+
+void Recorder::AddSeriesPoint(const std::string& x_name,
+                              const std::string& name, double x,
+                              double value) {
+  MutableSeries(x_name, name)->points.push_back({x, value});
+}
+
+HistogramRecord* Recorder::MutableHistogram(const std::string& label,
+                                            const std::string& key_name,
+                                            const std::string& bucket_name,
+                                            const std::string& value_name,
+                                            bool cumulative,
+                                            int64_t min_key_total) {
+  for (HistogramRecord& h : batch_.histograms) {
+    if (h.label == label) {
+      DYNAGG_CHECK(h.key_name == key_name && h.bucket_name == bucket_name &&
+                   h.value_name == value_name &&
+                   h.cumulative == cumulative &&
+                   h.min_key_total == min_key_total);
+      return &h;
+    }
+  }
+  HistogramRecord hist;
+  hist.label = label;
+  hist.key_name = key_name;
+  hist.bucket_name = bucket_name;
+  hist.value_name = value_name;
+  hist.cumulative = cumulative;
+  hist.min_key_total = min_key_total;
+  batch_.histograms.push_back(std::move(hist));
+  return &batch_.histograms.back();
+}
+
+void Recorder::SetBandwidth(double msgs_per_host_round,
+                            double bytes_per_host_round, double state_bytes) {
+  DYNAGG_CHECK(!batch_.has_bandwidth);
+  batch_.has_bandwidth = true;
+  batch_.bandwidth = {msgs_per_host_round, bytes_per_host_round, state_bytes};
+}
+
+Status CheckMetricsSupported(const ScenarioSpec& spec,
+                             const std::vector<std::string>& supported) {
+  for (const MetricSpec& m : spec.metrics) {
+    const std::string selector = m.ToString();
+    bool ok = false;
+    for (const std::string& s : supported) {
+      if (selector == s) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      std::string msg = "protocol '" + spec.protocol +
+                        "' does not support metric '" + selector +
+                        "' (supported:";
+      for (const std::string& s : supported) msg += " " + s;
+      msg += ")";
+      return Status::InvalidArgument(msg);
+    }
+  }
+  return Status::OK();
+}
+
+bool MetricRequested(const ScenarioSpec& spec, const std::string& selector) {
+  for (const MetricSpec& m : spec.metrics) {
+    if (m.ToString() == selector) return true;
+  }
+  return false;
+}
 
 namespace internal {
 // Defined in scenario/protocols.cc and scenario/environments.cc.

@@ -1,12 +1,15 @@
 // Trial-level plumbing between the executor and the registered workloads.
 //
 // A *trial* is one independent end-to-end run of an experiment unit (one
-// sweep value, one repetition). The executor (scenario/executor.h) hands a
-// TrialContext to a ProtocolRunner looked up by name; the runner builds its
-// environment through the environment registry, drives the simulation, and
-// returns its metric rows. Every source of randomness inside a trial is
-// derived from ctx.trial_seed, which is what makes trials independent and
-// the parallel executor deterministic.
+// sweep/sweep2 cell, one repetition). The executor (scenario/executor.h)
+// hands a TrialContext plus a Recorder to a ProtocolRunner looked up by
+// name; the runner builds its environment through the environment registry,
+// drives the simulation, and emits typed records — scalars, series,
+// histograms/CDFs, bandwidth — through the Recorder in one pass. The
+// executor then merges the per-trial record batches into output tables.
+// Every source of randomness inside a trial is derived from ctx.trial_seed,
+// which is what makes trials independent and the parallel executor
+// deterministic.
 
 #ifndef DYNAGG_SCENARIO_TRIAL_H_
 #define DYNAGG_SCENARIO_TRIAL_H_
@@ -39,27 +42,152 @@ struct EnvHandle {
 };
 
 /// Everything a runner needs to execute one trial. The spec already has the
-/// sweep override applied (the swept parameter reads back the sweep value).
+/// sweep overrides applied (swept parameters read back their sweep values).
 struct TrialContext {
   const ScenarioSpec* spec = nullptr;
   /// Index into spec->sweep_values, or -1 when the experiment has no sweep.
   int sweep_index = -1;
   double sweep_value = 0.0;
+  /// Index into spec->sweep2_values, or -1 without a second axis.
+  int sweep2_index = -1;
+  double sweep2_value = 0.0;
   int trial = 0;
   /// Root seed of this trial; all in-trial streams derive from it.
   uint64_t trial_seed = 0;
 };
 
-/// Metric rows produced by one trial. All trials of one experiment must
-/// report identical columns; the executor prepends sweep/trial columns.
-struct TrialResult {
-  std::vector<std::string> columns;
-  std::vector<std::vector<double>> rows;
+// ------------------------------------------------------------- records ---
+//
+// One trial emits a batch of typed records. All trials of one experiment
+// must emit structurally identical batches (same record names in the same
+// order); the executor checks this and prepends the sweep/trial axis
+// columns when assembling the output tables.
+
+/// A single named value per trial (e.g. rms_tail_mean, rounds_to_converge).
+/// Scalars aggregate across trials under `aggregate = ...`.
+struct ScalarRecord {
+  std::string name;
+  double value = 0.0;
 };
 
-/// Runs one trial to completion.
+/// A per-trial series of (x, value) points (e.g. per-round RMS deviation).
+/// Series sharing one x axis merge into one table, one value column each;
+/// under aggregation, points are matched by x across trials.
+struct SeriesRecord {
+  std::string x_name;  // x column, e.g. "round"
+  std::string name;    // value column, e.g. "rms"
+  struct Point {
+    double x = 0.0;
+    double value = 0.0;
+  };
+  std::vector<Point> points;
+};
+
+/// A bucketed distribution, rendered as one row per bucket. `cumulative`
+/// selects CDF output (running count / group total) over raw counts. An
+/// optional key column groups several distributions into one record (Fig 6
+/// keys its counter CDFs by bit index). Under aggregation, bucket counts
+/// are pooled across trials (buckets must align).
+struct HistogramRecord {
+  std::string label;        // table label, e.g. "counter_cdf"
+  std::string key_name;     // "" = no key column
+  std::string bucket_name;  // bucket column, e.g. "counter_value"
+  std::string value_name;   // value column, e.g. "cdf"
+  bool cumulative = true;
+  /// Key groups with a (pooled) total below this are dropped at assembly
+  /// (fig06 skips counter levels that effectively never appear).
+  int64_t min_key_total = 0;
+  struct Bucket {
+    double key = 0.0;    // ignored when key_name is empty
+    double upper = 0.0;  // inclusive upper edge / bucket value
+    int64_t count = 0;
+  };
+  std::vector<Bucket> buckets;
+};
+
+/// Measured over-the-air traffic of one trial, normalized per host per
+/// executed round, plus the per-host state footprint. Expands to three
+/// summary columns; aggregates across trials like scalars.
+struct BandwidthRecord {
+  double msgs_per_host_round = 0.0;
+  double bytes_per_host_round = 0.0;
+  double state_bytes = 0.0;
+};
+
+/// Everything one trial recorded.
+struct RecordBatch {
+  std::vector<ScalarRecord> scalars;
+  std::vector<SeriesRecord> series;
+  std::vector<HistogramRecord> histograms;
+  bool has_bandwidth = false;
+  BandwidthRecord bandwidth;
+};
+
+/// The handle through which a trial emits its records. Purely a collector:
+/// which metrics to record is declared in the spec (`record = ...`) and
+/// interpreted by the runner, which must reject selectors it does not
+/// support (see CheckMetricsSupported).
+///
+/// Pointer validity: MutableSeries / MutableHistogram return pointers into
+/// the batch's growable storage — they are invalidated by the next
+/// creation of a series resp. histogram (vector reallocation). Finish
+/// populating one record before creating the next, or re-fetch the pointer
+/// (both calls are find-or-create).
+class Recorder {
+ public:
+  Recorder() = default;
+
+  /// Emits a per-trial scalar. Names must be unique within a trial.
+  void AddScalar(const std::string& name, double value);
+
+  /// Finds or creates series `name`. Declare a series before a loop that
+  /// may record zero points (e.g. an empty record.from window): all trials
+  /// must emit structurally identical batches, so a conditionally-created
+  /// series would fail the executor's consistency check.
+  SeriesRecord* MutableSeries(const std::string& x_name,
+                              const std::string& name);
+
+  /// Appends one point to series `name` (created on first use). All series
+  /// of one trial must share the same x axis name.
+  void AddSeriesPoint(const std::string& x_name, const std::string& name,
+                      double x, double value);
+
+  /// Finds or creates histogram `label`; the metadata arguments are fixed
+  /// at creation. Append buckets to the returned record in output order
+  /// (key-major for keyed histograms). Key groups whose total count stays
+  /// below `min_key_total` are dropped at assembly (after cross-trial
+  /// pooling under aggregation), so sparse-group suppression cannot make
+  /// the batch structure data-dependent.
+  HistogramRecord* MutableHistogram(const std::string& label,
+                                    const std::string& key_name,
+                                    const std::string& bucket_name,
+                                    const std::string& value_name,
+                                    bool cumulative,
+                                    int64_t min_key_total = 0);
+
+  /// Sets the trial's bandwidth record (at most once).
+  void SetBandwidth(double msgs_per_host_round, double bytes_per_host_round,
+                    double state_bytes);
+
+  const RecordBatch& batch() const { return batch_; }
+  RecordBatch TakeBatch() { return std::move(batch_); }
+
+ private:
+  RecordBatch batch_;
+};
+
+/// Rejects any spec metric selector not listed in `supported` (canonical
+/// "name" / "name(arg)" spellings). Runners call this first so a typo in
+/// `record = ...` fails loudly, like CheckParams does for parameters.
+Status CheckMetricsSupported(const ScenarioSpec& spec,
+                             const std::vector<std::string>& supported);
+
+/// Whether the spec requests metric `selector` (canonical spelling).
+bool MetricRequested(const ScenarioSpec& spec, const std::string& selector);
+
+/// Runs one trial to completion, emitting its records through `rec`.
 using ProtocolRunner =
-    std::function<Result<TrialResult>(const TrialContext&)>;
+    std::function<Status(const TrialContext&, Recorder& rec)>;
 /// Builds the environment for one trial.
 using EnvironmentFactory =
     std::function<Result<EnvHandle>(const TrialContext&)>;

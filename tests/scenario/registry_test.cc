@@ -46,7 +46,8 @@ TEST(RegistryTest, NamesAreSorted) {
 TEST(BuiltinRegistryTest, ProtocolCatalogIsComplete) {
   for (const char* name :
        {"push-sum", "push-sum-revert", "epoch-push-sum", "full-transfer",
-        "extremes", "count-sketch", "count-sketch-reset", "tag-tree"}) {
+        "extremes", "count-sketch", "count-sketch-reset", "node-aggregator",
+        "tag-tree"}) {
     EXPECT_TRUE(ProtocolRegistry().Find(name).ok()) << name;
   }
 }
@@ -62,9 +63,9 @@ TEST(BuiltinRegistryTest, UnknownProtocolFailsExperimentCleanly) {
   ScenarioSpec spec;
   spec.protocol = "no-such-protocol";
   spec.hosts = 10;
-  const Result<CsvTable> table = RunExperiment(spec);
-  ASSERT_FALSE(table.ok());
-  EXPECT_NE(table.status().message().find("no-such-protocol"),
+  const Result<std::vector<ResultTable>> tables = RunExperiment(spec);
+  ASSERT_FALSE(tables.ok());
+  EXPECT_NE(tables.status().message().find("no-such-protocol"),
             std::string::npos);
 }
 
@@ -73,9 +74,9 @@ TEST(BuiltinRegistryTest, UnknownEnvironmentFailsExperimentCleanly) {
   spec.protocol = "push-sum";
   spec.environment = "no-such-env";
   spec.hosts = 10;
-  const Result<CsvTable> table = RunExperiment(spec);
-  ASSERT_FALSE(table.ok());
-  EXPECT_NE(table.status().message().find("no-such-env"),
+  const Result<std::vector<ResultTable>> tables = RunExperiment(spec);
+  ASSERT_FALSE(tables.ok());
+  EXPECT_NE(tables.status().message().find("no-such-env"),
             std::string::npos);
 }
 
@@ -87,13 +88,13 @@ TEST(BuiltinRegistryTest, CustomProtocolPlugsIntoExecutor) {
     registered = true;
     ASSERT_TRUE(ProtocolRegistry()
                     .Register("test-constant",
-                              [](const TrialContext& ctx)
-                                  -> Result<TrialResult> {
-                                TrialResult out;
-                                out.columns = {"seed_lo"};
-                                out.rows.push_back({static_cast<double>(
-                                    ctx.trial_seed % 1000)});
-                                return out;
+                              [](const TrialContext& ctx,
+                                 Recorder& rec) -> Status {
+                                rec.AddScalar(
+                                    "seed_lo",
+                                    static_cast<double>(ctx.trial_seed %
+                                                        1000));
+                                return Status::OK();
                               })
                     .ok());
   }
@@ -102,10 +103,13 @@ TEST(BuiltinRegistryTest, CustomProtocolPlugsIntoExecutor) {
   spec.protocol = "test-constant";
   spec.hosts = 1;
   spec.seed = 123456;
-  const Result<CsvTable> table = RunExperiment(spec);
-  ASSERT_TRUE(table.ok()) << table.status().ToString();
-  ASSERT_EQ(table->num_rows(), 1);
-  EXPECT_DOUBLE_EQ(table->row(0)[0], 456.0);
+  const Result<std::vector<ResultTable>> tables = RunExperiment(spec);
+  ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+  ASSERT_EQ(tables->size(), 1u);
+  const CsvTable& table = (*tables)[0].table;
+  ASSERT_EQ(table.num_rows(), 1);
+  EXPECT_EQ(table.columns()[0], "seed_lo");
+  EXPECT_DOUBLE_EQ(table.row(0)[0], 456.0);
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// Sink edge cases: CSV field escaping, empty histogram buckets, and JSONL
+// round-trip of every record kind.
+
+#include "scenario/sink.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "scenario/executor.h"
+#include "scenario/spec.h"
+
+namespace dynagg {
+namespace scenario {
+namespace {
+
+std::vector<ResultTable> MustRunAll(const std::string& text, int threads) {
+  const auto specs = ParseScenarioFile(text);
+  EXPECT_TRUE(specs.ok()) << specs.status().ToString();
+  Result<std::vector<ResultTable>> tables =
+      RunExperiment((*specs)[0], threads);
+  EXPECT_TRUE(tables.ok()) << tables.status().ToString();
+  return std::move(tables).value();
+}
+
+std::string MustRender(const std::vector<ResultTable>& tables,
+                       const std::string& format) {
+  Result<std::string> out = RenderTables(tables, "exp", format);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return *out;
+}
+
+/// Extracts `"key":<number>` from a JSONL line; fails the test if absent.
+double JsonNumber(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " in " << line;
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+  }
+  return lines;
+}
+
+// --------------------------------------------------------- CSV escaping ---
+
+TEST(SinkTest, CsvHeaderCellsAreEscaped) {
+  CsvTable table({"plain", "with,comma", "with\"quote"});
+  table.AddRow({1.0, 2.0, 3.0});
+  std::vector<ResultTable> tables;
+  tables.push_back({"summary", std::move(table)});
+  const std::string csv = MustRender(tables, "csv");
+  EXPECT_NE(csv.find("plain,\"with,comma\",\"with\"\"quote\"\n"),
+            std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("1,2,3\n"), std::string::npos);
+}
+
+TEST(SinkTest, SingleTableKeepsLegacyLayout) {
+  CsvTable table({"round", "rms"});
+  table.AddRow({1.0, 0.5});
+  std::vector<ResultTable> tables;
+  tables.push_back({"series", std::move(table)});
+  EXPECT_EQ(MustRender(tables, "csv"),
+            "# experiment: exp\nround,rms\n1,0.5\n");
+  // Single-group JSONL objects carry no record field (pre-Recorder schema).
+  EXPECT_EQ(MustRender(tables, "jsonl"),
+            "{\"experiment\":\"exp\",\"round\":1,\"rms\":0.5}\n");
+}
+
+TEST(SinkTest, MultiTableCarriesRecordLabels) {
+  CsvTable summary({"rms_tail_mean"});
+  summary.AddRow({0.25});
+  CsvTable series({"round", "rms"});
+  series.AddRow({1.0, 0.5});
+  std::vector<ResultTable> tables;
+  tables.push_back({"summary", std::move(summary)});
+  tables.push_back({"series", std::move(series)});
+  const std::string csv = MustRender(tables, "csv");
+  EXPECT_NE(csv.find("# record: summary\n"), std::string::npos);
+  EXPECT_NE(csv.find("# record: series\n"), std::string::npos);
+  const std::string jsonl = MustRender(tables, "jsonl");
+  EXPECT_NE(jsonl.find("\"record\":\"summary\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"record\":\"series\""), std::string::npos);
+}
+
+TEST(SinkTest, EmptyTableRendersHeaderOnly) {
+  CsvTable table({"a", "b"});
+  std::vector<ResultTable> tables;
+  tables.push_back({"summary", std::move(table)});
+  EXPECT_EQ(MustRender(tables, "csv"), "# experiment: exp\na,b\n");
+  EXPECT_EQ(MustRender(tables, "jsonl"), "");
+}
+
+TEST(SinkTest, NoTablesOrUnknownFormatIsError) {
+  EXPECT_FALSE(RenderTables({}, "exp", "csv").ok());
+  CsvTable table({"a"});
+  std::vector<ResultTable> tables;
+  tables.push_back({"summary", std::move(table)});
+  EXPECT_FALSE(RenderTables(tables, "exp", "xml").ok());
+}
+
+// ------------------------------------------------ empty histogram buckets ---
+
+// A converged run with a wide CDF range leaves most buckets at count zero:
+// the CDF must stay defined, monotone, flat over the empty buckets, and
+// reach exactly 1 at the top.
+TEST(SinkTest, EmptyHistogramBucketsKeepCdfFlatAndComplete) {
+  const std::vector<ResultTable> tables = MustRunAll(
+      "name = cdf_flat\n"
+      "protocol = push-sum\n"
+      "hosts = 64\n"
+      "rounds = 50\n"
+      "seed = 13\n"
+      "record = cdf(final_error)\n"
+      "record.cdf_hi = 100\n"
+      "record.cdf_buckets = 5\n",
+      1);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].label, "final_error_cdf");
+  const CsvTable& table = tables[0].table;
+  ASSERT_EQ(table.num_rows(), 5);
+  ASSERT_EQ(table.columns().size(), 2u);
+  EXPECT_EQ(table.columns()[0], "final_error");
+  EXPECT_EQ(table.columns()[1], "cdf");
+  double prev = 0.0;
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    EXPECT_GE(table.row(i)[1], prev);
+    prev = table.row(i)[1];
+  }
+  EXPECT_EQ(table.row(table.num_rows() - 1)[1], 1.0);
+  // After 50 rounds every error is far below 20 (the first bucket edge),
+  // so the tail buckets are empty and the CDF saturates immediately.
+  EXPECT_EQ(table.row(0)[1], 1.0);
+}
+
+// ----------------------------------------- JSONL round-trip, all kinds ---
+
+TEST(SinkTest, JsonlRoundTripsEveryRecordKind) {
+  const std::vector<ResultTable> tables = MustRunAll(
+      "name = all_kinds\n"
+      "protocol = push-sum\n"
+      "hosts = 48\n"
+      "rounds = 6\n"
+      "seed = 99\n"
+      "record = rms, rms_tail_mean, bandwidth, cdf(final_error)\n"
+      "record.cdf_hi = 60\n"
+      "record.cdf_buckets = 4\n",
+      2);
+  // summary (scalar + bandwidth), series, histogram — every record kind.
+  ASSERT_EQ(tables.size(), 3u);
+  const std::string jsonl = MustRender(tables, "jsonl");
+  const std::vector<std::string> lines = SplitLines(jsonl);
+
+  // Lines appear table by table, row by row, carrying the record label.
+  size_t line = 0;
+  for (const ResultTable& result : tables) {
+    const CsvTable& table = result.table;
+    for (int64_t r = 0; r < table.num_rows(); ++r, ++line) {
+      ASSERT_LT(line, lines.size());
+      EXPECT_NE(lines[line].find("\"experiment\":\"exp\""),
+                std::string::npos);
+      EXPECT_NE(
+          lines[line].find("\"record\":\"" + result.label + "\""),
+          std::string::npos);
+      for (size_t c = 0; c < table.columns().size(); ++c) {
+        // %.17g is lossless for doubles: the parsed value must be
+        // bit-identical to what the executor assembled.
+        EXPECT_EQ(JsonNumber(lines[line], table.columns()[c]),
+                  table.row(r)[c])
+            << "line " << line << " column " << table.columns()[c];
+      }
+    }
+  }
+  EXPECT_EQ(line, lines.size());
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace dynagg

@@ -162,6 +162,69 @@ TEST(SpecParseTest, BadParamValueSurfacesKeyName) {
             std::string::npos);
 }
 
+TEST(SpecParseTest, RecordDefaultsToRmsSeries) {
+  const auto specs = ParseScenarioFile("protocol = push-sum\n");
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ((*specs)[0].metrics.size(), 1u);
+  EXPECT_EQ((*specs)[0].metrics[0].name, "rms");
+  EXPECT_TRUE((*specs)[0].metrics[0].arg.empty());
+  EXPECT_TRUE((*specs)[0].aggregates.empty());
+}
+
+TEST(SpecParseTest, RecordListParsesNamesAndArguments) {
+  const auto specs = ParseScenarioFile(
+      "protocol = p\n"
+      "record = rms, bandwidth, cdf(final_error)\n");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  const auto& metrics = (*specs)[0].metrics;
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[0].ToString(), "rms");
+  EXPECT_EQ(metrics[1].ToString(), "bandwidth");
+  EXPECT_EQ(metrics[2].name, "cdf");
+  EXPECT_EQ(metrics[2].arg, "final_error");
+  EXPECT_EQ(metrics[2].ToString(), "cdf(final_error)");
+}
+
+TEST(SpecParseTest, BadRecordListsAreErrors) {
+  EXPECT_FALSE(ParseScenarioFile("protocol = p\nrecord = \n").ok());
+  EXPECT_FALSE(ParseScenarioFile("protocol = p\nrecord = rms,,x\n").ok());
+  EXPECT_FALSE(ParseScenarioFile("protocol = p\nrecord = cdf(\n").ok());
+  EXPECT_FALSE(ParseScenarioFile("protocol = p\nrecord = cdf()\n").ok());
+  EXPECT_FALSE(
+      ParseScenarioFile("protocol = p\nrecord = rms, rms\n").ok());
+  // Duplicate selectors must compare name AND argument.
+  EXPECT_TRUE(ParseScenarioFile(
+                  "protocol = p\nrecord = cdf(a), cdf(b)\n")
+                  .ok());
+}
+
+TEST(SpecParseTest, AggregateListParsesAndValidates) {
+  const auto specs = ParseScenarioFile(
+      "protocol = p\naggregate = mean, stddev, min, max\n");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ((*specs)[0].aggregates.size(), 4u);
+  EXPECT_EQ((*specs)[0].aggregates[0], "mean");
+  EXPECT_FALSE(
+      ParseScenarioFile("protocol = p\naggregate = median\n").ok());
+  EXPECT_FALSE(
+      ParseScenarioFile("protocol = p\naggregate = mean, mean\n").ok());
+}
+
+TEST(SpecParseTest, Sweep2ParsesAndValidates) {
+  const auto specs = ParseScenarioFile(
+      "protocol = p\n"
+      "sweep = protocol.lambda: 0, 0.1\n"
+      "sweep2 = rounds: 30, 60\n");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  EXPECT_EQ((*specs)[0].sweep2_key, "rounds");
+  ASSERT_EQ((*specs)[0].sweep2_values.size(), 2u);
+  EXPECT_DOUBLE_EQ((*specs)[0].sweep2_values[1], 60.0);
+  // Cross-field rules (sweep2 without sweep, duplicate keys) are enforced
+  // by ValidateExperiment, not the parser — see executor_test.
+  EXPECT_FALSE(
+      ParseScenarioFile("protocol = p\nsweep2 = oops 1, 2\n").ok());
+}
+
 TEST(SpecParseTest, CheckParamsRejectsUnknownSuffix) {
   const auto specs = ParseScenarioFile(
       "protocol = p\nprotocol.lamda = 0.5\n");  // typo'd suffix

@@ -12,3 +12,6 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 # cd instead of --test-dir: the latter needs ctest >= 3.20, the project's
 # declared minimum is 3.16.
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+# Every checked-in scenario spec must at least validate (registry lookups,
+# record/aggregate/sweep grammar) without executing.
+"$BUILD_DIR"/dynagg_run --dry-run bench/scenarios/*.scenario

@@ -2,11 +2,17 @@
 //
 //   dynagg_run [--threads=N] [--output=PATH] [--format=csv|jsonl] \
 //              file.scenario [more.scenario ...]
-//       Run every experiment in each file and write its metric table to
+//       Run every experiment in each file and write its metric tables to
 //       the spec's `output` (default stdout). --output / --format override
 //       the spec for all experiments (useful for quick redirection).
+//   dynagg_run --list file.scenario [...]
+//       Enumerate the experiments in each file (name, protocol,
+//       environment, axes, metrics) without executing anything.
 //   dynagg_run --list
 //       Print the registered protocols and environments.
+//   dynagg_run --dry-run file.scenario [...]
+//       Parse and structurally validate every experiment (registry
+//       lookups, metric/aggregate grammar, sweep axes) without executing.
 //
 // Exit status: 0 on success, 1 on any experiment error, 2 on usage error.
 
@@ -55,7 +61,8 @@ int Usage() {
       stderr,
       "usage: dynagg_run [--threads=N] [--output=PATH] "
       "[--format=csv|jsonl] file.scenario...\n"
-      "       dynagg_run --list\n");
+      "       dynagg_run --list [file.scenario...]\n"
+      "       dynagg_run --dry-run file.scenario...\n");
   return 2;
 }
 
@@ -71,17 +78,60 @@ int ListRegistries() {
   return 0;
 }
 
+std::string DescribeMetrics(const scenario::ScenarioSpec& spec) {
+  std::string out;
+  for (size_t i = 0; i < spec.metrics.size(); ++i) {
+    if (i) out += ",";
+    out += spec.metrics[i].ToString();
+  }
+  return out;
+}
+
+void ListExperiment(const scenario::ScenarioSpec& spec) {
+  std::printf("%s\n", spec.name.c_str());
+  std::printf("  protocol = %s, environment = %s\n", spec.protocol.c_str(),
+              spec.environment.c_str());
+  std::printf("  hosts = %d, rounds = %d, trials = %d, seed = %llu\n",
+              spec.hosts, spec.rounds, spec.trials,
+              static_cast<unsigned long long>(spec.seed));
+  if (!spec.sweep_key.empty()) {
+    std::printf("  sweep = %s (%zu values)\n", spec.sweep_key.c_str(),
+                spec.sweep_values.size());
+  }
+  if (!spec.sweep2_key.empty()) {
+    std::printf("  sweep2 = %s (%zu values)\n", spec.sweep2_key.c_str(),
+                spec.sweep2_values.size());
+  }
+  std::printf("  record = %s\n", DescribeMetrics(spec).c_str());
+  if (!spec.aggregates.empty()) {
+    std::string aggs;
+    for (size_t i = 0; i < spec.aggregates.size(); ++i) {
+      if (i) aggs += ",";
+      aggs += spec.aggregates[i];
+    }
+    std::printf("  aggregate = %s\n", aggs.c_str());
+  }
+  std::printf("  output = %s (%s)\n", spec.output.c_str(),
+              spec.format.c_str());
+}
+
+enum class Mode { kRun, kList, kDryRun };
+
 int Run(int argc, char** argv) {
   int threads = static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
+  Mode mode = Mode::kRun;
   std::string output_override;
   std::string format_override;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--list") return ListRegistries();
-    if (arg.rfind("--threads=", 0) == 0) {
+    if (arg == "--list") {
+      mode = Mode::kList;
+    } else if (arg == "--dry-run") {
+      mode = Mode::kDryRun;
+    } else if (arg.rfind("--threads=", 0) == 0) {
       Result<int64_t> v = scenario::ParseInt64(arg.substr(10));
       if (!v.ok() || *v < 1) {
         std::fprintf(stderr, "dynagg_run: bad --threads value\n");
@@ -99,11 +149,15 @@ int Run(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (files.empty()) return Usage();
+  if (files.empty()) {
+    if (mode == Mode::kList) return ListRegistries();
+    return Usage();
+  }
 
   // Paths already written this invocation: the first experiment truncates,
   // later ones append, so experiments sharing one output file all survive.
   std::set<std::string> written_paths;
+  int validated = 0;
   for (const std::string& file : files) {
     Result<std::string> text = ReadFile(file);
     if (!text.ok()) {
@@ -119,10 +173,25 @@ int Run(int argc, char** argv) {
       return 1;
     }
     for (const scenario::ScenarioSpec& spec : *specs) {
-      Result<CsvTable> table = scenario::RunExperiment(spec, threads);
-      if (!table.ok()) {
+      if (mode == Mode::kList) {
+        ListExperiment(spec);
+        continue;
+      }
+      if (mode == Mode::kDryRun) {
+        const Status st = scenario::ValidateExperiment(spec);
+        if (!st.ok()) {
+          std::fprintf(stderr, "dynagg_run: %s: %s\n", file.c_str(),
+                       st.ToString().c_str());
+          return 1;
+        }
+        ++validated;
+        continue;
+      }
+      Result<std::vector<scenario::ResultTable>> tables =
+          scenario::RunExperiment(spec, threads);
+      if (!tables.ok()) {
         std::fprintf(stderr, "dynagg_run: %s: %s\n", file.c_str(),
-                     table.status().ToString().c_str());
+                     tables.status().ToString().c_str());
         return 1;
       }
       const std::string output =
@@ -132,13 +201,18 @@ int Run(int argc, char** argv) {
       const bool append =
           output != "-" && !written_paths.insert(output).second;
       const Status st =
-          scenario::WriteTable(*table, spec.name, format, output, append);
+          scenario::WriteTables(*tables, spec.name, format, output, append);
       if (!st.ok()) {
         std::fprintf(stderr, "dynagg_run: %s: %s\n", file.c_str(),
                      st.ToString().c_str());
         return 1;
       }
     }
+  }
+  if (mode == Mode::kDryRun) {
+    std::printf("dynagg_run: validated %d experiment%s in %zu file%s\n",
+                validated, validated == 1 ? "" : "s", files.size(),
+                files.size() == 1 ? "" : "s");
   }
   return 0;
 }
