@@ -58,4 +58,16 @@ std::vector<int> ComponentSizes(const std::vector<int>& labels) {
   return sizes;
 }
 
+std::vector<double> GroupMeans(const std::vector<int>& labels,
+                               const std::vector<int>& sizes,
+                               const std::vector<double>& values) {
+  std::vector<double> sums(sizes.size(), 0.0);
+  for (size_t i = 0; i < labels.size(); ++i) sums[labels[i]] += values[i];
+  std::vector<double> means(sizes.size(), 0.0);
+  for (size_t g = 0; g < sizes.size(); ++g) {
+    means[g] = sizes[g] > 0 ? sums[g] / sizes[g] : 0.0;
+  }
+  return means;
+}
+
 }  // namespace dynagg

@@ -42,6 +42,13 @@ std::vector<int> ConnectedComponents(
 /// Per-component member counts for a labelling from ConnectedComponents.
 std::vector<int> ComponentSizes(const std::vector<int>& labels);
 
+/// Per-component mean of `values` under `labels` (index = component id):
+/// the per-group truth of the trace experiments' averaging protocols.
+/// `sizes` must come from ComponentSizes(labels).
+std::vector<double> GroupMeans(const std::vector<int>& labels,
+                               const std::vector<int>& sizes,
+                               const std::vector<double>& values);
+
 }  // namespace dynagg
 
 #endif  // DYNAGG_ENV_CONNECTIVITY_H_

@@ -1,0 +1,176 @@
+#include "scenario/config.h"
+
+namespace dynagg {
+namespace scenario {
+
+Result<MetricFlags> ClassifyDriverMetrics(
+    const ScenarioSpec& spec, const std::vector<std::string>& extra) {
+  std::vector<std::string> supported = {"rms", "rms_tail_mean",
+                                        "rounds_to_converge", "bandwidth",
+                                        "cdf(final_error)"};
+  supported.insert(supported.end(), extra.begin(), extra.end());
+  DYNAGG_RETURN_IF_ERROR(CheckMetricsSupported(spec, supported));
+  MetricFlags flags;
+  flags.rms = MetricRequested(spec, "rms");
+  flags.tail_mean = MetricRequested(spec, "rms_tail_mean");
+  flags.convergence = MetricRequested(spec, "rounds_to_converge");
+  flags.bandwidth = MetricRequested(spec, "bandwidth");
+  flags.final_error_cdf = MetricRequested(spec, "cdf(final_error)");
+  for (const std::string& selector : extra) {
+    flags.extra = flags.extra || MetricRequested(spec, selector);
+  }
+  return flags;
+}
+
+Result<RecordConfig> ParseRecordConfig(
+    const ScenarioSpec& spec, const std::vector<std::string>& extra_keys) {
+  if (spec.HasParam("record.kind")) {
+    return Status::InvalidArgument(
+        "record.kind was replaced by the top-level metric list: use "
+        "'record = rms' (per_round), 'record = rms_tail_mean' (tail_mean) "
+        "or 'record = rounds_to_converge' (convergence)");
+  }
+  std::vector<std::string> allowed = {
+      "from",   "every",  "threshold", "threshold_relative",
+      "cdf_lo", "cdf_hi", "cdf_buckets"};
+  allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", allowed));
+  RecordConfig cfg;
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t from,
+                          spec.ParamInt("record.from", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t every,
+                          spec.ParamInt("record.every", 1));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.threshold,
+                          spec.ParamDouble("record.threshold", 1.0));
+  DYNAGG_ASSIGN_OR_RETURN(
+      cfg.threshold_relative,
+      spec.ParamBool("record.threshold_relative", false));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.cdf_lo, spec.ParamDouble("record.cdf_lo", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.cdf_hi, spec.ParamDouble("record.cdf_hi", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t cdf_buckets,
+                          spec.ParamInt("record.cdf_buckets", 20));
+  if (from < 0 || every < 1) {
+    return Status::InvalidArgument(
+        "record.from must be >= 0 and record.every >= 1");
+  }
+  cfg.from = static_cast<int>(from);
+  cfg.every = static_cast<int>(every);
+  cfg.cdf_buckets = static_cast<int>(cdf_buckets);
+  return cfg;
+}
+
+Result<FailureConfig> ParseFailureConfig(const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "failure.", {"kind", "round", "fraction", "start", "end", "death_prob",
+                   "return_factor", "return_prob", "pin_alive"}));
+  FailureConfig cfg;
+  DYNAGG_ASSIGN_OR_RETURN(const std::string kind,
+                          spec.ParamString("failure.kind", "none"));
+  if (kind == "none") {
+    cfg.kind = FailureConfig::Kind::kNone;
+  } else if (kind == "kill_random_fraction") {
+    cfg.kind = FailureConfig::Kind::kKillRandomFraction;
+  } else if (kind == "kill_top_fraction") {
+    cfg.kind = FailureConfig::Kind::kKillTopFraction;
+  } else if (kind == "churn") {
+    cfg.kind = FailureConfig::Kind::kChurn;
+  } else {
+    return Status::InvalidArgument(
+        "failure.kind must be none, kill_random_fraction, "
+        "kill_top_fraction or churn, got '" +
+        kind + "'");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t round,
+                          spec.ParamInt("failure.round", 0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.fraction,
+                          spec.ParamDouble("failure.fraction", 0.5));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t start,
+                          spec.ParamInt("failure.start", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t end,
+                          spec.ParamInt("failure.end", -1));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.death_prob,
+                          spec.ParamDouble("failure.death_prob", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.return_factor,
+                          spec.ParamDouble("failure.return_factor", 4.0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.return_prob,
+                          spec.ParamDouble("failure.return_prob", -1.0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t pin,
+                          spec.ParamInt("failure.pin_alive", kInvalidHost));
+  cfg.round = static_cast<int>(round);
+  cfg.start = static_cast<int>(start);
+  cfg.end = static_cast<int>(end);
+  cfg.pin_alive = static_cast<HostId>(pin);
+  if (cfg.fraction < 0.0 || cfg.fraction > 1.0) {
+    return Status::InvalidArgument("failure.fraction must be in [0, 1]");
+  }
+  if (cfg.death_prob < 0.0 || cfg.death_prob > 1.0) {
+    return Status::InvalidArgument("failure.death_prob must be in [0, 1]");
+  }
+  return cfg;
+}
+
+double ChurnReturnProb(const FailureConfig& cfg) {
+  return cfg.return_prob >= 0.0 ? cfg.return_prob
+                                : cfg.death_prob * cfg.return_factor;
+}
+
+Result<uint64_t> FailureStream(const ScenarioSpec& spec,
+                               const FailureConfig& cfg) {
+  if (spec.HasParam("seeds.failure_stream")) {
+    DYNAGG_ASSIGN_OR_RETURN(const int64_t stream,
+                            spec.ParamInt("seeds.failure_stream", 2));
+    return static_cast<uint64_t>(stream);
+  }
+  if (cfg.kind == FailureConfig::Kind::kChurn) {
+    return static_cast<uint64_t>(cfg.death_prob * 1e5);
+  }
+  return uint64_t{2};
+}
+
+Result<uint64_t> RoundStream(const ScenarioSpec& spec,
+                             const TrialContext& ctx, int n) {
+  DYNAGG_ASSIGN_OR_RETURN(const std::string text,
+                          spec.ParamString("seeds.round_stream", "1"));
+  if (text == "hosts") return static_cast<uint64_t>(n);
+  if (text.rfind("sweep+", 0) == 0) {
+    if (ctx.sweep_index < 0) {
+      return Status::InvalidArgument(
+          "seeds.round_stream = " + text +
+          " requires a sweep (the stream offsets by the sweep index)");
+    }
+    DYNAGG_ASSIGN_OR_RETURN(const int64_t base, ParseInt64(text.substr(6)));
+    return static_cast<uint64_t>(base + ctx.sweep_index);
+  }
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t stream,
+                          spec.ParamInt("seeds.round_stream", 1));
+  return static_cast<uint64_t>(stream);
+}
+
+Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,
+                                     int rounds,
+                                     const std::vector<double>* values,
+                                     Rng& fail_rng) {
+  switch (cfg.kind) {
+    case FailureConfig::Kind::kNone:
+      return FailurePlan();
+    case FailureConfig::Kind::kKillRandomFraction:
+      return FailurePlan::KillRandomFraction(n, cfg.round, cfg.fraction,
+                                             fail_rng);
+    case FailureConfig::Kind::kKillTopFraction:
+      if (values == nullptr) {
+        return Status::InvalidArgument(
+            "failure.kind = kill_top_fraction requires a value-based "
+            "protocol");
+      }
+      return FailurePlan::KillTopFraction(*values, cfg.round, cfg.fraction);
+    case FailureConfig::Kind::kChurn: {
+      const int end = cfg.end >= 0 ? cfg.end : rounds;
+      return FailurePlan::Churn(n, cfg.start, end, cfg.death_prob,
+                                ChurnReturnProb(cfg), fail_rng);
+    }
+  }
+  return Status::InvalidArgument("unreachable failure kind");
+}
+
+}  // namespace scenario
+}  // namespace dynagg

@@ -1,0 +1,112 @@
+// Shared trial configuration: the spec-declared metric flags, record.*
+// knobs, failure plans and RNG stream layout consumed by the trial drivers
+// (scenario/drivers.cc) and by custom whole-trial protocols (tag-tree).
+//
+// The stream-resolution conventions deliberately reproduce the legacy
+// bench binaries so a 1-trial scenario is numerically identical to the
+// main() it replaced:
+//   - gossip rounds: Rng(DeriveSeed(trial_seed, seeds.round_stream)),
+//     where the symbolic value `hosts` resolves to the population size
+//     (fig06's per-size decorrelation) and `sweep+N` resolves to
+//     N + sweep_index (fig11's per-series streams);
+//   - failure plan:  Rng(DeriveSeed(trial_seed, seeds.failure_stream)),
+//     where churn plans default the stream to floor(death_prob * 1e5) —
+//     the convention of ablation_tree_vs_gossip.
+
+#ifndef DYNAGG_SCENARIO_CONFIG_H_
+#define DYNAGG_SCENARIO_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "scenario/trial.h"
+#include "sim/failure.h"
+
+namespace dynagg {
+namespace scenario {
+
+/// Which of the rounds driver's metrics the spec requests.
+struct MetricFlags {
+  bool rms = false;
+  bool tail_mean = false;
+  bool convergence = false;
+  bool bandwidth = false;
+  bool final_error_cdf = false;
+  /// Any selector the swarm listed as extra (handled by its finish hook).
+  bool extra = false;
+
+  bool NeedsRoundEvaluation() const { return rms || tail_mean || convergence; }
+  /// Early convergence stop is only sound when no other metric needs the
+  /// remaining rounds.
+  bool OnlyConvergence() const {
+    return convergence && !rms && !tail_mean && !bandwidth &&
+           !final_error_cdf && !extra;
+  }
+};
+
+/// Validates the spec's metric list against the rounds driver's catalog
+/// plus the swarm's `extra` selectors and flags what is requested.
+Result<MetricFlags> ClassifyDriverMetrics(const ScenarioSpec& spec,
+                                          const std::vector<std::string>&
+                                              extra);
+
+/// The record.* knobs of the rounds driver's metrics.
+struct RecordConfig {
+  int from = 0;
+  int every = 1;
+  double threshold = 1.0;
+  bool threshold_relative = false;
+  double cdf_lo = 0.0;
+  double cdf_hi = 0.0;
+  int cdf_buckets = 20;
+};
+
+Result<RecordConfig> ParseRecordConfig(
+    const ScenarioSpec& spec, const std::vector<std::string>& extra_keys);
+
+/// The failure.* plan declaration.
+struct FailureConfig {
+  enum class Kind { kNone, kKillRandomFraction, kKillTopFraction, kChurn };
+  Kind kind = Kind::kNone;
+  int round = 0;          // kill_* trigger round
+  double fraction = 0.5;  // kill_* fraction
+  int start = 0;          // churn window
+  int end = -1;           // churn window end; -1 = spec.rounds
+  double death_prob = 0.0;
+  double return_factor = 4.0;
+  double return_prob = -1.0;  // -1 = death_prob * return_factor
+  HostId pin_alive = kInvalidHost;
+};
+
+Result<FailureConfig> ParseFailureConfig(const ScenarioSpec& spec);
+
+double ChurnReturnProb(const FailureConfig& cfg);
+
+/// Resolves the failure RNG stream: explicit seeds.failure_stream wins;
+/// churn plans default to floor(death_prob * 1e5) and everything else to
+/// stream 2.
+Result<uint64_t> FailureStream(const ScenarioSpec& spec,
+                               const FailureConfig& cfg);
+
+/// Resolves the gossip-round RNG stream: an integer, the symbolic value
+/// `hosts` (resolves to the population size `n`), or `sweep+N` (resolves
+/// to N + ctx.sweep_index — fig11 decorrelates its per-lambda series this
+/// way).
+Result<uint64_t> RoundStream(const ScenarioSpec& spec,
+                             const TrialContext& ctx, int n);
+
+/// Builds the scripted plan. `values` backs kill_top_fraction and may be
+/// null for protocols without per-host scalar values.
+Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,
+                                     int rounds,
+                                     const std::vector<double>* values,
+                                     Rng& fail_rng);
+
+}  // namespace scenario
+}  // namespace dynagg
+
+#endif  // DYNAGG_SCENARIO_CONFIG_H_

@@ -1,0 +1,302 @@
+// Builtin trial drivers: how simulated time advances within one trial.
+//
+//   rounds  The paper's synchronous round loop (sim/round_driver.h) with
+//           the spec-declared failure plan, multi-metric recording and
+//           early convergence stop. All requested metrics are recorded in
+//           ONE pass over the rounds:
+//             - rms                 per-round RMS-deviation series
+//                                   (record.from/every)
+//             - rms_tail_mean       scalar mean RMS over rounds >= from
+//             - rounds_to_converge  first round with RMS < record.threshold
+//             - bandwidth           measured traffic via TrafficMeter
+//             - cdf(final_error)    per-host |estimate - truth| CDF
+//           plus any extra selectors the swarm's finish hook handles.
+//   trace   Event-driven contact-trace playback (sim/trace_runner.h): the
+//           environment's ContactTrace, a gossip tick every gossip_period
+//           seconds, and a metric sample every sample_period seconds, all
+//           as events on one discrete-event simulator. Errors are measured
+//           against each host's current *group* aggregate (connected
+//           component over recently-seen edges, Section V):
+//             - rms                 per-sample series of the group-relative
+//                                   RMS deviation (x axis: hour)
+//             - avg_group_size      per-sample series of the mean group
+//                                   size (Fig 11's right-hand axis)
+//
+// Both drivers derive every RNG stream from ctx.trial_seed via the
+// conventions in scenario/config.h, reproducing the legacy bench binaries
+// bit-identically.
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "env/connectivity.h"
+#include "scenario/config.h"
+#include "scenario/trial.h"
+#include "sim/bandwidth.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+#include "sim/round_driver.h"
+#include "sim/trace_runner.h"
+
+namespace dynagg {
+namespace scenario {
+namespace {
+
+// ----------------------------------------------------------- rounds ---
+
+/// Swarm adapter slotted into RunRounds: advances trace-backed
+/// environments, re-pins a host alive (between the failure application and
+/// the gossip exchange, exactly where the legacy benches revive their
+/// leader), then delegates to the swarm handle.
+struct RoundHooks {
+  const SwarmHandle& swarm;
+  Environment* env;
+  SimTime advance_period;
+  HostId pin_alive;
+  int round = 0;
+
+  void RunRound(const Environment& e, Population& pop, Rng& rng) {
+    if (advance_period > 0) {
+      env->AdvanceTo(static_cast<SimTime>(round + 1) * advance_period);
+    }
+    if (pin_alive != kInvalidHost) pop.Revive(pin_alive);
+    swarm.run_round(e, pop, rng);
+    ++round;
+  }
+};
+
+/// Drives the swarm for spec.rounds rounds under the spec's environment,
+/// failure plan and requested metrics, recording everything in one pass.
+Status DriveRounds(const TrialContext& ctx, EnvHandle& env,
+                   const SwarmHandle& swarm, Recorder& rec) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream",
+                                                     "failure_stream"}));
+  DYNAGG_ASSIGN_OR_RETURN(
+      const MetricFlags metrics,
+      ClassifyDriverMetrics(spec, swarm.extra_metrics));
+  DYNAGG_ASSIGN_OR_RETURN(const RecordConfig cfg,
+                          ParseRecordConfig(spec, swarm.extra_record_keys));
+  DYNAGG_ASSIGN_OR_RETURN(const FailureConfig fail, ParseFailureConfig(spec));
+  const int n = env.env->num_hosts();
+  DYNAGG_ASSIGN_OR_RETURN(const uint64_t round_stream,
+                          RoundStream(spec, ctx, n));
+  DYNAGG_ASSIGN_OR_RETURN(const uint64_t fail_stream,
+                          FailureStream(spec, fail));
+
+  if (metrics.tail_mean && cfg.from >= spec.rounds) {
+    // An empty averaging window would fabricate a perfect score of 0.
+    return Status::InvalidArgument(
+        "record.from = " + std::to_string(cfg.from) +
+        " leaves no rounds to average (rounds = " +
+        std::to_string(spec.rounds) + ")");
+  }
+  if (metrics.final_error_cdf &&
+      (cfg.cdf_buckets < 1 || cfg.cdf_hi <= cfg.cdf_lo)) {
+    return Status::InvalidArgument(
+        "cdf(final_error) needs record.cdf_hi > record.cdf_lo and "
+        "record.cdf_buckets >= 1");
+  }
+
+  TrafficMeter meter;
+  if (metrics.bandwidth) {
+    if (!swarm.set_meter) {
+      return Status::InvalidArgument(
+          "protocol '" + spec.protocol +
+          "' does not support the bandwidth metric");
+    }
+    swarm.set_meter(&meter);
+  }
+
+  Rng fail_rng(DeriveSeed(ctx.trial_seed, fail_stream));
+  DYNAGG_ASSIGN_OR_RETURN(
+      const FailurePlan plan,
+      BuildFailurePlan(fail, n, spec.rounds, swarm.failure_values, fail_rng));
+  if (fail.pin_alive != kInvalidHost &&
+      (fail.pin_alive < 0 || fail.pin_alive >= n)) {
+    return Status::InvalidArgument("failure.pin_alive out of range");
+  }
+
+  Population pop(n);
+  Rng rng(DeriveSeed(ctx.trial_seed, round_stream));
+
+  RunningStat tail;
+  int converged_round = -1;
+  const bool early_stop = metrics.OnlyConvergence();
+  // Declare the series up front: a unit whose recording window is empty
+  // (record.from >= its rounds under a rounds sweep) must still carry the
+  // series so batches stay structurally identical across units.
+  if (metrics.rms) rec.MutableSeries("round", "rms");
+  const auto on_round_end = [&](int round) {
+    if (!metrics.NeedsRoundEvaluation()) return true;
+    const double tr = swarm.truth(pop);
+    const double rms = RmsDeviationOverAlive(pop, tr, swarm.estimate);
+    if (metrics.rms && round >= cfg.from &&
+        (round - cfg.from) % cfg.every == 0) {
+      rec.AddSeriesPoint("round", "rms", static_cast<double>(round + 1),
+                         rms);
+    }
+    if (metrics.tail_mean && round >= cfg.from) tail.Add(rms);
+    if (metrics.convergence && converged_round < 0) {
+      const double limit =
+          cfg.threshold_relative ? cfg.threshold * tr : cfg.threshold;
+      if (rms < limit) {
+        converged_round = round + 1;
+        // Later rounds cannot change the result; stop paying for them
+        // unless another metric still needs them.
+        if (early_stop) return false;
+      }
+    }
+    return true;
+  };
+
+  RoundHooks hooks{swarm, env.env.get(), env.advance_period, fail.pin_alive};
+  const int executed = RunRoundsUntil(hooks, *env.env, pop, plan,
+                                      spec.rounds, rng, on_round_end);
+
+  if (metrics.tail_mean) rec.AddScalar("rms_tail_mean", tail.mean());
+  if (metrics.convergence) {
+    if (converged_round < 0 && !spec.aggregates.empty()) {
+      // Averaging the -1 "never converged" sentinel into mean/stddev would
+      // produce a plausible-looking but meaningless statistic.
+      return Status::InvalidArgument(
+          "trial " + std::to_string(ctx.trial) +
+          " did not converge within " + std::to_string(spec.rounds) +
+          " rounds; rounds_to_converge = -1 cannot be aggregated (raise "
+          "rounds or drop aggregate)");
+    }
+    rec.AddScalar("rounds_to_converge",
+                  static_cast<double>(converged_round));
+  }
+  if (metrics.bandwidth) {
+    const double denom = static_cast<double>(n) * executed;
+    rec.SetBandwidth(meter.total().messages / denom,
+                     meter.total().bytes / denom, swarm.state_bytes);
+  }
+  if (metrics.final_error_cdf) {
+    Histogram hist(cfg.cdf_lo, cfg.cdf_hi, cfg.cdf_buckets);
+    const double tr = swarm.truth(pop);
+    for (const HostId id : pop.alive_ids()) {
+      hist.Add(std::abs(swarm.estimate(id) - tr));
+    }
+    HistogramRecord* record = rec.MutableHistogram(
+        "final_error_cdf", /*key_name=*/"", "final_error", "cdf",
+        /*cumulative=*/true);
+    for (int b = 0; b < hist.num_buckets(); ++b) {
+      // Fold the out-of-range tails into the edge buckets so the CDF
+      // reaches 1 over the declared range.
+      int64_t count = hist.bucket_count(b);
+      if (b == 0) count += hist.underflow();
+      if (b == hist.num_buckets() - 1) count += hist.overflow();
+      record->buckets.push_back({0.0, hist.bucket_upper(b), count});
+    }
+  }
+  if (swarm.finish) return swarm.finish(ctx, rec);
+  return Status::OK();
+}
+
+Status RunRoundsDriver(const TrialContext& ctx, const ProtocolDef& def,
+                       Recorder& rec) {
+  // Whole-trial protocols own their loop; the rounds driver is their host.
+  if (def.run_custom) return def.run_custom(ctx, rec);
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(SwarmHandle swarm, def.make_swarm(ctx, env));
+  return DriveRounds(ctx, env, swarm, rec);
+}
+
+// ------------------------------------------------------------ trace ---
+
+Status RunTraceDriver(const TrialContext& ctx, const ProtocolDef& def,
+                      Recorder& rec) {
+  const ScenarioSpec& spec = *ctx.spec;
+  if (!def.make_swarm) {
+    return Status::InvalidArgument(
+        "protocol '" + spec.protocol +
+        "' owns its whole trial loop and cannot run under driver = trace");
+  }
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream"}));
+  // Failure plans are round-indexed; the trace timeline has no rounds.
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("failure.", {}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", {}));
+  DYNAGG_RETURN_IF_ERROR(
+      CheckMetricsSupported(spec, {"rms", "avg_group_size"}));
+  const bool want_rms = MetricRequested(spec, "rms");
+  const bool want_group_size = MetricRequested(spec, "avg_group_size");
+
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  if (env.trace == nullptr) {
+    return Status::InvalidArgument(
+        "environment '" + spec.environment +
+        "' does not provide a contact trace (driver = trace replays one; "
+        "use haggle or another trace environment)");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(SwarmHandle swarm, def.make_swarm(ctx, env));
+  if (!swarm.group_truths) {
+    return Status::InvalidArgument(
+        "protocol '" + spec.protocol +
+        "' does not support driver = trace (no group-truth hook)");
+  }
+  const std::function<double(HostId)>& estimate =
+      swarm.group_estimate ? swarm.group_estimate : swarm.estimate;
+
+  // The paper's cadence: a gossip tick every 30 seconds, hourly samples.
+  const SimTime gossip_period =
+      FromSeconds(spec.gossip_period > 0 ? spec.gossip_period : 30.0);
+  const SimTime sample_period =
+      FromSeconds(spec.sample_period > 0 ? spec.sample_period : 3600.0);
+  DYNAGG_ASSIGN_OR_RETURN(const uint64_t round_stream,
+                          RoundStream(spec, ctx, env.env->num_hosts()));
+
+  TraceRunner runner(*env.trace, gossip_period, env.group_window);
+  Rng rng(DeriveSeed(ctx.trial_seed, round_stream));
+  runner.OnRound([&](SimTime) {
+    swarm.run_round(runner.env(), runner.pop(), rng);
+  });
+  // Declare both series before the run: a trace shorter than one sample
+  // period must still emit the (empty) series for structural consistency.
+  if (want_rms) rec.MutableSeries("hour", "rms");
+  if (want_group_size) rec.MutableSeries("hour", "avg_group_size");
+  std::vector<int> labels;
+  runner.EverySample(sample_period, [&](SimTime t) {
+    const double hour = ToHours(t);
+    if (want_rms) {
+      labels = runner.env().CurrentGroups();
+      const std::vector<int> sizes = ComponentSizes(labels);
+      const std::vector<double> truths = swarm.group_truths(labels, sizes);
+      DeviationStat dev;
+      for (const HostId id : runner.pop().alive_ids()) {
+        dev.Add(estimate(id), truths[labels[id]]);
+      }
+      rec.AddSeriesPoint("hour", "rms", hour, dev.rms());
+    }
+    if (want_group_size) {
+      rec.AddSeriesPoint("hour", "avg_group_size", hour,
+                         runner.env().AverageGroupSize());
+    }
+  });
+  runner.Run();
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace internal {
+
+void RegisterBuiltinDrivers(Registry<DriverDef>& registry) {
+  DYNAGG_CHECK(
+      registry.Register("rounds", {RunRoundsDriver, /*event_driven=*/false})
+          .ok());
+  DYNAGG_CHECK(
+      registry.Register("trace", {RunTraceDriver, /*event_driven=*/true})
+          .ok());
+}
+
+}  // namespace internal
+}  // namespace scenario
+}  // namespace dynagg

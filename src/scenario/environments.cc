@@ -80,7 +80,7 @@ Result<EnvHandle> MakeHaggle(const TrialContext& ctx) {
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
       "env.",
       {"dataset", "hours", "gossip_seconds", "group_window_minutes",
-       "seed_stream"}));
+       "seed_stream", "trace_seed"}));
   DYNAGG_ASSIGN_OR_RETURN(const int64_t dataset,
                           spec.ParamInt("env.dataset", 1));
   DYNAGG_ASSIGN_OR_RETURN(const double hours,
@@ -111,7 +111,27 @@ Result<EnvHandle> MakeHaggle(const TrialContext& ctx) {
   if (gossip_seconds <= 0) {
     return Status::InvalidArgument("env.gossip_seconds must be > 0");
   }
-  params.seed = DeriveSeed(ctx.trial_seed, static_cast<uint64_t>(stream));
+  // env.gossip_seconds paces round-driven playback (advance_period); the
+  // event-driven trace driver ticks on the top-level gossip_period, so an
+  // explicit value there would be silently dead.
+  if (spec.driver == "trace" && spec.HasParam("env.gossip_seconds")) {
+    return Status::InvalidArgument(
+        "env.gossip_seconds paces the rounds driver; under driver = trace "
+        "set the top-level gossip_period instead");
+  }
+  // The trace seed: derived from the trial seed by default (independent
+  // trials), or pinned via env.trace_seed — `preset` keeps the dataset
+  // preset's fixed seed (every trial and sweep unit replays the SAME
+  // trace, the legacy fig11 convention), an integer pins it explicitly.
+  DYNAGG_ASSIGN_OR_RETURN(const std::string trace_seed,
+                          spec.ParamString("env.trace_seed", ""));
+  if (trace_seed.empty()) {
+    params.seed = DeriveSeed(ctx.trial_seed, static_cast<uint64_t>(stream));
+  } else if (trace_seed != "preset") {
+    DYNAGG_ASSIGN_OR_RETURN(const int64_t fixed,
+                            spec.ParamInt("env.trace_seed", 0));
+    params.seed = static_cast<uint64_t>(fixed);
+  }
 
   EnvHandle handle;
   handle.trace =
@@ -119,6 +139,7 @@ Result<EnvHandle> MakeHaggle(const TrialContext& ctx) {
   handle.env = std::make_unique<TraceEnvironment>(
       *handle.trace, FromMinutes(group_window));
   handle.advance_period = FromSeconds(gossip_seconds);
+  handle.group_window = FromMinutes(group_window);
   return handle;
 }
 
@@ -126,11 +147,20 @@ Result<EnvHandle> MakeHaggle(const TrialContext& ctx) {
 
 namespace internal {
 
-void RegisterBuiltinEnvironments(Registry<EnvironmentFactory>& registry) {
-  DYNAGG_CHECK(registry.Register("uniform", MakeUniform).ok());
-  DYNAGG_CHECK(registry.Register("spatial", MakeSpatial).ok());
-  DYNAGG_CHECK(registry.Register("random-graph", MakeRandomGraph).ok());
-  DYNAGG_CHECK(registry.Register("haggle", MakeHaggle).ok());
+void RegisterBuiltinEnvironments(Registry<EnvironmentDef>& registry) {
+  DYNAGG_CHECK(
+      registry.Register("uniform", {MakeUniform, /*provides_trace=*/false})
+          .ok());
+  DYNAGG_CHECK(
+      registry.Register("spatial", {MakeSpatial, /*provides_trace=*/false})
+          .ok());
+  DYNAGG_CHECK(registry
+                   .Register("random-graph",
+                             {MakeRandomGraph, /*provides_trace=*/false})
+                   .ok());
+  DYNAGG_CHECK(
+      registry.Register("haggle", {MakeHaggle, /*provides_trace=*/true})
+          .ok());
 }
 
 }  // namespace internal

@@ -1,5 +1,6 @@
 #include "scenario/executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -114,7 +115,9 @@ Status CheckSameStructure(const ScenarioSpec& spec, const RecordBatch& proto,
   }
   for (size_t i = 0; i < proto.series.size(); ++i) {
     if (batch.series[i].name != proto.series[i].name ||
-        batch.series[i].x_name != proto.series[i].x_name) {
+        batch.series[i].x_name != proto.series[i].x_name ||
+        batch.series[i].key_name != proto.series[i].key_name ||
+        batch.series[i].key != proto.series[i].key) {
       return mismatch("series '" + batch.series[i].name + "'");
     }
   }
@@ -215,12 +218,17 @@ Result<ResultTable> AssembleSummary(const ScenarioSpec& spec,
 }
 
 /// Assembles the series table: one row per (unit, x) — or per (cell, x)
-/// with aggregation, matching points by x position across trials.
+/// with aggregation, matching points by x position across trials. Keyed
+/// series (one series per lambda/panel group) add a leading key column and
+/// one row block per key group, in first-creation order; group structure
+/// was already checked identical across units, so keyed tables assemble
+/// deterministically under sweeps and aggregation alike.
 Result<ResultTable> AssembleSeries(const ScenarioSpec& spec,
                                    const AxisLayout& axes,
                                    const std::vector<RecordBatch>& batches) {
   const std::vector<SeriesRecord>& proto = batches[0].series;
   const std::string& x_name = proto[0].x_name;
+  const std::string& key_name = proto[0].key_name;
   for (const SeriesRecord& s : proto) {
     if (s.x_name != x_name) {
       return Status::InvalidArgument(
@@ -228,21 +236,79 @@ Result<ResultTable> AssembleSeries(const ScenarioSpec& spec,
           "' uses x axis '" + s.x_name + "' but '" + proto[0].name +
           "' uses '" + x_name + "' (one series table per experiment)");
     }
+    if (s.key_name != key_name) {
+      return Status::InvalidArgument(
+          "experiment '" + spec.name + "': series '" + s.name +
+          "' uses key column '" + s.key_name + "' but '" + proto[0].name +
+          "' uses '" + key_name +
+          "' (all series must share one key column)");
+    }
   }
-  // Within one unit every series must sample the same x values (they are
-  // emitted from the same round loop).
+
+  // Key groups and value columns, both in first-appearance order. An
+  // unkeyed batch is one group holding every series.
+  std::vector<double> keys;
+  std::vector<std::string> names;
+  if (key_name.empty()) {
+    keys.push_back(0.0);
+  } else {
+    for (const SeriesRecord& s : proto) {
+      if (std::find(keys.begin(), keys.end(), s.key) == keys.end()) {
+        keys.push_back(s.key);
+      }
+    }
+  }
+  for (const SeriesRecord& s : proto) {
+    if (std::find(names.begin(), names.end(), s.name) == names.end()) {
+      names.push_back(s.name);
+    }
+  }
+  // Index of (key group, value column) in the batch series list; -1 when
+  // the grid is incomplete.
+  const auto series_index = [&](double key, const std::string& name) -> int {
+    for (size_t i = 0; i < proto.size(); ++i) {
+      if ((key_name.empty() || proto[i].key == key) &&
+          proto[i].name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  std::vector<std::vector<int>> index(keys.size(),
+                                      std::vector<int>(names.size(), -1));
+  for (size_t k = 0; k < keys.size(); ++k) {
+    for (size_t c = 0; c < names.size(); ++c) {
+      index[k][c] = series_index(keys[k], names[c]);
+      if (index[k][c] < 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", keys[k]);
+        return Status::InvalidArgument(
+            "experiment '" + spec.name + "': keyed series form an "
+            "incomplete grid (no series '" + names[c] + "' for " +
+            key_name + " = " + buf + ")");
+      }
+    }
+  }
+
+  // Within one unit, every series of a key group must sample the same x
+  // values (they are emitted from the same loop).
   const auto check_unit_spine = [&](const RecordBatch& batch,
                                     int unit) -> Status {
-    const std::vector<SeriesRecord::Point>& spine = batch.series[0].points;
-    for (const SeriesRecord& s : batch.series) {
-      if (s.points.size() != spine.size()) {
-        return Status::InvalidArgument(UnitError(
-            spec, unit, "series '" + s.name + "' has a different length"));
-      }
-      for (size_t p = 0; p < spine.size(); ++p) {
-        if (s.points[p].x != spine[p].x) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const std::vector<SeriesRecord::Point>& spine =
+          batch.series[index[k][0]].points;
+      for (size_t c = 1; c < names.size(); ++c) {
+        const SeriesRecord& s = batch.series[index[k][c]];
+        if (s.points.size() != spine.size()) {
           return Status::InvalidArgument(UnitError(
-              spec, unit, "series '" + s.name + "' has mismatched x values"));
+              spec, unit, "series '" + s.name + "' has a different length"));
+        }
+        for (size_t p = 0; p < spine.size(); ++p) {
+          if (s.points[p].x != spine[p].x) {
+            return Status::InvalidArgument(
+                UnitError(spec, unit, "series '" + s.name +
+                                          "' has mismatched x values"));
+          }
         }
       }
     }
@@ -253,68 +319,77 @@ Result<ResultTable> AssembleSeries(const ScenarioSpec& spec,
   }
 
   std::vector<std::string> columns = axes.ColumnNames(spec);
+  if (!key_name.empty()) columns.push_back(key_name);
   columns.push_back(x_name);
   if (spec.aggregates.empty()) {
-    for (const SeriesRecord& s : proto) columns.push_back(s.name);
+    columns.insert(columns.end(), names.begin(), names.end());
     CsvTable table(columns);
     for (int unit = 0; unit < axes.num_units(); ++unit) {
       const RecordBatch& batch = batches[unit];
       const std::vector<double> axis_values =
           axes.Values(spec, unit, /*with_trial=*/true);
-      for (size_t p = 0; p < batch.series[0].points.size(); ++p) {
-        std::vector<double> row = axis_values;
-        row.push_back(batch.series[0].points[p].x);
-        for (const SeriesRecord& s : batch.series) {
-          row.push_back(s.points[p].value);
+      for (size_t k = 0; k < keys.size(); ++k) {
+        const std::vector<SeriesRecord::Point>& spine =
+            batch.series[index[k][0]].points;
+        for (size_t p = 0; p < spine.size(); ++p) {
+          std::vector<double> row = axis_values;
+          if (!key_name.empty()) row.push_back(keys[k]);
+          row.push_back(spine[p].x);
+          for (size_t c = 0; c < names.size(); ++c) {
+            row.push_back(batch.series[index[k][c]].points[p].value);
+          }
+          table.AddRow(row);
         }
-        table.AddRow(row);
       }
     }
     return ResultTable{"series", std::move(table)};
   }
-  for (const SeriesRecord& s : proto) {
+  for (const std::string& name : names) {
     for (const std::string& agg : spec.aggregates) {
-      columns.push_back(s.name + "_" + agg);
+      columns.push_back(name + "_" + agg);
     }
   }
   CsvTable table(columns);
   for (int cell = 0; cell < axes.num_cells(); ++cell) {
     const int base = cell * axes.trials;
-    // Aggregation matches points by x across a cell's trials, so every
-    // trial must have recorded the identical x spine.
-    const std::vector<SeriesRecord::Point>& spine =
-        batches[base].series[0].points;
-    for (int t = 1; t < axes.trials; ++t) {
-      const std::vector<SeriesRecord::Point>& other =
-          batches[base + t].series[0].points;
-      if (other.size() != spine.size()) {
-        return Status::InvalidArgument(UnitError(
-            spec, base + t,
-            "series length differs across trials; cannot aggregate"));
-      }
-      for (size_t p = 0; p < spine.size(); ++p) {
-        if (other[p].x != spine[p].x) {
-          return Status::InvalidArgument(UnitError(
-              spec, base + t,
-              "series x values differ across trials; cannot aggregate"));
-        }
-      }
-    }
     const std::vector<double> axis_values =
         axes.Values(spec, base, /*with_trial=*/false);
-    for (size_t p = 0; p < spine.size(); ++p) {
-      std::vector<double> row = axis_values;
-      row.push_back(spine[p].x);
-      for (size_t s = 0; s < proto.size(); ++s) {
-        RunningStat stat;
-        for (int t = 0; t < axes.trials; ++t) {
-          stat.Add(batches[base + t].series[s].points[p].value);
+    for (size_t k = 0; k < keys.size(); ++k) {
+      // Aggregation matches points by x across a cell's trials, so every
+      // trial must have recorded the identical x spine.
+      const std::vector<SeriesRecord::Point>& spine =
+          batches[base].series[index[k][0]].points;
+      for (int t = 1; t < axes.trials; ++t) {
+        const std::vector<SeriesRecord::Point>& other =
+            batches[base + t].series[index[k][0]].points;
+        if (other.size() != spine.size()) {
+          return Status::InvalidArgument(UnitError(
+              spec, base + t,
+              "series length differs across trials; cannot aggregate"));
         }
-        for (const std::string& agg : spec.aggregates) {
-          row.push_back(StatValue(stat, agg));
+        for (size_t p = 0; p < spine.size(); ++p) {
+          if (other[p].x != spine[p].x) {
+            return Status::InvalidArgument(UnitError(
+                spec, base + t,
+                "series x values differ across trials; cannot aggregate"));
+          }
         }
       }
-      table.AddRow(row);
+      for (size_t p = 0; p < spine.size(); ++p) {
+        std::vector<double> row = axis_values;
+        if (!key_name.empty()) row.push_back(keys[k]);
+        row.push_back(spine[p].x);
+        for (size_t c = 0; c < names.size(); ++c) {
+          RunningStat stat;
+          for (int t = 0; t < axes.trials; ++t) {
+            stat.Add(batches[base + t].series[index[k][c]].points[p].value);
+          }
+          for (const std::string& agg : spec.aggregates) {
+            row.push_back(StatValue(stat, agg));
+          }
+        }
+        table.AddRow(row);
+      }
     }
   }
   return ResultTable{"series", std::move(table)};
@@ -415,9 +490,37 @@ Status ValidateExperiment(const ScenarioSpec& spec) {
   if (spec.rounds < 1 || spec.trials < 1) {
     return invalid("rounds and trials must be >= 1");
   }
-  DYNAGG_RETURN_IF_ERROR(ProtocolRegistry().Find(spec.protocol).status());
-  DYNAGG_RETURN_IF_ERROR(
-      EnvironmentRegistry().Find(spec.environment).status());
+  DYNAGG_ASSIGN_OR_RETURN(const ProtocolDef protocol,
+                          ProtocolRegistry().Find(spec.protocol));
+  DYNAGG_ASSIGN_OR_RETURN(const EnvironmentDef environment,
+                          EnvironmentRegistry().Find(spec.environment));
+  DYNAGG_ASSIGN_OR_RETURN(const DriverDef driver,
+                          DriverRegistry().Find(spec.driver));
+  if (driver.event_driven) {
+    if (!environment.provides_trace) {
+      return invalid("driver = " + spec.driver +
+                     " replays a contact trace, but environment '" +
+                     spec.environment +
+                     "' does not provide one (use haggle or another trace "
+                     "environment)");
+    }
+    if (!protocol.trace_capable) {
+      return invalid("protocol '" + spec.protocol +
+                     "' does not support driver = " + spec.driver +
+                     " (no group-truth hooks)");
+    }
+    if (spec.rounds_set || spec.sweep_key == "rounds" ||
+        spec.sweep2_key == "rounds") {
+      return invalid(
+          "rounds does not apply to driver = " + spec.driver +
+          " (the trace horizon and gossip_period govern the run length)");
+    }
+  } else if (spec.gossip_period > 0 || spec.sample_period > 0) {
+    return invalid(
+        "gossip_period / sample_period configure the event-driven trace "
+        "driver; driver = " +
+        spec.driver + " advances in rounds (did you mean driver = trace?)");
+  }
   DYNAGG_RETURN_IF_ERROR(ValidateMetricList(spec.metrics));
   DYNAGG_RETURN_IF_ERROR(ValidateAggregateList(spec.aggregates));
   if (!spec.aggregates.empty() && spec.trials < 2) {
@@ -460,8 +563,10 @@ Status ValidateExperiment(const ScenarioSpec& spec) {
 Result<std::vector<ResultTable>> RunExperiment(const ScenarioSpec& spec,
                                                int threads) {
   DYNAGG_RETURN_IF_ERROR(ValidateExperiment(spec));
-  DYNAGG_ASSIGN_OR_RETURN(const ProtocolRunner runner,
+  DYNAGG_ASSIGN_OR_RETURN(const ProtocolDef protocol,
                           ProtocolRegistry().Find(spec.protocol));
+  DYNAGG_ASSIGN_OR_RETURN(const DriverDef driver,
+                          DriverRegistry().Find(spec.driver));
 
   AxisLayout axes;
   axes.has_sweep = !spec.sweep_key.empty();
@@ -514,7 +619,7 @@ Result<std::vector<ResultTable>> RunExperiment(const ScenarioSpec& spec,
       }
       ctx.spec = &unit_spec;
       Recorder rec;
-      const Status st = runner(ctx, rec);
+      const Status st = driver.run(ctx, protocol, rec);
       if (st.ok()) {
         slots[unit].emplace(rec.TakeBatch());
       } else {

@@ -29,12 +29,15 @@
 namespace dynagg {
 namespace scenario {
 
-/// Structural validation without executing a trial: registry lookups,
-/// rounds/trials bounds, metric/aggregate grammar, sweep axis sanity
-/// (including that every sweep value is applicable to its key). This is
-/// the whole preflight of RunExperiment and the backing of
-/// `dynagg_run --dry-run`; protocol/environment parameter values are
-/// validated by the factories at execution time.
+/// Structural validation without executing a trial: registry lookups
+/// (protocol, environment, driver), driver compatibility (`driver = trace`
+/// needs a trace-providing environment and a trace-capable protocol;
+/// gossip_period / sample_period are trace-driver keys), rounds/trials
+/// bounds, metric/aggregate grammar, sweep axis sanity (including that
+/// every sweep value is applicable to its key). This is the whole
+/// preflight of RunExperiment and the backing of `dynagg_run --dry-run`;
+/// protocol/environment parameter values are validated by the factories at
+/// execution time.
 Status ValidateExperiment(const ScenarioSpec& spec);
 
 /// Runs every (sweep value, sweep2 value, trial) unit of `spec` on up to

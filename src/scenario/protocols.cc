@@ -1,30 +1,19 @@
-// Builtin protocol catalog.
+// Builtin protocol catalog: SwarmFactories for the Driver API.
 //
-// Round-based protocols (the gossip swarms) share one driver,
-// DriveRoundTrial, which wraps the library's RunRounds harness
-// (sim/round_driver.h) with the spec-declared failure plan, multi-metric
-// recording, and RNG stream layout. All requested metrics are recorded in
-// ONE pass over the rounds:
-//   - rms                 per-round RMS-deviation series (record.from/every)
-//   - rms_tail_mean       scalar mean RMS over rounds >= record.from
-//   - rounds_to_converge  first round with RMS < record.threshold
-//   - bandwidth           measured traffic via TrafficMeter + state size
-//   - cdf(final_error)    per-host |estimate - truth| CDF after the last
-//                         round (record.cdf_lo/cdf_hi/cdf_buckets)
-// The RNG stream conventions deliberately reproduce the legacy bench
-// binaries so a 1-trial scenario is numerically identical to the main() it
-// replaced:
-//   - values:        Rng(trial_seed), U[0,100) per host;
-//   - gossip rounds: Rng(DeriveSeed(trial_seed, seeds.round_stream)),
-//     where the symbolic value `hosts` resolves to the population size
-//     (the per-size decorrelation convention of fig06);
-//   - failure plan:  Rng(DeriveSeed(trial_seed, seeds.failure_stream)),
-//     where churn plans default the stream to floor(death_prob * 1e5) —
-//     the convention of ablation_tree_vs_gossip.
-// The TAG overlay baseline (tag-tree) owns its whole trial loop because its
-// epochs are tree-depth-sized rather than fixed-length. The node-aggregator
-// protocol drives the serialized NodeAggregator facade (agg/aggregator.h)
-// over the wire format, making the deployment path scenario-reachable.
+// A registered protocol builds its swarm for one trial and declares the
+// measurement hooks as a type-erased SwarmHandle (scenario/trial.h); which
+// time loop runs it — the synchronous round loop or event-driven trace
+// playback — is the driver's business (scenario/drivers.cc), selected by
+// `driver = rounds | trace` in the spec. Factories validate their
+// protocol.* parameters, draw the paper's U[0,100) value workload from the
+// trial seed, and bundle swarm + storage into the handle's keepalive.
+//
+// Protocols whose trial structure fits no shared driver register a custom
+// whole-trial runner instead: the TAG overlay baseline (tag-tree) owns its
+// loop because its epochs are tree-depth-sized rather than fixed-length.
+// The node-aggregator protocol drives the serialized NodeAggregator facade
+// (agg/aggregator.h) over the wire format, making the deployment path
+// scenario-reachable.
 
 #include <algorithm>
 #include <cmath>
@@ -42,11 +31,13 @@
 #include "agg/full_transfer.h"
 #include "agg/push_sum.h"
 #include "agg/push_sum_revert.h"
+#include "common/macros.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "env/connectivity.h"
+#include "scenario/config.h"
 #include "scenario/trial.h"
 #include "sim/bandwidth.h"
-#include "sim/failure.h"
 #include "sim/metrics.h"
 #include "sim/population.h"
 #include "sim/round_driver.h"
@@ -76,423 +67,112 @@ Result<RevertMode> ParseRevertMode(const ScenarioSpec& spec) {
       "protocol.revert must be fixed or adaptive, got '" + revert + "'");
 }
 
-// --------------------------------------------------------- record config ---
-
-/// Which of the round driver's metrics the spec requests.
-struct MetricFlags {
-  bool rms = false;
-  bool tail_mean = false;
-  bool convergence = false;
-  bool bandwidth = false;
-  bool final_error_cdf = false;
-  /// Any selector the caller listed as extra (handled after the loop).
-  bool extra = false;
-
-  bool NeedsRoundEvaluation() const {
-    return rms || tail_mean || convergence;
-  }
-  /// Early convergence stop is only sound when no other metric needs the
-  /// remaining rounds.
-  bool OnlyConvergence() const {
-    return convergence && !rms && !tail_mean && !bandwidth &&
-           !final_error_cdf && !extra;
-  }
-};
-
-/// Validates the spec's metric list against the round driver's catalog plus
-/// the caller's `extra` selectors and flags what is requested.
-Result<MetricFlags> ClassifyDriverMetrics(
-    const ScenarioSpec& spec, const std::vector<std::string>& extra) {
-  std::vector<std::string> supported = {"rms", "rms_tail_mean",
-                                        "rounds_to_converge", "bandwidth",
-                                        "cdf(final_error)"};
-  supported.insert(supported.end(), extra.begin(), extra.end());
-  DYNAGG_RETURN_IF_ERROR(CheckMetricsSupported(spec, supported));
-  MetricFlags flags;
-  flags.rms = MetricRequested(spec, "rms");
-  flags.tail_mean = MetricRequested(spec, "rms_tail_mean");
-  flags.convergence = MetricRequested(spec, "rounds_to_converge");
-  flags.bandwidth = MetricRequested(spec, "bandwidth");
-  flags.final_error_cdf = MetricRequested(spec, "cdf(final_error)");
-  for (const std::string& selector : extra) {
-    flags.extra = flags.extra || MetricRequested(spec, selector);
-  }
-  return flags;
-}
-
-struct RecordConfig {
-  int from = 0;
-  int every = 1;
-  double threshold = 1.0;
-  bool threshold_relative = false;
-  double cdf_lo = 0.0;
-  double cdf_hi = 0.0;
-  int cdf_buckets = 20;
-};
-
-Result<RecordConfig> ParseRecordConfig(
-    const ScenarioSpec& spec, const std::vector<std::string>& extra_keys) {
-  if (spec.HasParam("record.kind")) {
-    return Status::InvalidArgument(
-        "record.kind was replaced by the top-level metric list: use "
-        "'record = rms' (per_round), 'record = rms_tail_mean' (tail_mean) "
-        "or 'record = rounds_to_converge' (convergence)");
-  }
-  std::vector<std::string> allowed = {
-      "from",   "every",  "threshold", "threshold_relative",
-      "cdf_lo", "cdf_hi", "cdf_buckets"};
-  allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
-  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", allowed));
-  RecordConfig cfg;
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t from,
-                          spec.ParamInt("record.from", 0));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t every,
-                          spec.ParamInt("record.every", 1));
-  DYNAGG_ASSIGN_OR_RETURN(cfg.threshold,
-                          spec.ParamDouble("record.threshold", 1.0));
-  DYNAGG_ASSIGN_OR_RETURN(
-      cfg.threshold_relative,
-      spec.ParamBool("record.threshold_relative", false));
-  DYNAGG_ASSIGN_OR_RETURN(cfg.cdf_lo, spec.ParamDouble("record.cdf_lo", 0.0));
-  DYNAGG_ASSIGN_OR_RETURN(cfg.cdf_hi, spec.ParamDouble("record.cdf_hi", 0.0));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t cdf_buckets,
-                          spec.ParamInt("record.cdf_buckets", 20));
-  if (from < 0 || every < 1) {
-    return Status::InvalidArgument(
-        "record.from must be >= 0 and record.every >= 1");
-  }
-  cfg.from = static_cast<int>(from);
-  cfg.every = static_cast<int>(every);
-  cfg.cdf_buckets = static_cast<int>(cdf_buckets);
-  return cfg;
-}
-
-// -------------------------------------------------------- failure config ---
-
-struct FailureConfig {
-  enum class Kind { kNone, kKillRandomFraction, kKillTopFraction, kChurn };
-  Kind kind = Kind::kNone;
-  int round = 0;          // kill_* trigger round
-  double fraction = 0.5;  // kill_* fraction
-  int start = 0;          // churn window
-  int end = -1;           // churn window end; -1 = spec.rounds
-  double death_prob = 0.0;
-  double return_factor = 4.0;
-  double return_prob = -1.0;  // -1 = death_prob * return_factor
-  HostId pin_alive = kInvalidHost;
-};
-
-Result<FailureConfig> ParseFailureConfig(const ScenarioSpec& spec) {
-  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
-      "failure.", {"kind", "round", "fraction", "start", "end", "death_prob",
-                   "return_factor", "return_prob", "pin_alive"}));
-  FailureConfig cfg;
-  DYNAGG_ASSIGN_OR_RETURN(const std::string kind,
-                          spec.ParamString("failure.kind", "none"));
-  if (kind == "none") {
-    cfg.kind = FailureConfig::Kind::kNone;
-  } else if (kind == "kill_random_fraction") {
-    cfg.kind = FailureConfig::Kind::kKillRandomFraction;
-  } else if (kind == "kill_top_fraction") {
-    cfg.kind = FailureConfig::Kind::kKillTopFraction;
-  } else if (kind == "churn") {
-    cfg.kind = FailureConfig::Kind::kChurn;
-  } else {
-    return Status::InvalidArgument(
-        "failure.kind must be none, kill_random_fraction, "
-        "kill_top_fraction or churn, got '" +
-        kind + "'");
-  }
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t round,
-                          spec.ParamInt("failure.round", 0));
-  DYNAGG_ASSIGN_OR_RETURN(cfg.fraction,
-                          spec.ParamDouble("failure.fraction", 0.5));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t start,
-                          spec.ParamInt("failure.start", 0));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t end,
-                          spec.ParamInt("failure.end", -1));
-  DYNAGG_ASSIGN_OR_RETURN(cfg.death_prob,
-                          spec.ParamDouble("failure.death_prob", 0.0));
-  DYNAGG_ASSIGN_OR_RETURN(cfg.return_factor,
-                          spec.ParamDouble("failure.return_factor", 4.0));
-  DYNAGG_ASSIGN_OR_RETURN(cfg.return_prob,
-                          spec.ParamDouble("failure.return_prob", -1.0));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t pin,
-                          spec.ParamInt("failure.pin_alive", kInvalidHost));
-  cfg.round = static_cast<int>(round);
-  cfg.start = static_cast<int>(start);
-  cfg.end = static_cast<int>(end);
-  cfg.pin_alive = static_cast<HostId>(pin);
-  if (cfg.fraction < 0.0 || cfg.fraction > 1.0) {
-    return Status::InvalidArgument("failure.fraction must be in [0, 1]");
-  }
-  if (cfg.death_prob < 0.0 || cfg.death_prob > 1.0) {
-    return Status::InvalidArgument("failure.death_prob must be in [0, 1]");
-  }
-  return cfg;
-}
-
-double ChurnReturnProb(const FailureConfig& cfg) {
-  return cfg.return_prob >= 0.0 ? cfg.return_prob
-                                : cfg.death_prob * cfg.return_factor;
-}
-
-/// Resolves the failure RNG stream: explicit seeds.failure_stream wins;
-/// churn plans default to floor(death_prob * 1e5) — the stream convention
-/// of the legacy churn ablation — and everything else to stream 2.
-Result<uint64_t> FailureStream(const ScenarioSpec& spec,
-                               const FailureConfig& cfg) {
-  if (spec.HasParam("seeds.failure_stream")) {
-    DYNAGG_ASSIGN_OR_RETURN(const int64_t stream,
-                            spec.ParamInt("seeds.failure_stream", 2));
-    return static_cast<uint64_t>(stream);
-  }
-  if (cfg.kind == FailureConfig::Kind::kChurn) {
-    return static_cast<uint64_t>(cfg.death_prob * 1e5);
-  }
-  return uint64_t{2};
-}
-
-/// Resolves the gossip-round RNG stream: an integer, or the symbolic value
-/// `hosts` which resolves to the population size `n` (fig06 decorrelates
-/// its per-size runs this way).
-Result<uint64_t> RoundStream(const ScenarioSpec& spec, int n) {
-  DYNAGG_ASSIGN_OR_RETURN(const std::string text,
-                          spec.ParamString("seeds.round_stream", "1"));
-  if (text == "hosts") return static_cast<uint64_t>(n);
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t stream,
-                          spec.ParamInt("seeds.round_stream", 1));
-  return static_cast<uint64_t>(stream);
-}
-
-/// Builds the scripted plan. `values` backs kill_top_fraction and may be
-/// null for protocols without per-host scalar values.
-Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,
-                                     int rounds,
-                                     const std::vector<double>* values,
-                                     Rng& fail_rng) {
-  switch (cfg.kind) {
-    case FailureConfig::Kind::kNone:
-      return FailurePlan();
-    case FailureConfig::Kind::kKillRandomFraction:
-      return FailurePlan::KillRandomFraction(n, cfg.round, cfg.fraction,
-                                             fail_rng);
-    case FailureConfig::Kind::kKillTopFraction:
-      if (values == nullptr) {
-        return Status::InvalidArgument(
-            "failure.kind = kill_top_fraction requires a value-based "
-            "protocol");
-      }
-      return FailurePlan::KillTopFraction(*values, cfg.round, cfg.fraction);
-    case FailureConfig::Kind::kChurn: {
-      const int end = cfg.end >= 0 ? cfg.end : rounds;
-      return FailurePlan::Churn(n, cfg.start, end, cfg.death_prob,
-                                ChurnReturnProb(cfg), fail_rng);
-    }
-  }
-  return Status::InvalidArgument("unreachable failure kind");
-}
-
-// ------------------------------------------------------------ round loop ---
-
-/// Swarm adapter slotted into RunRounds: advances trace-backed
-/// environments, re-pins a host alive (between the failure application and
-/// the gossip exchange, exactly where the legacy benches revive their
-/// leader), then delegates to the real swarm.
-template <typename Swarm>
-struct RoundHooks {
-  Swarm& swarm;
-  Environment* env;
-  SimTime advance_period;
-  HostId pin_alive;
-  int round = 0;
-
-  void RunRound(const Environment& e, Population& pop, Rng& rng) {
-    if (advance_period > 0) {
-      env->AdvanceTo(static_cast<SimTime>(round + 1) * advance_period);
-    }
-    if (pin_alive != kInvalidHost) pop.Revive(pin_alive);
-    swarm.RunRound(e, pop, rng);
-    ++round;
-  }
-};
-
-/// Drives `swarm` for spec.rounds rounds under the spec's environment,
-/// failure plan and requested metrics, recording everything in one pass.
-/// `truth` is re-evaluated every round over the live population;
-/// `failure_values` backs kill_top_fraction; `state_bytes` is the
-/// protocol's per-host state footprint (bandwidth record). Callers that
-/// handle additional metric selectors after the loop list them in
-/// `extra_metrics` (and extra record.* knobs in `extra_record_keys`).
-template <typename Swarm>
-Status DriveRoundTrial(const TrialContext& ctx, EnvHandle& env, Swarm& swarm,
-                       const std::function<double(HostId)>& estimate,
-                       const std::function<double(const Population&)>& truth,
-                       const std::vector<double>* failure_values,
-                       double state_bytes, Recorder& rec,
-                       const std::vector<std::string>& extra_metrics = {},
-                       const std::vector<std::string>& extra_record_keys =
-                           {}) {
-  const ScenarioSpec& spec = *ctx.spec;
-  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream",
-                                                     "failure_stream"}));
-  DYNAGG_ASSIGN_OR_RETURN(const MetricFlags metrics,
-                          ClassifyDriverMetrics(spec, extra_metrics));
-  DYNAGG_ASSIGN_OR_RETURN(const RecordConfig cfg,
-                          ParseRecordConfig(spec, extra_record_keys));
-  DYNAGG_ASSIGN_OR_RETURN(const FailureConfig fail, ParseFailureConfig(spec));
-  const int n = env.env->num_hosts();
-  DYNAGG_ASSIGN_OR_RETURN(const uint64_t round_stream,
-                          RoundStream(spec, n));
-  DYNAGG_ASSIGN_OR_RETURN(const uint64_t fail_stream,
-                          FailureStream(spec, fail));
-
-  if (metrics.tail_mean && cfg.from >= spec.rounds) {
-    // An empty averaging window would fabricate a perfect score of 0.
-    return Status::InvalidArgument(
-        "record.from = " + std::to_string(cfg.from) +
-        " leaves no rounds to average (rounds = " +
-        std::to_string(spec.rounds) + ")");
-  }
-  if (metrics.final_error_cdf &&
-      (cfg.cdf_buckets < 1 || cfg.cdf_hi <= cfg.cdf_lo)) {
-    return Status::InvalidArgument(
-        "cdf(final_error) needs record.cdf_hi > record.cdf_lo and "
-        "record.cdf_buckets >= 1");
-  }
-
-  constexpr bool kHasMeter = requires(Swarm& s, TrafficMeter* m) {
-    s.set_traffic_meter(m);
-  };
-  TrafficMeter meter;
-  if (metrics.bandwidth) {
-    if constexpr (kHasMeter) {
-      swarm.set_traffic_meter(&meter);
-    } else {
-      return Status::InvalidArgument(
-          "protocol '" + spec.protocol +
-          "' does not support the bandwidth metric");
-    }
-  }
-
-  Rng fail_rng(DeriveSeed(ctx.trial_seed, fail_stream));
-  DYNAGG_ASSIGN_OR_RETURN(
-      const FailurePlan plan,
-      BuildFailurePlan(fail, n, spec.rounds, failure_values, fail_rng));
-  if (fail.pin_alive != kInvalidHost &&
-      (fail.pin_alive < 0 || fail.pin_alive >= n)) {
-    return Status::InvalidArgument("failure.pin_alive out of range");
-  }
-
-  Population pop(n);
-  Rng rng(DeriveSeed(ctx.trial_seed, round_stream));
-
-  RunningStat tail;
-  int converged_round = -1;
-  const bool early_stop = metrics.OnlyConvergence();
-  // Declare the series up front: a unit whose recording window is empty
-  // (record.from >= its rounds under a rounds sweep) must still carry the
-  // series so batches stay structurally identical across units.
-  if (metrics.rms) rec.MutableSeries("round", "rms");
-  const auto on_round_end = [&](int round) {
-    if (!metrics.NeedsRoundEvaluation()) return true;
-    const double tr = truth(pop);
-    const double rms = RmsDeviationOverAlive(pop, tr, estimate);
-    if (metrics.rms && round >= cfg.from &&
-        (round - cfg.from) % cfg.every == 0) {
-      rec.AddSeriesPoint("round", "rms", static_cast<double>(round + 1),
-                         rms);
-    }
-    if (metrics.tail_mean && round >= cfg.from) tail.Add(rms);
-    if (metrics.convergence && converged_round < 0) {
-      const double limit =
-          cfg.threshold_relative ? cfg.threshold * tr : cfg.threshold;
-      if (rms < limit) {
-        converged_round = round + 1;
-        // Later rounds cannot change the result; stop paying for them
-        // unless another metric still needs them.
-        if (early_stop) return false;
-      }
-    }
-    return true;
-  };
-
-  RoundHooks<Swarm> hooks{swarm, env.env.get(), env.advance_period,
-                          fail.pin_alive};
-  const int executed = RunRoundsUntil(hooks, *env.env, pop, plan,
-                                      spec.rounds, rng, on_round_end);
-
-  if (metrics.tail_mean) rec.AddScalar("rms_tail_mean", tail.mean());
-  if (metrics.convergence) {
-    if (converged_round < 0 && !spec.aggregates.empty()) {
-      // Averaging the -1 "never converged" sentinel into mean/stddev would
-      // produce a plausible-looking but meaningless statistic.
-      return Status::InvalidArgument(
-          "trial " + std::to_string(ctx.trial) +
-          " did not converge within " + std::to_string(spec.rounds) +
-          " rounds; rounds_to_converge = -1 cannot be aggregated (raise "
-          "rounds or drop aggregate)");
-    }
-    rec.AddScalar("rounds_to_converge",
-                  static_cast<double>(converged_round));
-  }
-  if (metrics.bandwidth) {
-    if constexpr (kHasMeter) {
-      const double denom = static_cast<double>(n) * executed;
-      rec.SetBandwidth(meter.total().messages / denom,
-                       meter.total().bytes / denom, state_bytes);
-    }
-  }
-  if (metrics.final_error_cdf) {
-    Histogram hist(cfg.cdf_lo, cfg.cdf_hi, cfg.cdf_buckets);
-    const double tr = truth(pop);
-    for (const HostId id : pop.alive_ids()) {
-      hist.Add(std::abs(estimate(id) - tr));
-    }
-    HistogramRecord* record = rec.MutableHistogram(
-        "final_error_cdf", /*key_name=*/"", "final_error", "cdf",
-        /*cumulative=*/true);
-    for (int b = 0; b < hist.num_buckets(); ++b) {
-      // Fold the out-of-range tails into the edge buckets so the CDF
-      // reaches 1 over the declared range.
-      int64_t count = hist.bucket_count(b);
-      if (b == 0) count += hist.underflow();
-      if (b == hist.num_buckets() - 1) count += hist.overflow();
-      record->buckets.push_back({0.0, hist.bucket_upper(b), count});
-    }
-  }
-  return Status::OK();
-}
-
-/// Truth callback for averaging protocols.
-std::function<double(const Population&)> AverageTruth(
-    const std::vector<double>& values) {
-  return [&values](const Population& pop) {
-    return TrueAverage(values, pop);
-  };
-}
-
 Result<int> CheckedHosts(const EnvHandle& env) {
   const int n = env.env->num_hosts();
   if (n <= 0) return Status::InvalidArgument("environment has no hosts");
   return n;
 }
 
-// --------------------------------------------------- averaging protocols ---
+// ----------------------------------------------------- handle assembly ---
 
-Status RunPushSum(const TrialContext& ctx, Recorder& rec) {
-  DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams("protocol.", {"mode"}));
-  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
-  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
-  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
-  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
-  PushSumSwarm swarm(values, mode);
-  return DriveRoundTrial(
-      ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
-      AverageTruth(values), &values, 2.0 * sizeof(double), rec);
+/// Wires the traffic-meter hook when the swarm type has one.
+template <typename Swarm>
+void MaybeSetMeter(SwarmHandle& h, Swarm* swarm) {
+  if constexpr (requires(Swarm& s, TrafficMeter* m) {
+                  s.set_traffic_meter(m);
+                }) {
+    h.set_meter = [swarm](TrafficMeter* m) { swarm->set_traffic_meter(m); };
+  }
 }
 
-Status RunPushSumRevert(const TrialContext& ctx, Recorder& rec) {
+/// Owns a value workload plus the swarm built over it (swarm constructors
+/// take the values by reference, so member order matters).
+template <typename Swarm>
+struct ValueSwarmBox {
+  std::vector<double> values;
+  Swarm swarm;
+  template <typename... Args>
+  explicit ValueSwarmBox(std::vector<double> v, Args&&... args)
+      : values(std::move(v)), swarm(values, std::forward<Args>(args)...) {}
+};
+
+/// Handle for averaging swarms: Estimate() per host, live-average truth,
+/// per-group mean truth for trace playback, values backing
+/// kill_top_fraction.
+template <typename Box>
+SwarmHandle AveragingHandle(std::shared_ptr<Box> box, double state_bytes) {
+  SwarmHandle h;
+  auto* swarm = &box->swarm;
+  const std::vector<double>* values = &box->values;
+  h.run_round = [swarm](const Environment& e, const Population& p, Rng& r) {
+    swarm->RunRound(e, p, r);
+  };
+  h.estimate = [swarm](HostId id) { return swarm->Estimate(id); };
+  h.truth = [values](const Population& pop) {
+    return TrueAverage(*values, pop);
+  };
+  h.group_truths = [values](const std::vector<int>& labels,
+                            const std::vector<int>& sizes) {
+    return GroupMeans(labels, sizes, *values);
+  };
+  h.failure_values = values;
+  h.state_bytes = state_bytes;
+  MaybeSetMeter(h, swarm);
+  h.keepalive = std::move(box);
+  return h;
+}
+
+/// Owns a multiplicity workload plus a counting-sketch swarm over it.
+template <typename Swarm, typename Params>
+struct CountSwarmBox {
+  std::vector<int64_t> mult;
+  Swarm swarm;
+  CountSwarmBox(std::vector<int64_t> m, const Params& params)
+      : mult(std::move(m)), swarm(mult, params) {}
+};
+
+/// Handle for counting swarms: EstimateCount() per host, live total-count
+/// truth; trace playback compares the per-identifier estimate scaled back
+/// to devices against the host's group size (Fig 11's dynamic size).
+template <typename Box>
+SwarmHandle CountingHandle(std::shared_ptr<Box> box, double state_bytes) {
+  SwarmHandle h;
+  auto* swarm = &box->swarm;
+  const std::vector<int64_t>* mult = &box->mult;
+  h.run_round = [swarm](const Environment& e, const Population& p, Rng& r) {
+    swarm->RunRound(e, p, r);
+  };
+  h.estimate = [swarm](HostId id) { return swarm->EstimateCount(id); };
+  h.truth = [mult](const Population& pop) {
+    int64_t total = 0;
+    for (const HostId id : pop.alive_ids()) total += (*mult)[id];
+    return static_cast<double>(total);
+  };
+  h.group_estimate = [swarm, mult](HostId id) {
+    return swarm->EstimateCount(id) / static_cast<double>((*mult)[id]);
+  };
+  h.group_truths = [](const std::vector<int>&, const std::vector<int>& sizes) {
+    return std::vector<double>(sizes.begin(), sizes.end());
+  };
+  h.state_bytes = state_bytes;
+  MaybeSetMeter(h, swarm);
+  h.keepalive = std::move(box);
+  return h;
+}
+
+// --------------------------------------------------- averaging protocols ---
+
+Result<SwarmHandle> MakePushSum(const TrialContext& ctx, EnvHandle& env) {
+  DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams("protocol.", {"mode"}));
+  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  auto box = std::make_shared<ValueSwarmBox<PushSumSwarm>>(
+      UniformWorkloadValues(n, ctx.trial_seed), mode);
+  return AveragingHandle(std::move(box), 2.0 * sizeof(double));
+}
+
+Result<SwarmHandle> MakePushSumRevert(const TrialContext& ctx,
+                                      EnvHandle& env) {
   DYNAGG_RETURN_IF_ERROR(
       ctx.spec->CheckParams("protocol.", {"lambda", "mode", "revert"}));
   DYNAGG_ASSIGN_OR_RETURN(const double lambda,
@@ -500,17 +180,15 @@ Status RunPushSumRevert(const TrialContext& ctx, Recorder& rec) {
   DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
   DYNAGG_ASSIGN_OR_RETURN(const RevertMode revert,
                           ParseRevertMode(*ctx.spec));
-  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
-  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
-  PushSumRevertSwarm swarm(
-      values, {.lambda = lambda, .mode = mode, .revert = revert});
-  return DriveRoundTrial(
-      ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
-      AverageTruth(values), &values, 3.0 * sizeof(double), rec);
+  auto box = std::make_shared<ValueSwarmBox<PushSumRevertSwarm>>(
+      UniformWorkloadValues(n, ctx.trial_seed),
+      PsrParams{.lambda = lambda, .mode = mode, .revert = revert});
+  return AveragingHandle(std::move(box), 3.0 * sizeof(double));
 }
 
-Status RunEpochPushSum(const TrialContext& ctx, Recorder& rec) {
+Result<SwarmHandle> MakeEpochPushSum(const TrialContext& ctx,
+                                     EnvHandle& env) {
   DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
       "protocol.", {"epoch_length", "mode", "phase_spread"}));
   DYNAGG_ASSIGN_OR_RETURN(const int64_t epoch_length,
@@ -525,9 +203,7 @@ Status RunEpochPushSum(const TrialContext& ctx, Recorder& rec) {
     return Status::InvalidArgument(
         "protocol.phase_spread must be in [0, epoch_length]");
   }
-  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
-  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
   std::vector<int> phases;
   if (phase_spread > 0) {
     phases.resize(n);
@@ -535,17 +211,16 @@ Status RunEpochPushSum(const TrialContext& ctx, Recorder& rec) {
       phases[i] = i % static_cast<int>(phase_spread);
     }
   }
-  EpochPushSumSwarm swarm(
-      values,
+  auto box = std::make_shared<ValueSwarmBox<EpochPushSumSwarm>>(
+      UniformWorkloadValues(n, ctx.trial_seed),
       EpochParams{.epoch_length = static_cast<int>(epoch_length),
                   .mode = mode},
       phases);
-  return DriveRoundTrial(
-      ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
-      AverageTruth(values), &values, /*state_bytes=*/0.0, rec);
+  return AveragingHandle(std::move(box), /*state_bytes=*/0.0);
 }
 
-Status RunFullTransfer(const TrialContext& ctx, Recorder& rec) {
+Result<SwarmHandle> MakeFullTransfer(const TrialContext& ctx,
+                                     EnvHandle& env) {
   DYNAGG_RETURN_IF_ERROR(
       ctx.spec->CheckParams("protocol.", {"lambda", "parcels", "window"}));
   DYNAGG_ASSIGN_OR_RETURN(const double lambda,
@@ -558,22 +233,30 @@ Status RunFullTransfer(const TrialContext& ctx, Recorder& rec) {
     return Status::InvalidArgument(
         "protocol.parcels and protocol.window must be >= 1");
   }
-  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
-  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
-  FullTransferSwarm swarm(values,
-                          {.lambda = lambda,
-                           .parcels = static_cast<int>(parcels),
-                           .window = static_cast<int>(window)});
+  auto box = std::make_shared<ValueSwarmBox<FullTransferSwarm>>(
+      UniformWorkloadValues(n, ctx.trial_seed),
+      FullTransferParams{.lambda = lambda,
+                         .parcels = static_cast<int>(parcels),
+                         .window = static_cast<int>(window)});
   // State: the mass plus the estimate window of <weight, value> pairs.
   const double state_bytes =
       (2.0 + 2.0 * static_cast<double>(window)) * sizeof(double);
-  return DriveRoundTrial(
-      ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); },
-      AverageTruth(values), &values, state_bytes, rec);
+  return AveragingHandle(std::move(box), state_bytes);
 }
 
-Status RunExtremes(const TrialContext& ctx, Recorder& rec) {
+// ------------------------------------------------------------- extremes ---
+
+struct ExtremesBox {
+  std::vector<double> values;
+  std::vector<uint64_t> keys;
+  DynamicExtremeSwarm swarm;
+  ExtremesBox(std::vector<double> v, std::vector<uint64_t> k,
+              const ExtremeParams& params)
+      : values(std::move(v)), keys(std::move(k)), swarm(values, keys, params) {}
+};
+
+Result<SwarmHandle> MakeExtremes(const TrialContext& ctx, EnvHandle& env) {
   DYNAGG_RETURN_IF_ERROR(
       ctx.spec->CheckParams("protocol.", {"kind", "cutoff", "mode"}));
   DYNAGG_ASSIGN_OR_RETURN(const std::string kind_name,
@@ -590,20 +273,26 @@ Status RunExtremes(const TrialContext& ctx, Recorder& rec) {
   DYNAGG_ASSIGN_OR_RETURN(const int64_t cutoff,
                           ctx.spec->ParamInt("protocol.cutoff", 12));
   DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
-  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
-  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
   std::vector<uint64_t> keys(n);
   std::iota(keys.begin(), keys.end(), uint64_t{0});
-  DynamicExtremeSwarm swarm(values, keys,
-                            ExtremeParams{.kind = kind,
-                                          .cutoff = static_cast<int>(cutoff),
-                                          .mode = mode});
-  const auto truth = [&values, kind](const Population& pop) {
+  auto box = std::make_shared<ExtremesBox>(
+      UniformWorkloadValues(n, ctx.trial_seed), std::move(keys),
+      ExtremeParams{.kind = kind,
+                    .cutoff = static_cast<int>(cutoff),
+                    .mode = mode});
+  SwarmHandle h;
+  DynamicExtremeSwarm* swarm = &box->swarm;
+  const std::vector<double>* values = &box->values;
+  h.run_round = [swarm](const Environment& e, const Population& p, Rng& r) {
+    swarm->RunRound(e, p, r);
+  };
+  h.estimate = [swarm](HostId id) { return swarm->Estimate(id); };
+  h.truth = [values, kind](const Population& pop) {
     bool first = true;
     double best = 0.0;
     for (const HostId id : pop.alive_ids()) {
-      const double v = values[id];
+      const double v = (*values)[id];
       if (first || (kind == ExtremeKind::kMaximum ? v > best : v < best)) {
         best = v;
         first = false;
@@ -611,9 +300,11 @@ Status RunExtremes(const TrialContext& ctx, Recorder& rec) {
     }
     return best;
   };
-  return DriveRoundTrial(
-      ctx, env, swarm, [&](HostId id) { return swarm.Estimate(id); }, truth,
-      &values, /*state_bytes=*/0.0, rec);
+  h.failure_values = values;
+  h.state_bytes = 0.0;
+  MaybeSetMeter(h, swarm);
+  h.keepalive = std::move(box);
+  return h;
 }
 
 // ---------------------------------------------------- counting protocols ---
@@ -624,19 +315,17 @@ Result<std::vector<int64_t>> Multiplicities(const TrialContext& ctx, int n) {
   if (mult < 0) {
     return Status::InvalidArgument("protocol.multiplicity must be >= 0");
   }
+  // The trace driver's group estimate divides by the multiplicity to
+  // compare counts against group sizes; 0 would silently print inf.
+  if (mult < 1 && ctx.spec->driver == "trace") {
+    return Status::InvalidArgument(
+        "driver = trace requires protocol.multiplicity >= 1 (group sizes "
+        "are measured in devices)");
+  }
   return std::vector<int64_t>(n, mult);
 }
 
-std::function<double(const Population&)> CountTruth(
-    std::vector<int64_t> multiplicities) {
-  return [mult = std::move(multiplicities)](const Population& pop) {
-    int64_t total = 0;
-    for (const HostId id : pop.alive_ids()) total += mult[id];
-    return static_cast<double>(total);
-  };
-}
-
-Status RunCountSketch(const TrialContext& ctx, Recorder& rec) {
+Result<SwarmHandle> MakeCountSketch(const TrialContext& ctx, EnvHandle& env) {
   DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
       "protocol.", {"bins", "levels", "mode", "multiplicity"}));
   CountSketchParams params;
@@ -648,20 +337,19 @@ Status RunCountSketch(const TrialContext& ctx, Recorder& rec) {
   DYNAGG_ASSIGN_OR_RETURN(params.mode, ParseGossipMode(*ctx.spec));
   params.bins = static_cast<int>(bins);
   params.levels = static_cast<int>(levels);
-  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
-  DYNAGG_ASSIGN_OR_RETURN(const std::vector<int64_t> mult,
+  DYNAGG_ASSIGN_OR_RETURN(std::vector<int64_t> mult,
                           Multiplicities(ctx, n));
-  CountSketchSwarm swarm(mult, params);
+  auto box =
+      std::make_shared<CountSwarmBox<CountSketchSwarm, CountSketchParams>>(
+          std::move(mult), params);
   // One uint64 bit string per bin.
-  const double state_bytes =
-      static_cast<double>(params.bins) * sizeof(uint64_t);
-  return DriveRoundTrial(
-      ctx, env, swarm, [&](HostId id) { return swarm.EstimateCount(id); },
-      CountTruth(mult), nullptr, state_bytes, rec);
+  return CountingHandle(std::move(box),
+                        static_cast<double>(params.bins) * sizeof(uint64_t));
 }
 
-Status RunCountSketchReset(const TrialContext& ctx, Recorder& rec) {
+Result<SwarmHandle> MakeCountSketchReset(const TrialContext& ctx,
+                                         EnvHandle& env) {
   DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
       "protocol.", {"bins", "levels", "cutoff_base", "cutoff_slope",
                     "cutoff_enabled", "mode", "multiplicity"}));
@@ -683,19 +371,15 @@ Status RunCountSketchReset(const TrialContext& ctx, Recorder& rec) {
   DYNAGG_ASSIGN_OR_RETURN(params.mode, ParseGossipMode(*ctx.spec));
   params.bins = static_cast<int>(bins);
   params.levels = static_cast<int>(levels);
-  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
-  DYNAGG_ASSIGN_OR_RETURN(const std::vector<int64_t> mult,
+  DYNAGG_ASSIGN_OR_RETURN(std::vector<int64_t> mult,
                           Multiplicities(ctx, n));
-  CsrSwarm swarm(mult, params);
+  auto box = std::make_shared<CountSwarmBox<CsrSwarm, CsrParams>>(
+      std::move(mult), params);
+  CsrSwarm* swarm = &box->swarm;
   // One byte-sized age counter per (bin, level) slot.
-  const double state_bytes =
-      static_cast<double>(params.bins) * params.levels;
-  DYNAGG_RETURN_IF_ERROR(DriveRoundTrial(
-      ctx, env, swarm, [&](HostId id) { return swarm.EstimateCount(id); },
-      CountTruth(mult), nullptr, state_bytes, rec,
-      /*extra_metrics=*/{"cdf(counter)"},
-      /*extra_record_keys=*/{"max_counter"}));
+  SwarmHandle h = CountingHandle(
+      std::move(box), static_cast<double>(params.bins) * params.levels);
 
   // Fig 6's bit-counter distribution: pool the N[n][k] age counters over
   // all hosts and bins after the last round and report the per-bit CDF of
@@ -705,7 +389,11 @@ Status RunCountSketchReset(const TrialContext& ctx, Recorder& rec) {
   // levels that effectively never appear (< n/100 + 1 finite counters, as
   // in the legacy harness) are suppressed at assembly via min_key_total —
   // after cross-trial pooling when aggregating.
-  if (MetricRequested(*ctx.spec, "cdf(counter)")) {
+  h.extra_metrics = {"cdf(counter)"};
+  h.extra_record_keys = {"max_counter"};
+  h.finish = [swarm, params, n](const TrialContext& ctx,
+                                Recorder& rec) -> Status {
+    if (!MetricRequested(*ctx.spec, "cdf(counter)")) return Status::OK();
     DYNAGG_ASSIGN_OR_RETURN(const int64_t max_counter,
                             ctx.spec->ParamInt("record.max_counter", 12));
     if (max_counter < 1 || max_counter >= kCsrInfinity) {
@@ -716,7 +404,7 @@ Status RunCountSketchReset(const TrialContext& ctx, Recorder& rec) {
     std::vector<std::vector<int64_t>> histograms(
         params.levels, std::vector<int64_t>(max_c + 1, 0));
     for (HostId id = 0; id < n; ++id) {
-      const CountSketchResetNode& node = swarm.node(id);
+      const CountSketchResetNode& node = swarm->node(id);
       for (int b = 0; b < params.bins; ++b) {
         for (int k = 0; k < params.levels; ++k) {
           const uint8_t c = node.counter(b, k);
@@ -735,8 +423,9 @@ Status RunCountSketchReset(const TrialContext& ctx, Recorder& rec) {
                                    histograms[k][c]});
       }
     }
-  }
-  return Status::OK();
+    return Status::OK();
+  };
+  return h;
 }
 
 // ---------------------------------------------------- serialized facade ---
@@ -787,7 +476,8 @@ class NodeAggregatorSwarm {
   std::vector<HostId> order_;  // scratch
 };
 
-Status RunNodeAggregator(const TrialContext& ctx, Recorder& rec) {
+Result<SwarmHandle> MakeNodeAggregator(const TrialContext& ctx,
+                                       EnvHandle& env) {
   const ScenarioSpec& spec = *ctx.spec;
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
       "protocol.", {"lambda", "bins", "levels", "multiplicity", "metric"}));
@@ -819,37 +509,49 @@ Status RunNodeAggregator(const TrialContext& ctx, Recorder& rec) {
   config.csr.bins = static_cast<int>(bins);
   config.csr.levels = static_cast<int>(levels);
 
-  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
-  const std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
-  NodeAggregatorSwarm swarm(values, config);
+  auto box = std::make_shared<ValueSwarmBox<NodeAggregatorSwarm>>(
+      UniformWorkloadValues(n, ctx.trial_seed), config);
+  NodeAggregatorSwarm* swarm = &box->swarm;
+  const std::vector<double>* values = &box->values;
 
-  std::function<double(HostId)> estimate;
-  std::function<double(const Population&)> truth;
+  SwarmHandle h;
+  h.run_round = [swarm](const Environment& e, const Population& p, Rng& r) {
+    swarm->RunRound(e, p, r);
+  };
   if (metric == "average") {
-    estimate = [&](HostId id) { return swarm.device(id).AverageEstimate(); };
-    truth = AverageTruth(values);
+    h.estimate = [swarm](HostId id) {
+      return swarm->device(id).AverageEstimate();
+    };
+    h.truth = [values](const Population& pop) {
+      return TrueAverage(*values, pop);
+    };
   } else if (metric == "count") {
-    estimate = [&](HostId id) { return swarm.device(id).CountEstimate(); };
-    truth = [](const Population& pop) {
+    h.estimate = [swarm](HostId id) {
+      return swarm->device(id).CountEstimate();
+    };
+    h.truth = [](const Population& pop) {
       return static_cast<double>(pop.num_alive());
     };
   } else if (metric == "sum") {
-    estimate = [&](HostId id) { return swarm.device(id).SumEstimate(); };
-    truth = [&values](const Population& pop) {
-      return TrueSum(values, pop);
+    h.estimate = [swarm](HostId id) {
+      return swarm->device(id).SumEstimate();
+    };
+    h.truth = [values](const Population& pop) {
+      return TrueSum(*values, pop);
     };
   } else {
     return Status::InvalidArgument(
         "protocol.metric must be average, count or sum, got '" + metric +
         "'");
   }
+  h.failure_values = values;
   // Push-Sum-Revert mass (3 doubles) plus the CSR counter array.
-  const double state_bytes =
-      3.0 * sizeof(double) +
-      static_cast<double>(config.csr.bins) * config.csr.levels;
-  return DriveRoundTrial(ctx, env, swarm, estimate, truth, &values,
-                         state_bytes, rec);
+  h.state_bytes = 3.0 * sizeof(double) +
+                  static_cast<double>(config.csr.bins) * config.csr.levels;
+  MaybeSetMeter(h, swarm);
+  h.keepalive = std::move(box);
+  return h;
 }
 
 // ------------------------------------------------------ overlay baseline ---
@@ -860,7 +562,9 @@ Status RunNodeAggregator(const TrialContext& ctx, Recorder& rec) {
 /// churn plan drawn from a shared stream, revives the leader, and records
 /// the leader's error against the live truth. The default `rms` metric
 /// selector maps onto the protocol's own error scalars
-/// (tag_mean_abs_err, tag_failed_epochs_pct).
+/// (tag_mean_abs_err, tag_failed_epochs_pct). Epochs are tree-depth-sized
+/// rather than fixed-length, so this protocol owns its whole trial loop
+/// (ProtocolDef::run_custom) instead of registering a SwarmFactory.
 Status RunTagTree(const TrialContext& ctx, Recorder& rec) {
   const ScenarioSpec& spec = *ctx.spec;
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("protocol.", {"epochs", "root"}));
@@ -929,17 +633,27 @@ Status RunTagTree(const TrialContext& ctx, Recorder& rec) {
 
 namespace internal {
 
-void RegisterBuiltinProtocols(Registry<ProtocolRunner>& registry) {
-  DYNAGG_CHECK(registry.Register("push-sum", RunPushSum).ok());
-  DYNAGG_CHECK(registry.Register("push-sum-revert", RunPushSumRevert).ok());
-  DYNAGG_CHECK(registry.Register("epoch-push-sum", RunEpochPushSum).ok());
-  DYNAGG_CHECK(registry.Register("full-transfer", RunFullTransfer).ok());
-  DYNAGG_CHECK(registry.Register("extremes", RunExtremes).ok());
-  DYNAGG_CHECK(registry.Register("count-sketch", RunCountSketch).ok());
+void RegisterBuiltinProtocols(Registry<ProtocolDef>& registry) {
+  const auto swarm = [&registry](const std::string& name, SwarmFactory make,
+                                 bool trace_capable) {
+    DYNAGG_CHECK(registry
+                     .Register(name, ProtocolDef{std::move(make), nullptr,
+                                                 trace_capable})
+                     .ok());
+  };
+  swarm("push-sum", MakePushSum, /*trace_capable=*/true);
+  swarm("push-sum-revert", MakePushSumRevert, /*trace_capable=*/true);
+  swarm("epoch-push-sum", MakeEpochPushSum, /*trace_capable=*/true);
+  swarm("full-transfer", MakeFullTransfer, /*trace_capable=*/true);
+  swarm("extremes", MakeExtremes, /*trace_capable=*/false);
+  swarm("count-sketch", MakeCountSketch, /*trace_capable=*/true);
+  swarm("count-sketch-reset", MakeCountSketchReset, /*trace_capable=*/true);
+  swarm("node-aggregator", MakeNodeAggregator, /*trace_capable=*/false);
   DYNAGG_CHECK(
-      registry.Register("count-sketch-reset", RunCountSketchReset).ok());
-  DYNAGG_CHECK(registry.Register("node-aggregator", RunNodeAggregator).ok());
-  DYNAGG_CHECK(registry.Register("tag-tree", RunTagTree).ok());
+      registry
+          .Register("tag-tree", ProtocolDef{nullptr, RunTagTree,
+                                            /*trace_capable=*/false})
+          .ok());
 }
 
 }  // namespace internal

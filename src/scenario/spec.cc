@@ -278,6 +278,16 @@ Status ApplyKey(ScenarioSpec* spec, const std::string& key,
     spec->protocol = value;
   } else if (key == "environment") {
     spec->environment = value;
+  } else if (key == "driver") {
+    spec->driver = value;
+  } else if (key == "gossip_period" || key == "sample_period") {
+    Result<double> v = ParseDouble(value);
+    if (!v.ok()) return AtLine(line, v.status());
+    if (*v <= 0) {
+      return AtLine(line, Status::InvalidArgument(
+                              key + " must be > 0 (seconds)"));
+    }
+    (key == "gossip_period" ? spec->gossip_period : spec->sample_period) = *v;
   } else if (key == "output") {
     spec->output = value;
   } else if (key == "format") {
@@ -295,7 +305,10 @@ Status ApplyKey(ScenarioSpec* spec, const std::string& key,
                     Status::InvalidArgument(key + " must be positive"));
     }
     if (key == "hosts") spec->hosts = static_cast<int>(*v);
-    if (key == "rounds") spec->rounds = static_cast<int>(*v);
+    if (key == "rounds") {
+      spec->rounds = static_cast<int>(*v);
+      spec->rounds_set = true;
+    }
     if (key == "trials") spec->trials = static_cast<int>(*v);
   } else if (key == "seed") {
     Result<int64_t> v = ParseInt64(value);

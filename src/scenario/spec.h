@@ -76,11 +76,27 @@ struct ScenarioSpec {
   std::string protocol;
   /// Environment registry key.
   std::string environment = "uniform";
+  /// Trial driver registry key: how simulated time advances. "rounds" is
+  /// the paper's synchronous round loop; "trace" replays the environment's
+  /// contact trace on the event-driven simulator core.
+  std::string driver = "rounds";
+  /// Trace driver: seconds of simulated time between gossip ticks
+  /// (default 30, the paper's cadence). 0 = unset; setting it under a
+  /// non-event driver is a validation error.
+  double gossip_period = 0.0;
+  /// Trace driver: seconds between metric samples (default 3600, the
+  /// paper's hourly reporting). 0 = unset; same validation rule.
+  double sample_period = 0.0;
   /// Population size. 0 means "derive from the environment" (allowed for
   /// environments with intrinsic size, e.g. spatial grids and traces).
   int hosts = 0;
   /// Gossip rounds per trial.
   int rounds = 200;
+  /// Whether `rounds =` was written explicitly (the parser sets this).
+  /// Event-driven drivers ignore rounds — the trace horizon governs the
+  /// length — so validation rejects an explicit value there instead of
+  /// silently running a different length than declared.
+  bool rounds_set = false;
   /// Independent repetitions. Trial 0 replays the base seed exactly (legacy
   /// bench parity); trial t > 0 uses a derived, decorrelated seed.
   int trials = 1;

@@ -14,10 +14,15 @@ void Recorder::AddScalar(const std::string& name, double value) {
   batch_.scalars.push_back({name, value});
 }
 
-SeriesRecord* Recorder::MutableSeries(const std::string& x_name,
-                                      const std::string& name) {
+SeriesRecord* Recorder::MutableKeyedSeries(const std::string& x_name,
+                                           const std::string& name,
+                                           const std::string& key_name,
+                                           double key) {
   for (SeriesRecord& s : batch_.series) {
-    if (s.name == name) {
+    // One trial must not mix keyed and unkeyed series (or two key
+    // columns): the assembled table has a single optional key column.
+    DYNAGG_CHECK(s.key_name == key_name);
+    if (s.name == name && (key_name.empty() || s.key == key)) {
       DYNAGG_CHECK(s.x_name == x_name);
       return &s;
     }
@@ -25,14 +30,29 @@ SeriesRecord* Recorder::MutableSeries(const std::string& x_name,
   SeriesRecord series;
   series.x_name = x_name;
   series.name = name;
+  series.key_name = key_name;
+  series.key = key_name.empty() ? 0.0 : key;
   batch_.series.push_back(std::move(series));
   return &batch_.series.back();
+}
+
+SeriesRecord* Recorder::MutableSeries(const std::string& x_name,
+                                      const std::string& name) {
+  return MutableKeyedSeries(x_name, name, /*key_name=*/"", 0.0);
 }
 
 void Recorder::AddSeriesPoint(const std::string& x_name,
                               const std::string& name, double x,
                               double value) {
   MutableSeries(x_name, name)->points.push_back({x, value});
+}
+
+void Recorder::AddKeyedSeriesPoint(const std::string& x_name,
+                                   const std::string& name,
+                                   const std::string& key_name, double key,
+                                   double x, double value) {
+  MutableKeyedSeries(x_name, name, key_name, key)->points.push_back(
+      {x, value});
 }
 
 HistogramRecord* Recorder::MutableHistogram(const std::string& label,
@@ -99,33 +119,44 @@ bool MetricRequested(const ScenarioSpec& spec, const std::string& selector) {
 }
 
 namespace internal {
-// Defined in scenario/protocols.cc and scenario/environments.cc.
-void RegisterBuiltinProtocols(Registry<ProtocolRunner>& registry);
-void RegisterBuiltinEnvironments(Registry<EnvironmentFactory>& registry);
+// Defined in scenario/protocols.cc, scenario/environments.cc and
+// scenario/drivers.cc.
+void RegisterBuiltinProtocols(Registry<ProtocolDef>& registry);
+void RegisterBuiltinEnvironments(Registry<EnvironmentDef>& registry);
+void RegisterBuiltinDrivers(Registry<DriverDef>& registry);
 }  // namespace internal
 
-Registry<ProtocolRunner>& ProtocolRegistry() {
-  static Registry<ProtocolRunner>* registry = [] {
-    auto* r = new Registry<ProtocolRunner>("protocol");
+Registry<ProtocolDef>& ProtocolRegistry() {
+  static Registry<ProtocolDef>* registry = [] {
+    auto* r = new Registry<ProtocolDef>("protocol");
     internal::RegisterBuiltinProtocols(*r);
     return r;
   }();
   return *registry;
 }
 
-Registry<EnvironmentFactory>& EnvironmentRegistry() {
-  static Registry<EnvironmentFactory>* registry = [] {
-    auto* r = new Registry<EnvironmentFactory>("environment");
+Registry<EnvironmentDef>& EnvironmentRegistry() {
+  static Registry<EnvironmentDef>* registry = [] {
+    auto* r = new Registry<EnvironmentDef>("environment");
     internal::RegisterBuiltinEnvironments(*r);
     return r;
   }();
   return *registry;
 }
 
+Registry<DriverDef>& DriverRegistry() {
+  static Registry<DriverDef>* registry = [] {
+    auto* r = new Registry<DriverDef>("driver");
+    internal::RegisterBuiltinDrivers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
 Result<EnvHandle> MakeEnvironment(const TrialContext& ctx) {
-  DYNAGG_ASSIGN_OR_RETURN(const EnvironmentFactory factory,
+  DYNAGG_ASSIGN_OR_RETURN(const EnvironmentDef def,
                           EnvironmentRegistry().Find(ctx.spec->environment));
-  DYNAGG_ASSIGN_OR_RETURN(EnvHandle handle, factory(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle handle, def.make(ctx));
   if (ctx.spec->hosts > 0 &&
       ctx.spec->hosts != handle.env->num_hosts()) {
     return Status::InvalidArgument(

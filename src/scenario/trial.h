@@ -1,15 +1,22 @@
 // Trial-level plumbing between the executor and the registered workloads.
 //
 // A *trial* is one independent end-to-end run of an experiment unit (one
-// sweep/sweep2 cell, one repetition). The executor (scenario/executor.h)
-// hands a TrialContext plus a Recorder to a ProtocolRunner looked up by
-// name; the runner builds its environment through the environment registry,
-// drives the simulation, and emits typed records — scalars, series,
-// histograms/CDFs, bandwidth — through the Recorder in one pass. The
-// executor then merges the per-trial record batches into output tables.
-// Every source of randomness inside a trial is derived from ctx.trial_seed,
-// which is what makes trials independent and the parallel executor
-// deterministic.
+// sweep/sweep2 cell, one repetition). Since Driver API v1 the trial splits
+// into two pluggable halves looked up by name:
+//   - a SwarmFactory (protocol registry) builds the protocol's swarm for
+//     one trial and declares its estimate / truth / bandwidth hooks as a
+//     type-erased SwarmHandle;
+//   - a TrialDriver (driver registry, `driver = rounds | trace` in the
+//     spec) owns how simulated time advances: the synchronous round loop
+//     with failure plans and early-stop, or event-driven contact-trace
+//     playback on the Simulator core.
+// The driver builds the environment through the environment registry,
+// obtains the swarm from the factory, runs the time loop, and emits typed
+// records — scalars, series, histograms/CDFs, bandwidth — through the
+// Recorder in one pass. The executor (scenario/executor.h) then merges the
+// per-trial record batches into output tables. Every source of randomness
+// inside a trial is derived from ctx.trial_seed, which is what makes
+// trials independent and the parallel executor deterministic.
 
 #ifndef DYNAGG_SCENARIO_TRIAL_H_
 #define DYNAGG_SCENARIO_TRIAL_H_
@@ -29,6 +36,9 @@
 #include "scenario/spec.h"
 
 namespace dynagg {
+
+class TrafficMeter;  // sim/bandwidth.h
+
 namespace scenario {
 
 /// An instantiated environment plus whatever backing storage it needs.
@@ -39,6 +49,9 @@ struct EnvHandle {
   /// When > 0, the round loop advances the environment to
   /// (round + 1) * advance_period before each round (trace playback).
   SimTime advance_period = 0;
+  /// Group labelling window for trace playback (the paper's "nearby in the
+  /// last 10 minutes"); consumed by the trace driver.
+  SimTime group_window = FromMinutes(10);
 };
 
 /// Everything a runner needs to execute one trial. The spec already has the
@@ -73,9 +86,19 @@ struct ScalarRecord {
 /// A per-trial series of (x, value) points (e.g. per-round RMS deviation).
 /// Series sharing one x axis merge into one table, one value column each;
 /// under aggregation, points are matched by x across trials.
+///
+/// An optional *group key* (`key_name` + `key`) lets one trial emit a
+/// family of series under the same value column — one series per lambda,
+/// panel, or group, the structure Fig 10/11-style figures plot. Keyed
+/// series render as one table with a leading key column, rows grouped
+/// key-major; under sweeps and aggregation groups are matched by key
+/// across trials, so grouped tables assemble deterministically. All series
+/// of one trial must agree on key_name ("" = unkeyed, the common case).
 struct SeriesRecord {
-  std::string x_name;  // x column, e.g. "round"
-  std::string name;    // value column, e.g. "rms"
+  std::string x_name;    // x column, e.g. "round"
+  std::string name;      // value column, e.g. "rms"
+  std::string key_name;  // "" = unkeyed
+  double key = 0.0;      // ignored when key_name is empty
   struct Point {
     double x = 0.0;
     double value = 0.0;
@@ -147,10 +170,22 @@ class Recorder {
   SeriesRecord* MutableSeries(const std::string& x_name,
                               const std::string& name);
 
+  /// Finds or creates the series for group `key` of column `name` (the
+  /// per-group form: one series per lambda/panel). Key groups emit in
+  /// first-creation order; all series of a trial must share one key_name.
+  SeriesRecord* MutableKeyedSeries(const std::string& x_name,
+                                   const std::string& name,
+                                   const std::string& key_name, double key);
+
   /// Appends one point to series `name` (created on first use). All series
   /// of one trial must share the same x axis name.
   void AddSeriesPoint(const std::string& x_name, const std::string& name,
                       double x, double value);
+
+  /// Appends one point to group `key` of series `name`.
+  void AddKeyedSeriesPoint(const std::string& x_name, const std::string& name,
+                           const std::string& key_name, double key, double x,
+                           double value);
 
   /// Finds or creates histogram `label`; the metadata arguments are fixed
   /// at creation. Append buckets to the returned record in output order
@@ -185,19 +220,106 @@ Status CheckMetricsSupported(const ScenarioSpec& spec,
 /// Whether the spec requests metric `selector` (canonical spelling).
 bool MetricRequested(const ScenarioSpec& spec, const std::string& selector);
 
-/// Runs one trial to completion, emitting its records through `rec`.
+/// Runs one whole trial to completion, emitting its records through `rec`.
+/// Since Driver API v1 this is the escape hatch for protocols whose trial
+/// structure fits no shared driver (tag-tree's tree-depth-sized epochs);
+/// everything else registers a SwarmFactory and lets a driver own time.
 using ProtocolRunner =
     std::function<Status(const TrialContext&, Recorder& rec)>;
 /// Builds the environment for one trial.
 using EnvironmentFactory =
     std::function<Result<EnvHandle>(const TrialContext&)>;
 
+// ------------------------------------------------------- Driver API v1 ---
+
+/// One trial's constructed protocol instance, type-erased: how the swarm
+/// exchanges state each round plus the hooks a driver needs to measure it.
+/// Factories bundle the swarm and its backing storage into `keepalive` and
+/// capture raw pointers into it from the callbacks.
+struct SwarmHandle {
+  /// Executes one gossip round (required).
+  std::function<void(const Environment&, const Population&, Rng&)> run_round;
+  /// Per-host estimate of the aggregate (required).
+  std::function<double(HostId)> estimate;
+  /// Network-wide truth over the alive population (required; the rounds
+  /// driver evaluates it every round for the error metrics).
+  std::function<double(const Population&)> truth;
+  /// Per-group truth for group-relative (trace) error: given the current
+  /// component labelling and per-group member counts, the truth of each
+  /// group (index = group id). Null = no `driver = trace` support.
+  std::function<std::vector<double>(const std::vector<int>& labels,
+                                    const std::vector<int>& sizes)>
+      group_truths;
+  /// Estimate in group-truth units. Null = use `estimate`; the counting
+  /// sketches divide by their per-host multiplicity here so estimates are
+  /// comparable to group sizes.
+  std::function<double(HostId)> group_estimate;
+  /// Per-host scalar values backing failure.kind = kill_top_fraction; null
+  /// for protocols without per-host scalar inputs.
+  const std::vector<double>* failure_values = nullptr;
+  /// Per-host state footprint reported by the bandwidth record.
+  double state_bytes = 0.0;
+  /// Attaches a traffic meter for the bandwidth metric; null = the
+  /// protocol cannot measure traffic.
+  std::function<void(TrafficMeter*)> set_meter;
+  /// Extra metric selectors (and their record.* keys) beyond the rounds
+  /// driver's catalog, emitted by `finish` (count-sketch-reset's
+  /// cdf(counter)).
+  std::vector<std::string> extra_metrics;
+  std::vector<std::string> extra_record_keys;
+  /// Post-loop hook emitting the extra metrics (rounds driver only).
+  std::function<Status(const TrialContext&, Recorder&)> finish;
+  /// Owns the swarm and whatever storage the callbacks point into.
+  std::shared_ptr<void> keepalive;
+};
+
+/// Builds the swarm for one trial. The driver has already instantiated the
+/// environment (sized populations, trace playback state).
+using SwarmFactory =
+    std::function<Result<SwarmHandle>(const TrialContext&, EnvHandle& env)>;
+
+/// A registered protocol: either a SwarmFactory driven by any TrialDriver,
+/// or (rarely) a custom whole-trial runner.
+struct ProtocolDef {
+  /// Null if and only if `run_custom` is set.
+  SwarmFactory make_swarm;
+  /// Whole-trial protocols that own their own time loop; executed by the
+  /// rounds driver, rejected by event-driven drivers.
+  ProtocolRunner run_custom;
+  /// Whether the factory provides the group hooks `driver = trace` needs.
+  /// Static so `--dry-run` can reject trace specs without building swarms.
+  bool trace_capable = false;
+};
+
+/// Advances simulated time for one trial: builds the environment, obtains
+/// the swarm from the protocol definition, runs the loop, and records the
+/// spec's metrics.
+using TrialDriver =
+    std::function<Status(const TrialContext&, const ProtocolDef&, Recorder&)>;
+
+/// A registered trial driver (`driver = ...` in the spec).
+struct DriverDef {
+  TrialDriver run;
+  /// Event-driven drivers consume the time-based keys gossip_period /
+  /// sample_period and require a trace-providing environment; the rounds
+  /// driver rejects those keys.
+  bool event_driven = false;
+};
+
+/// A registered environment.
+struct EnvironmentDef {
+  EnvironmentFactory make;
+  /// Whether EnvHandle::trace is populated (required by `driver = trace`).
+  bool provides_trace = false;
+};
+
 /// Global registries, with the builtin catalog (push-sum, push-sum-revert,
 /// epoch-push-sum, full-transfer, extremes, count-sketch,
-/// count-sketch-reset, tag-tree / uniform, spatial, random-graph, haggle)
-/// registered on first use.
-Registry<ProtocolRunner>& ProtocolRegistry();
-Registry<EnvironmentFactory>& EnvironmentRegistry();
+/// count-sketch-reset, node-aggregator, tag-tree / uniform, spatial,
+/// random-graph, haggle / rounds, trace) registered on first use.
+Registry<ProtocolDef>& ProtocolRegistry();
+Registry<EnvironmentDef>& EnvironmentRegistry();
+Registry<DriverDef>& DriverRegistry();
 
 /// Per-trial root seed: trial 0 replays the experiment's base seed exactly
 /// (so a 1-trial scenario is bit-identical to the legacy bench binary it

@@ -6,8 +6,8 @@
 
 namespace dynagg {
 
-void EventQueue::Schedule(SimTime at, EventFn fn) {
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+void EventQueue::Schedule(SimTime at, EventFn fn, int priority) {
+  heap_.push(Entry{at, priority, next_seq_++, std::move(fn)});
 }
 
 SimTime EventQueue::NextTime() const {

@@ -1,7 +1,12 @@
 // Discrete-event queue: a time-ordered priority queue of callbacks.
 //
-// Events at equal timestamps fire in insertion order (a monotone sequence
-// number breaks ties), which keeps trace playback deterministic.
+// Events at equal timestamps fire by ascending priority, then in insertion
+// order (a monotone sequence number breaks remaining ties), which keeps
+// trace playback deterministic. Priorities order independent periodic
+// chains at coinciding ticks: a sampler at priority 1 observes the state
+// AFTER the gossip tick at priority 0 — insertion order alone cannot
+// express this, because each periodic firing enqueues its own successor at
+// an unrelated moment.
 
 #ifndef DYNAGG_SIM_EVENT_QUEUE_H_
 #define DYNAGG_SIM_EVENT_QUEUE_H_
@@ -21,8 +26,9 @@ class EventQueue {
  public:
   EventQueue() = default;
 
-  /// Enqueues `fn` to run at simulated time `at`.
-  void Schedule(SimTime at, EventFn fn);
+  /// Enqueues `fn` to run at simulated time `at`. Among events with equal
+  /// timestamps, lower `priority` runs first.
+  void Schedule(SimTime at, EventFn fn, int priority = 0);
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
@@ -40,12 +46,14 @@ class EventQueue {
  private:
   struct Entry {
     SimTime at;
+    int priority;
     uint64_t seq;
     EventFn fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.priority != b.priority) return a.priority > b.priority;
       return a.seq > b.seq;
     }
   };

@@ -16,17 +16,17 @@ void Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
 }
 
 void Simulator::SchedulePeriodic(SimTime first, SimTime period,
-                                 std::function<bool()> fn) {
+                                 std::function<bool()> fn, int priority) {
   DYNAGG_CHECK_GT(period, 0);
   DYNAGG_CHECK_GE(first, now_);
   // The wrapper reschedules itself; shared_ptr lets the lambda own a copy of
   // itself without a dangling reference.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, fn = std::move(fn), tick]() {
+  *tick = [this, period, priority, fn = std::move(fn), tick]() {
     if (!fn()) return;
-    queue_.Schedule(now_ + period, *tick);
+    queue_.Schedule(now_ + period, *tick, priority);
   };
-  queue_.Schedule(first, *tick);
+  queue_.Schedule(first, *tick, priority);
 }
 
 int64_t Simulator::RunUntil(SimTime until) {

@@ -29,9 +29,12 @@ class Simulator {
   /// Schedules `fn` `delay` after Now().
   void ScheduleAfter(SimTime delay, EventFn fn);
   /// Schedules `fn` to run every `period`, starting at `first`. Stops when
-  /// `fn` returns false or the simulation ends.
+  /// `fn` returns false or the simulation ends. When several periodic
+  /// chains tick at the same instant, lower `priority` fires first
+  /// (samplers run at a higher priority than the gossip tick they
+  /// observe).
   void SchedulePeriodic(SimTime first, SimTime period,
-                        std::function<bool()> fn);
+                        std::function<bool()> fn, int priority = 0);
 
   /// Runs events until the queue is empty, `RequestStop()` is called, or the
   /// next event is later than `until`. The clock ends at min(until, last

@@ -32,14 +32,20 @@ void TraceRunner::Run() {
     ++rounds_run_;
     return sim_.Now() + gossip_period_ <= end;
   });
-  for (const Sampler& sampler : samplers_) {
-    // Capture by value: the samplers_ vector must not be mutated after Run.
+  for (Sampler& sampler : samplers_) {
+    // Pointer capture is safe: EverySample rejects registration after Run,
+    // so samplers_ never reallocates underneath the events. Priority 1:
+    // a sample coinciding with a gossip tick observes the state AFTER the
+    // tick, like the classic advance/gossip/sample loops it replaces.
+    Sampler* s = &sampler;
     sim_.SchedulePeriodic(
-        sampler.period, sampler.period, [this, end, sampler] {
+        s->period, s->period,
+        [this, end, s] {
           env_.AdvanceTo(sim_.Now());
-          sampler.fn(sim_.Now());
-          return sim_.Now() + sampler.period <= end;
-        });
+          s->fn(sim_.Now());
+          return sim_.Now() + s->period <= end;
+        },
+        /*priority=*/1);
   }
   sim_.RunUntil(end);
 }

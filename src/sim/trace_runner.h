@@ -39,7 +39,10 @@ class TraceRunner {
   void OnRound(std::function<void(SimTime)> fn) { round_fn_ = std::move(fn); }
 
   /// Registers a sampling callback firing every `period` (e.g. hourly error
-  /// reporting). Multiple samplers may be registered.
+  /// reporting). Multiple samplers may be registered. A sample coinciding
+  /// with a gossip tick observes the state AFTER the tick (event-queue
+  /// priority), matching the classic advance/gossip/sample loops — which
+  /// is what makes the samples usable as Recorder series points.
   void EverySample(SimTime period, std::function<void(SimTime)> fn);
 
   /// Runs gossip and samplers until the end of the trace (inclusive).
@@ -48,6 +51,9 @@ class TraceRunner {
 
   /// Gossip rounds executed so far.
   int64_t rounds_run() const { return rounds_run_; }
+
+  /// End of the trace (the run's inclusive horizon).
+  SimTime end_time() const { return trace_->end_time(); }
 
  private:
   struct Sampler {

@@ -86,17 +86,12 @@ TEST(BuiltinRegistryTest, CustomProtocolPlugsIntoExecutor) {
   static bool registered = false;
   if (!registered) {
     registered = true;
-    ASSERT_TRUE(ProtocolRegistry()
-                    .Register("test-constant",
-                              [](const TrialContext& ctx,
-                                 Recorder& rec) -> Status {
-                                rec.AddScalar(
-                                    "seed_lo",
-                                    static_cast<double>(ctx.trial_seed %
-                                                        1000));
-                                return Status::OK();
-                              })
-                    .ok());
+    ProtocolDef def;
+    def.run_custom = [](const TrialContext& ctx, Recorder& rec) -> Status {
+      rec.AddScalar("seed_lo", static_cast<double>(ctx.trial_seed % 1000));
+      return Status::OK();
+    };
+    ASSERT_TRUE(ProtocolRegistry().Register("test-constant", def).ok());
   }
   ScenarioSpec spec;
   spec.name = "custom";

@@ -13,5 +13,14 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 # declared minimum is 3.16.
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
 # Every checked-in scenario spec must at least validate (registry lookups,
-# record/aggregate/sweep grammar) without executing.
+# record/aggregate/sweep grammar, driver compatibility) without executing.
 "$BUILD_DIR"/dynagg_run --dry-run bench/scenarios/*.scenario
+# Smoke execution: run the tiny checked-in smoke scenario end-to-end (both
+# trial drivers, 2 trials each) and demand byte-identical output to the
+# checked-in golden. Catches regressions that change numbers, not just
+# structure; see smoke.scenario for how to regenerate after an intentional
+# change.
+"$BUILD_DIR"/dynagg_run --threads=2 --output="$BUILD_DIR/smoke_out.csv" \
+  bench/scenarios/smoke.scenario
+diff -u bench/scenarios/golden/smoke.csv "$BUILD_DIR/smoke_out.csv"
+echo "check.sh: smoke scenario output matches golden"

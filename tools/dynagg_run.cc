@@ -1,15 +1,16 @@
 // dynagg_run: execute declarative scenario files.
 //
-//   dynagg_run [--threads=N] [--output=PATH] [--format=csv|jsonl] \
-//              file.scenario [more.scenario ...]
+//   dynagg_run [--threads=N] [--seed=N] [--output=PATH] \
+//              [--format=csv|jsonl] file.scenario [more.scenario ...]
 //       Run every experiment in each file and write its metric tables to
-//       the spec's `output` (default stdout). --output / --format override
-//       the spec for all experiments (useful for quick redirection).
+//       the spec's `output` (default stdout). --seed / --output / --format
+//       override the spec for all experiments (reproduction runs with a
+//       different base seed need no spec edits).
 //   dynagg_run --list file.scenario [...]
 //       Enumerate the experiments in each file (name, protocol,
 //       environment, axes, metrics) without executing anything.
 //   dynagg_run --list
-//       Print the registered protocols and environments.
+//       Print the registered protocols, environments and drivers.
 //   dynagg_run --dry-run file.scenario [...]
 //       Parse and structurally validate every experiment (registry
 //       lookups, metric/aggregate grammar, sweep axes) without executing.
@@ -59,7 +60,7 @@ std::string FileStem(const std::string& path) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: dynagg_run [--threads=N] [--output=PATH] "
+      "usage: dynagg_run [--threads=N] [--seed=N] [--output=PATH] "
       "[--format=csv|jsonl] file.scenario...\n"
       "       dynagg_run --list [file.scenario...]\n"
       "       dynagg_run --dry-run file.scenario...\n");
@@ -73,6 +74,10 @@ int ListRegistries() {
   }
   std::printf("environments:\n");
   for (const auto& name : scenario::EnvironmentRegistry().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("drivers:\n");
+  for (const auto& name : scenario::DriverRegistry().Names()) {
     std::printf("  %s\n", name.c_str());
   }
   return 0;
@@ -89,8 +94,9 @@ std::string DescribeMetrics(const scenario::ScenarioSpec& spec) {
 
 void ListExperiment(const scenario::ScenarioSpec& spec) {
   std::printf("%s\n", spec.name.c_str());
-  std::printf("  protocol = %s, environment = %s\n", spec.protocol.c_str(),
-              spec.environment.c_str());
+  std::printf("  protocol = %s, environment = %s, driver = %s\n",
+              spec.protocol.c_str(), spec.environment.c_str(),
+              spec.driver.c_str());
   std::printf("  hosts = %d, rounds = %d, trials = %d, seed = %llu\n",
               spec.hosts, spec.rounds, spec.trials,
               static_cast<unsigned long long>(spec.seed));
@@ -121,6 +127,8 @@ int Run(int argc, char** argv) {
   int threads = static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
   Mode mode = Mode::kRun;
+  bool has_seed_override = false;
+  uint64_t seed_override = 0;
   std::string output_override;
   std::string format_override;
   std::vector<std::string> files;
@@ -138,6 +146,14 @@ int Run(int argc, char** argv) {
         return 2;
       }
       threads = static_cast<int>(*v);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      Result<int64_t> v = scenario::ParseInt64(arg.substr(7));
+      if (!v.ok()) {
+        std::fprintf(stderr, "dynagg_run: bad --seed value\n");
+        return 2;
+      }
+      has_seed_override = true;
+      seed_override = static_cast<uint64_t>(*v);
     } else if (arg.rfind("--output=", 0) == 0) {
       output_override = arg.substr(9);
     } else if (arg.rfind("--format=", 0) == 0) {
@@ -172,7 +188,8 @@ int Run(int argc, char** argv) {
                    specs.status().ToString().c_str());
       return 1;
     }
-    for (const scenario::ScenarioSpec& spec : *specs) {
+    for (scenario::ScenarioSpec& spec : *specs) {
+      if (has_seed_override) spec.seed = seed_override;
       if (mode == Mode::kList) {
         ListExperiment(spec);
         continue;
