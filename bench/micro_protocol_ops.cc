@@ -47,6 +47,102 @@ void BM_PushSumSwarmRound(benchmark::State& state) {
 }
 BENCHMARK(BM_PushSumSwarmRound)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// ----------------------------------------------------- round kernel ---
+//
+// The Environment API v2 before/after pair that BENCH_roundkernel.json
+// tracks (tools/bench.sh): a push-mode push-sum round over a uniform
+// environment, per-host virtual SamplePeer (the pre-refactor structure,
+// replicated below) vs the shared plan -> apply kernel at 1 and N scatter
+// threads. RNG draws and results are identical; only the structure differs.
+
+/// Pre-refactor reference round: emit, one virtual SamplePeer per host
+/// (each deposit's address serialized behind its partner draw), deposit.
+void LegacyPushRound(std::vector<PushSumNode>& nodes, const Environment& env,
+                     const Population& pop, Rng& rng) {
+  for (const HostId i : pop.alive_ids()) {
+    const Mass out = nodes[i].EmitPushHalf();
+    const HostId peer = env.SamplePeer(i, pop, rng);
+    nodes[peer == kInvalidHost ? i : peer].Deposit(out);
+  }
+  for (const HostId i : pop.alive_ids()) nodes[i].EndRound();
+}
+
+void BM_PushRoundLegacy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<PushSumNode> nodes(n);
+  for (int i = 0; i < n; ++i) nodes[i].Init(1.0);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    LegacyPushRound(nodes, env, pop, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PushRoundLegacy)->Arg(10000)->Arg(100000);
+
+void BM_PushRoundKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> values(n, 1.0);
+  PushSumSwarm swarm(values, GossipMode::kPush);
+  swarm.set_intra_round_threads(static_cast<int>(state.range(1)));
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    swarm.RunRound(env, pop, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PushRoundKernel)
+    ->Args({10000, 1})
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4});
+
+/// Pre-refactor reference push/pull round: shuffle, then one virtual
+/// SamplePeer per host with both exchange-side node accesses serialized
+/// behind the draw.
+void LegacyPushPullRound(std::vector<PushSumNode>& nodes,
+                         const Environment& env, const Population& pop,
+                         Rng& rng, std::vector<HostId>& order) {
+  ShuffledAliveOrder(pop, rng, &order);
+  for (const HostId i : order) {
+    const HostId peer = env.SamplePeer(i, pop, rng);
+    if (peer == kInvalidHost) continue;
+    PushSumNode::Exchange(nodes[i], nodes[peer]);
+  }
+}
+
+void BM_PushPullRoundLegacy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<PushSumNode> nodes(n);
+  for (int i = 0; i < n; ++i) nodes[i].Init(1.0);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(1);
+  std::vector<HostId> order;
+  for (auto _ : state) {
+    LegacyPushPullRound(nodes, env, pop, rng, order);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PushPullRoundLegacy)->Arg(10000)->Arg(100000);
+
+void BM_PushPullRoundKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> values(n, 1.0);
+  PushSumSwarm swarm(values, GossipMode::kPushPull);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    swarm.RunRound(env, pop, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PushPullRoundKernel)->Arg(10000)->Arg(100000);
+
 void BM_PsrSwarmRound(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   std::vector<double> values(n, 1.0);

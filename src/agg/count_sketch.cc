@@ -1,7 +1,6 @@
 #include "agg/count_sketch.h"
 
 #include "common/hash.h"
-#include "sim/round_driver.h"
 
 namespace dynagg {
 
@@ -29,10 +28,8 @@ CountSketchSwarm::CountSketchSwarm(
 
 void CountSketchSwarm::RunRound(const Environment& env, const Population& pop,
                                 Rng& rng) {
-  ShuffledAliveOrder(pop, rng, &order_);
-  for (const HostId i : order_) {
-    const HostId peer = env.SamplePeer(i, pop, rng);
-    if (peer == kInvalidHost) continue;
+  kernel_.PlanExchangeRound(env, pop, rng);
+  kernel_.ForEachExchange([this](HostId i, HostId peer) {
     if (meter_ != nullptr) {
       meter_->RecordMessage(nodes_[i].sketch().SerializedBytes());
     }
@@ -43,7 +40,7 @@ void CountSketchSwarm::RunRound(const Environment& env, const Population& pop,
       }
       nodes_[i].Merge(nodes_[peer].sketch());
     }
-  }
+  });
 }
 
 }  // namespace dynagg

@@ -22,6 +22,7 @@
 #include "env/environment.h"
 #include "sim/bandwidth.h"
 #include "sim/population.h"
+#include "sim/round_kernel.h"
 
 namespace dynagg {
 
@@ -83,7 +84,7 @@ class CountSketchSwarm {
   std::vector<CountSketchNode> nodes_;
   CountSketchParams params_;
   TrafficMeter* meter_ = nullptr;
-  std::vector<HostId> order_;  // scratch
+  RoundKernel kernel_;
 };
 
 }  // namespace dynagg

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/hash.h"
-#include "sim/round_driver.h"
 
 namespace dynagg {
 
@@ -154,13 +153,11 @@ void CsrSwarm::RunRound(const Environment& env, const Population& pop,
                         Rng& rng) {
   // Fig 5 phase 1: all hosts age their counters.
   for (const HostId i : pop.alive_ids()) nodes_[i].AgeCounters();
-  // Phase 2: exchanges, applied sequentially in shuffled order (min-merge is
-  // idempotent and monotone, so in-round ordering only affects the speed of
-  // information spread, not the converged state).
-  ShuffledAliveOrder(pop, rng, &order_);
-  for (const HostId i : order_) {
-    const HostId peer = env.SamplePeer(i, pop, rng);
-    if (peer == kInvalidHost) continue;
+  // Phase 2: exchanges, applied sequentially in shuffled plan order
+  // (min-merge is idempotent and monotone, so in-round ordering only
+  // affects the speed of information spread, not the converged state).
+  kernel_.PlanExchangeRound(env, pop, rng);
+  kernel_.ForEachExchange([this](HostId i, HostId peer) {
     if (meter_ != nullptr) {
       meter_->RecordMessage(nodes_[i].SerializedBytes());
     }
@@ -172,7 +169,7 @@ void CsrSwarm::RunRound(const Environment& env, const Population& pop,
     } else {
       nodes_[peer].MergeFrom(nodes_[i]);
     }
-  }
+  });
 }
 
 }  // namespace dynagg

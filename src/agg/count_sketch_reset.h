@@ -36,6 +36,7 @@
 #include "env/environment.h"
 #include "sim/bandwidth.h"
 #include "sim/population.h"
+#include "sim/round_kernel.h"
 
 namespace dynagg {
 
@@ -153,7 +154,7 @@ class CsrSwarm {
   std::vector<CountSketchResetNode> nodes_;
   CsrParams params_;
   TrafficMeter* meter_ = nullptr;
-  std::vector<HostId> order_;  // scratch
+  RoundKernel kernel_;
 };
 
 }  // namespace dynagg

@@ -1,7 +1,6 @@
 #include "agg/epoch_push_sum.h"
 
 #include "common/macros.h"
-#include "sim/round_driver.h"
 
 namespace dynagg {
 
@@ -19,10 +18,8 @@ EpochPushSumSwarm::EpochPushSumSwarm(const std::vector<double>& values,
 
 void EpochPushSumSwarm::RunRound(const Environment& env,
                                  const Population& pop, Rng& rng) {
-  ShuffledAliveOrder(pop, rng, &order_);
-  for (const HostId i : order_) {
-    const HostId peer = env.SamplePeer(i, pop, rng);
-    if (peer == kInvalidHost) continue;
+  kernel_.PlanExchangeRound(env, pop, rng);
+  kernel_.ForEachExchange([this](HostId i, HostId peer) {
     EpochPushSumNode& a = nodes_[i];
     EpochPushSumNode& b = nodes_[peer];
     if (a.epoch() == b.epoch()) {
@@ -34,7 +31,7 @@ void EpochPushSumSwarm::RunRound(const Environment& env,
     } else {
       b.AdvanceToEpoch(a.epoch());
     }
-  }
+  });
   for (const HostId i : pop.alive_ids()) {
     nodes_[i].Tick(params_.epoch_length);
   }

@@ -26,6 +26,7 @@
 #include "common/types.h"
 #include "env/environment.h"
 #include "sim/population.h"
+#include "sim/round_kernel.h"
 
 namespace dynagg {
 
@@ -121,7 +122,7 @@ class EpochPushSumSwarm {
  private:
   std::vector<EpochPushSumNode> nodes_;
   EpochParams params_;
-  std::vector<HostId> order_;  // scratch
+  RoundKernel kernel_;
 };
 
 }  // namespace dynagg

@@ -1,7 +1,5 @@
 #include "agg/extremes.h"
 
-#include "sim/round_driver.h"
-
 namespace dynagg {
 
 DynamicExtremeSwarm::DynamicExtremeSwarm(const std::vector<double>& values,
@@ -18,16 +16,14 @@ DynamicExtremeSwarm::DynamicExtremeSwarm(const std::vector<double>& values,
 void DynamicExtremeSwarm::RunRound(const Environment& env,
                                    const Population& pop, Rng& rng) {
   for (const HostId i : pop.alive_ids()) nodes_[i].BeginRound(params_);
-  ShuffledAliveOrder(pop, rng, &order_);
-  for (const HostId i : order_) {
-    const HostId peer = env.SamplePeer(i, pop, rng);
-    if (peer == kInvalidHost) continue;
+  kernel_.PlanExchangeRound(env, pop, rng);
+  kernel_.ForEachExchange([this](HostId i, HostId peer) {
     if (params_.mode == GossipMode::kPushPull) {
       DynamicExtremeNode::Exchange(nodes_[i], nodes_[peer], params_);
     } else {
       nodes_[peer].Offer(nodes_[i].best(), params_);
     }
-  }
+  });
 }
 
 }  // namespace dynagg

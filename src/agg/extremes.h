@@ -27,6 +27,7 @@
 #include "common/types.h"
 #include "env/environment.h"
 #include "sim/population.h"
+#include "sim/round_kernel.h"
 
 namespace dynagg {
 
@@ -136,7 +137,7 @@ class DynamicExtremeSwarm {
  private:
   std::vector<DynamicExtremeNode> nodes_;
   ExtremeParams params_;
-  std::vector<HostId> order_;  // scratch
+  RoundKernel kernel_;
 };
 
 }  // namespace dynagg

@@ -61,18 +61,29 @@ FullTransferSwarm::FullTransferSwarm(const std::vector<double>& values,
 
 void FullTransferSwarm::RunRound(const Environment& env,
                                  const Population& pop, Rng& rng) {
-  for (const HostId i : pop.alive_ids()) {
-    for (int p = 0; p < params_.parcels; ++p) {
-      const Mass parcel = nodes_[i].EmitParcel(params_.lambda,
-                                               params_.parcels);
-      const HostId peer = env.SamplePeer(i, pop, rng);
-      // With no reachable peer the parcel returns to the sender rather than
-      // leaving the system.
-      nodes_[peer == kInvalidHost ? i : peer].Deposit(parcel);
-      if (meter_ != nullptr && peer != kInvalidHost) {
-        meter_->RecordMessage(kMassMessageBytes);
-      }
-    }
+  // Plan `parcels` independent partner draws per alive host (consecutive
+  // slots, the legacy per-parcel draw order), emit every parcel, then
+  // scatter. With no reachable peer a parcel returns to the sender rather
+  // than leaving the system (PartnerPlan::EffectivePartner).
+  const PartnerPlan& plan =
+      kernel_.PlanPushRound(env, pop, rng, params_.parcels);
+  if (meter_ != nullptr) {
+    meter_->RecordMessages(plan.CountMatched(), kMassMessageBytes);
+  }
+  if (kernel_.intra_round_threads() == 1) {
+    kernel_.ForEachPushSlot(
+        [this](HostId src) {
+          return nodes_[src].EmitParcel(params_.lambda, params_.parcels);
+        },
+        [this](HostId dst, const Mass& m) { nodes_[dst].Deposit(m); },
+        [this](HostId dst) { __builtin_prefetch(&nodes_[dst], 1); });
+  } else {
+    kernel_.EmitAndScatter(
+        &outbox_, /*self_echo=*/false, size(),
+        [this](HostId src) {
+          return nodes_[src].EmitParcel(params_.lambda, params_.parcels);
+        },
+        [this](HostId dst, const Mass& m) { nodes_[dst].Deposit(m); });
   }
   for (const HostId i : pop.alive_ids()) nodes_[i].EndRound();
 }

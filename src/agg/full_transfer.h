@@ -24,6 +24,7 @@
 #include "env/environment.h"
 #include "sim/bandwidth.h"
 #include "sim/population.h"
+#include "sim/round_kernel.h"
 
 namespace dynagg {
 
@@ -97,10 +98,18 @@ class FullTransferSwarm {
   /// Optionally records over-the-air traffic.
   void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
 
+  /// Worker threads for the parcel deposit scatter (bit-identical at any
+  /// count).
+  void set_intra_round_threads(int threads) {
+    kernel_.set_intra_round_threads(threads);
+  }
+
  private:
   std::vector<FullTransferNode> nodes_;
   FullTransferParams params_;
   TrafficMeter* meter_ = nullptr;
+  RoundKernel kernel_;
+  std::vector<Mass> outbox_;  // scratch: per-slot parcels
 };
 
 }  // namespace dynagg

@@ -1,50 +1,94 @@
 #include "agg/push_sum.h"
 
-#include "sim/round_driver.h"
+#include <algorithm>
 
 namespace dynagg {
 
 PushSumSwarm::PushSumSwarm(const std::vector<double>& values, GossipMode mode)
-    : nodes_(values.size()), mode_(mode) {
-  for (size_t i = 0; i < values.size(); ++i) nodes_[i].Init(values[i]);
+    : mass_(values.size()),
+      inbox_(values.size()),
+      initial_(values),
+      mode_(mode) {
+  for (size_t i = 0; i < values.size(); ++i) mass_[i] = Mass{1.0, values[i]};
 }
 
 void PushSumSwarm::RunRound(const Environment& env, const Population& pop,
                             Rng& rng) {
   if (mode_ == GossipMode::kPush) {
-    // All emissions are simultaneous: halves land in inboxes, then every
-    // host adopts its inbox.
-    for (const HostId i : pop.alive_ids()) {
-      const Mass out = nodes_[i].EmitPushHalf();
-      const HostId peer = env.SamplePeer(i, pop, rng);
-      // With no reachable peer the host keeps its whole mass (nothing is
-      // transmitted over the air).
-      nodes_[peer == kInvalidHost ? i : peer].Deposit(out);
-      if (meter_ != nullptr && peer != kInvalidHost) {
-        meter_->RecordMessage(kMassMessageBytes);
+    // All emissions are simultaneous: plan the partners, then emit and
+    // deposit the halves (self inbox + partner inbox, or both to the
+    // sender when it has no reachable peer), then every host adopts its
+    // inbox. Sequentially the emit/deposit pass is fused with destination
+    // prefetch; with intra-round threads the halves are taken first and
+    // scattered data-parallel — bit-identical either way.
+    const PartnerPlan& plan = kernel_.PlanPushRound(env, pop, rng);
+    if (meter_ != nullptr) {
+      meter_->RecordMessages(plan.CountMatched(), kMassMessageBytes);
+    }
+    if (kernel_.intra_round_threads() == 1) {
+      kernel_.ForEachPushSlot(
+          [this](HostId src) {
+            // PushSumNode::EmitPushHalf on the SoA state: take the mass,
+            // deposit one half into the own inbox, hand the other half to
+            // the kernel for the partner deposit.
+            Mass& m = mass_[src];
+            const Mass half{m.weight * 0.5, m.value * 0.5};
+            m = Mass{};
+            inbox_[src] += half;
+            return half;
+          },
+          [this](HostId dst, const Mass& m) { inbox_[dst] += m; },
+          [this](HostId dst) { __builtin_prefetch(&inbox_[dst], 1); });
+    } else {
+      kernel_.EmitAndScatter(
+          &outbox_, /*self_echo=*/true, size(),
+          [this](HostId src) {
+            Mass& m = mass_[src];
+            const Mass half{m.weight * 0.5, m.value * 0.5};
+            m = Mass{};
+            return half;
+          },
+          [this](HostId dst, const Mass& m) { inbox_[dst] += m; });
+    }
+    // PushSumNode::EndRound: adopt the summed inbox. On a never-mutated
+    // population alive_ids is every host, so the adoption collapses to an
+    // array swap plus a clear — no copy pass at all.
+    if (pop.version() == 0) {
+      mass_.swap(inbox_);
+      std::fill(inbox_.begin(), inbox_.end(), Mass{});
+    } else {
+      for (const HostId i : pop.alive_ids()) {
+        mass_[i] = inbox_[i];
+        inbox_[i] = Mass{};
       }
     }
-    for (const HostId i : pop.alive_ids()) nodes_[i].EndRound();
     return;
   }
   // Push/pull: pairwise equalization, applied sequentially in a shuffled
-  // order within the round.
-  ShuffledAliveOrder(pop, rng, &order_);
-  for (const HostId i : order_) {
-    const HostId peer = env.SamplePeer(i, pop, rng);
-    if (peer == kInvalidHost) continue;
-    PushSumNode::Exchange(nodes_[i], nodes_[peer]);
-    if (meter_ != nullptr) {
-      // Request plus response, one mass payload each.
-      meter_->RecordMessage(kMassMessageBytes);
-      meter_->RecordMessage(kMassMessageBytes);
-    }
-  }
+  // order within the round, with both exchange sides prefetched from the
+  // plan.
+  kernel_.PlanExchangeRound(env, pop, rng);
+  kernel_.ForEachExchangePrefetched(
+      [this](HostId i, HostId peer) {
+        // PushSumNode::Exchange on the SoA state.
+        Mass& a = mass_[i];
+        Mass& b = mass_[peer];
+        const Mass avg{(a.weight + b.weight) * 0.5,
+                       (a.value + b.value) * 0.5};
+        a = avg;
+        b = avg;
+        if (meter_ != nullptr) {
+          // Request plus response, one mass payload each.
+          meter_->RecordMessage(kMassMessageBytes);
+          meter_->RecordMessage(kMassMessageBytes);
+        }
+      },
+      [this](HostId id) { __builtin_prefetch(&mass_[id], 1); });
 }
 
 Mass PushSumSwarm::TotalAliveMass(const Population& pop) const {
   Mass total;
-  for (const HostId id : pop.alive_ids()) total += nodes_[id].mass();
+  for (const HostId id : pop.alive_ids()) total += mass_[id];
   return total;
 }
 

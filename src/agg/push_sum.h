@@ -18,6 +18,7 @@
 #include "env/environment.h"
 #include "sim/bandwidth.h"
 #include "sim/population.h"
+#include "sim/round_kernel.h"
 
 namespace dynagg {
 
@@ -47,12 +48,22 @@ class PushSumNode {
     initial_value_ = v0;
   }
 
+  /// Push-mode round, step 2 (Fig 1), emission only: removes the full mass
+  /// and returns one half of it. The caller owes TWO deposits of the
+  /// returned half — one to this host's own inbox, one to the peer — which
+  /// is how the round kernel's scatter phase applies them in the exact
+  /// sequential order (see RoundKernel::ScatterDeposits).
+  Mass TakePushHalf() {
+    const Mass half{mass_.weight * 0.5, mass_.value * 0.5};
+    mass_ = Mass{};
+    return half;
+  }
+
   /// Push-mode round, step 2 (Fig 1): removes the full mass, deposits half
   /// into the host's own inbox, and returns the half destined for the peer.
   Mass EmitPushHalf() {
-    const Mass half{mass_.weight * 0.5, mass_.value * 0.5};
+    const Mass half = TakePushHalf();
     inbox_ += half;
-    mass_ = Mass{};
     return half;
   }
 
@@ -90,19 +101,34 @@ class PushSumNode {
   double initial_value_ = 0.0;
 };
 
-/// A population of PushSumNodes driven one gossip round at a time.
+/// A population of Push-Sum states driven one gossip round at a time on the
+/// shared plan -> apply round kernel.
+///
+/// Structure-of-arrays layout (mass / inbox / initial value in separate
+/// contiguous arrays): a round's random accesses only touch the 16-byte
+/// mass or inbox entry of a host, not a 40-byte node, so at the paper's
+/// 100k-host scale the hot array stays cache-resident and the kernel's
+/// prefetched scatter hits instead of thrashing. Arithmetic is exactly
+/// PushSumNode's, element by element — estimates and mass totals are
+/// bit-identical to the node-per-host layout.
 class PushSumSwarm {
  public:
-  /// One node per entry of `values`; `mode` selects push or push/pull.
+  /// One host per entry of `values`; `mode` selects push or push/pull.
   PushSumSwarm(const std::vector<double>& values, GossipMode mode);
 
   /// Executes one gossip iteration over the alive hosts.
   void RunRound(const Environment& env, const Population& pop, Rng& rng);
 
-  double Estimate(HostId id) const { return nodes_[id].Estimate(); }
-  int size() const { return static_cast<int>(nodes_.size()); }
+  /// Current estimate of the network-wide average at `id` (PushSumNode
+  /// semantics: initial value while the host holds no weight).
+  double Estimate(HostId id) const {
+    return mass_[id].weight > 0.0 ? mass_[id].value / mass_[id].weight
+                                  : initial_[id];
+  }
+  int size() const { return static_cast<int>(mass_.size()); }
   GossipMode mode() const { return mode_; }
-  const PushSumNode& node(HostId id) const { return nodes_[id]; }
+  const Mass& mass(HostId id) const { return mass_[id]; }
+  double initial_value(HostId id) const { return initial_[id]; }
 
   /// Total mass over alive hosts (conservation diagnostics and tests).
   Mass TotalAliveMass(const Population& pop) const;
@@ -111,11 +137,21 @@ class PushSumSwarm {
   /// Pass nullptr to disable. The meter must outlive the swarm.
   void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
 
+  /// Worker threads for the push-mode deposit scatter (bit-identical at
+  /// any count; push/pull rounds are inherently sequential and ignore it).
+  void set_intra_round_threads(int threads) {
+    kernel_.set_intra_round_threads(threads);
+  }
+
  private:
-  std::vector<PushSumNode> nodes_;
+  // SoA per-host state; indexes are host ids.
+  std::vector<Mass> mass_;
+  std::vector<Mass> inbox_;
+  std::vector<double> initial_;
   GossipMode mode_;
   TrafficMeter* meter_ = nullptr;
-  std::vector<HostId> order_;  // scratch, reused across rounds
+  RoundKernel kernel_;
+  std::vector<Mass> outbox_;  // scratch: per-slot push payloads
 };
 
 }  // namespace dynagg

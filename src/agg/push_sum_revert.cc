@@ -1,7 +1,5 @@
 #include "agg/push_sum_revert.h"
 
-#include "sim/round_driver.h"
-
 namespace dynagg {
 
 PushSumRevertSwarm::PushSumRevertSwarm(const std::vector<double>& values,
@@ -15,30 +13,38 @@ PushSumRevertSwarm::PushSumRevertSwarm(const std::vector<double>& values,
 void PushSumRevertSwarm::RunRound(const Environment& env,
                                   const Population& pop, Rng& rng) {
   if (params_.mode == GossipMode::kPush) {
-    for (const HostId i : pop.alive_ids()) {
-      const Mass out =
-          nodes_[i].EmitPushHalf(params_.lambda, params_.revert);
-      const HostId peer = env.SamplePeer(i, pop, rng);
-      nodes_[peer == kInvalidHost ? i : peer].Deposit(out);
-      if (meter_ != nullptr && peer != kInvalidHost) {
-        meter_->RecordMessage(kMassMessageBytes);
-      }
+    const PartnerPlan& plan = kernel_.PlanPushRound(env, pop, rng);
+    if (meter_ != nullptr) {
+      meter_->RecordMessages(plan.CountMatched(), kMassMessageBytes);
+    }
+    if (kernel_.intra_round_threads() == 1) {
+      kernel_.ForEachPushSlot(
+          [this](HostId src) {
+            return nodes_[src].EmitPushHalf(params_.lambda, params_.revert);
+          },
+          [this](HostId dst, const Mass& m) { nodes_[dst].Deposit(m); },
+          [this](HostId dst) { __builtin_prefetch(&nodes_[dst], 1); });
+    } else {
+      kernel_.EmitAndScatter(
+          &outbox_, /*self_echo=*/true, size(),
+          [this](HostId src) {
+            return nodes_[src].TakePushHalf(params_.lambda, params_.revert);
+          },
+          [this](HostId dst, const Mass& m) { nodes_[dst].Deposit(m); });
     }
     for (const HostId i : pop.alive_ids()) {
       nodes_[i].EndRoundPush(params_.lambda, params_.revert);
     }
     return;
   }
-  ShuffledAliveOrder(pop, rng, &order_);
-  for (const HostId i : order_) {
-    const HostId peer = env.SamplePeer(i, pop, rng);
-    if (peer == kInvalidHost) continue;
+  kernel_.PlanExchangeRound(env, pop, rng);
+  kernel_.ForEachExchange([this](HostId i, HostId peer) {
     PushSumRevertNode::Exchange(nodes_[i], nodes_[peer]);
     if (meter_ != nullptr) {
       meter_->RecordMessage(kMassMessageBytes);
       meter_->RecordMessage(kMassMessageBytes);
     }
-  }
+  });
   for (const HostId i : pop.alive_ids()) {
     nodes_[i].EndRoundPushPull(params_.lambda, params_.revert);
   }

@@ -27,6 +27,7 @@
 #include "env/environment.h"
 #include "sim/bandwidth.h"
 #include "sim/population.h"
+#include "sim/round_kernel.h"
 
 namespace dynagg {
 
@@ -53,11 +54,13 @@ class PushSumRevertNode {
   /// rounds); used when the application's local reading changes.
   void SetLocalValue(double v0) { initial_value_ = v0; }
 
-  /// Push-mode emission (Fig 3, step 2): applies the reversion to the
-  /// outgoing total, deposits half into the own inbox, returns the peer
-  /// half. Only used with RevertMode::kFixed; adaptive reversion happens at
-  /// EndRound based on indegree.
-  Mass EmitPushHalf(double lambda, RevertMode revert) {
+  /// Push-mode emission (Fig 3, step 2), emission only: applies the
+  /// reversion to the outgoing total, removes the mass, and returns one
+  /// half of it. The caller owes TWO deposits of the returned half — one
+  /// to this host's own inbox (the self-message, which counts towards
+  /// adaptive indegree) and one to the peer — applied in sequential order
+  /// by the round kernel's scatter phase.
+  Mass TakePushHalf(double lambda, RevertMode revert) {
     Mass out = mass_;
     if (revert == RevertMode::kFixed) {
       out.weight = (1.0 - lambda) * out.weight + lambda;
@@ -65,6 +68,15 @@ class PushSumRevertNode {
     }
     const Mass half{out.weight * 0.5, out.value * 0.5};
     mass_ = Mass{};
+    return half;
+  }
+
+  /// Push-mode emission (Fig 3, step 2): applies the reversion to the
+  /// outgoing total, deposits half into the own inbox, returns the peer
+  /// half. Only used with RevertMode::kFixed; adaptive reversion happens at
+  /// EndRound based on indegree.
+  Mass EmitPushHalf(double lambda, RevertMode revert) {
+    const Mass half = TakePushHalf(lambda, revert);
     Deposit(half);  // the self-message counts towards adaptive indegree
     return half;
   }
@@ -153,11 +165,18 @@ class PushSumRevertSwarm {
   /// Optionally records over-the-air traffic (self-messages excluded).
   void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
 
+  /// Worker threads for the push-mode deposit scatter (bit-identical at
+  /// any count; push/pull rounds are inherently sequential and ignore it).
+  void set_intra_round_threads(int threads) {
+    kernel_.set_intra_round_threads(threads);
+  }
+
  private:
   std::vector<PushSumRevertNode> nodes_;
   PsrParams params_;
   TrafficMeter* meter_ = nullptr;
-  std::vector<HostId> order_;  // scratch, reused across rounds
+  RoundKernel kernel_;
+  std::vector<Mass> outbox_;  // scratch: per-slot push payloads
 };
 
 }  // namespace dynagg

@@ -100,6 +100,17 @@ double Histogram::Quantile(double q) const {
   return bucket_upper(num_buckets() - 1);
 }
 
+double QuantileFromSorted(const std::vector<double>& sorted, double q) {
+  DYNAGG_CHECK_GE(q, 0.0);
+  DYNAGG_CHECK_LE(q, 1.0);
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
 CsvTable::CsvTable(std::vector<std::string> columns)
     : columns_(std::move(columns)) {
   DYNAGG_CHECK(!columns_.empty());

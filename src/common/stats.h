@@ -113,6 +113,12 @@ class Histogram {
   int64_t total_ = 0;
 };
 
+/// Exact q-quantile (q in [0, 1]) of an ascending-sorted sample by linear
+/// interpolation between order statistics (the common "R-7" definition:
+/// position q * (n - 1)). 0 for an empty sample. Backs the scenario
+/// engine's quantile(metric, q) records.
+double QuantileFromSorted(const std::vector<double>& sorted, double q);
+
 /// A labelled numeric table accumulated row by row and rendered as CSV.
 /// Used by every bench harness to print the series the paper plots.
 class CsvTable {

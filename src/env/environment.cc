@@ -2,6 +2,17 @@
 
 namespace dynagg {
 
+void Environment::BuildPlan(const Population& pop, Rng& rng,
+                            PartnerPlan* plan) const {
+  // Default adapter: any environment that only implements SamplePeer gets
+  // the plan-based round structure for free, one virtual call per slot.
+  const std::vector<HostId>& initiators = plan->initiators();
+  std::vector<HostId>& partners = *plan->mutable_partners();
+  for (size_t k = 0; k < initiators.size(); ++k) {
+    partners[k] = SamplePeer(initiators[k], pop, rng);
+  }
+}
+
 void Environment::AdvanceTo(SimTime t) { (void)t; }
 
 }  // namespace dynagg

@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "env/partner_plan.h"
 #include "sim/population.h"
 
 namespace dynagg {
@@ -29,6 +30,23 @@ class Environment {
   /// peer this round. Dead hosts are never returned.
   virtual HostId SamplePeer(HostId i, const Population& pop,
                             Rng& rng) const = 0;
+
+  /// Environment API v2: fills `plan->partners` for the initiators the
+  /// round kernel already placed in the plan, slot by slot in plan order.
+  ///
+  /// Contract (pinned by tests/env/partner_plan_test.cc): the result and
+  /// the Rng consumption must be bit-identical to calling SamplePeer once
+  /// per slot in plan order. Within that contract implementations are free
+  /// to batch: hoist the per-call virtual dispatch, reuse per-round caches
+  /// of alive-neighbor indexes (invalidated via Population::version() and
+  /// the environment's own topology changes, e.g. AdvanceTo on traces),
+  /// and keep the selection loop over the plan's flat arrays.
+  ///
+  /// Not thread-safe: implementations may touch mutable per-round caches.
+  /// The round kernel builds plans single-threaded (the Rng is inherently
+  /// sequential) and only parallelizes the apply phase.
+  virtual void BuildPlan(const Population& pop, Rng& rng,
+                         PartnerPlan* plan) const;
 
   /// Appends the alive communication neighbors of `i` to `out` (used by the
   /// overlay/tree baseline and the grouping metric). Order is unspecified.

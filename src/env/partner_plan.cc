@@ -1,0 +1,28 @@
+#include "env/partner_plan.h"
+
+namespace dynagg {
+
+void PartnerPlan::Reset(const std::vector<HostId>& initiators,
+                        int slots_per_initiator) {
+  if (slots_per_initiator == 1) {
+    initiators_.assign(initiators.begin(), initiators.end());
+  } else {
+    initiators_.clear();
+    initiators_.reserve(initiators.size() * slots_per_initiator);
+    for (const HostId id : initiators) {
+      for (int s = 0; s < slots_per_initiator; ++s) initiators_.push_back(id);
+    }
+  }
+  // Sized, not cleared: BuildPlan writes every slot (its contract), so a
+  // defensive fill would only add a full pass over the array per round.
+  partners_.resize(initiators_.size());
+  identity_initiators_ = false;
+}
+
+int64_t PartnerPlan::CountMatched() const {
+  int64_t matched = 0;
+  for (const HostId p : partners_) matched += (p != kInvalidHost) ? 1 : 0;
+  return matched;
+}
+
+}  // namespace dynagg

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "env/alive_neighbors.h"
 
 namespace dynagg {
 
@@ -40,19 +41,38 @@ RandomGraphEnvironment::RandomGraphEnvironment(int num_hosts, int degree,
 HostId RandomGraphEnvironment::SamplePeer(HostId i, const Population& pop,
                                           Rng& rng) const {
   const auto& nbrs = adjacency_[i];
-  if (nbrs.empty()) return kInvalidHost;
-  // Rejection sampling over alive neighbors, then exact fallback.
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    const HostId pick = nbrs[rng.UniformInt(nbrs.size())];
-    if (pop.IsAlive(pick)) return pick;
+  std::vector<HostId> scratch;
+  return SampleAliveNeighbor(nbrs, pop, rng,
+                             [&]() -> const std::vector<HostId>& {
+                               FilterAliveNeighbors(nbrs, pop, &scratch);
+                               return scratch;
+                             });
+}
+
+void RandomGraphEnvironment::BuildPlan(const Population& pop, Rng& rng,
+                                       PartnerPlan* plan) const {
+  if (row_stamps_.empty()) {
+    alive_rows_.resize(adjacency_.size());
+    row_stamps_.assign(adjacency_.size(), 0);
   }
-  std::vector<HostId> alive;
-  alive.reserve(nbrs.size());
-  for (const HostId id : nbrs) {
-    if (pop.IsAlive(id)) alive.push_back(id);
+  const uint64_t fingerprint = pop.fingerprint();
+  const std::vector<HostId>& initiators = plan->initiators();
+  std::vector<HostId>& partners = *plan->mutable_partners();
+  for (size_t k = 0; k < initiators.size(); ++k) {
+    const HostId i = initiators[k];
+    const auto& nbrs = adjacency_[i];
+    // Same draw sequence as SamplePeer; the fallback row comes from the
+    // stamped cache instead of a fresh allocation.
+    partners[k] = SampleAliveNeighbor(
+        nbrs, pop, rng, [&]() -> const std::vector<HostId>& {
+          std::vector<HostId>& alive = alive_rows_[i];
+          if (row_stamps_[i] != fingerprint) {
+            FilterAliveNeighbors(nbrs, pop, &alive);
+            row_stamps_[i] = fingerprint;
+          }
+          return alive;
+        });
   }
-  if (alive.empty()) return kInvalidHost;
-  return alive[rng.UniformInt(alive.size())];
 }
 
 void RandomGraphEnvironment::AppendNeighbors(HostId i, const Population& pop,

@@ -12,6 +12,7 @@
 #ifndef DYNAGG_ENV_RANDOM_GRAPH_ENV_H_
 #define DYNAGG_ENV_RANDOM_GRAPH_ENV_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -33,6 +34,13 @@ class RandomGraphEnvironment : public Environment {
   HostId SamplePeer(HostId i, const Population& pop,
                     Rng& rng) const override;
 
+  /// Batched selection with the per-call SamplePeer dispatch hoisted and
+  /// the rare exact-fallback path (all of the first 4 picks dead) served
+  /// from lazily built, population-version-stamped alive-neighbor rows
+  /// instead of a fresh allocation per call. Rng draws are bit-identical.
+  void BuildPlan(const Population& pop, Rng& rng,
+                 PartnerPlan* plan) const override;
+
   void AppendNeighbors(HostId i, const Population& pop,
                        std::vector<HostId>* out) const override;
 
@@ -45,6 +53,15 @@ class RandomGraphEnvironment : public Environment {
  private:
   std::vector<std::vector<HostId>> adjacency_;
   int64_t num_edges_ = 0;
+
+  // Lazy per-host alive-neighbor rows for BuildPlan's fallback, stamped
+  // with the globally unique membership fingerprint they were filtered
+  // against (0 = never built; fingerprints start at 1, and are unique
+  // across Population instances and mutations, so reuse of this
+  // environment across populations stays sound). Mutable per the
+  // BuildPlan single-threaded-planning contract.
+  mutable std::vector<std::vector<HostId>> alive_rows_;
+  mutable std::vector<uint64_t> row_stamps_;
 };
 
 }  // namespace dynagg

@@ -27,8 +27,9 @@ int SpatialGridEnvironment::SampleWalkLength(Rng& rng) const {
   return static_cast<int>(it - walk_cdf_.begin()) + 1;
 }
 
-HostId SpatialGridEnvironment::SamplePeer(HostId i, const Population& pop,
-                                          Rng& rng) const {
+template <typename AliveFn>
+HostId SpatialGridEnvironment::WalkToPartner(HostId i, Rng& rng,
+                                             const AliveFn& alive) const {
   const int steps = SampleWalkLength(rng);
   HostId current = i;
   HostId neighbors[4];
@@ -36,20 +37,48 @@ HostId SpatialGridEnvironment::SamplePeer(HostId i, const Population& pop,
     const int x = current % width_;
     const int y = current / width_;
     int count = 0;
-    if (x > 0 && pop.IsAlive(current - 1)) neighbors[count++] = current - 1;
-    if (x + 1 < width_ && pop.IsAlive(current + 1)) {
+    if (x > 0 && alive(current - 1)) neighbors[count++] = current - 1;
+    if (x + 1 < width_ && alive(current + 1)) {
       neighbors[count++] = current + 1;
     }
-    if (y > 0 && pop.IsAlive(current - width_)) {
+    if (y > 0 && alive(current - width_)) {
       neighbors[count++] = current - width_;
     }
-    if (y + 1 < height_ && pop.IsAlive(current + width_)) {
+    if (y + 1 < height_ && alive(current + width_)) {
       neighbors[count++] = current + width_;
     }
     if (count == 0) break;  // walk is stuck; terminate early
     current = neighbors[rng.UniformInt(static_cast<uint64_t>(count))];
   }
   return current == i ? kInvalidHost : current;
+}
+
+HostId SpatialGridEnvironment::SamplePeer(HostId i, const Population& pop,
+                                          Rng& rng) const {
+  return WalkToPartner(i, rng,
+                       [&pop](HostId id) { return pop.IsAlive(id); });
+}
+
+void SpatialGridEnvironment::BuildPlan(const Population& pop, Rng& rng,
+                                       PartnerPlan* plan) const {
+  if (cache_fingerprint_ != pop.fingerprint()) {
+    alive_bits_.assign((static_cast<size_t>(num_hosts()) + 63) / 64, 0);
+    for (const HostId id : pop.alive_ids()) {
+      alive_bits_[static_cast<size_t>(id) >> 6] |= uint64_t{1} << (id & 63);
+    }
+    cache_fingerprint_ = pop.fingerprint();
+  }
+  // Same walk as SamplePeer, probing the packed bitmap instead of the
+  // Population: identical draws, identical endpoints.
+  const uint64_t* bits = alive_bits_.data();
+  const auto alive = [bits](HostId id) -> bool {
+    return (bits[static_cast<size_t>(id) >> 6] >> (id & 63)) & 1;
+  };
+  const std::vector<HostId>& initiators = plan->initiators();
+  std::vector<HostId>& partners = *plan->mutable_partners();
+  for (size_t k = 0; k < initiators.size(); ++k) {
+    partners[k] = WalkToPartner(initiators[k], rng, alive);
+  }
 }
 
 void SpatialGridEnvironment::AppendNeighbors(HostId i, const Population& pop,

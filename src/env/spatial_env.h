@@ -11,6 +11,7 @@
 #ifndef DYNAGG_ENV_SPATIAL_ENV_H_
 #define DYNAGG_ENV_SPATIAL_ENV_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "env/environment.h"
@@ -31,6 +32,13 @@ class SpatialGridEnvironment : public Environment {
   HostId SamplePeer(HostId i, const Population& pop,
                     Rng& rng) const override;
 
+  /// Batched selection: builds (at most once per population change) a
+  /// packed alive bitmap — 16x denser than the Population's position table,
+  /// so the random walks' grid-neighbor probes stay cache-resident at 100k
+  /// hosts — then runs the same walks with bit-identical Rng draws.
+  void BuildPlan(const Population& pop, Rng& rng,
+                 PartnerPlan* plan) const override;
+
   /// Alive 4-neighbors on the grid.
   void AppendNeighbors(HostId i, const Population& pop,
                        std::vector<HostId>* out) const override;
@@ -42,10 +50,26 @@ class SpatialGridEnvironment : public Environment {
   int SampleWalkLength(Rng& rng) const;
 
  private:
+  /// The shared walk body of SamplePeer and BuildPlan, parameterized on
+  /// the aliveness probe (Population lookup vs packed bitmap) so the
+  /// bit-identical draw sequence — walk length, 4-neighbor enumeration
+  /// order, stuck-walk break, self -> kInvalidHost mapping — is defined
+  /// exactly once. Defined in spatial_env.cc (only used there).
+  template <typename AliveFn>
+  HostId WalkToPartner(HostId i, Rng& rng, const AliveFn& alive) const;
+
   int width_;
   int height_;
   int max_distance_;
   std::vector<double> walk_cdf_;  // cumulative 1/d^2 weights
+
+  // Per-round plan cache: one alive bit per host, rebuilt inside BuildPlan
+  // whenever the population's globally unique membership fingerprint moves
+  // (kill/revive, or a different Population instance). 0 = never built
+  // (fingerprints start at 1). Mutable because planning is logically
+  // const; BuildPlan is documented single-threaded.
+  mutable std::vector<uint64_t> alive_bits_;
+  mutable uint64_t cache_fingerprint_ = 0;
 };
 
 }  // namespace dynagg

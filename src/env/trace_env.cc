@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "env/alive_neighbors.h"
 #include "env/connectivity.h"
 
 namespace dynagg {
@@ -48,6 +49,7 @@ void TraceEnvironment::LinkUp(HostId a, HostId b) {
     neighbors_[a].push_back(b);
     neighbors_[b].push_back(a);
     recent_down_.erase(e);
+    ++topology_epoch_;
   }
 }
 
@@ -66,26 +68,49 @@ void TraceEnvironment::LinkDown(HostId a, HostId b) {
     drop(neighbors_[a], b);
     drop(neighbors_[b], a);
     recent_down_[e] = now_;
+    ++topology_epoch_;
   }
 }
 
 HostId TraceEnvironment::SamplePeer(HostId i, const Population& pop,
                                     Rng& rng) const {
+  // Rejection-sample over alive in-range neighbors, with the shared exact
+  // fallback (rare: trace devices are normally all alive).
   const auto& nbrs = neighbors_[i];
-  if (nbrs.empty()) return kInvalidHost;
-  // Rejection-sample over alive neighbors; fall back to a scan if the first
-  // few picks are dead (rare: trace devices are normally all alive).
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    const HostId pick = nbrs[rng.UniformInt(nbrs.size())];
-    if (pop.IsAlive(pick)) return pick;
+  std::vector<HostId> scratch;
+  return SampleAliveNeighbor(nbrs, pop, rng,
+                             [&]() -> const std::vector<HostId>& {
+                               FilterAliveNeighbors(nbrs, pop, &scratch);
+                               return scratch;
+                             });
+}
+
+void TraceEnvironment::BuildPlan(const Population& pop, Rng& rng,
+                                 PartnerPlan* plan) const {
+  if (row_stamps_.empty()) {
+    alive_rows_.resize(neighbors_.size());
+    row_stamps_.assign(neighbors_.size(), RowStamp{});
   }
-  std::vector<HostId> alive;
-  alive.reserve(nbrs.size());
-  for (const HostId id : nbrs) {
-    if (pop.IsAlive(id)) alive.push_back(id);
+  const uint64_t pop_fingerprint = pop.fingerprint();
+  const std::vector<HostId>& initiators = plan->initiators();
+  std::vector<HostId>& partners = *plan->mutable_partners();
+  for (size_t k = 0; k < initiators.size(); ++k) {
+    const HostId i = initiators[k];
+    const auto& nbrs = neighbors_[i];
+    // Same draw sequence as SamplePeer; the fallback row comes from the
+    // (topology epoch, population fingerprint)-stamped cache.
+    partners[k] = SampleAliveNeighbor(
+        nbrs, pop, rng, [&]() -> const std::vector<HostId>& {
+          std::vector<HostId>& alive = alive_rows_[i];
+          RowStamp& stamp = row_stamps_[i];
+          if (stamp.topology != topology_epoch_ ||
+              stamp.population != pop_fingerprint) {
+            FilterAliveNeighbors(nbrs, pop, &alive);
+            stamp = RowStamp{topology_epoch_, pop_fingerprint};
+          }
+          return alive;
+        });
   }
-  if (alive.empty()) return kInvalidHost;
-  return alive[rng.UniformInt(alive.size())];
 }
 
 void TraceEnvironment::AppendNeighbors(HostId i, const Population& pop,

@@ -31,6 +31,14 @@ class TraceEnvironment : public Environment {
   HostId SamplePeer(HostId i, const Population& pop,
                     Rng& rng) const override;
 
+  /// Batched selection over the live adjacency. The rare dead-neighbor
+  /// fallback is served from lazily built alive-neighbor rows stamped with
+  /// (link-topology epoch, population version), so both AdvanceTo and
+  /// kill/revive invalidate them. Rng draws are bit-identical to the
+  /// per-call SamplePeer path.
+  void BuildPlan(const Population& pop, Rng& rng,
+                 PartnerPlan* plan) const override;
+
   void AppendNeighbors(HostId i, const Population& pop,
                        std::vector<HostId>* out) const override;
 
@@ -70,6 +78,18 @@ class TraceEnvironment : public Environment {
   // Down-time of recently-dropped links, for the group window. Pruned
   // lazily as time advances.
   mutable std::map<Edge, SimTime> recent_down_;
+
+  // Bumped by every applied link change; BuildPlan's alive-neighbor rows
+  // carry the (topology epoch, globally unique population fingerprint)
+  // they were built at and are rebuilt lazily when either moves — so both
+  // AdvanceTo and kill/revive (on any Population instance) invalidate.
+  uint64_t topology_epoch_ = 0;
+  struct RowStamp {
+    uint64_t topology = 0;
+    uint64_t population = 0;  // 0 = never built; fingerprints start at 1
+  };
+  mutable std::vector<std::vector<HostId>> alive_rows_;
+  mutable std::vector<RowStamp> row_stamps_;
 };
 
 }  // namespace dynagg

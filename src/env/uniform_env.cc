@@ -1,4 +1,64 @@
 #include "env/uniform_env.h"
 
-// UniformEnvironment is fully defined in the header; this translation unit
-// anchors the vtable.
+namespace dynagg {
+
+void UniformEnvironment::BuildPlan(const Population& pop, Rng& rng,
+                                   PartnerPlan* plan) const {
+  const std::vector<HostId>& alive = pop.alive_ids();
+  const std::vector<HostId>& initiators = plan->initiators();
+  std::vector<HostId>& partners = *plan->mutable_partners();
+  const size_t n = alive.size();
+  if (n == 0) {
+    partners.assign(initiators.size(), kInvalidHost);
+    return;
+  }
+  if (n == 1) {
+    // SampleAliveExcept's no-draw degenerate case, hoisted.
+    for (size_t k = 0; k < initiators.size(); ++k) {
+      partners[k] = alive[0] == initiators[k] ? kInvalidHost : alive[0];
+    }
+    return;
+  }
+  if (pop.version() == 0) {
+    // Never-mutated population: alive_ids is the identity permutation
+    // (Population's constructor order), so alive_ids[draw] == draw and the
+    // table lookup can be skipped — same draws, same partners, no memory
+    // traffic in the selection loop. This covers every failure-free
+    // experiment.
+    if (plan->identity_initiators()) {
+      // Initiator of slot k is k: the draw loop touches no input array at
+      // all, only the Rng and the partner store.
+      for (size_t k = 0; k < initiators.size(); ++k) {
+        const HostId exclude = static_cast<HostId>(k);
+        HostId pick;
+        do {
+          pick = static_cast<HostId>(rng.UniformInt(n));
+        } while (pick == exclude);
+        partners[k] = pick;
+      }
+      return;
+    }
+    for (size_t k = 0; k < initiators.size(); ++k) {
+      const HostId exclude = initiators[k];
+      HostId pick;
+      do {
+        pick = static_cast<HostId>(rng.UniformInt(n));
+      } while (pick == exclude);
+      partners[k] = pick;
+    }
+    return;
+  }
+  const HostId* alive_data = alive.data();
+  for (size_t k = 0; k < initiators.size(); ++k) {
+    const HostId exclude = initiators[k];
+    // Same rejection sequence as Population::SampleAliveExcept: at most one
+    // of n >= 2 candidates is excluded, so this terminates quickly.
+    HostId pick;
+    do {
+      pick = alive_data[rng.UniformInt(n)];
+    } while (pick == exclude);
+    partners[k] = pick;
+  }
+}
+
+}  // namespace dynagg

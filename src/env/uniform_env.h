@@ -24,6 +24,12 @@ class UniformEnvironment : public Environment {
     return pop.SampleAliveExcept(i, rng);
   }
 
+  /// Batched selection: the per-slot loop of SampleAliveExcept with the
+  /// degenerate-population checks hoisted out of the hot loop. Rng draws
+  /// are bit-identical to the per-call path (same rejection sequence).
+  void BuildPlan(const Population& pop, Rng& rng,
+                 PartnerPlan* plan) const override;
+
   void AppendNeighbors(HostId i, const Population& pop,
                        std::vector<HostId>* out) const override {
     for (const HostId id : pop.alive_ids()) {

@@ -3,14 +3,63 @@
 namespace dynagg {
 namespace scenario {
 
+namespace {
+
+/// Parses the argument of a `quantile(metric, q)` selector against the
+/// rounds driver's per-host sample catalog (currently: final_error).
+Result<double> ParseFinalErrorQuantileArg(const MetricSpec& m) {
+  const std::string bad =
+      "metric '" + m.ToString() +
+      "': the rounds driver supports quantile(final_error, q) with q in "
+      "[0, 1]";
+  const size_t comma = m.arg.find(',');
+  if (comma == std::string::npos) return Status::InvalidArgument(bad);
+  if (m.arg.substr(0, comma) != "final_error" ||
+      m.arg.find(',', comma + 1) != std::string::npos) {
+    return Status::InvalidArgument(bad);
+  }
+  const Result<double> q = ParseDouble(m.arg.substr(comma + 1));
+  // Negated form so NaN (which strtod accepts) fails the range check too.
+  if (!q.ok() || !(*q >= 0.0 && *q <= 1.0)) {
+    return Status::InvalidArgument(bad);
+  }
+  return *q;
+}
+
+}  // namespace
+
 Result<MetricFlags> ClassifyDriverMetrics(
     const ScenarioSpec& spec, const std::vector<std::string>& extra) {
   std::vector<std::string> supported = {"rms", "rms_tail_mean",
                                         "rounds_to_converge", "bandwidth",
                                         "cdf(final_error)"};
   supported.insert(supported.end(), extra.begin(), extra.end());
-  DYNAGG_RETURN_IF_ERROR(CheckMetricsSupported(spec, supported));
+  // Consume the parametrized quantile(...) selectors, then validate the
+  // rest against the fixed catalog. The "quantile(final_error,q)" entry
+  // only documents the family in the diagnostic — real selectors carry a
+  // number and never match it literally.
   MetricFlags flags;
+  std::vector<MetricSpec> rest;
+  for (const MetricSpec& m : spec.metrics) {
+    if (m.name == "quantile") {
+      DYNAGG_ASSIGN_OR_RETURN(const double q, ParseFinalErrorQuantileArg(m));
+      // ValidateMetricList only dedups selector spellings; "0.5" and
+      // "0.50" parse to the same quantile and must fail here, not abort
+      // in the Recorder.
+      for (const double seen : flags.final_error_quantiles) {
+        if (seen == q) {
+          return Status::InvalidArgument(
+              "metric '" + m.ToString() + "' requests a duplicate quantile");
+        }
+      }
+      flags.final_error_quantiles.push_back(q);
+    } else {
+      rest.push_back(m);
+    }
+  }
+  supported.push_back("quantile(final_error,q)");
+  DYNAGG_RETURN_IF_ERROR(
+      CheckMetricsSupported(spec.protocol, rest, supported));
   flags.rms = MetricRequested(spec, "rms");
   flags.tail_mean = MetricRequested(spec, "rms_tail_mean");
   flags.convergence = MetricRequested(spec, "rounds_to_converge");

@@ -36,6 +36,10 @@ struct MetricFlags {
   bool convergence = false;
   bool bandwidth = false;
   bool final_error_cdf = false;
+  /// The q of every `quantile(final_error, q)` selector, in spec order:
+  /// quantiles of the per-host |estimate - truth| distribution after the
+  /// last round, emitted as QuantileRecords.
+  std::vector<double> final_error_quantiles;
   /// Any selector the swarm listed as extra (handled by its finish hook).
   bool extra = false;
 
@@ -44,7 +48,7 @@ struct MetricFlags {
   /// remaining rounds.
   bool OnlyConvergence() const {
     return convergence && !rms && !tail_mean && !bandwidth &&
-           !final_error_cdf && !extra;
+           !final_error_cdf && final_error_quantiles.empty() && !extra;
   }
 };
 

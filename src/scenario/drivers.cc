@@ -26,6 +26,7 @@
 // conventions in scenario/config.h, reproducing the legacy bench binaries
 // bit-identically.
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <string>
@@ -47,6 +48,22 @@
 namespace dynagg {
 namespace scenario {
 namespace {
+
+/// Wires the top-level intra_round_threads knob into the swarm's round
+/// kernel. The scatter is bit-identical at any thread count, so this only
+/// changes wall-clock; protocols without a data-parallel apply phase reject
+/// values > 1 rather than silently ignoring the key.
+Status ApplyIntraRoundThreads(const ScenarioSpec& spec,
+                              const SwarmHandle& swarm) {
+  if (spec.intra_round_threads <= 1) return Status::OK();
+  if (!swarm.set_threads) {
+    return Status::InvalidArgument(
+        "protocol '" + spec.protocol +
+        "' does not support intra_round_threads");
+  }
+  swarm.set_threads(spec.intra_round_threads);
+  return Status::OK();
+}
 
 // ----------------------------------------------------------- rounds ---
 
@@ -104,6 +121,7 @@ Status DriveRounds(const TrialContext& ctx, EnvHandle& env,
         "record.cdf_buckets >= 1");
   }
 
+  DYNAGG_RETURN_IF_ERROR(ApplyIntraRoundThreads(spec, swarm));
   TrafficMeter meter;
   if (metrics.bandwidth) {
     if (!swarm.set_meter) {
@@ -179,12 +197,29 @@ Status DriveRounds(const TrialContext& ctx, EnvHandle& env,
     rec.SetBandwidth(meter.total().messages / denom,
                      meter.total().bytes / denom, swarm.state_bytes);
   }
+  // The final-error sample — per-host |estimate - truth| after the last
+  // round — feeds both the bucketed CDF and the exact quantile records;
+  // compute it once when either is requested.
+  std::vector<double> final_errors;
+  if (metrics.final_error_cdf || !metrics.final_error_quantiles.empty()) {
+    const double tr = swarm.truth(pop);
+    final_errors.reserve(pop.alive_ids().size());
+    for (const HostId id : pop.alive_ids()) {
+      final_errors.push_back(std::abs(swarm.estimate(id) - tr));
+    }
+  }
+  if (!metrics.final_error_quantiles.empty()) {
+    // quantile(final_error, q): exact (sorted sample, linear
+    // interpolation) rather than bucketed.
+    std::vector<double> sorted = final_errors;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double q : metrics.final_error_quantiles) {
+      rec.AddQuantile("final_error", q, QuantileFromSorted(sorted, q));
+    }
+  }
   if (metrics.final_error_cdf) {
     Histogram hist(cfg.cdf_lo, cfg.cdf_hi, cfg.cdf_buckets);
-    const double tr = swarm.truth(pop);
-    for (const HostId id : pop.alive_ids()) {
-      hist.Add(std::abs(swarm.estimate(id) - tr));
-    }
+    for (const double err : final_errors) hist.Add(err);
     HistogramRecord* record = rec.MutableHistogram(
         "final_error_cdf", /*key_name=*/"", "final_error", "cdf",
         /*cumulative=*/true);
@@ -204,7 +239,15 @@ Status DriveRounds(const TrialContext& ctx, EnvHandle& env,
 Status RunRoundsDriver(const TrialContext& ctx, const ProtocolDef& def,
                        Recorder& rec) {
   // Whole-trial protocols own their loop; the rounds driver is their host.
-  if (def.run_custom) return def.run_custom(ctx, rec);
+  if (def.run_custom) {
+    if (ctx.spec->intra_round_threads > 1) {
+      return Status::InvalidArgument(
+          "protocol '" + ctx.spec->protocol +
+          "' owns its whole trial loop and does not support "
+          "intra_round_threads");
+    }
+    return def.run_custom(ctx, rec);
+  }
   DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   DYNAGG_ASSIGN_OR_RETURN(SwarmHandle swarm, def.make_swarm(ctx, env));
   return DriveRounds(ctx, env, swarm, rec);
@@ -242,6 +285,7 @@ Status RunTraceDriver(const TrialContext& ctx, const ProtocolDef& def,
         "protocol '" + spec.protocol +
         "' does not support driver = trace (no group-truth hook)");
   }
+  DYNAGG_RETURN_IF_ERROR(ApplyIntraRoundThreads(spec, swarm));
   const std::function<double(HostId)>& estimate =
       swarm.group_estimate ? swarm.group_estimate : swarm.estimate;
 

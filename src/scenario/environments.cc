@@ -1,14 +1,24 @@
-// Builtin environment catalog: uniform, spatial, random-graph, haggle.
+// Builtin environment catalog: uniform, spatial, random-graph, haggle,
+// crawdad.
 //
 // Each factory validates its env.* parameters against an allowlist (typos
 // fail loudly) and returns a fully constructed EnvHandle. Stochastic
 // environments derive their seeds from the trial seed so trials stay
-// independent and the parallel executor deterministic.
+// independent and the parallel executor deterministic; the crawdad
+// environment replays an external contact table instead (env.trace_file),
+// so every trial observes the same real-world trace.
 
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
 #include <utility>
 
 #include "common/rng.h"
+#include "env/crawdad.h"
 #include "env/haggle_gen.h"
 #include "env/random_graph_env.h"
 #include "env/spatial_env.h"
@@ -143,6 +153,104 @@ Result<EnvHandle> MakeHaggle(const TrialContext& ctx) {
   return handle;
 }
 
+/// Reads and parses a CRAWDAD contact table, memoizing the immutable
+/// result per (path, options): the trace does not depend on the trial
+/// seed, so an experiment's trials and sweep units — which instantiate the
+/// environment once each, possibly from several executor threads — share
+/// one parse instead of re-reading a potentially multi-megabyte table per
+/// trial.
+Result<std::shared_ptr<const ContactTrace>> LoadCrawdadTrace(
+    const std::string& trace_file, const CrawdadOptions& options) {
+  static std::mutex mutex;
+  static std::map<std::string, std::shared_ptr<const ContactTrace>>& cache =
+      *new std::map<std::string, std::shared_ptr<const ContactTrace>>();
+  char options_key[64];
+  std::snprintf(options_key, sizeof(options_key), "|%.17g|%d|%d",
+                options.min_duration_seconds, options.max_devices,
+                options.rebase_time ? 1 : 0);
+  const std::string key = trace_file + options_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  // Read + parse outside the lock; a racing duplicate parse is harmless.
+  std::ifstream in(trace_file, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("crawdad: cannot open env.trace_file '" +
+                            trace_file + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::Corruption("crawdad: error reading '" + trace_file + "'");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(ContactTrace trace,
+                          ParseCrawdadContacts(text.str(), options));
+  if (trace.num_devices() == 0) {
+    return Status::InvalidArgument("crawdad: '" + trace_file +
+                                   "' contains no usable contacts");
+  }
+  auto shared = std::make_shared<const ContactTrace>(std::move(trace));
+  std::lock_guard<std::mutex> lock(mutex);
+  return cache.emplace(key, std::move(shared)).first->second;
+}
+
+/// CRAWDAD-format contact-table playback (env/crawdad.h): parses
+/// env.trace_file into a ContactTrace and replays it exactly like the
+/// synthetic haggle environment — round-paced via env.gossip_seconds under
+/// driver = rounds, event-driven under driver = trace. The file is read at
+/// trial execution time (once per distinct table; see LoadCrawdadTrace);
+/// --dry-run validates the spec without touching it.
+Result<EnvHandle> MakeCrawdad(const TrialContext& ctx) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "env.", {"trace_file", "min_duration_seconds", "max_devices",
+               "gossip_seconds", "group_window_minutes"}));
+  DYNAGG_ASSIGN_OR_RETURN(const std::string trace_file,
+                          spec.ParamString("env.trace_file", ""));
+  if (trace_file.empty()) {
+    return Status::InvalidArgument(
+        "crawdad environment requires env.trace_file");
+  }
+  CrawdadOptions options;
+  DYNAGG_ASSIGN_OR_RETURN(
+      options.min_duration_seconds,
+      spec.ParamDouble("env.min_duration_seconds", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t max_devices,
+                          spec.ParamInt("env.max_devices", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const double gossip_seconds,
+                          spec.ParamDouble("env.gossip_seconds", 30.0));
+  DYNAGG_ASSIGN_OR_RETURN(
+      const double group_window,
+      spec.ParamDouble("env.group_window_minutes", 10.0));
+  if (options.min_duration_seconds < 0 || max_devices < 0) {
+    return Status::InvalidArgument(
+        "env.min_duration_seconds and env.max_devices must be >= 0");
+  }
+  if (gossip_seconds <= 0) {
+    return Status::InvalidArgument("env.gossip_seconds must be > 0");
+  }
+  if (spec.driver == "trace" && spec.HasParam("env.gossip_seconds")) {
+    return Status::InvalidArgument(
+        "env.gossip_seconds paces the rounds driver; under driver = trace "
+        "set the top-level gossip_period instead");
+  }
+  options.max_devices = static_cast<int>(max_devices);
+
+  DYNAGG_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ContactTrace> shared_trace,
+      LoadCrawdadTrace(trace_file, options));
+
+  EnvHandle handle;
+  handle.trace = std::move(shared_trace);
+  handle.env = std::make_unique<TraceEnvironment>(
+      *handle.trace, FromMinutes(group_window));
+  handle.advance_period = FromSeconds(gossip_seconds);
+  handle.group_window = FromMinutes(group_window);
+  return handle;
+}
+
 }  // namespace
 
 namespace internal {
@@ -160,6 +268,9 @@ void RegisterBuiltinEnvironments(Registry<EnvironmentDef>& registry) {
                    .ok());
   DYNAGG_CHECK(
       registry.Register("haggle", {MakeHaggle, /*provides_trace=*/true})
+          .ok());
+  DYNAGG_CHECK(
+      registry.Register("crawdad", {MakeCrawdad, /*provides_trace=*/true})
           .ok());
 }
 

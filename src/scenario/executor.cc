@@ -110,6 +110,15 @@ Status CheckSameStructure(const ScenarioSpec& spec, const RecordBatch& proto,
       return mismatch("scalar '" + batch.scalars[i].name + "'");
     }
   }
+  if (batch.quantiles.size() != proto.quantiles.size()) {
+    return mismatch("quantile count");
+  }
+  for (size_t i = 0; i < proto.quantiles.size(); ++i) {
+    if (batch.quantiles[i].name != proto.quantiles[i].name ||
+        batch.quantiles[i].q != proto.quantiles[i].q) {
+      return mismatch("quantile '" + batch.quantiles[i].name + "'");
+    }
+  }
   if (batch.series.size() != proto.series.size()) {
     return mismatch("series count");
   }
@@ -151,11 +160,22 @@ double StatValue(const RunningStat& stat, const std::string& aggregate) {
   return stat.max();
 }
 
-/// Flattens a batch's summary values: scalars, then bandwidth columns.
+/// Column name of a quantile record: <metric>_p<100q> with %g formatting
+/// (q = 0.5 -> final_error_p50, q = 0.999 -> final_error_p99.9).
+std::string QuantileColumnName(const QuantileRecord& record) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", record.q * 100.0);
+  return record.name + "_p" + buf;
+}
+
+/// Flattens a batch's summary values: scalars, then quantiles, then
+/// bandwidth columns.
 std::vector<double> SummaryValues(const RecordBatch& batch) {
   std::vector<double> values;
-  values.reserve(batch.scalars.size() + (batch.has_bandwidth ? 3 : 0));
+  values.reserve(batch.scalars.size() + batch.quantiles.size() +
+                 (batch.has_bandwidth ? 3 : 0));
   for (const ScalarRecord& s : batch.scalars) values.push_back(s.value);
+  for (const QuantileRecord& r : batch.quantiles) values.push_back(r.value);
   if (batch.has_bandwidth) {
     values.push_back(batch.bandwidth.msgs_per_host_round);
     values.push_back(batch.bandwidth.bytes_per_host_round);
@@ -167,6 +187,9 @@ std::vector<double> SummaryValues(const RecordBatch& batch) {
 std::vector<std::string> SummaryColumns(const RecordBatch& batch) {
   std::vector<std::string> columns;
   for (const ScalarRecord& s : batch.scalars) columns.push_back(s.name);
+  for (const QuantileRecord& r : batch.quantiles) {
+    columns.push_back(QuantileColumnName(r));
+  }
   if (batch.has_bandwidth) {
     columns.push_back("msgs_per_host_round");
     columns.push_back("bytes_per_host_round");
@@ -496,6 +519,14 @@ Status ValidateExperiment(const ScenarioSpec& spec) {
                           EnvironmentRegistry().Find(spec.environment));
   DYNAGG_ASSIGN_OR_RETURN(const DriverDef driver,
                           DriverRegistry().Find(spec.driver));
+  if (spec.intra_round_threads < 1) {
+    return invalid("intra_round_threads must be >= 1");
+  }
+  if (spec.intra_round_threads > 1 && !protocol.threads_capable) {
+    return invalid("protocol '" + spec.protocol +
+                   "' does not support intra_round_threads (no "
+                   "data-parallel apply phase)");
+  }
   if (driver.event_driven) {
     if (!environment.provides_trace) {
       return invalid("driver = " + spec.driver +
@@ -654,15 +685,17 @@ Result<std::vector<ResultTable>> RunExperiment(const ScenarioSpec& spec,
         CheckSameStructure(spec, batches[0], batches[unit], unit));
   }
   const RecordBatch& proto = batches[0];
-  if (proto.scalars.empty() && proto.series.empty() &&
-      proto.histograms.empty() && !proto.has_bandwidth) {
+  if (proto.scalars.empty() && proto.quantiles.empty() &&
+      proto.series.empty() && proto.histograms.empty() &&
+      !proto.has_bandwidth) {
     return Status::InvalidArgument("experiment '" + spec.name +
                                    "': trials recorded nothing");
   }
 
   // Deterministic merge, in sweep-major unit order throughout.
   std::vector<ResultTable> out;
-  if (!proto.scalars.empty() || proto.has_bandwidth) {
+  if (!proto.scalars.empty() || !proto.quantiles.empty() ||
+      proto.has_bandwidth) {
     DYNAGG_ASSIGN_OR_RETURN(ResultTable table,
                             AssembleSummary(spec, axes, batches));
     out.push_back(std::move(table));

@@ -28,9 +28,11 @@
 #include "agg/count_sketch_reset.h"
 #include "agg/epoch_push_sum.h"
 #include "agg/extremes.h"
+#include "agg/fm_sketch.h"
 #include "agg/full_transfer.h"
 #include "agg/push_sum.h"
 #include "agg/push_sum_revert.h"
+#include "common/hash.h"
 #include "common/macros.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -85,6 +87,15 @@ void MaybeSetMeter(SwarmHandle& h, Swarm* swarm) {
   }
 }
 
+/// Wires the round kernel's intra-round thread hook when the swarm type has
+/// one (push-scatter protocols; see sim/round_kernel.h).
+template <typename Swarm>
+void MaybeSetThreads(SwarmHandle& h, Swarm* swarm) {
+  if constexpr (requires(Swarm& s, int t) { s.set_intra_round_threads(t); }) {
+    h.set_threads = [swarm](int t) { swarm->set_intra_round_threads(t); };
+  }
+}
+
 /// Owns a value workload plus the swarm built over it (swarm constructors
 /// take the values by reference, so member order matters).
 template <typename Swarm>
@@ -118,6 +129,7 @@ SwarmHandle AveragingHandle(std::shared_ptr<Box> box, double state_bytes) {
   h.failure_values = values;
   h.state_bytes = state_bytes;
   MaybeSetMeter(h, swarm);
+  MaybeSetThreads(h, swarm);
   h.keepalive = std::move(box);
   return h;
 }
@@ -156,6 +168,7 @@ SwarmHandle CountingHandle(std::shared_ptr<Box> box, double state_bytes) {
   };
   h.state_bytes = state_bytes;
   MaybeSetMeter(h, swarm);
+  MaybeSetThreads(h, swarm);
   h.keepalive = std::move(box);
   return h;
 }
@@ -303,6 +316,7 @@ Result<SwarmHandle> MakeExtremes(const TrialContext& ctx, EnvHandle& env) {
   h.failure_values = values;
   h.state_bytes = 0.0;
   MaybeSetMeter(h, swarm);
+  MaybeSetThreads(h, swarm);
   h.keepalive = std::move(box);
   return h;
 }
@@ -448,10 +462,9 @@ class NodeAggregatorSwarm {
   }
 
   void RunRound(const Environment& env, const Population& pop, Rng& rng) {
-    ShuffledAliveOrder(pop, rng, &order_);
-    for (const HostId i : order_) {
+    kernel_.PlanExchangeRound(env, pop, rng);
+    kernel_.ForEachSlot([this](HostId i, HostId peer) {
       const std::vector<uint8_t> request = aggs_[i].BeginRound();
-      const HostId peer = env.SamplePeer(i, pop, rng);
       if (peer != kInvalidHost) {
         Result<std::vector<uint8_t>> reply =
             aggs_[peer].HandleMessage(request);
@@ -464,7 +477,7 @@ class NodeAggregatorSwarm {
         }
       }
       aggs_[i].EndRound();
-    }
+    });
   }
 
   const NodeAggregator& device(HostId id) const { return aggs_[id]; }
@@ -473,7 +486,7 @@ class NodeAggregatorSwarm {
  private:
   std::vector<NodeAggregator> aggs_;
   TrafficMeter* meter_ = nullptr;
-  std::vector<HostId> order_;  // scratch
+  RoundKernel kernel_;
 };
 
 Result<SwarmHandle> MakeNodeAggregator(const TrialContext& ctx,
@@ -550,8 +563,63 @@ Result<SwarmHandle> MakeNodeAggregator(const TrialContext& ctx,
   h.state_bytes = 3.0 * sizeof(double) +
                   static_cast<double>(config.csr.bins) * config.csr.levels;
   MaybeSetMeter(h, swarm);
+  MaybeSetThreads(h, swarm);
   h.keepalive = std::move(box);
   return h;
+}
+
+// ------------------------------------------------- sketch accuracy table ---
+
+/// Monte-Carlo FM-sketch accuracy (the in-text "64 buckets for an expected
+/// error of 9.7%" table, formerly bench/tab_sketch_error): inserts
+/// protocol.count unique objects into a fresh sketch protocol.samples times
+/// and reports the relative-error statistics of the estimator. No gossip,
+/// no environment, no rounds — a whole-trial runner swept over
+/// protocol.buckets. The seed convention (DeriveSeed(seed, sample * 1000 +
+/// buckets)) reproduces the retired bench main bit-identically.
+Status RunFmAccuracy(const TrialContext& ctx, Recorder& rec) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(
+      spec.CheckParams("protocol.", {"buckets", "levels", "samples", "count"}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", {}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("failure.", {}));
+  // The default `rms` selector maps onto the protocol's own error scalars,
+  // the tag-tree convention for custom runners.
+  DYNAGG_RETURN_IF_ERROR(CheckMetricsSupported(spec, {"rms"}));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t buckets,
+                          spec.ParamInt("protocol.buckets", 64));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t levels,
+                          spec.ParamInt("protocol.levels", 32));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t samples,
+                          spec.ParamInt("protocol.samples", 200));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t count,
+                          spec.ParamInt("protocol.count", 20000));
+  if (buckets < 1 || levels < 1 || samples < 1 || count < 1) {
+    return Status::InvalidArgument(
+        "protocol.buckets, protocol.levels, protocol.samples and "
+        "protocol.count must be >= 1");
+  }
+
+  RunningStat rel_error;
+  RunningStat signed_error;
+  for (int64_t sample = 0; sample < samples; ++sample) {
+    FmSketch sketch(static_cast<int>(buckets), static_cast<int>(levels));
+    const uint64_t sample_seed =
+        DeriveSeed(ctx.trial_seed, sample * 1000 + buckets);
+    for (int64_t i = 0; i < count; ++i) {
+      sketch.InsertObject(HashCombine(sample_seed, i), sample_seed);
+    }
+    const double rel = (sketch.EstimateCount() - count) / count;
+    rel_error.Add(std::abs(rel));
+    signed_error.Add(rel);
+  }
+  rec.AddScalar("mean_rel_error", rel_error.mean());
+  rec.AddScalar("rms_rel_error",
+                std::sqrt(rel_error.mean() * rel_error.mean() +
+                          rel_error.variance()));
+  rec.AddScalar("bias", signed_error.mean());
+  return Status::OK();
 }
 
 // ------------------------------------------------------ overlay baseline ---
@@ -634,25 +702,42 @@ Status RunTagTree(const TrialContext& ctx, Recorder& rec) {
 namespace internal {
 
 void RegisterBuiltinProtocols(Registry<ProtocolDef>& registry) {
+  // threads_capable marks the push-scatter protocols whose swarms expose
+  // set_intra_round_threads; exchange-only rounds are inherently
+  // sequential.
   const auto swarm = [&registry](const std::string& name, SwarmFactory make,
-                                 bool trace_capable) {
+                                 bool trace_capable, bool threads_capable) {
     DYNAGG_CHECK(registry
                      .Register(name, ProtocolDef{std::move(make), nullptr,
-                                                 trace_capable})
+                                                 trace_capable,
+                                                 threads_capable})
                      .ok());
   };
-  swarm("push-sum", MakePushSum, /*trace_capable=*/true);
-  swarm("push-sum-revert", MakePushSumRevert, /*trace_capable=*/true);
-  swarm("epoch-push-sum", MakeEpochPushSum, /*trace_capable=*/true);
-  swarm("full-transfer", MakeFullTransfer, /*trace_capable=*/true);
-  swarm("extremes", MakeExtremes, /*trace_capable=*/false);
-  swarm("count-sketch", MakeCountSketch, /*trace_capable=*/true);
-  swarm("count-sketch-reset", MakeCountSketchReset, /*trace_capable=*/true);
-  swarm("node-aggregator", MakeNodeAggregator, /*trace_capable=*/false);
+  swarm("push-sum", MakePushSum, /*trace_capable=*/true,
+        /*threads_capable=*/true);
+  swarm("push-sum-revert", MakePushSumRevert, /*trace_capable=*/true,
+        /*threads_capable=*/true);
+  swarm("epoch-push-sum", MakeEpochPushSum, /*trace_capable=*/true,
+        /*threads_capable=*/false);
+  swarm("full-transfer", MakeFullTransfer, /*trace_capable=*/true,
+        /*threads_capable=*/true);
+  swarm("extremes", MakeExtremes, /*trace_capable=*/false,
+        /*threads_capable=*/false);
+  swarm("count-sketch", MakeCountSketch, /*trace_capable=*/true,
+        /*threads_capable=*/false);
+  swarm("count-sketch-reset", MakeCountSketchReset, /*trace_capable=*/true,
+        /*threads_capable=*/false);
+  swarm("node-aggregator", MakeNodeAggregator, /*trace_capable=*/false,
+        /*threads_capable=*/false);
   DYNAGG_CHECK(
       registry
           .Register("tag-tree", ProtocolDef{nullptr, RunTagTree,
                                             /*trace_capable=*/false})
+          .ok());
+  DYNAGG_CHECK(
+      registry
+          .Register("fm-accuracy", ProtocolDef{nullptr, RunFmAccuracy,
+                                               /*trace_capable=*/false})
           .ok());
 }
 

@@ -227,11 +227,43 @@ Status ParseSweepSpec(const std::string& value, const std::string& what,
   return Status::OK();
 }
 
+/// Splits a metric list on top-level commas only: commas inside (...) are
+/// part of a selector's argument, so `quantile(final_error, 0.9)` stays one
+/// item.
+Result<std::vector<std::string>> SplitMetricItems(std::string_view text) {
+  std::vector<std::string> items;
+  size_t start = 0;
+  int depth = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] == '(') ++depth;
+    if (i < text.size() && text[i] == ')') {
+      if (--depth < 0) {
+        return Status::InvalidArgument("record list has an unmatched ')'");
+      }
+    }
+    if (i == text.size() || (text[i] == ',' && depth == 0)) {
+      const std::string item(Trim(text.substr(start, i - start)));
+      if (item.empty()) {
+        return Status::InvalidArgument("record list has an empty entry");
+      }
+      items.push_back(item);
+      start = i + 1;
+    }
+  }
+  if (depth != 0) {
+    return Status::InvalidArgument("record list has an unmatched '('");
+  }
+  return items;
+}
+
 /// Parses the `record =` metric list: comma-separated selectors, each
-/// `name` or `name(arg)`.
+/// `name` or `name(arg)`; multi-part arguments are normalized to the
+/// canonical comma-separated spelling without spaces
+/// (`quantile(final_error, 0.9)` -> arg "final_error,0.9") so duplicate
+/// detection and selector matching are whitespace-insensitive.
 Result<std::vector<MetricSpec>> ParseMetricList(const std::string& value) {
   DYNAGG_ASSIGN_OR_RETURN(const std::vector<std::string> items,
-                          SplitList(value, "record"));
+                          SplitMetricItems(value));
   std::vector<MetricSpec> metrics;
   for (const std::string& item : items) {
     MetricSpec m;
@@ -244,8 +276,18 @@ Result<std::vector<MetricSpec>> ParseMetricList(const std::string& value) {
                                        " has an unterminated argument");
       }
       m.name = std::string(Trim(std::string_view(item).substr(0, open)));
-      m.arg = std::string(Trim(
-          std::string_view(item).substr(open + 1, item.size() - open - 2)));
+      const std::string_view raw =
+          std::string_view(item).substr(open + 1, item.size() - open - 2);
+      // Normalize: trim each comma-separated argument part.
+      size_t part_start = 0;
+      for (size_t i = 0; i <= raw.size(); ++i) {
+        if (i == raw.size() || raw[i] == ',') {
+          const std::string part(Trim(raw.substr(part_start, i - part_start)));
+          if (!m.arg.empty()) m.arg += ",";
+          m.arg += part;
+          part_start = i + 1;
+        }
+      }
       if (m.arg.empty()) {
         return Status::InvalidArgument("metric " + Quoted(item) +
                                        " has an empty argument");
@@ -288,6 +330,14 @@ Status ApplyKey(ScenarioSpec* spec, const std::string& key,
                               key + " must be > 0 (seconds)"));
     }
     (key == "gossip_period" ? spec->gossip_period : spec->sample_period) = *v;
+  } else if (key == "intra_round_threads") {
+    Result<int64_t> v = ParseInt64(value);
+    if (!v.ok()) return AtLine(line, v.status());
+    if (*v < 1) {
+      return AtLine(line, Status::InvalidArgument(
+                              "intra_round_threads must be >= 1"));
+    }
+    spec->intra_round_threads = static_cast<int>(*v);
   } else if (key == "output") {
     spec->output = value;
   } else if (key == "format") {

@@ -14,6 +14,14 @@ void Recorder::AddScalar(const std::string& name, double value) {
   batch_.scalars.push_back({name, value});
 }
 
+void Recorder::AddQuantile(const std::string& name, double q, double value) {
+  for (const QuantileRecord& r : batch_.quantiles) {
+    // Runner bug: duplicate (metric, q) pair.
+    DYNAGG_CHECK(r.name != name || r.q != q);
+  }
+  batch_.quantiles.push_back({name, q, value});
+}
+
 SeriesRecord* Recorder::MutableKeyedSeries(const std::string& x_name,
                                            const std::string& name,
                                            const std::string& key_name,
@@ -88,9 +96,10 @@ void Recorder::SetBandwidth(double msgs_per_host_round,
   batch_.bandwidth = {msgs_per_host_round, bytes_per_host_round, state_bytes};
 }
 
-Status CheckMetricsSupported(const ScenarioSpec& spec,
+Status CheckMetricsSupported(const std::string& protocol,
+                             const std::vector<MetricSpec>& metrics,
                              const std::vector<std::string>& supported) {
-  for (const MetricSpec& m : spec.metrics) {
+  for (const MetricSpec& m : metrics) {
     const std::string selector = m.ToString();
     bool ok = false;
     for (const std::string& s : supported) {
@@ -100,7 +109,7 @@ Status CheckMetricsSupported(const ScenarioSpec& spec,
       }
     }
     if (!ok) {
-      std::string msg = "protocol '" + spec.protocol +
+      std::string msg = "protocol '" + protocol +
                         "' does not support metric '" + selector +
                         "' (supported:";
       for (const std::string& s : supported) msg += " " + s;
@@ -109,6 +118,11 @@ Status CheckMetricsSupported(const ScenarioSpec& spec,
     }
   }
   return Status::OK();
+}
+
+Status CheckMetricsSupported(const ScenarioSpec& spec,
+                             const std::vector<std::string>& supported) {
+  return CheckMetricsSupported(spec.protocol, spec.metrics, supported);
 }
 
 bool MetricRequested(const ScenarioSpec& spec, const std::string& selector) {

@@ -137,9 +137,22 @@ struct BandwidthRecord {
   double state_bytes = 0.0;
 };
 
+/// A per-trial quantile of a per-host sample distribution (the
+/// `quantile(metric, q)` selector): the q-quantile of `name`'s samples,
+/// computed by the runner over the hosts of one trial. Renders as the
+/// summary column `<name>_p<100q>` (e.g. final_error_p99); under
+/// `aggregate = ...` the per-trial quantile estimates aggregate across
+/// trials like scalars.
+struct QuantileRecord {
+  std::string name;  // sampled metric, e.g. "final_error"
+  double q = 0.5;    // quantile in [0, 1]
+  double value = 0.0;
+};
+
 /// Everything one trial recorded.
 struct RecordBatch {
   std::vector<ScalarRecord> scalars;
+  std::vector<QuantileRecord> quantiles;
   std::vector<SeriesRecord> series;
   std::vector<HistogramRecord> histograms;
   bool has_bandwidth = false;
@@ -162,6 +175,11 @@ class Recorder {
 
   /// Emits a per-trial scalar. Names must be unique within a trial.
   void AddScalar(const std::string& name, double value);
+
+  /// Emits the q-quantile of per-host metric `name` for this trial.
+  /// (name, q) pairs must be unique within a trial; emission order fixes
+  /// the summary column order.
+  void AddQuantile(const std::string& name, double q, double value);
 
   /// Finds or creates series `name`. Declare a series before a loop that
   /// may record zero points (e.g. an empty record.from window): all trials
@@ -217,6 +235,14 @@ class Recorder {
 Status CheckMetricsSupported(const ScenarioSpec& spec,
                              const std::vector<std::string>& supported);
 
+/// Same check over an explicit selector list — for callers that consume
+/// some selectors themselves (the rounds driver's parametrized
+/// quantile(...)) and validate only the rest. `protocol` names the
+/// protocol in the diagnostic.
+Status CheckMetricsSupported(const std::string& protocol,
+                             const std::vector<MetricSpec>& metrics,
+                             const std::vector<std::string>& supported);
+
 /// Whether the spec requests metric `selector` (canonical spelling).
 bool MetricRequested(const ScenarioSpec& spec, const std::string& selector);
 
@@ -262,6 +288,10 @@ struct SwarmHandle {
   /// Attaches a traffic meter for the bandwidth metric; null = the
   /// protocol cannot measure traffic.
   std::function<void(TrafficMeter*)> set_meter;
+  /// Sets the round kernel's intra-round scatter thread count (the
+  /// top-level `intra_round_threads` key); null = the protocol has no
+  /// data-parallel apply phase, and the drivers reject values > 1.
+  std::function<void(int)> set_threads;
   /// Extra metric selectors (and their record.* keys) beyond the rounds
   /// driver's catalog, emitted by `finish` (count-sketch-reset's
   /// cdf(counter)).
@@ -289,6 +319,11 @@ struct ProtocolDef {
   /// Whether the factory provides the group hooks `driver = trace` needs.
   /// Static so `--dry-run` can reject trace specs without building swarms.
   bool trace_capable = false;
+  /// Whether the built swarm exposes the round kernel's data-parallel
+  /// apply hook (SwarmHandle::set_threads). Static so `--dry-run` can
+  /// reject `intra_round_threads > 1` on exchange-only and custom
+  /// protocols without building swarms.
+  bool threads_capable = false;
 };
 
 /// Advances simulated time for one trial: builds the environment, obtains

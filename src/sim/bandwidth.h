@@ -36,6 +36,14 @@ class TrafficMeter {
     total_.bytes += bytes;
   }
 
+  /// Records `count` equal-sized messages in one call (the round kernel
+  /// meters a whole planned push round at once). Totals are identical to
+  /// `count` RecordMessage calls.
+  void RecordMessages(int64_t count, int64_t bytes_each) {
+    total_.messages += count;
+    total_.bytes += count * bytes_each;
+  }
+
   void Reset() { total_ = TrafficStats{}; }
 
   const TrafficStats& total() const { return total_; }

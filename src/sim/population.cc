@@ -1,8 +1,14 @@
 #include "sim/population.h"
 
+#include <atomic>
 #include <numeric>
 
 namespace dynagg {
+
+uint64_t Population::NextFingerprint() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 Population::Population(int n) {
   DYNAGG_CHECK_GE(n, 0);
@@ -22,6 +28,8 @@ void Population::Kill(HostId id) {
   position_[last] = pos;
   alive_ids_.pop_back();
   position_[id] = -1;
+  ++version_;
+  fingerprint_ = NextFingerprint();
 }
 
 void Population::Revive(HostId id) {
@@ -29,6 +37,8 @@ void Population::Revive(HostId id) {
   if (position_[id] >= 0) return;
   position_[id] = static_cast<int32_t>(alive_ids_.size());
   alive_ids_.push_back(id);
+  ++version_;
+  fingerprint_ = NextFingerprint();
 }
 
 HostId Population::SampleAlive(Rng& rng) const {

@@ -9,6 +9,7 @@
 #ifndef DYNAGG_SIM_POPULATION_H_
 #define DYNAGG_SIM_POPULATION_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/macros.h"
@@ -44,10 +45,29 @@ class Population {
   /// The alive hosts, in unspecified order. Stable between mutations.
   const std::vector<HostId>& alive_ids() const { return alive_ids_; }
 
+  /// Monotonic membership version of THIS object: 0 = never mutated;
+  /// bumped by every *effective* Kill or Revive (no-ops leave it
+  /// unchanged, so e.g. re-pinning an already-alive leader every round
+  /// does not churn it).
+  uint64_t version() const { return version_; }
+
+  /// Globally unique membership-state fingerprint: drawn from a
+  /// process-wide counter at construction and again on every effective
+  /// mutation, so no two distinct alive-sets ever share a fingerprint —
+  /// not even across different Population instances that happen to reuse
+  /// the same address (a copy keeps the fingerprint, correctly: its state
+  /// is identical until either side mutates). Environments key their
+  /// per-round alive-neighbor caches on this (see Environment::BuildPlan).
+  uint64_t fingerprint() const { return fingerprint_; }
+
  private:
+  static uint64_t NextFingerprint();
+
   // position_[id] = index of id within alive_ids_, or -1 if dead.
   std::vector<int32_t> position_;
   std::vector<HostId> alive_ids_;
+  uint64_t version_ = 0;
+  uint64_t fingerprint_ = NextFingerprint();
 };
 
 }  // namespace dynagg

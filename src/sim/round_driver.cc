@@ -1,17 +1,3 @@
-#include "sim/round_driver.h"
-
-#include <algorithm>
-
-namespace dynagg {
-
-void ShuffledAliveOrder(const Population& pop, Rng& rng,
-                        std::vector<HostId>* out) {
-  const auto& alive = pop.alive_ids();
-  out->assign(alive.begin(), alive.end());
-  for (size_t i = out->size(); i > 1; --i) {
-    const size_t j = rng.UniformInt(i);
-    std::swap((*out)[i - 1], (*out)[j]);
-  }
-}
-
-}  // namespace dynagg
+// RunRounds / RunRoundsUntil are header-only templates; the shared
+// ShuffledAliveOrder helper lives with the round kernel
+// (sim/round_kernel.cc) since Environment API v2.

@@ -4,8 +4,11 @@
 // peers selected by the environment (Section V). A Swarm is any type
 // exposing
 //     void RunRound(const Environment&, const Population&, Rng&);
-// The driver applies failure-plan events before each round and invokes an
-// observer afterwards so experiments can record metrics.
+// and, since Environment API v2, internally structures that round on the
+// shared plan -> apply kernel (sim/round_kernel.h, which also owns the
+// shared ShuffledAliveOrder helper). The driver applies failure-plan events
+// before each round and invokes an observer afterwards so experiments can
+// record metrics.
 
 #ifndef DYNAGG_SIM_ROUND_DRIVER_H_
 #define DYNAGG_SIM_ROUND_DRIVER_H_
@@ -18,14 +21,9 @@
 #include "env/environment.h"
 #include "sim/failure.h"
 #include "sim/population.h"
+#include "sim/round_kernel.h"
 
 namespace dynagg {
-
-/// Copies the alive ids and Fisher-Yates shuffles them. Push/pull exchanges
-/// are applied sequentially within a round; shuffling removes any host-id
-/// ordering bias.
-void ShuffledAliveOrder(const Population& pop, Rng& rng,
-                        std::vector<HostId>* out);
 
 /// Runs up to `max_rounds` rounds of `swarm` under `env`/`pop`, applying
 /// `failures` before each round and calling `on_round_end(round)` after each

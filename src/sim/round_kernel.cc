@@ -1,0 +1,40 @@
+#include "sim/round_kernel.h"
+
+#include <algorithm>
+
+namespace dynagg {
+
+void ShuffledAliveOrder(const Population& pop, Rng& rng,
+                        std::vector<HostId>* out) {
+  const auto& alive = pop.alive_ids();
+  out->assign(alive.begin(), alive.end());
+  for (size_t i = out->size(); i > 1; --i) {
+    const size_t j = rng.UniformInt(i);
+    std::swap((*out)[i - 1], (*out)[j]);
+  }
+}
+
+const PartnerPlan& RoundKernel::PlanPushRound(const Environment& env,
+                                              const Population& pop, Rng& rng,
+                                              int slots_per_initiator) {
+  DYNAGG_CHECK_GE(slots_per_initiator, 1);
+  plan_.Reset(pop.alive_ids(), slots_per_initiator);
+  // A never-mutated population's alive_ids is the identity permutation
+  // (Population constructor order), so with one slot per host the
+  // initiator of slot k is k itself — apply loops skip the array reads.
+  plan_.set_identity_initiators(pop.version() == 0 &&
+                                slots_per_initiator == 1);
+  env.BuildPlan(pop, rng, &plan_);
+  return plan_;
+}
+
+const PartnerPlan& RoundKernel::PlanExchangeRound(const Environment& env,
+                                                  const Population& pop,
+                                                  Rng& rng) {
+  ShuffledAliveOrder(pop, rng, &order_);
+  plan_.Reset(order_, /*slots_per_initiator=*/1);
+  env.BuildPlan(pop, rng, &plan_);
+  return plan_;
+}
+
+}  // namespace dynagg

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Round-kernel perf snapshot: benchmarks the Environment API v2 hot path
+# (pre-refactor per-host SamplePeer round vs the plan -> apply kernel, via
+# bench/micro_protocol_ops) and times the 100k-host scale_100k scenario
+# end-to-end, then writes BENCH_roundkernel.json so the perf trajectory is
+# recorded in-repo.
+#
+# Usage:
+#   tools/bench.sh [build-dir]           full run, rewrites BENCH_roundkernel.json
+#   tools/bench.sh --smoke [build-dir]   quick CI sanity: benchmarks run and
+#                                        the scale spec validates; no JSON update
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+MICRO="$BUILD_DIR/micro_protocol_ops"
+RUNNER="$BUILD_DIR/dynagg_run"
+FILTER='PushRoundLegacy|PushRoundKernel|PushPullRoundLegacy|PushPullRoundKernel'
+
+if [[ ! -x "$RUNNER" ]]; then
+  echo "bench.sh: $RUNNER not built (run tools/check.sh or cmake first)" >&2
+  exit 1
+fi
+
+if [[ "$SMOKE" == 1 ]]; then
+  # CI sanity: the kernel benchmarks must run (when Google Benchmark is
+  # available) and the 100k scenario must validate; keep it to seconds.
+  if [[ -x "$MICRO" ]]; then
+    "$MICRO" --benchmark_filter="PushRoundKernel/10000" \
+      --benchmark_min_time=0.02 > /dev/null
+    echo "bench.sh --smoke: round-kernel microbenchmark ran"
+  else
+    echo "bench.sh --smoke: micro_protocol_ops not built (Google Benchmark absent); skipping"
+  fi
+  "$RUNNER" --dry-run bench/scenarios/scale_100k.scenario
+  exit 0
+fi
+
+if [[ ! -x "$MICRO" ]]; then
+  echo "bench.sh: $MICRO not built (system Google Benchmark required for the full run)" >&2
+  exit 1
+fi
+
+MICRO_JSON="$BUILD_DIR/bench_roundkernel_raw.json"
+"$MICRO" --benchmark_filter="$FILTER" --benchmark_min_time=1 \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > "$MICRO_JSON"
+
+SCALE_OUT="$BUILD_DIR/scale_100k_out.csv"
+SCALE_START=$(date +%s.%N)
+"$RUNNER" --output="$SCALE_OUT" bench/scenarios/scale_100k.scenario
+SCALE_SECONDS=$(python3 -c "import time; print(f'{time.time() - $SCALE_START:.3f}')")
+
+python3 - "$MICRO_JSON" "$SCALE_SECONDS" <<'PY'
+import json, sys, datetime
+
+raw = json.load(open(sys.argv[1]))
+scale_seconds = float(sys.argv[2])
+
+# median-of-repetitions real time per benchmark, in nanoseconds
+medians = {}
+for b in raw.get("benchmarks", []):
+    if b.get("aggregate_name") == "median":
+        name = b["run_name"] if "run_name" in b else b["name"]
+        medians[name] = b["real_time"]
+
+def ns(name):
+    return medians.get(name)
+
+snapshot = {
+    "note": ("Round-kernel perf snapshot (tools/bench.sh). 'legacy' is the "
+             "pre-refactor per-host virtual SamplePeer round, replicated in "
+             "bench/micro_protocol_ops.cc; 'kernel' is the Environment API "
+             "v2 plan -> apply round. Times are median-of-3 real ns per "
+             "round on the CI host; speedups are legacy/kernel."),
+    "generated": datetime.date.today().isoformat(),
+    "host": raw.get("context", {}).get("host_name", "unknown"),
+    "cpus": raw.get("context", {}).get("num_cpus"),
+    "round_ns": {k: v for k, v in sorted(medians.items())},
+    "speedup": {},
+    "scale_100k_scenario_seconds": scale_seconds,
+}
+
+pairs = {
+    "push_100k": ("BM_PushRoundLegacy/100000", "BM_PushRoundKernel/100000/1"),
+    "push_10k": ("BM_PushRoundLegacy/10000", "BM_PushRoundKernel/10000/1"),
+    "pushpull_100k": ("BM_PushPullRoundLegacy/100000",
+                      "BM_PushPullRoundKernel/100000"),
+}
+for key, (legacy, kernel) in pairs.items():
+    if ns(legacy) and ns(kernel):
+        snapshot["speedup"][key] = round(ns(legacy) / ns(kernel), 3)
+
+with open("BENCH_roundkernel.json", "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(json.dumps(snapshot["speedup"], indent=2))
+target = snapshot["speedup"].get("push_100k")
+if target is None:
+    sys.exit("bench.sh: missing push_100k benchmarks in output")
+print(f"bench.sh: wrote BENCH_roundkernel.json "
+      f"(100k push-sum round speedup {target}x, "
+      f"scale_100k scenario {scale_seconds}s)")
+PY

@@ -24,3 +24,7 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
   bench/scenarios/smoke.scenario
 diff -u bench/scenarios/golden/smoke.csv "$BUILD_DIR/smoke_out.csv"
 echo "check.sh: smoke scenario output matches golden"
+# Perf smoke: the round-kernel microbenchmarks must still run and the
+# 100k-host scale spec must validate. The full perf snapshot
+# (BENCH_roundkernel.json) is regenerated with `tools/bench.sh`.
+tools/bench.sh --smoke "$BUILD_DIR"
