@@ -1,5 +1,7 @@
 #include "scenario/config.h"
 
+#include <cmath>
+
 namespace dynagg {
 namespace scenario {
 
@@ -26,18 +28,64 @@ Result<double> ParseFinalErrorQuantileArg(const MetricSpec& m) {
   return *q;
 }
 
+/// Parses the argument of an `rms_at(R)` selector: the series-x round
+/// number (round index + 1, matching the rms series' x column), a positive
+/// integer.
+Result<double> ParseRmsAtArg(const MetricSpec& m) {
+  const Result<double> r = ParseDouble(m.arg);
+  if (!r.ok() || !(*r >= 1.0) || *r != std::floor(*r)) {
+    return Status::InvalidArgument(
+        "metric '" + m.ToString() +
+        "': rms_at(R) takes the 1-based round number R of the rms series "
+        "(a positive integer)");
+  }
+  return *r;
+}
+
+/// Parses the argument of a `rounds_below(rms, T)` selector: the watched
+/// series (only `rms`) and a finite absolute threshold.
+Result<double> ParseRoundsBelowArg(const MetricSpec& m) {
+  const std::string bad =
+      "metric '" + m.ToString() +
+      "': the rounds driver supports rounds_below(rms, T) with a finite "
+      "threshold T (the first round from which the rms series stays below "
+      "T; -1 = never)";
+  const size_t comma = m.arg.find(',');
+  if (comma == std::string::npos) return Status::InvalidArgument(bad);
+  if (m.arg.substr(0, comma) != "rms" ||
+      m.arg.find(',', comma + 1) != std::string::npos) {
+    return Status::InvalidArgument(bad);
+  }
+  const Result<double> t = ParseDouble(m.arg.substr(comma + 1));
+  if (!t.ok() || !std::isfinite(*t)) return Status::InvalidArgument(bad);
+  return *t;
+}
+
+/// Parses the argument of a `final_rel_error(H)` selector: a host id
+/// (range-checked against the population at execution time).
+Result<int> ParseRelErrorArg(const MetricSpec& m) {
+  const Result<int64_t> h = ParseInt64(m.arg);
+  if (!h.ok() || *h < 0) {
+    return Status::InvalidArgument(
+        "metric '" + m.ToString() +
+        "': final_rel_error(H) takes a host id H >= 0");
+  }
+  return static_cast<int>(*h);
+}
+
 }  // namespace
 
 Result<MetricFlags> ClassifyDriverMetrics(
     const ScenarioSpec& spec, const std::vector<std::string>& extra) {
-  std::vector<std::string> supported = {"rms", "rms_tail_mean",
-                                        "rounds_to_converge", "bandwidth",
-                                        "cdf(final_error)"};
+  std::vector<std::string> supported = {
+      "rms",       "rms_tail_mean", "rounds_to_converge",
+      "bandwidth", "cdf(final_error)", "final_rms",
+      "gossip_bytes", "recovery_rounds(rms)"};
   supported.insert(supported.end(), extra.begin(), extra.end());
-  // Consume the parametrized quantile(...) selectors, then validate the
-  // rest against the fixed catalog. The "quantile(final_error,q)" entry
-  // only documents the family in the diagnostic — real selectors carry a
-  // number and never match it literally.
+  // Consume the parametrized selectors first, then validate the rest
+  // against the fixed catalog. The "name(arg-shape)" entries pushed below
+  // only document the families in the diagnostic — real selectors carry
+  // numbers and never match them literally.
   MetricFlags flags;
   std::vector<MetricSpec> rest;
   for (const MetricSpec& m : spec.metrics) {
@@ -53,11 +101,42 @@ Result<MetricFlags> ClassifyDriverMetrics(
         }
       }
       flags.final_error_quantiles.push_back(q);
+    } else if (m.name == "rms_at") {
+      DYNAGG_ASSIGN_OR_RETURN(const double r, ParseRmsAtArg(m));
+      for (const double seen : flags.rms_at) {
+        if (seen == r) {
+          return Status::InvalidArgument(
+              "metric '" + m.ToString() + "' requests a duplicate round");
+        }
+      }
+      flags.rms_at.push_back(r);
+    } else if (m.name == "rounds_below") {
+      DYNAGG_ASSIGN_OR_RETURN(const double t, ParseRoundsBelowArg(m));
+      for (const double seen : flags.rounds_below) {
+        if (seen == t) {
+          return Status::InvalidArgument(
+              "metric '" + m.ToString() +
+              "' requests a duplicate threshold");
+        }
+      }
+      flags.rounds_below.push_back(t);
+    } else if (m.name == "final_rel_error") {
+      DYNAGG_ASSIGN_OR_RETURN(const int h, ParseRelErrorArg(m));
+      for (const int seen : flags.rel_error_hosts) {
+        if (seen == h) {
+          return Status::InvalidArgument(
+              "metric '" + m.ToString() + "' requests a duplicate host");
+        }
+      }
+      flags.rel_error_hosts.push_back(h);
     } else {
       rest.push_back(m);
     }
   }
   supported.push_back("quantile(final_error,q)");
+  supported.push_back("rms_at(R)");
+  supported.push_back("rounds_below(rms,T)");
+  supported.push_back("final_rel_error(H)");
   DYNAGG_RETURN_IF_ERROR(
       CheckMetricsSupported(spec.protocol, rest, supported));
   flags.rms = MetricRequested(spec, "rms");
@@ -65,8 +144,13 @@ Result<MetricFlags> ClassifyDriverMetrics(
   flags.convergence = MetricRequested(spec, "rounds_to_converge");
   flags.bandwidth = MetricRequested(spec, "bandwidth");
   flags.final_error_cdf = MetricRequested(spec, "cdf(final_error)");
+  flags.final_rms = MetricRequested(spec, "final_rms");
+  flags.gossip_bytes = MetricRequested(spec, "gossip_bytes");
+  flags.recovery = MetricRequested(spec, "recovery_rounds(rms)");
   for (const std::string& selector : extra) {
-    flags.extra = flags.extra || MetricRequested(spec, selector);
+    for (const MetricSpec& m : spec.metrics) {
+      flags.extra = flags.extra || SelectorMatches(selector, m);
+    }
   }
   return flags;
 }
@@ -80,8 +164,10 @@ Result<RecordConfig> ParseRecordConfig(
         "or 'record = rounds_to_converge' (convergence)");
   }
   std::vector<std::string> allowed = {
-      "from",   "every",  "threshold", "threshold_relative",
-      "cdf_lo", "cdf_hi", "cdf_buckets"};
+      "from",          "every",         "threshold",
+      "threshold_relative", "cdf_lo",   "cdf_hi",
+      "cdf_buckets",   "relative",      "recovery_from",
+      "recovery_mult", "recovery_add",  "recovery_min"};
   allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", allowed));
   RecordConfig cfg;
@@ -98,13 +184,29 @@ Result<RecordConfig> ParseRecordConfig(
   DYNAGG_ASSIGN_OR_RETURN(cfg.cdf_hi, spec.ParamDouble("record.cdf_hi", 0.0));
   DYNAGG_ASSIGN_OR_RETURN(const int64_t cdf_buckets,
                           spec.ParamInt("record.cdf_buckets", 20));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.relative,
+                          spec.ParamBool("record.relative", false));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t recovery_from,
+                          spec.ParamInt("record.recovery_from", 0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.recovery_mult,
+                          spec.ParamDouble("record.recovery_mult", 2.0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.recovery_add,
+                          spec.ParamDouble("record.recovery_add", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.recovery_min,
+                          spec.ParamDouble("record.recovery_min", 0.0));
   if (from < 0 || every < 1) {
     return Status::InvalidArgument(
         "record.from must be >= 0 and record.every >= 1");
   }
+  if (recovery_from < 0 || cfg.recovery_mult < 0.0 ||
+      cfg.recovery_add < 0.0 || cfg.recovery_min < 0.0) {
+    return Status::InvalidArgument(
+        "record.recovery_from/mult/add/min must be >= 0");
+  }
   cfg.from = static_cast<int>(from);
   cfg.every = static_cast<int>(every);
   cfg.cdf_buckets = static_cast<int>(cdf_buckets);
+  cfg.recovery_from = static_cast<int>(recovery_from);
   return cfg;
 }
 
@@ -176,23 +278,91 @@ Result<uint64_t> FailureStream(const ScenarioSpec& spec,
   return uint64_t{2};
 }
 
+namespace {
+
+/// One term of the round-stream sum. Truncation of `sweepval*M` is
+/// deliberately per-term (static_cast<uint64_t>(value * M)), matching the
+/// legacy benches' DeriveSeed(seed, static_cast<uint64_t>(lambda * 1e4) +
+/// offset) conventions exactly.
+Result<uint64_t> RoundStreamTerm(const std::string& text,
+                                 const std::string& term,
+                                 const TrialContext& ctx, int n) {
+  const auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument(
+        "seeds.round_stream = " + text + ": " + why +
+        " (terms: an integer, hosts, sweep, sweep2, sweepval*M, "
+        "sweep2val*M)");
+  };
+  if (term == "hosts") return static_cast<uint64_t>(n);
+  if (term == "sweep" || term == "sweep2") {
+    const int index = term == "sweep" ? ctx.sweep_index : ctx.sweep2_index;
+    if (index < 0) {
+      return bad("'" + term + "' requires a " + term +
+                 " axis (the term is the sweep index)");
+    }
+    return static_cast<uint64_t>(index);
+  }
+  const bool is_sweep2 = term.rfind("sweep2val", 0) == 0;
+  if (is_sweep2 || term.rfind("sweepval", 0) == 0) {
+    const int index = is_sweep2 ? ctx.sweep2_index : ctx.sweep_index;
+    const double value = is_sweep2 ? ctx.sweep2_value : ctx.sweep_value;
+    const std::string name = is_sweep2 ? "sweep2val" : "sweepval";
+    if (index < 0) {
+      return bad("'" + name + "' requires a " +
+                 (is_sweep2 ? std::string("sweep2") : std::string("sweep")) +
+                 " axis (the term is the truncated sweep value)");
+    }
+    const std::string rest = term.substr(name.size());
+    int64_t scale = 1;
+    if (!rest.empty()) {
+      if (rest[0] != '*') return bad("expected '" + name + "*M'");
+      const Result<int64_t> m = ParseInt64(rest.substr(1));
+      if (!m.ok() || *m < 1) {
+        return bad("'" + name + "*M' needs a positive integer scale");
+      }
+      scale = *m;
+    }
+    const double scaled = value * static_cast<double>(scale);
+    if (!(scaled >= 0)) {
+      return bad("'" + name + "' term is negative for sweep value " +
+                 std::to_string(value));
+    }
+    return static_cast<uint64_t>(scaled);
+  }
+  const Result<int64_t> v = ParseInt64(term);
+  if (!v.ok() || *v < 0) return bad("'" + term + "' is not a valid term");
+  return static_cast<uint64_t>(*v);
+}
+
+}  // namespace
+
 Result<uint64_t> RoundStream(const ScenarioSpec& spec,
                              const TrialContext& ctx, int n) {
   DYNAGG_ASSIGN_OR_RETURN(const std::string text,
                           spec.ParamString("seeds.round_stream", "1"));
-  if (text == "hosts") return static_cast<uint64_t>(n);
-  if (text.rfind("sweep+", 0) == 0) {
-    if (ctx.sweep_index < 0) {
-      return Status::InvalidArgument(
-          "seeds.round_stream = " + text +
-          " requires a sweep (the stream offsets by the sweep index)");
+  uint64_t total = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t plus = text.find('+', start);
+    if (plus == std::string::npos) plus = text.size();
+    std::string term = text.substr(start, plus - start);
+    // Trim (list items may be written spaced: "sweepval*10 + 1").
+    while (!term.empty() && (term.front() == ' ' || term.front() == '\t')) {
+      term.erase(term.begin());
     }
-    DYNAGG_ASSIGN_OR_RETURN(const int64_t base, ParseInt64(text.substr(6)));
-    return static_cast<uint64_t>(base + ctx.sweep_index);
+    while (!term.empty() && (term.back() == ' ' || term.back() == '\t')) {
+      term.pop_back();
+    }
+    if (term.empty()) {
+      return Status::InvalidArgument("seeds.round_stream = " + text +
+                                     ": empty term");
+    }
+    DYNAGG_ASSIGN_OR_RETURN(const uint64_t value,
+                            RoundStreamTerm(text, term, ctx, n));
+    total += value;
+    start = plus + 1;
   }
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t stream,
-                          spec.ParamInt("seeds.round_stream", 1));
-  return static_cast<uint64_t>(stream);
+  return total;
 }
 
 Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,

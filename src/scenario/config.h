@@ -36,6 +36,27 @@ struct MetricFlags {
   bool convergence = false;
   bool bandwidth = false;
   bool final_error_cdf = false;
+  /// `final_rms`: scalar, the (optionally relative) RMS deviation after the
+  /// last round — the legacy benches' "floor" (series.back()).
+  bool final_rms = false;
+  /// `recovery_rounds(rms)`: scalar, FirstSustainedBelow over the rounds >=
+  /// record.recovery_from window against a floor-derived threshold
+  /// max(recovery_min, recovery_mult * floor + recovery_add), where floor is
+  /// the window's last value. -1 = never re-entered the floor.
+  bool recovery = false;
+  /// `gossip_bytes`: scalar, the protocol's modelled per-host per-round
+  /// gossip payload (SwarmHandle::gossip_bytes; the Invert-Average
+  /// bandwidth-scaling argument). Protocols without a model reject it.
+  bool gossip_bytes = false;
+  /// The series-x position (round + 1) of every `rms_at(R)` selector, in
+  /// spec order: scalar snapshots of the rms series.
+  std::vector<double> rms_at;
+  /// The absolute threshold of every `rounds_below(rms, T)` selector:
+  /// scalar FirstSustainedBelow over the full per-round series.
+  std::vector<double> rounds_below;
+  /// The host of every `final_rel_error(H)` selector: scalar
+  /// |estimate(H) - truth| / truth after the last round.
+  std::vector<int> rel_error_hosts;
   /// The q of every `quantile(final_error, q)` selector, in spec order:
   /// quantiles of the per-host |estimate - truth| distribution after the
   /// last round, emitted as QuantileRecords.
@@ -43,12 +64,17 @@ struct MetricFlags {
   /// Any selector the swarm listed as extra (handled by its finish hook).
   bool extra = false;
 
-  bool NeedsRoundEvaluation() const { return rms || tail_mean || convergence; }
+  bool NeedsRoundEvaluation() const {
+    return rms || tail_mean || convergence || final_rms || recovery ||
+           !rms_at.empty() || !rounds_below.empty();
+  }
   /// Early convergence stop is only sound when no other metric needs the
   /// remaining rounds.
   bool OnlyConvergence() const {
     return convergence && !rms && !tail_mean && !bandwidth &&
-           !final_error_cdf && final_error_quantiles.empty() && !extra;
+           !final_error_cdf && !final_rms && !recovery && !gossip_bytes &&
+           rms_at.empty() && rounds_below.empty() &&
+           rel_error_hosts.empty() && final_error_quantiles.empty() && !extra;
   }
 };
 
@@ -67,6 +93,16 @@ struct RecordConfig {
   double cdf_lo = 0.0;
   double cdf_hi = 0.0;
   int cdf_buckets = 20;
+  /// record.relative: every rms evaluation (series, tail, final_rms,
+  /// rms_at, rounds_below, recovery window) is divided by the current
+  /// truth — the cutoff ablation's rms/truth convention.
+  bool relative = false;
+  /// recovery_rounds(rms) knobs: the window start round and the
+  /// floor-derived threshold max(min, mult * floor + add).
+  int recovery_from = 0;
+  double recovery_mult = 2.0;
+  double recovery_add = 0.0;
+  double recovery_min = 0.0;
 };
 
 Result<RecordConfig> ParseRecordConfig(
@@ -96,10 +132,12 @@ double ChurnReturnProb(const FailureConfig& cfg);
 Result<uint64_t> FailureStream(const ScenarioSpec& spec,
                                const FailureConfig& cfg);
 
-/// Resolves the gossip-round RNG stream: an integer, the symbolic value
-/// `hosts` (resolves to the population size `n`), or `sweep+N` (resolves
-/// to N + ctx.sweep_index — fig11 decorrelates its per-lambda series this
-/// way).
+/// Resolves the gossip-round RNG stream: a '+'-separated sum of terms,
+/// each an integer, `hosts` (the population size `n`), `sweep` / `sweep2`
+/// (the sweep *index* — fig11's `sweep+10` per-series convention), or
+/// `sweepval*M` / `sweep2val*M` (the truncated sweep *value* times an
+/// integer scale — the ablation benches' DeriveSeed(seed, lambda * 1e4)
+/// style conventions; `*M` may be omitted for scale 1).
 Result<uint64_t> RoundStream(const ScenarioSpec& spec,
                              const TrialContext& ctx, int n);
 

@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <string>
 #include <utility>
@@ -88,18 +89,28 @@ struct RoundHooks {
   }
 };
 
+/// Formats a parametrized scalar-record column name: "<base>_<%g of v>"
+/// (rms_at_25, rounds_below_1.5).
+std::string SuffixedScalarName(const char* base, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return std::string(base) + "_" + buf;
+}
+
 /// Drives the swarm for spec.rounds rounds under the spec's environment,
 /// failure plan and requested metrics, recording everything in one pass.
-Status DriveRounds(const TrialContext& ctx, EnvHandle& env,
-                   const SwarmHandle& swarm, Recorder& rec) {
+/// `def` carries the protocol's statically declared extra selectors (the
+/// built swarm's finish hook interprets them).
+Status DriveRounds(const TrialContext& ctx, const ProtocolDef& def,
+                   EnvHandle& env, const SwarmHandle& swarm, Recorder& rec) {
   const ScenarioSpec& spec = *ctx.spec;
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream",
                                                      "failure_stream"}));
   DYNAGG_ASSIGN_OR_RETURN(
       const MetricFlags metrics,
-      ClassifyDriverMetrics(spec, swarm.extra_metrics));
+      ClassifyDriverMetrics(spec, def.extra_metrics));
   DYNAGG_ASSIGN_OR_RETURN(const RecordConfig cfg,
-                          ParseRecordConfig(spec, swarm.extra_record_keys));
+                          ParseRecordConfig(spec, def.extra_record_keys));
   DYNAGG_ASSIGN_OR_RETURN(const FailureConfig fail, ParseFailureConfig(spec));
   const int n = env.env->num_hosts();
   DYNAGG_ASSIGN_OR_RETURN(const uint64_t round_stream,
@@ -113,6 +124,21 @@ Status DriveRounds(const TrialContext& ctx, EnvHandle& env,
         "record.from = " + std::to_string(cfg.from) +
         " leaves no rounds to average (rounds = " +
         std::to_string(spec.rounds) + ")");
+  }
+  if (metrics.recovery && cfg.recovery_from >= spec.rounds) {
+    // An empty window has no floor to derive the threshold from.
+    return Status::InvalidArgument(
+        "record.recovery_from = " + std::to_string(cfg.recovery_from) +
+        " leaves no rounds to watch for recovery (rounds = " +
+        std::to_string(spec.rounds) + ")");
+  }
+  for (const double r : metrics.rms_at) {
+    if (r > spec.rounds) {
+      return Status::InvalidArgument(
+          "rms_at(" + std::to_string(static_cast<int>(r)) +
+          ") is past the last round (rounds = " +
+          std::to_string(spec.rounds) + ")");
+    }
   }
   if (metrics.final_error_cdf &&
       (cfg.cdf_buckets < 1 || cfg.cdf_hi <= cfg.cdf_lo)) {
@@ -146,6 +172,11 @@ Status DriveRounds(const TrialContext& ctx, EnvHandle& env,
 
   RunningStat tail;
   int converged_round = -1;
+  double last_rms = 0.0;
+  std::vector<double> rms_at_values(metrics.rms_at.size(), 0.0);
+  std::vector<double> full_series;      // backs rounds_below
+  std::vector<double> recovery_window;  // backs recovery_rounds
+  Status round_error = Status::OK();    // raised inside the round callback
   const bool early_stop = metrics.OnlyConvergence();
   // Declare the series up front: a unit whose recording window is empty
   // (record.from >= its rounds under a rounds sweep) must still carry the
@@ -154,13 +185,33 @@ Status DriveRounds(const TrialContext& ctx, EnvHandle& env,
   const auto on_round_end = [&](int round) {
     if (!metrics.NeedsRoundEvaluation()) return true;
     const double tr = swarm.truth(pop);
-    const double rms = RmsDeviationOverAlive(pop, tr, swarm.estimate);
+    double rms = RmsDeviationOverAlive(pop, tr, swarm.estimate);
+    // record.relative: the series (and everything derived from it) is
+    // measured relative to the current truth, the cutoff ablation's
+    // rms/truth convention. A zero truth would silently record inf/nan.
+    if (cfg.relative) {
+      if (tr == 0.0) {
+        round_error = Status::InvalidArgument(
+            "record.relative: the truth is 0 after round " +
+            std::to_string(round) + ", the relative error is undefined");
+        return false;
+      }
+      rms /= tr;
+    }
     if (metrics.rms && round >= cfg.from &&
         (round - cfg.from) % cfg.every == 0) {
       rec.AddSeriesPoint("round", "rms", static_cast<double>(round + 1),
                          rms);
     }
     if (metrics.tail_mean && round >= cfg.from) tail.Add(rms);
+    last_rms = rms;
+    for (size_t i = 0; i < metrics.rms_at.size(); ++i) {
+      if (metrics.rms_at[i] == round + 1) rms_at_values[i] = rms;
+    }
+    if (!metrics.rounds_below.empty()) full_series.push_back(rms);
+    if (metrics.recovery && round >= cfg.recovery_from) {
+      recovery_window.push_back(rms);
+    }
     if (metrics.convergence && converged_round < 0) {
       const double limit =
           cfg.threshold_relative ? cfg.threshold * tr : cfg.threshold;
@@ -177,6 +228,7 @@ Status DriveRounds(const TrialContext& ctx, EnvHandle& env,
   RoundHooks hooks{swarm, env.env.get(), env.advance_period, fail.pin_alive};
   const int executed = RunRoundsUntil(hooks, *env.env, pop, plan,
                                       spec.rounds, rng, on_round_end);
+  DYNAGG_RETURN_IF_ERROR(round_error);
 
   if (metrics.tail_mean) rec.AddScalar("rms_tail_mean", tail.mean());
   if (metrics.convergence) {
@@ -191,6 +243,67 @@ Status DriveRounds(const TrialContext& ctx, EnvHandle& env,
     }
     rec.AddScalar("rounds_to_converge",
                   static_cast<double>(converged_round));
+  }
+  if (metrics.final_rms) rec.AddScalar("final_rms", last_rms);
+  for (size_t i = 0; i < metrics.rms_at.size(); ++i) {
+    rec.AddScalar(SuffixedScalarName("rms_at", metrics.rms_at[i]),
+                  rms_at_values[i]);
+  }
+  // The derived convergence records: FirstSustainedBelow over the
+  // per-round series — the last crossing below the threshold that is never
+  // crossed back, -1 = never. rounds_below watches an absolute threshold
+  // over the whole run; recovery_rounds watches the post-failure window
+  // (rounds >= record.recovery_from) against a threshold derived from the
+  // window's own converged floor.
+  for (const double threshold : metrics.rounds_below) {
+    const int at = FirstSustainedBelow(full_series, threshold);
+    if (at < 0 && !spec.aggregates.empty()) {
+      return Status::InvalidArgument(
+          "trial " + std::to_string(ctx.trial) +
+          " never stayed below " + std::to_string(threshold) +
+          "; rounds_below = -1 cannot be aggregated (raise rounds or drop "
+          "aggregate)");
+    }
+    rec.AddScalar(SuffixedScalarName("rounds_below", threshold),
+                  static_cast<double>(at));
+  }
+  if (metrics.recovery) {
+    const double floor = recovery_window.back();
+    const double threshold =
+        std::max(cfg.recovery_min,
+                 cfg.recovery_mult * floor + cfg.recovery_add);
+    const int at = FirstSustainedBelow(recovery_window, threshold);
+    if (at < 0 && !spec.aggregates.empty()) {
+      return Status::InvalidArgument(
+          "trial " + std::to_string(ctx.trial) +
+          " never recovered; recovery_rounds = -1 cannot be aggregated "
+          "(raise rounds or drop aggregate)");
+    }
+    rec.AddScalar("recovery_rounds", static_cast<double>(at));
+  }
+  for (const int host : metrics.rel_error_hosts) {
+    if (host >= n) {
+      return Status::InvalidArgument(
+          "final_rel_error(" + std::to_string(host) +
+          "): host out of range (hosts = " + std::to_string(n) + ")");
+    }
+    const double tr = swarm.truth(pop);
+    if (tr == 0.0) {
+      return Status::InvalidArgument(
+          "final_rel_error(" + std::to_string(host) +
+          "): the truth is 0, the relative error is undefined");
+    }
+    rec.AddScalar(SuffixedScalarName("final_rel_error",
+                                     static_cast<double>(host)),
+                  std::abs(swarm.estimate(host) - tr) / tr);
+  }
+  if (metrics.gossip_bytes) {
+    if (swarm.gossip_bytes < 0) {
+      return Status::InvalidArgument(
+          "protocol '" + spec.protocol +
+          "' does not model the gossip_bytes metric");
+    }
+    rec.AddScalar("gossip_bytes", swarm.gossip_bytes);
   }
   if (metrics.bandwidth) {
     const double denom = static_cast<double>(n) * executed;
@@ -250,7 +363,7 @@ Status RunRoundsDriver(const TrialContext& ctx, const ProtocolDef& def,
   }
   DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   DYNAGG_ASSIGN_OR_RETURN(SwarmHandle swarm, def.make_swarm(ctx, env));
-  return DriveRounds(ctx, env, swarm, rec);
+  return DriveRounds(ctx, def, env, swarm, rec);
 }
 
 // ------------------------------------------------------------ trace ---

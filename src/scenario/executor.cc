@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "scenario/config.h"
 #include "scenario/trial.h"
 
 namespace dynagg {
@@ -546,11 +547,37 @@ Status ValidateExperiment(const ScenarioSpec& spec) {
           "rounds does not apply to driver = " + spec.driver +
           " (the trace horizon and gossip_period govern the run length)");
     }
+    // Failure plans are round-indexed; the event-driven timeline has no
+    // rounds. Mirrors the trace driver's run-time rejection so the
+    // mismatch fails --dry-run.
+    for (const auto& [key, value] : spec.params) {
+      if (key.rfind("failure.", 0) == 0) {
+        return invalid("'" + key + "' does not apply to driver = " +
+                       spec.driver +
+                       " (failure plans are round-indexed; the trace "
+                       "timeline has no rounds)");
+      }
+    }
+    DYNAGG_RETURN_IF_ERROR(
+        CheckMetricsSupported(spec, {"rms", "avg_group_size"}));
   } else if (spec.gossip_period > 0 || spec.sample_period > 0) {
     return invalid(
         "gossip_period / sample_period configure the event-driven trace "
         "driver; driver = " +
         spec.driver + " advances in rounds (did you mean driver = trace?)");
+  } else if (protocol.make_swarm) {
+    // The rounds driver's metric catalog and record.* knobs are static per
+    // protocol, so selector typos, malformed rounds_below/recovery/quantile
+    // arguments and unknown record keys fail --dry-run, not mid-run.
+    DYNAGG_ASSIGN_OR_RETURN(
+        const MetricFlags flags,
+        ClassifyDriverMetrics(spec, protocol.extra_metrics));
+    if (flags.gossip_bytes && !protocol.models_gossip_bytes) {
+      return invalid("protocol '" + spec.protocol +
+                     "' does not model the gossip_bytes metric");
+    }
+    DYNAGG_RETURN_IF_ERROR(
+        ParseRecordConfig(spec, protocol.extra_record_keys).status());
   }
   DYNAGG_RETURN_IF_ERROR(ValidateMetricList(spec.metrics));
   DYNAGG_RETURN_IF_ERROR(ValidateAggregateList(spec.aggregates));
@@ -581,12 +608,19 @@ Status ValidateExperiment(const ScenarioSpec& spec) {
     }
   }
   // Dry-apply every sweep value so e.g. a fractional hosts sweep fails in
-  // --dry-run, not halfway through a long run.
+  // --dry-run, not halfway through a long run; validate the protocol's
+  // knobs on the base spec and on each swept variant (a sweep may write an
+  // out-of-range or non-numeric value into a validated parameter).
+  if (protocol.validate) DYNAGG_RETURN_IF_ERROR(protocol.validate(spec));
   for (const double v : spec.sweep_values) {
-    DYNAGG_RETURN_IF_ERROR(ApplySweepKey(spec, spec.sweep_key, v).status());
+    DYNAGG_ASSIGN_OR_RETURN(const ScenarioSpec swept,
+                            ApplySweepKey(spec, spec.sweep_key, v));
+    if (protocol.validate) DYNAGG_RETURN_IF_ERROR(protocol.validate(swept));
   }
   for (const double v : spec.sweep2_values) {
-    DYNAGG_RETURN_IF_ERROR(ApplySweepKey(spec, spec.sweep2_key, v).status());
+    DYNAGG_ASSIGN_OR_RETURN(const ScenarioSpec swept,
+                            ApplySweepKey(spec, spec.sweep2_key, v));
+    if (protocol.validate) DYNAGG_RETURN_IF_ERROR(protocol.validate(swept));
   }
   return Status::OK();
 }

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -30,6 +31,7 @@
 #include "agg/extremes.h"
 #include "agg/fm_sketch.h"
 #include "agg/full_transfer.h"
+#include "agg/invert_average.h"
 #include "agg/push_sum.h"
 #include "agg/push_sum_revert.h"
 #include "common/hash.h"
@@ -73,6 +75,98 @@ Result<int> CheckedHosts(const EnvHandle& env) {
   const int n = env.env->num_hosts();
   if (n <= 0) return Status::InvalidArgument("environment has no hosts");
   return n;
+}
+
+/// Adapts a Result<Params>-returning spec parser into the ProtocolDef's
+/// validate hook, so `--dry-run` runs exactly the parse execution would.
+template <typename Parse>
+std::function<Status(const ScenarioSpec&)> SpecValidator(Parse parse) {
+  return [parse](const ScenarioSpec& spec) { return parse(spec).status(); };
+}
+
+// ----------------------------------------------- spec parameter parsing ---
+//
+// One parse function per protocol, shared between the SwarmFactory (which
+// needs the values) and the registry's validate hook (which only needs the
+// Status): knob typos and out-of-range values fail `--dry-run` with the
+// same message execution would produce.
+
+Result<GossipMode> ParsePushSumSpec(const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("protocol.", {"mode"}));
+  return ParseGossipMode(spec);
+}
+
+Result<PsrParams> ParsePsrSpec(const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(
+      spec.CheckParams("protocol.", {"lambda", "mode", "revert"}));
+  PsrParams params;
+  DYNAGG_ASSIGN_OR_RETURN(params.lambda,
+                          spec.ParamDouble("protocol.lambda", 0.01));
+  DYNAGG_ASSIGN_OR_RETURN(params.mode, ParseGossipMode(spec));
+  DYNAGG_ASSIGN_OR_RETURN(params.revert, ParseRevertMode(spec));
+  return params;
+}
+
+struct EpochSpecParams {
+  EpochParams params;
+  int phase_spread = 0;
+  bool random_phases = false;
+  uint64_t phase_stream = 4;
+};
+
+Result<EpochSpecParams> ParseEpochSpec(const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "protocol.", {"epoch_length", "mode", "phase_spread", "random_phases",
+                    "phase_stream"}));
+  EpochSpecParams out;
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t epoch_length,
+                          spec.ParamInt("protocol.epoch_length", 10));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t phase_spread,
+                          spec.ParamInt("protocol.phase_spread", 0));
+  DYNAGG_ASSIGN_OR_RETURN(out.random_phases,
+                          spec.ParamBool("protocol.random_phases", false));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t phase_stream,
+                          spec.ParamInt("protocol.phase_stream", 4));
+  DYNAGG_ASSIGN_OR_RETURN(out.params.mode, ParseGossipMode(spec));
+  if (epoch_length < 1) {
+    return Status::InvalidArgument("protocol.epoch_length must be >= 1");
+  }
+  if (phase_spread < 0 || phase_spread > epoch_length) {
+    return Status::InvalidArgument(
+        "protocol.phase_spread must be in [0, epoch_length]");
+  }
+  if (out.random_phases && phase_spread > 0) {
+    return Status::InvalidArgument(
+        "protocol.random_phases and protocol.phase_spread are exclusive "
+        "(random clock skew vs a deterministic phase ramp)");
+  }
+  if (spec.HasParam("protocol.phase_stream") && !out.random_phases) {
+    return Status::InvalidArgument(
+        "protocol.phase_stream only applies with protocol.random_phases");
+  }
+  out.params.epoch_length = static_cast<int>(epoch_length);
+  out.phase_spread = static_cast<int>(phase_spread);
+  out.phase_stream = static_cast<uint64_t>(phase_stream);
+  return out;
+}
+
+Result<FullTransferParams> ParseFullTransferSpec(const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(
+      spec.CheckParams("protocol.", {"lambda", "parcels", "window"}));
+  FullTransferParams params;
+  DYNAGG_ASSIGN_OR_RETURN(params.lambda,
+                          spec.ParamDouble("protocol.lambda", 0.1));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t parcels,
+                          spec.ParamInt("protocol.parcels", 4));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t window,
+                          spec.ParamInt("protocol.window", 3));
+  if (parcels < 1 || window < 1) {
+    return Status::InvalidArgument(
+        "protocol.parcels and protocol.window must be >= 1");
+  }
+  params.parcels = static_cast<int>(parcels);
+  params.window = static_cast<int>(window);
+  return params;
 }
 
 // ----------------------------------------------------- handle assembly ---
@@ -176,8 +270,7 @@ SwarmHandle CountingHandle(std::shared_ptr<Box> box, double state_bytes) {
 // --------------------------------------------------- averaging protocols ---
 
 Result<SwarmHandle> MakePushSum(const TrialContext& ctx, EnvHandle& env) {
-  DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams("protocol.", {"mode"}));
-  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
+  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParsePushSumSpec(*ctx.spec));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
   auto box = std::make_shared<ValueSwarmBox<PushSumSwarm>>(
       UniformWorkloadValues(n, ctx.trial_seed), mode);
@@ -186,75 +279,49 @@ Result<SwarmHandle> MakePushSum(const TrialContext& ctx, EnvHandle& env) {
 
 Result<SwarmHandle> MakePushSumRevert(const TrialContext& ctx,
                                       EnvHandle& env) {
-  DYNAGG_RETURN_IF_ERROR(
-      ctx.spec->CheckParams("protocol.", {"lambda", "mode", "revert"}));
-  DYNAGG_ASSIGN_OR_RETURN(const double lambda,
-                          ctx.spec->ParamDouble("protocol.lambda", 0.01));
-  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
-  DYNAGG_ASSIGN_OR_RETURN(const RevertMode revert,
-                          ParseRevertMode(*ctx.spec));
+  DYNAGG_ASSIGN_OR_RETURN(const PsrParams params, ParsePsrSpec(*ctx.spec));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
   auto box = std::make_shared<ValueSwarmBox<PushSumRevertSwarm>>(
-      UniformWorkloadValues(n, ctx.trial_seed),
-      PsrParams{.lambda = lambda, .mode = mode, .revert = revert});
+      UniformWorkloadValues(n, ctx.trial_seed), params);
   return AveragingHandle(std::move(box), 3.0 * sizeof(double));
 }
 
 Result<SwarmHandle> MakeEpochPushSum(const TrialContext& ctx,
                                      EnvHandle& env) {
-  DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
-      "protocol.", {"epoch_length", "mode", "phase_spread"}));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t epoch_length,
-                          ctx.spec->ParamInt("protocol.epoch_length", 10));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t phase_spread,
-                          ctx.spec->ParamInt("protocol.phase_spread", 0));
-  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
-  if (epoch_length < 1) {
-    return Status::InvalidArgument("protocol.epoch_length must be >= 1");
-  }
-  if (phase_spread < 0 || phase_spread > epoch_length) {
-    return Status::InvalidArgument(
-        "protocol.phase_spread must be in [0, epoch_length]");
-  }
+  DYNAGG_ASSIGN_OR_RETURN(const EpochSpecParams cfg,
+                          ParseEpochSpec(*ctx.spec));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
   std::vector<int> phases;
-  if (phase_spread > 0) {
+  if (cfg.phase_spread > 0) {
     phases.resize(n);
     for (int i = 0; i < n; ++i) {
-      phases[i] = i % static_cast<int>(phase_spread);
+      phases[i] = i % cfg.phase_spread;
+    }
+  } else if (cfg.random_phases) {
+    // The epoch ablation's skewed-clocks mode: every host starts at a
+    // uniformly random phase of the epoch.
+    phases.resize(n);
+    Rng prng(DeriveSeed(ctx.trial_seed, cfg.phase_stream));
+    for (int i = 0; i < n; ++i) {
+      phases[i] = static_cast<int>(
+          prng.UniformInt(static_cast<uint64_t>(cfg.params.epoch_length)));
     }
   }
   auto box = std::make_shared<ValueSwarmBox<EpochPushSumSwarm>>(
-      UniformWorkloadValues(n, ctx.trial_seed),
-      EpochParams{.epoch_length = static_cast<int>(epoch_length),
-                  .mode = mode},
-      phases);
+      UniformWorkloadValues(n, ctx.trial_seed), cfg.params, phases);
   return AveragingHandle(std::move(box), /*state_bytes=*/0.0);
 }
 
 Result<SwarmHandle> MakeFullTransfer(const TrialContext& ctx,
                                      EnvHandle& env) {
-  DYNAGG_RETURN_IF_ERROR(
-      ctx.spec->CheckParams("protocol.", {"lambda", "parcels", "window"}));
-  DYNAGG_ASSIGN_OR_RETURN(const double lambda,
-                          ctx.spec->ParamDouble("protocol.lambda", 0.1));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t parcels,
-                          ctx.spec->ParamInt("protocol.parcels", 4));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t window,
-                          ctx.spec->ParamInt("protocol.window", 3));
-  if (parcels < 1 || window < 1) {
-    return Status::InvalidArgument(
-        "protocol.parcels and protocol.window must be >= 1");
-  }
+  DYNAGG_ASSIGN_OR_RETURN(const FullTransferParams params,
+                          ParseFullTransferSpec(*ctx.spec));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
   auto box = std::make_shared<ValueSwarmBox<FullTransferSwarm>>(
-      UniformWorkloadValues(n, ctx.trial_seed),
-      FullTransferParams{.lambda = lambda,
-                         .parcels = static_cast<int>(parcels),
-                         .window = static_cast<int>(window)});
+      UniformWorkloadValues(n, ctx.trial_seed), params);
   // State: the mass plus the estimate window of <weight, value> pairs.
   const double state_bytes =
-      (2.0 + 2.0 * static_cast<double>(window)) * sizeof(double);
+      (2.0 + 2.0 * static_cast<double>(params.window)) * sizeof(double);
   return AveragingHandle(std::move(box), state_bytes);
 }
 
@@ -269,31 +336,39 @@ struct ExtremesBox {
       : values(std::move(v)), keys(std::move(k)), swarm(values, keys, params) {}
 };
 
-Result<SwarmHandle> MakeExtremes(const TrialContext& ctx, EnvHandle& env) {
+Result<ExtremeParams> ParseExtremesSpec(const ScenarioSpec& spec) {
   DYNAGG_RETURN_IF_ERROR(
-      ctx.spec->CheckParams("protocol.", {"kind", "cutoff", "mode"}));
+      spec.CheckParams("protocol.", {"kind", "cutoff", "mode"}));
   DYNAGG_ASSIGN_OR_RETURN(const std::string kind_name,
-                          ctx.spec->ParamString("protocol.kind", "max"));
-  ExtremeKind kind;
+                          spec.ParamString("protocol.kind", "max"));
+  ExtremeParams params;
   if (kind_name == "max") {
-    kind = ExtremeKind::kMaximum;
+    params.kind = ExtremeKind::kMaximum;
   } else if (kind_name == "min") {
-    kind = ExtremeKind::kMinimum;
+    params.kind = ExtremeKind::kMinimum;
   } else {
     return Status::InvalidArgument(
         "protocol.kind must be max or min, got '" + kind_name + "'");
   }
   DYNAGG_ASSIGN_OR_RETURN(const int64_t cutoff,
-                          ctx.spec->ParamInt("protocol.cutoff", 12));
-  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(*ctx.spec));
+                          spec.ParamInt("protocol.cutoff", 12));
+  if (cutoff < 0) {
+    return Status::InvalidArgument("protocol.cutoff must be >= 0");
+  }
+  params.cutoff = static_cast<int>(cutoff);
+  DYNAGG_ASSIGN_OR_RETURN(params.mode, ParseGossipMode(spec));
+  return params;
+}
+
+Result<SwarmHandle> MakeExtremes(const TrialContext& ctx, EnvHandle& env) {
+  DYNAGG_ASSIGN_OR_RETURN(const ExtremeParams params,
+                          ParseExtremesSpec(*ctx.spec));
+  const ExtremeKind kind = params.kind;
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
   std::vector<uint64_t> keys(n);
   std::iota(keys.begin(), keys.end(), uint64_t{0});
   auto box = std::make_shared<ExtremesBox>(
-      UniformWorkloadValues(n, ctx.trial_seed), std::move(keys),
-      ExtremeParams{.kind = kind,
-                    .cutoff = static_cast<int>(cutoff),
-                    .mode = mode});
+      UniformWorkloadValues(n, ctx.trial_seed), std::move(keys), params);
   SwarmHandle h;
   DynamicExtremeSwarm* swarm = &box->swarm;
   const std::vector<double>* values = &box->values;
@@ -323,34 +398,94 @@ Result<SwarmHandle> MakeExtremes(const TrialContext& ctx, EnvHandle& env) {
 
 // ---------------------------------------------------- counting protocols ---
 
-Result<std::vector<int64_t>> Multiplicities(const TrialContext& ctx, int n) {
+/// Validates protocol.multiplicity: a per-host identifier count >= 0, or
+/// the symbolic value `workload` (round(v) for the paper's U[0,100) value
+/// workload — the multiple-insertion summation of the Invert-Average
+/// ablation, Section IV.B).
+Status ValidateMultiplicitySpec(const ScenarioSpec& spec) {
+  DYNAGG_ASSIGN_OR_RETURN(const std::string text,
+                          spec.ParamString("protocol.multiplicity", "1"));
+  if (text == "workload") {
+    // Workload multiplicities include 0 (values < 0.5); the trace driver's
+    // group estimate divides by the multiplicity.
+    if (spec.driver == "trace") {
+      return Status::InvalidArgument(
+          "driver = trace does not support protocol.multiplicity = "
+          "workload (group sizes are measured in devices)");
+    }
+    return Status::OK();
+  }
   DYNAGG_ASSIGN_OR_RETURN(const int64_t mult,
-                          ctx.spec->ParamInt("protocol.multiplicity", 1));
+                          spec.ParamInt("protocol.multiplicity", 1));
   if (mult < 0) {
     return Status::InvalidArgument("protocol.multiplicity must be >= 0");
   }
   // The trace driver's group estimate divides by the multiplicity to
   // compare counts against group sizes; 0 would silently print inf.
-  if (mult < 1 && ctx.spec->driver == "trace") {
+  if (mult < 1 && spec.driver == "trace") {
     return Status::InvalidArgument(
         "driver = trace requires protocol.multiplicity >= 1 (group sizes "
         "are measured in devices)");
   }
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> Multiplicities(const TrialContext& ctx, int n) {
+  DYNAGG_RETURN_IF_ERROR(ValidateMultiplicitySpec(*ctx.spec));
+  DYNAGG_ASSIGN_OR_RETURN(const std::string text,
+                          ctx.spec->ParamString("protocol.multiplicity", "1"));
+  if (text == "workload") {
+    const std::vector<double> values =
+        UniformWorkloadValues(n, ctx.trial_seed);
+    std::vector<int64_t> mult(n);
+    for (int i = 0; i < n; ++i) {
+      mult[i] = static_cast<int64_t>(values[i] + 0.5);
+    }
+    return mult;
+  }
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t mult,
+                          ctx.spec->ParamInt("protocol.multiplicity", 1));
   return std::vector<int64_t>(n, mult);
 }
 
-Result<SwarmHandle> MakeCountSketch(const TrialContext& ctx, EnvHandle& env) {
-  DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
+/// Shared bins/levels validation of the sketch protocols.
+Status CheckSketchShape(int64_t bins, int64_t levels) {
+  if (bins < 1 || levels < 1 || levels > kCsrMaxLevels) {
+    return Status::InvalidArgument(
+        "protocol.bins must be >= 1 and protocol.levels in [1, " +
+        std::to_string(kCsrMaxLevels) + "]");
+  }
+  return Status::OK();
+}
+
+/// Modelled gossip payload of one sketch state flowing both ways per
+/// initiated push/pull exchange, times the number of simultaneously
+/// maintained attributes (the Invert-Average ablation's cost model):
+/// bins x levels counter bytes plus an 8-byte header.
+double SketchGossipBytes(int bins, int levels, int64_t attributes) {
+  return static_cast<double>(attributes) *
+         (2.0 * (static_cast<double>(bins) * levels + 8.0));
+}
+
+Result<CountSketchParams> ParseCountSketchSpec(const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
       "protocol.", {"bins", "levels", "mode", "multiplicity"}));
+  DYNAGG_RETURN_IF_ERROR(ValidateMultiplicitySpec(spec));
   CountSketchParams params;
   DYNAGG_ASSIGN_OR_RETURN(const int64_t bins,
-                          ctx.spec->ParamInt("protocol.bins", params.bins));
-  DYNAGG_ASSIGN_OR_RETURN(
-      const int64_t levels,
-      ctx.spec->ParamInt("protocol.levels", params.levels));
-  DYNAGG_ASSIGN_OR_RETURN(params.mode, ParseGossipMode(*ctx.spec));
+                          spec.ParamInt("protocol.bins", params.bins));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t levels,
+                          spec.ParamInt("protocol.levels", params.levels));
+  DYNAGG_RETURN_IF_ERROR(CheckSketchShape(bins, levels));
+  DYNAGG_ASSIGN_OR_RETURN(params.mode, ParseGossipMode(spec));
   params.bins = static_cast<int>(bins);
   params.levels = static_cast<int>(levels);
+  return params;
+}
+
+Result<SwarmHandle> MakeCountSketch(const TrialContext& ctx, EnvHandle& env) {
+  DYNAGG_ASSIGN_OR_RETURN(const CountSketchParams params,
+                          ParseCountSketchSpec(*ctx.spec));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
   DYNAGG_ASSIGN_OR_RETURN(std::vector<int64_t> mult,
                           Multiplicities(ctx, n));
@@ -362,29 +497,76 @@ Result<SwarmHandle> MakeCountSketch(const TrialContext& ctx, EnvHandle& env) {
                         static_cast<double>(params.bins) * sizeof(uint64_t));
 }
 
-Result<SwarmHandle> MakeCountSketchReset(const TrialContext& ctx,
-                                         EnvHandle& env) {
-  DYNAGG_RETURN_IF_ERROR(ctx.spec->CheckParams(
-      "protocol.", {"bins", "levels", "cutoff_base", "cutoff_slope",
-                    "cutoff_enabled", "mode", "multiplicity"}));
+/// Parses the q list of a `counter_quantiles(q1, q2, ...)` selector (the
+/// per-bit bucketed counter-age quantiles of the spatial ablation), or an
+/// empty list when the spec does not request it. Shared by the CSR spec
+/// validator (--dry-run) and the finish hook.
+Result<std::vector<double>> ParseCounterQuantilesSpec(
+    const ScenarioSpec& spec) {
+  std::vector<double> qs;
+  for (const MetricSpec& m : spec.metrics) {
+    if (m.name != "counter_quantiles") continue;
+    const std::string bad =
+        "metric '" + m.ToString() +
+        "': counter_quantiles takes a comma-separated list of quantiles "
+        "in [0, 1]";
+    size_t start = 0;
+    for (size_t i = 0; i <= m.arg.size(); ++i) {
+      if (i < m.arg.size() && m.arg[i] != ',') continue;
+      const Result<double> q = ParseDouble(m.arg.substr(start, i - start));
+      if (!q.ok() || !(*q >= 0.0 && *q <= 1.0)) {
+        return Status::InvalidArgument(bad);
+      }
+      qs.push_back(*q);
+      start = i + 1;
+    }
+    if (qs.empty()) return Status::InvalidArgument(bad);
+  }
+  return qs;
+}
+
+struct CsrSpecParams {
   CsrParams params;
+  int64_t attributes = 1;
+};
+
+Result<CsrSpecParams> ParseCsrSpec(const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "protocol.", {"bins", "levels", "cutoff_base", "cutoff_slope",
+                    "cutoff_enabled", "mode", "multiplicity", "attributes"}));
+  DYNAGG_RETURN_IF_ERROR(ValidateMultiplicitySpec(spec));
+  DYNAGG_RETURN_IF_ERROR(ParseCounterQuantilesSpec(spec).status());
+  CsrSpecParams out;
+  CsrParams& params = out.params;
   DYNAGG_ASSIGN_OR_RETURN(const int64_t bins,
-                          ctx.spec->ParamInt("protocol.bins", params.bins));
-  DYNAGG_ASSIGN_OR_RETURN(
-      const int64_t levels,
-      ctx.spec->ParamInt("protocol.levels", params.levels));
+                          spec.ParamInt("protocol.bins", params.bins));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t levels,
+                          spec.ParamInt("protocol.levels", params.levels));
+  DYNAGG_RETURN_IF_ERROR(CheckSketchShape(bins, levels));
   DYNAGG_ASSIGN_OR_RETURN(
       params.cutoff_base,
-      ctx.spec->ParamDouble("protocol.cutoff_base", params.cutoff_base));
+      spec.ParamDouble("protocol.cutoff_base", params.cutoff_base));
   DYNAGG_ASSIGN_OR_RETURN(
       params.cutoff_slope,
-      ctx.spec->ParamDouble("protocol.cutoff_slope", params.cutoff_slope));
-  DYNAGG_ASSIGN_OR_RETURN(params.cutoff_enabled,
-                          ctx.spec->ParamBool("protocol.cutoff_enabled",
-                                              params.cutoff_enabled));
-  DYNAGG_ASSIGN_OR_RETURN(params.mode, ParseGossipMode(*ctx.spec));
+      spec.ParamDouble("protocol.cutoff_slope", params.cutoff_slope));
+  DYNAGG_ASSIGN_OR_RETURN(
+      params.cutoff_enabled,
+      spec.ParamBool("protocol.cutoff_enabled", params.cutoff_enabled));
+  DYNAGG_ASSIGN_OR_RETURN(params.mode, ParseGossipMode(spec));
+  DYNAGG_ASSIGN_OR_RETURN(out.attributes,
+                          spec.ParamInt("protocol.attributes", 1));
+  if (out.attributes < 1) {
+    return Status::InvalidArgument("protocol.attributes must be >= 1");
+  }
   params.bins = static_cast<int>(bins);
   params.levels = static_cast<int>(levels);
+  return out;
+}
+
+Result<SwarmHandle> MakeCountSketchReset(const TrialContext& ctx,
+                                         EnvHandle& env) {
+  DYNAGG_ASSIGN_OR_RETURN(const CsrSpecParams cfg, ParseCsrSpec(*ctx.spec));
+  const CsrParams params = cfg.params;
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
   DYNAGG_ASSIGN_OR_RETURN(std::vector<int64_t> mult,
                           Multiplicities(ctx, n));
@@ -394,6 +576,8 @@ Result<SwarmHandle> MakeCountSketchReset(const TrialContext& ctx,
   // One byte-sized age counter per (bin, level) slot.
   SwarmHandle h = CountingHandle(
       std::move(box), static_cast<double>(params.bins) * params.levels);
+  h.gossip_bytes = SketchGossipBytes(params.bins, params.levels,
+                                     cfg.attributes);
 
   // Fig 6's bit-counter distribution: pool the N[n][k] age counters over
   // all hosts and bins after the last round and report the per-bit CDF of
@@ -403,42 +587,163 @@ Result<SwarmHandle> MakeCountSketchReset(const TrialContext& ctx,
   // levels that effectively never appear (< n/100 + 1 finite counters, as
   // in the legacy harness) are suppressed at assembly via min_key_total —
   // after cross-trial pooling when aggregating.
-  h.extra_metrics = {"cdf(counter)"};
-  h.extra_record_keys = {"max_counter"};
+  //
+  // The second extra selector, counter_quantiles(q1, q2, ...), reports the
+  // spatial ablation's per-bit counter-age quantiles instead: one series
+  // point per sufficiently-sourced bit (>= n/50 + 1 finite counters, the
+  // legacy convention), quantiles over a bucketed histogram spanning
+  // [0, record.counter_hist_max) with record.counter_hist_buckets buckets.
   h.finish = [swarm, params, n](const TrialContext& ctx,
                                 Recorder& rec) -> Status {
-    if (!MetricRequested(*ctx.spec, "cdf(counter)")) return Status::OK();
-    DYNAGG_ASSIGN_OR_RETURN(const int64_t max_counter,
-                            ctx.spec->ParamInt("record.max_counter", 12));
-    if (max_counter < 1 || max_counter >= kCsrInfinity) {
-      return Status::InvalidArgument(
-          "record.max_counter must be in [1, 254]");
-    }
-    const int max_c = static_cast<int>(max_counter);
-    std::vector<std::vector<int64_t>> histograms(
-        params.levels, std::vector<int64_t>(max_c + 1, 0));
-    for (HostId id = 0; id < n; ++id) {
-      const CountSketchResetNode& node = swarm->node(id);
-      for (int b = 0; b < params.bins; ++b) {
-        for (int k = 0; k < params.levels; ++k) {
-          const uint8_t c = node.counter(b, k);
-          if (c == kCsrInfinity) continue;
-          ++histograms[k][c <= max_c ? c : max_c];
+    if (MetricRequested(*ctx.spec, "cdf(counter)")) {
+      DYNAGG_ASSIGN_OR_RETURN(const int64_t max_counter,
+                              ctx.spec->ParamInt("record.max_counter", 12));
+      if (max_counter < 1 || max_counter >= kCsrInfinity) {
+        return Status::InvalidArgument(
+            "record.max_counter must be in [1, 254]");
+      }
+      const int max_c = static_cast<int>(max_counter);
+      std::vector<std::vector<int64_t>> histograms(
+          params.levels, std::vector<int64_t>(max_c + 1, 0));
+      for (HostId id = 0; id < n; ++id) {
+        const CountSketchResetNode& node = swarm->node(id);
+        for (int b = 0; b < params.bins; ++b) {
+          for (int k = 0; k < params.levels; ++k) {
+            const uint8_t c = node.counter(b, k);
+            if (c == kCsrInfinity) continue;
+            ++histograms[k][c <= max_c ? c : max_c];
+          }
+        }
+      }
+      HistogramRecord* record = rec.MutableHistogram(
+          "counter_cdf", /*key_name=*/"bit", "counter_value", "cdf",
+          /*cumulative=*/true, /*min_key_total=*/n / 100 + 1);
+      for (int k = 0; k < params.levels; ++k) {
+        for (int c = 0; c <= max_c; ++c) {
+          record->buckets.push_back({static_cast<double>(k),
+                                     static_cast<double>(c),
+                                     histograms[k][c]});
         }
       }
     }
-    HistogramRecord* record = rec.MutableHistogram(
-        "counter_cdf", /*key_name=*/"bit", "counter_value", "cdf",
-        /*cumulative=*/true, /*min_key_total=*/n / 100 + 1);
-    for (int k = 0; k < params.levels; ++k) {
-      for (int c = 0; c <= max_c; ++c) {
-        record->buckets.push_back({static_cast<double>(k),
-                                   static_cast<double>(c),
-                                   histograms[k][c]});
+    DYNAGG_ASSIGN_OR_RETURN(const std::vector<double> quantiles,
+                            ParseCounterQuantilesSpec(*ctx.spec));
+    if (!quantiles.empty()) {
+      DYNAGG_ASSIGN_OR_RETURN(
+          const double hist_max,
+          ctx.spec->ParamDouble("record.counter_hist_max", 64.0));
+      DYNAGG_ASSIGN_OR_RETURN(
+          const int64_t hist_buckets,
+          ctx.spec->ParamInt("record.counter_hist_buckets", 64));
+      if (hist_max <= 0 || hist_buckets < 1) {
+        return Status::InvalidArgument(
+            "record.counter_hist_max must be > 0 and "
+            "record.counter_hist_buckets >= 1");
+      }
+      for (int k = 0; k < params.levels; ++k) {
+        Histogram hist(0, hist_max, static_cast<int>(hist_buckets));
+        int64_t finite = 0;
+        for (HostId id = 0; id < n; ++id) {
+          const CountSketchResetNode& node = swarm->node(id);
+          for (int b = 0; b < params.bins; ++b) {
+            const uint8_t c = node.counter(b, k);
+            if (c == kCsrInfinity) continue;
+            hist.Add(c);
+            ++finite;
+          }
+        }
+        // Skip bits that effectively never appear, as the legacy spatial
+        // ablation did (quantiles of a near-empty histogram are noise).
+        if (finite < n / 50 + 1) continue;
+        for (const double q : quantiles) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%g", q * 100.0);
+          rec.AddSeriesPoint("bit", "counter_p" + std::string(buf),
+                             static_cast<double>(k), hist.Quantile(q));
+        }
       }
     }
     return Status::OK();
   };
+  return h;
+}
+
+// ------------------------------------------------------- invert-average ---
+
+struct InvertAverageSpecParams {
+  InvertAverageParams params;
+  int64_t attributes = 1;
+};
+
+Result<InvertAverageSpecParams> ParseInvertAverageSpec(
+    const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "protocol.", {"lambda", "bins", "levels", "multiplicity",
+                    "attributes"}));
+  InvertAverageSpecParams out;
+  InvertAverageParams& params = out.params;
+  DYNAGG_ASSIGN_OR_RETURN(
+      params.psr.lambda,
+      spec.ParamDouble("protocol.lambda", params.psr.lambda));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t bins,
+                          spec.ParamInt("protocol.bins", params.csr.bins));
+  DYNAGG_ASSIGN_OR_RETURN(
+      const int64_t levels,
+      spec.ParamInt("protocol.levels", params.csr.levels));
+  DYNAGG_RETURN_IF_ERROR(CheckSketchShape(bins, levels));
+  DYNAGG_ASSIGN_OR_RETURN(
+      params.count_multiplicity,
+      spec.ParamInt("protocol.multiplicity", params.count_multiplicity));
+  if (params.count_multiplicity < 1) {
+    return Status::InvalidArgument("protocol.multiplicity must be >= 1");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(out.attributes,
+                          spec.ParamInt("protocol.attributes", 1));
+  if (out.attributes < 1) {
+    return Status::InvalidArgument("protocol.attributes must be >= 1");
+  }
+  params.csr.bins = static_cast<int>(bins);
+  params.csr.levels = static_cast<int>(levels);
+  return out;
+}
+
+/// Invert-Average (agg/invert_average.h): dynamic summation as
+/// Count-Sketch-Reset network size x Push-Sum-Revert average. The sketch
+/// cost is amortized across protocol.attributes simultaneous sums while
+/// each sum only adds two doubles of Push-Sum traffic — the bandwidth
+/// argument of Section IV.B, modelled by the gossip_bytes record.
+Result<SwarmHandle> MakeInvertAverage(const TrialContext& ctx,
+                                      EnvHandle& env) {
+  DYNAGG_ASSIGN_OR_RETURN(const InvertAverageSpecParams cfg,
+                          ParseInvertAverageSpec(*ctx.spec));
+  const InvertAverageParams& params = cfg.params;
+  const int64_t attributes = cfg.attributes;
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  auto box = std::make_shared<ValueSwarmBox<InvertAverageSwarm>>(
+      UniformWorkloadValues(n, ctx.trial_seed), params);
+  InvertAverageSwarm* swarm = &box->swarm;
+  const std::vector<double>* values = &box->values;
+  SwarmHandle h;
+  h.run_round = [swarm](const Environment& e, const Population& p, Rng& r) {
+    swarm->RunRound(e, p, r);
+  };
+  h.estimate = [swarm](HostId id) { return swarm->EstimateSum(id); };
+  h.truth = [values](const Population& pop) {
+    return TrueSum(*values, pop);
+  };
+  h.failure_values = values;
+  // Push-Sum-Revert mass (3 doubles) plus the CSR counter array.
+  h.state_bytes =
+      3.0 * sizeof(double) +
+      static_cast<double>(params.csr.bins) * params.csr.levels;
+  // One shared size sketch plus two doubles of Push-Sum state per summed
+  // attribute, both directions per initiated exchange.
+  h.gossip_bytes =
+      SketchGossipBytes(params.csr.bins, params.csr.levels, 1) +
+      static_cast<double>(attributes) * 2.0 * (2.0 * sizeof(double));
+  MaybeSetMeter(h, swarm);
+  MaybeSetThreads(h, swarm);
+  h.keepalive = std::move(box);
   return h;
 }
 
@@ -489,12 +794,17 @@ class NodeAggregatorSwarm {
   RoundKernel kernel_;
 };
 
-Result<SwarmHandle> MakeNodeAggregator(const TrialContext& ctx,
-                                       EnvHandle& env) {
-  const ScenarioSpec& spec = *ctx.spec;
+struct NodeAggregatorSpecParams {
+  AggregatorConfig config;
+  std::string metric;
+};
+
+Result<NodeAggregatorSpecParams> ParseNodeAggregatorSpec(
+    const ScenarioSpec& spec) {
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
       "protocol.", {"lambda", "bins", "levels", "multiplicity", "metric"}));
-  AggregatorConfig config;
+  NodeAggregatorSpecParams out;
+  AggregatorConfig& config = out.config;
   DYNAGG_ASSIGN_OR_RETURN(config.lambda,
                           spec.ParamDouble("protocol.lambda", config.lambda));
   DYNAGG_ASSIGN_OR_RETURN(
@@ -506,21 +816,32 @@ Result<SwarmHandle> MakeNodeAggregator(const TrialContext& ctx,
   DYNAGG_ASSIGN_OR_RETURN(
       config.count_multiplicity,
       spec.ParamInt("protocol.multiplicity", config.count_multiplicity));
-  DYNAGG_ASSIGN_OR_RETURN(const std::string metric,
+  DYNAGG_ASSIGN_OR_RETURN(out.metric,
                           spec.ParamString("protocol.metric", "average"));
   if (config.lambda < 0.0 || config.lambda > 1.0) {
     return Status::InvalidArgument("protocol.lambda must be in [0, 1]");
   }
-  if (bins < 1 || levels < 1 || levels > kCsrMaxLevels) {
-    return Status::InvalidArgument(
-        "protocol.bins must be >= 1 and protocol.levels in [1, " +
-        std::to_string(kCsrMaxLevels) + "]");
-  }
+  DYNAGG_RETURN_IF_ERROR(CheckSketchShape(bins, levels));
   if (config.count_multiplicity < 1) {
     return Status::InvalidArgument("protocol.multiplicity must be >= 1");
   }
+  if (out.metric != "average" && out.metric != "count" &&
+      out.metric != "sum") {
+    return Status::InvalidArgument(
+        "protocol.metric must be average, count or sum, got '" + out.metric +
+        "'");
+  }
   config.csr.bins = static_cast<int>(bins);
   config.csr.levels = static_cast<int>(levels);
+  return out;
+}
+
+Result<SwarmHandle> MakeNodeAggregator(const TrialContext& ctx,
+                                       EnvHandle& env) {
+  DYNAGG_ASSIGN_OR_RETURN(const NodeAggregatorSpecParams parsed,
+                          ParseNodeAggregatorSpec(*ctx.spec));
+  const AggregatorConfig& config = parsed.config;
+  const std::string& metric = parsed.metric;
 
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
   auto box = std::make_shared<ValueSwarmBox<NodeAggregatorSwarm>>(
@@ -577,8 +898,14 @@ Result<SwarmHandle> MakeNodeAggregator(const TrialContext& ctx,
 /// no environment, no rounds — a whole-trial runner swept over
 /// protocol.buckets. The seed convention (DeriveSeed(seed, sample * 1000 +
 /// buckets)) reproduces the retired bench main bit-identically.
-Status RunFmAccuracy(const TrialContext& ctx, Recorder& rec) {
-  const ScenarioSpec& spec = *ctx.spec;
+struct FmAccuracySpecParams {
+  int64_t buckets = 64;
+  int64_t levels = 32;
+  int64_t samples = 200;
+  int64_t count = 20000;
+};
+
+Result<FmAccuracySpecParams> ParseFmAccuracySpec(const ScenarioSpec& spec) {
   DYNAGG_RETURN_IF_ERROR(
       spec.CheckParams("protocol.", {"buckets", "levels", "samples", "count"}));
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {}));
@@ -587,19 +914,31 @@ Status RunFmAccuracy(const TrialContext& ctx, Recorder& rec) {
   // The default `rms` selector maps onto the protocol's own error scalars,
   // the tag-tree convention for custom runners.
   DYNAGG_RETURN_IF_ERROR(CheckMetricsSupported(spec, {"rms"}));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t buckets,
-                          spec.ParamInt("protocol.buckets", 64));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t levels,
-                          spec.ParamInt("protocol.levels", 32));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t samples,
-                          spec.ParamInt("protocol.samples", 200));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t count,
-                          spec.ParamInt("protocol.count", 20000));
-  if (buckets < 1 || levels < 1 || samples < 1 || count < 1) {
+  FmAccuracySpecParams out;
+  DYNAGG_ASSIGN_OR_RETURN(out.buckets,
+                          spec.ParamInt("protocol.buckets", out.buckets));
+  DYNAGG_ASSIGN_OR_RETURN(out.levels,
+                          spec.ParamInt("protocol.levels", out.levels));
+  DYNAGG_ASSIGN_OR_RETURN(out.samples,
+                          spec.ParamInt("protocol.samples", out.samples));
+  DYNAGG_ASSIGN_OR_RETURN(out.count,
+                          spec.ParamInt("protocol.count", out.count));
+  if (out.buckets < 1 || out.levels < 1 || out.samples < 1 ||
+      out.count < 1) {
     return Status::InvalidArgument(
         "protocol.buckets, protocol.levels, protocol.samples and "
         "protocol.count must be >= 1");
   }
+  return out;
+}
+
+Status RunFmAccuracy(const TrialContext& ctx, Recorder& rec) {
+  DYNAGG_ASSIGN_OR_RETURN(const FmAccuracySpecParams cfg,
+                          ParseFmAccuracySpec(*ctx.spec));
+  const int64_t buckets = cfg.buckets;
+  const int64_t levels = cfg.levels;
+  const int64_t samples = cfg.samples;
+  const int64_t count = cfg.count;
 
   RunningStat rel_error;
   RunningStat signed_error;
@@ -633,29 +972,43 @@ Status RunFmAccuracy(const TrialContext& ctx, Recorder& rec) {
 /// (tag_mean_abs_err, tag_failed_epochs_pct). Epochs are tree-depth-sized
 /// rather than fixed-length, so this protocol owns its whole trial loop
 /// (ProtocolDef::run_custom) instead of registering a SwarmFactory.
-Status RunTagTree(const TrialContext& ctx, Recorder& rec) {
-  const ScenarioSpec& spec = *ctx.spec;
+struct TagTreeSpecParams {
+  int64_t epochs = 30;
+  int64_t root = 0;
+  FailureConfig fail;
+};
+
+Result<TagTreeSpecParams> ParseTagTreeSpec(const ScenarioSpec& spec) {
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("protocol.", {"epochs", "root"}));
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream",
                                                      "failure_stream"}));
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", {}));
   DYNAGG_RETURN_IF_ERROR(CheckMetricsSupported(spec, {"rms"}));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t epochs,
-                          spec.ParamInt("protocol.epochs", 30));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t root_id,
-                          spec.ParamInt("protocol.root", 0));
-  DYNAGG_ASSIGN_OR_RETURN(const FailureConfig fail,
-                          ParseFailureConfig(spec));
-  if (fail.kind != FailureConfig::Kind::kNone &&
-      fail.kind != FailureConfig::Kind::kChurn) {
+  TagTreeSpecParams out;
+  DYNAGG_ASSIGN_OR_RETURN(out.epochs,
+                          spec.ParamInt("protocol.epochs", out.epochs));
+  DYNAGG_ASSIGN_OR_RETURN(out.root, spec.ParamInt("protocol.root", 0));
+  DYNAGG_ASSIGN_OR_RETURN(out.fail, ParseFailureConfig(spec));
+  if (out.fail.kind != FailureConfig::Kind::kNone &&
+      out.fail.kind != FailureConfig::Kind::kChurn) {
     return Status::InvalidArgument(
         "tag-tree supports failure.kind none or churn");
   }
-  DYNAGG_ASSIGN_OR_RETURN(const uint64_t fail_stream,
-                          FailureStream(spec, fail));
-  if (epochs < 1) {
+  if (out.epochs < 1) {
     return Status::InvalidArgument("protocol.epochs must be >= 1");
   }
+  return out;
+}
+
+Status RunTagTree(const TrialContext& ctx, Recorder& rec) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_ASSIGN_OR_RETURN(const TagTreeSpecParams cfg,
+                          ParseTagTreeSpec(spec));
+  const int64_t epochs = cfg.epochs;
+  const int64_t root_id = cfg.root;
+  const FailureConfig& fail = cfg.fail;
+  DYNAGG_ASSIGN_OR_RETURN(const uint64_t fail_stream,
+                          FailureStream(spec, fail));
 
   DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
@@ -697,6 +1050,149 @@ Status RunTagTree(const TrialContext& ctx, Recorder& rec) {
   return Status::OK();
 }
 
+// --------------------------------------------------- extremes ablation ---
+
+struct ExtremeRecoverySpecParams {
+  ExtremeParams extreme;
+  double winner_value = 1000.0;
+  double runner_up_value = 999.0;
+  int64_t steady_rounds = 40;
+  int64_t warmup_rounds = 15;
+  int64_t sample_stride = 97;
+  int64_t recover_rounds = 100;
+  int64_t recover_pct = 95;
+};
+
+Result<ExtremeRecoverySpecParams> ParseExtremeRecoverySpec(
+    const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "protocol.", {"cutoff", "mode", "winner_value", "runner_up_value",
+                    "steady_rounds", "warmup_rounds", "sample_stride",
+                    "recover_rounds", "recover_pct"}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream"}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", {}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("failure.", {}));
+  // Like the other custom runners, the default `rms` selector stands for
+  // the protocol's own scalar records.
+  DYNAGG_RETURN_IF_ERROR(CheckMetricsSupported(spec, {"rms"}));
+  ExtremeRecoverySpecParams out;
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t cutoff,
+                          spec.ParamInt("protocol.cutoff", 12));
+  DYNAGG_ASSIGN_OR_RETURN(out.extreme.mode, ParseGossipMode(spec));
+  DYNAGG_ASSIGN_OR_RETURN(
+      out.winner_value,
+      spec.ParamDouble("protocol.winner_value", out.winner_value));
+  DYNAGG_ASSIGN_OR_RETURN(
+      out.runner_up_value,
+      spec.ParamDouble("protocol.runner_up_value", out.runner_up_value));
+  DYNAGG_ASSIGN_OR_RETURN(
+      out.steady_rounds,
+      spec.ParamInt("protocol.steady_rounds", out.steady_rounds));
+  DYNAGG_ASSIGN_OR_RETURN(
+      out.warmup_rounds,
+      spec.ParamInt("protocol.warmup_rounds", out.warmup_rounds));
+  DYNAGG_ASSIGN_OR_RETURN(
+      out.sample_stride,
+      spec.ParamInt("protocol.sample_stride", out.sample_stride));
+  DYNAGG_ASSIGN_OR_RETURN(
+      out.recover_rounds,
+      spec.ParamInt("protocol.recover_rounds", out.recover_rounds));
+  DYNAGG_ASSIGN_OR_RETURN(
+      out.recover_pct,
+      spec.ParamInt("protocol.recover_pct", out.recover_pct));
+  if (cutoff < 0) {
+    return Status::InvalidArgument("protocol.cutoff must be >= 0");
+  }
+  if (out.steady_rounds < 1 || out.warmup_rounds < 0 ||
+      out.warmup_rounds >= out.steady_rounds) {
+    return Status::InvalidArgument(
+        "protocol.steady_rounds must be >= 1 and protocol.warmup_rounds in "
+        "[0, steady_rounds)");
+  }
+  if (out.sample_stride < 1 || out.recover_rounds < 1 ||
+      out.recover_pct < 1 || out.recover_pct > 100) {
+    return Status::InvalidArgument(
+        "protocol.sample_stride and protocol.recover_rounds must be >= 1 "
+        "and protocol.recover_pct in [1, 100]");
+  }
+  out.extreme.cutoff = static_cast<int>(cutoff);
+  return out;
+}
+
+/// The dynamic-extreme cutoff ablation (the paper's recipe applied to
+/// max): a planted winner gossips to steady state while the runner counts
+/// how many sampled hosts hold the true max and how often a too-small
+/// cutoff expires the live winner (flicker); then the winner departs and
+/// the runner counts rounds until a quorum of hosts reports the surviving
+/// runner-up. Two phases with a mid-trial targeted kill and
+/// quorum-early-exit fit no shared driver, so this is a whole-trial
+/// runner; it emits steady_correct_pct / flicker_pct / rounds_to_recover
+/// (-1 = never, the static cutoff = 0 mode).
+Status RunExtremeRecovery(const TrialContext& ctx, Recorder& rec) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_ASSIGN_OR_RETURN(const ExtremeRecoverySpecParams cfg,
+                          ParseExtremeRecoverySpec(spec));
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "extreme-recovery needs at least 2 hosts (a winner and a "
+        "runner-up)");
+  }
+  std::vector<double> values = UniformWorkloadValues(n, ctx.trial_seed);
+  values[0] = cfg.winner_value;  // the winner that will depart
+  values[1] = cfg.runner_up_value;
+  std::vector<uint64_t> keys(n);
+  std::iota(keys.begin(), keys.end(), uint64_t{0});
+  DynamicExtremeSwarm swarm(values, keys, cfg.extreme);
+  Population pop(n);
+  DYNAGG_ASSIGN_OR_RETURN(const uint64_t round_stream,
+                          RoundStream(spec, ctx, n));
+  Rng rng(DeriveSeed(ctx.trial_seed, round_stream));
+
+  // Phase 1: steady state. Count sampled hosts holding the true max and
+  // estimates that flicker (a too-small cutoff expires live candidates
+  // between refreshes).
+  int64_t correct = 0;
+  int64_t flickers = 0;
+  int64_t samples = 0;
+  for (int64_t round = 0; round < cfg.steady_rounds; ++round) {
+    swarm.RunRound(*env.env, pop, rng);
+    if (round < cfg.warmup_rounds) continue;
+    for (HostId id = 0; id < n; id += static_cast<int>(cfg.sample_stride)) {
+      ++samples;
+      if (swarm.Estimate(id) == cfg.winner_value) {
+        ++correct;
+      } else {
+        ++flickers;
+      }
+    }
+  }
+  // Phase 2: the winner departs; count rounds until the quorum reports
+  // the runner-up.
+  pop.Kill(0);
+  int recover = -1;
+  for (int64_t round = 0; round < cfg.recover_rounds; ++round) {
+    swarm.RunRound(*env.env, pop, rng);
+    int64_t holding = 0;
+    for (const HostId id : pop.alive_ids()) {
+      if (swarm.Estimate(id) == cfg.runner_up_value) ++holding;
+    }
+    if (holding >=
+        static_cast<int64_t>(pop.num_alive()) * cfg.recover_pct / 100) {
+      recover = static_cast<int>(round) + 1;
+      break;
+    }
+  }
+  rec.AddScalar("steady_correct_pct",
+                100.0 * static_cast<double>(correct) /
+                    static_cast<double>(samples));
+  rec.AddScalar("flicker_pct", 100.0 * static_cast<double>(flickers) /
+                                   static_cast<double>(samples));
+  rec.AddScalar("rounds_to_recover", static_cast<double>(recover));
+  return Status::OK();
+}
+
 }  // namespace
 
 namespace internal {
@@ -704,41 +1200,67 @@ namespace internal {
 void RegisterBuiltinProtocols(Registry<ProtocolDef>& registry) {
   // threads_capable marks the push-scatter protocols whose swarms expose
   // set_intra_round_threads; exchange-only rounds are inherently
-  // sequential.
+  // sequential. Every entry carries a spec-only validate hook so
+  // `--dry-run` rejects knob/protocol mismatches without building swarms.
   const auto swarm = [&registry](const std::string& name, SwarmFactory make,
-                                 bool trace_capable, bool threads_capable) {
-    DYNAGG_CHECK(registry
-                     .Register(name, ProtocolDef{std::move(make), nullptr,
-                                                 trace_capable,
-                                                 threads_capable})
-                     .ok());
+                                 bool trace_capable, bool threads_capable,
+                                 std::function<Status(const ScenarioSpec&)>
+                                     validate) {
+    ProtocolDef def;
+    def.make_swarm = std::move(make);
+    def.trace_capable = trace_capable;
+    def.threads_capable = threads_capable;
+    def.validate = std::move(validate);
+    DYNAGG_CHECK(registry.Register(name, std::move(def)).ok());
+  };
+  const auto custom = [&registry](const std::string& name,
+                                  ProtocolRunner run,
+                                  std::function<Status(const ScenarioSpec&)>
+                                      validate) {
+    ProtocolDef def;
+    def.run_custom = std::move(run);
+    def.validate = std::move(validate);
+    DYNAGG_CHECK(registry.Register(name, std::move(def)).ok());
   };
   swarm("push-sum", MakePushSum, /*trace_capable=*/true,
-        /*threads_capable=*/true);
+        /*threads_capable=*/true, SpecValidator(ParsePushSumSpec));
   swarm("push-sum-revert", MakePushSumRevert, /*trace_capable=*/true,
-        /*threads_capable=*/true);
+        /*threads_capable=*/true, SpecValidator(ParsePsrSpec));
   swarm("epoch-push-sum", MakeEpochPushSum, /*trace_capable=*/true,
-        /*threads_capable=*/false);
+        /*threads_capable=*/false, SpecValidator(ParseEpochSpec));
   swarm("full-transfer", MakeFullTransfer, /*trace_capable=*/true,
-        /*threads_capable=*/true);
+        /*threads_capable=*/true, SpecValidator(ParseFullTransferSpec));
   swarm("extremes", MakeExtremes, /*trace_capable=*/false,
-        /*threads_capable=*/false);
+        /*threads_capable=*/false, SpecValidator(ParseExtremesSpec));
   swarm("count-sketch", MakeCountSketch, /*trace_capable=*/true,
-        /*threads_capable=*/false);
-  swarm("count-sketch-reset", MakeCountSketchReset, /*trace_capable=*/true,
-        /*threads_capable=*/false);
+        /*threads_capable=*/false, SpecValidator(ParseCountSketchSpec));
+  {
+    ProtocolDef def;
+    def.make_swarm = MakeCountSketchReset;
+    def.trace_capable = true;
+    def.threads_capable = false;
+    def.validate = SpecValidator(ParseCsrSpec);
+    def.models_gossip_bytes = true;
+    def.extra_metrics = {"cdf(counter)", "counter_quantiles(*)"};
+    def.extra_record_keys = {"max_counter", "counter_hist_max",
+                             "counter_hist_buckets"};
+    DYNAGG_CHECK(
+        registry.Register("count-sketch-reset", std::move(def)).ok());
+  }
+  {
+    ProtocolDef def;
+    def.make_swarm = MakeInvertAverage;
+    def.threads_capable = true;
+    def.models_gossip_bytes = true;
+    def.validate = SpecValidator(ParseInvertAverageSpec);
+    DYNAGG_CHECK(registry.Register("invert-average", std::move(def)).ok());
+  }
   swarm("node-aggregator", MakeNodeAggregator, /*trace_capable=*/false,
-        /*threads_capable=*/false);
-  DYNAGG_CHECK(
-      registry
-          .Register("tag-tree", ProtocolDef{nullptr, RunTagTree,
-                                            /*trace_capable=*/false})
-          .ok());
-  DYNAGG_CHECK(
-      registry
-          .Register("fm-accuracy", ProtocolDef{nullptr, RunFmAccuracy,
-                                               /*trace_capable=*/false})
-          .ok());
+        /*threads_capable=*/false, SpecValidator(ParseNodeAggregatorSpec));
+  custom("tag-tree", RunTagTree, SpecValidator(ParseTagTreeSpec));
+  custom("fm-accuracy", RunFmAccuracy, SpecValidator(ParseFmAccuracySpec));
+  custom("extreme-recovery", RunExtremeRecovery,
+         SpecValidator(ParseExtremeRecoverySpec));
 }
 
 }  // namespace internal

@@ -96,6 +96,17 @@ void Recorder::SetBandwidth(double msgs_per_host_round,
   batch_.bandwidth = {msgs_per_host_round, bytes_per_host_round, state_bytes};
 }
 
+bool SelectorMatches(const std::string& supported, const MetricSpec& m) {
+  constexpr std::string_view kWildcard = "(*)";
+  if (supported.size() > kWildcard.size() &&
+      supported.compare(supported.size() - kWildcard.size(),
+                        kWildcard.size(), kWildcard) == 0) {
+    return m.name == supported.substr(0, supported.size() - kWildcard.size()) &&
+           !m.arg.empty();
+  }
+  return m.ToString() == supported;
+}
+
 Status CheckMetricsSupported(const std::string& protocol,
                              const std::vector<MetricSpec>& metrics,
                              const std::vector<std::string>& supported) {
@@ -103,7 +114,7 @@ Status CheckMetricsSupported(const std::string& protocol,
     const std::string selector = m.ToString();
     bool ok = false;
     for (const std::string& s : supported) {
-      if (selector == s) {
+      if (SelectorMatches(s, m)) {
         ok = true;
         break;
       }

@@ -246,6 +246,12 @@ Status CheckMetricsSupported(const std::string& protocol,
 /// Whether the spec requests metric `selector` (canonical spelling).
 bool MetricRequested(const ScenarioSpec& spec, const std::string& selector);
 
+/// Whether metric `m` matches catalog entry `supported`: an exact
+/// canonical-spelling match, or — for entries ending in "(*)" — a name
+/// match with any non-empty argument (parametrized selector families like
+/// counter_quantiles(0.5, 0.95)).
+bool SelectorMatches(const std::string& supported, const MetricSpec& m);
+
 /// Runs one whole trial to completion, emitting its records through `rec`.
 /// Since Driver API v1 this is the escape hatch for protocols whose trial
 /// structure fits no shared driver (tag-tree's tree-depth-sized epochs);
@@ -285,6 +291,11 @@ struct SwarmHandle {
   const std::vector<double>* failure_values = nullptr;
   /// Per-host state footprint reported by the bandwidth record.
   double state_bytes = 0.0;
+  /// Modelled per-host per-round gossip payload in bytes (the analytic
+  /// bandwidth model behind `record = gossip_bytes`, e.g. the
+  /// Invert-Average attribute-scaling argument); < 0 = not modelled, and
+  /// the drivers reject the selector.
+  double gossip_bytes = -1.0;
   /// Attaches a traffic meter for the bandwidth metric; null = the
   /// protocol cannot measure traffic.
   std::function<void(TrafficMeter*)> set_meter;
@@ -292,12 +303,9 @@ struct SwarmHandle {
   /// top-level `intra_round_threads` key); null = the protocol has no
   /// data-parallel apply phase, and the drivers reject values > 1.
   std::function<void(int)> set_threads;
-  /// Extra metric selectors (and their record.* keys) beyond the rounds
-  /// driver's catalog, emitted by `finish` (count-sketch-reset's
-  /// cdf(counter)).
-  std::vector<std::string> extra_metrics;
-  std::vector<std::string> extra_record_keys;
-  /// Post-loop hook emitting the extra metrics (rounds driver only).
+  /// Post-loop hook emitting the protocol's extra metrics (rounds driver
+  /// only; the selectors and record.* keys it handles are declared
+  /// statically on the ProtocolDef so `--dry-run` can validate them).
   std::function<Status(const TrialContext&, Recorder&)> finish;
   /// Owns the swarm and whatever storage the callbacks point into.
   std::shared_ptr<void> keepalive;
@@ -324,6 +332,22 @@ struct ProtocolDef {
   /// reject `intra_round_threads > 1` on exchange-only and custom
   /// protocols without building swarms.
   bool threads_capable = false;
+  /// Whether the built swarm sets SwarmHandle::gossip_bytes (the analytic
+  /// payload model). Static so `--dry-run` can reject `record =
+  /// gossip_bytes` on protocols without a model.
+  bool models_gossip_bytes = false;
+  /// Spec-only validation of the protocol's knobs (protocol.* parameter
+  /// allowlists, value ranges, custom runners' record/seed allowlists) —
+  /// everything checkable without an environment or a swarm. Factories
+  /// share the same parse functions, so `--dry-run` rejects exactly the
+  /// knob/protocol mismatches execution would.
+  std::function<Status(const ScenarioSpec&)> validate;
+  /// Extra metric selectors (and their record.* keys) beyond the rounds
+  /// driver's catalog, handled by the built swarm's `finish` hook
+  /// (count-sketch-reset's cdf(counter) / counter_quantiles(...)). An
+  /// entry ending in "(*)" matches any argument (see SelectorMatches).
+  std::vector<std::string> extra_metrics;
+  std::vector<std::string> extra_record_keys;
 };
 
 /// Advances simulated time for one trial: builds the environment, obtains

@@ -19,9 +19,11 @@ void Simulator::SchedulePeriodic(SimTime first, SimTime period,
                                  std::function<bool()> fn, int priority) {
   DYNAGG_CHECK_GT(period, 0);
   DYNAGG_CHECK_GE(first, now_);
-  // The wrapper reschedules itself; shared_ptr lets the lambda own a copy of
-  // itself without a dangling reference.
-  auto tick = std::make_shared<std::function<void()>>();
+  // The wrapper reschedules itself. The simulator owns it (periodic_ticks_)
+  // and the queued copies capture a plain pointer into that storage — a
+  // self-owning shared_ptr capture would be a reference cycle and leak.
+  periodic_ticks_.emplace_back();
+  std::function<void()>* tick = &periodic_ticks_.back();
   *tick = [this, period, priority, fn = std::move(fn), tick]() {
     if (!fn()) return;
     queue_.Schedule(now_ + period, *tick, priority);

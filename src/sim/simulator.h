@@ -8,6 +8,7 @@
 #ifndef DYNAGG_SIM_SIMULATOR_H_
 #define DYNAGG_SIM_SIMULATOR_H_
 
+#include <deque>
 #include <functional>
 
 #include "common/macros.h"
@@ -50,6 +51,11 @@ class Simulator {
 
  private:
   EventQueue queue_;
+  /// Self-rescheduling wrappers of SchedulePeriodic, owned here so the
+  /// queued copies can capture a stable plain pointer instead of a
+  /// shared_ptr cycle (which would never be freed). Deque: pointers to
+  /// elements survive push_back.
+  std::deque<std::function<void()>> periodic_ticks_;
   SimTime now_ = 0;
   bool stop_requested_ = false;
 };

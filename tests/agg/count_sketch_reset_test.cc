@@ -47,7 +47,9 @@ TEST(CsrNodeTest, AgeCountersKeepsOwnedAtZeroAndInfinityFixed) {
     const bool owned =
         std::find(node.owned_slots().begin(), node.owned_slots().end(),
                   static_cast<int32_t>(i)) != node.owned_slots().end();
-    if (!owned) EXPECT_EQ(node.counters()[i], kCsrInfinity);
+    if (!owned) {
+      EXPECT_EQ(node.counters()[i], kCsrInfinity);
+    }
   }
 }
 

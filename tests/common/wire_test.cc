@@ -23,11 +23,11 @@ TEST(WireTest, FixedWidthRoundTrip) {
   w.PutDouble(3.14159);
 
   BufReader r(w.buffer());
-  uint8_t u8;
-  uint16_t u16;
-  uint32_t u32;
-  uint64_t u64;
-  double d;
+  uint8_t u8 = 0;
+  uint16_t u16 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  double d = 0.0;
   ASSERT_TRUE(r.ReadU8(&u8).ok());
   ASSERT_TRUE(r.ReadU16(&u16).ok());
   ASSERT_TRUE(r.ReadU32(&u32).ok());

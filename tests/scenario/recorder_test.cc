@@ -278,7 +278,9 @@ TEST(RecorderParityTest, CounterCdfPoolsAcrossTrialsUnderAggregation) {
   for (int64_t i = 0; i < table.num_rows(); ++i) {
     const double bit = table.row(i)[0];
     if (bit != prev_bit) {
-      if (i > 0) EXPECT_EQ(prev, 1.0) << "bit " << prev_bit;
+      if (i > 0) {
+        EXPECT_EQ(prev, 1.0) << "bit " << prev_bit;
+      }
       prev = 0.0;
       prev_bit = bit;
     }

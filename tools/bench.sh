@@ -7,8 +7,13 @@
 #
 # Usage:
 #   tools/bench.sh [build-dir]           full run, rewrites BENCH_roundkernel.json
-#   tools/bench.sh --smoke [build-dir]   quick CI sanity: benchmarks run and
-#                                        the scale spec validates; no JSON update
+#   tools/bench.sh --smoke [build-dir]   quick CI sanity: benchmarks run, the
+#                                        scale spec validates, and the round
+#                                        kernel is compared against the
+#                                        checked-in BENCH_roundkernel.json —
+#                                        a >35% slowdown fails (perf gate;
+#                                        the threshold is generous because
+#                                        the CI host is a noisy 1-CPU VM)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,14 +34,54 @@ if [[ ! -x "$RUNNER" ]]; then
 fi
 
 if [[ "$SMOKE" == 1 ]]; then
-  # CI sanity: the kernel benchmarks must run (when Google Benchmark is
-  # available) and the 100k scenario must validate; keep it to seconds.
+  # CI sanity + perf gate: the kernel benchmark must run (when Google
+  # Benchmark is available) and stay within GATE_PCT percent of the
+  # checked-in snapshot, and the 100k scenario must validate; keep it to
+  # seconds.
+  GATE_PCT="${DYNAGG_BENCH_GATE_PCT:-35}"
+  GATE_KEY="BM_PushRoundKernel/10000/1"
   if [[ -x "$MICRO" ]]; then
-    "$MICRO" --benchmark_filter="PushRoundKernel/10000" \
-      --benchmark_min_time=0.02 > /dev/null
+    SMOKE_JSON="$BUILD_DIR/bench_smoke_raw.json"
+    "$MICRO" --benchmark_filter='PushRoundKernel/10000/1$' \
+      --benchmark_min_time=0.05 --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=true \
+      --benchmark_format=json > "$SMOKE_JSON"
     echo "bench.sh --smoke: round-kernel microbenchmark ran"
+    python3 - "$SMOKE_JSON" "$GATE_KEY" "$GATE_PCT" <<'PY'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+key, gate_pct = sys.argv[2], float(sys.argv[3])
+
+measured = None
+for b in raw.get("benchmarks", []):
+    if b.get("aggregate_name") == "median" and b.get("run_name") == key:
+        measured = b["real_time"]
+if measured is None:
+    sys.exit(f"bench.sh --smoke: benchmark {key} missing from output")
+
+try:
+    snapshot = json.load(open("BENCH_roundkernel.json"))
+except FileNotFoundError:
+    print("bench.sh --smoke: no BENCH_roundkernel.json; skipping perf gate "
+          "(run tools/bench.sh to create the snapshot)")
+    sys.exit(0)
+baseline = snapshot.get("round_ns", {}).get(key)
+if baseline is None:
+    sys.exit(f"bench.sh --smoke: {key} missing from BENCH_roundkernel.json; "
+             "regenerate the snapshot with tools/bench.sh")
+
+ratio = measured / baseline
+print(f"bench.sh --smoke: {key} {measured:.0f} ns vs snapshot "
+      f"{baseline:.0f} ns ({100 * (ratio - 1):+.1f}%)")
+if ratio > 1 + gate_pct / 100:
+    sys.exit(f"bench.sh --smoke: round-kernel regression gate failed: "
+             f"{100 * (ratio - 1):.1f}% slower than the checked-in snapshot "
+             f"(gate: {gate_pct:.0f}%). If the slowdown is intentional, "
+             "regenerate BENCH_roundkernel.json with tools/bench.sh")
+PY
   else
-    echo "bench.sh --smoke: micro_protocol_ops not built (Google Benchmark absent); skipping"
+    echo "bench.sh --smoke: micro_protocol_ops not built (Google Benchmark absent); skipping perf gate"
   fi
   "$RUNNER" --dry-run bench/scenarios/scale_100k.scenario
   exit 0

@@ -1,6 +1,6 @@
 // dynagg_run: execute declarative scenario files.
 //
-//   dynagg_run [--threads=N] [--seed=N] [--output=PATH] \
+//   dynagg_run [--threads=N] [--seed=N] [--output=PATH]
 //              [--format=csv|jsonl] file.scenario [more.scenario ...]
 //       Run every experiment in each file and write its metric tables to
 //       the spec's `output` (default stdout). --seed / --output / --format
