@@ -41,10 +41,11 @@ class Rng {
   /// including 0, yields a valid (non-degenerate) state.
   explicit Rng(uint64_t seed = 0x2545f4914f6cdd1dull) { Reseed(seed); }
 
-  /// Re-seeds in place.
+  /// Re-seeds in place (and restarts the draw count).
   void Reseed(uint64_t seed) {
     SplitMix64 sm(seed);
     for (auto& word : state_) word = sm.Next();
+    draws_ = 0;
   }
 
   /// Returns the next raw 64-bit output.
@@ -57,8 +58,16 @@ class Rng {
     state_[0] ^= state_[3];
     state_[2] ^= t;
     state_[3] = Rotl(state_[3], 45);
+    ++draws_;
     return result;
   }
+
+  /// Raw 64-bit outputs consumed since construction / the last Reseed.
+  /// Every derived draw (UniformInt, NextDouble, ...) consumes at least
+  /// one; rejection methods consume more. Feeds the telemetry rng_draws
+  /// counter; maintaining it unconditionally is one dependency-free add
+  /// per draw, cheaper than any branch would be.
+  uint64_t draw_count() const { return draws_; }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
   double NextDouble() {
@@ -123,6 +132,7 @@ class Rng {
   }
 
   uint64_t state_[4];
+  uint64_t draws_ = 0;
 };
 
 /// Derives a decorrelated child seed from (root_seed, stream_id). Used to

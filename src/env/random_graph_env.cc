@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "env/alive_neighbors.h"
+#include "obs/telemetry.h"
 
 namespace dynagg {
 
@@ -67,8 +68,11 @@ void RandomGraphEnvironment::BuildPlan(const Population& pop, Rng& rng,
         nbrs, pop, rng, [&]() -> const std::vector<HostId>& {
           std::vector<HostId>& alive = alive_rows_[i];
           if (row_stamps_[i] != fingerprint) {
+            obs::Count(obs::Counter::kPlanCacheRebuilds);
             FilterAliveNeighbors(nbrs, pop, &alive);
             row_stamps_[i] = fingerprint;
+          } else {
+            obs::Count(obs::Counter::kPlanCacheHits);
           }
           return alive;
         });

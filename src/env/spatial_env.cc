@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/telemetry.h"
 
 namespace dynagg {
 
@@ -62,6 +63,7 @@ HostId SpatialGridEnvironment::SamplePeer(HostId i, const Population& pop,
 void SpatialGridEnvironment::BuildPlan(const Population& pop, Rng& rng,
                                        PartnerPlan* plan) const {
   if (cache_fingerprint_ != pop.fingerprint()) {
+    obs::Count(obs::Counter::kAliveBitmapRebuilds);
     alive_bits_.assign((static_cast<size_t>(num_hosts()) + 63) / 64, 0);
     for (const HostId id : pop.alive_ids()) {
       alive_bits_[static_cast<size_t>(id) >> 6] |= uint64_t{1} << (id & 63);

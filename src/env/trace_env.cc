@@ -5,6 +5,7 @@
 #include "common/macros.h"
 #include "env/alive_neighbors.h"
 #include "env/connectivity.h"
+#include "obs/telemetry.h"
 
 namespace dynagg {
 
@@ -105,8 +106,11 @@ void TraceEnvironment::BuildPlan(const Population& pop, Rng& rng,
           RowStamp& stamp = row_stamps_[i];
           if (stamp.topology != topology_epoch_ ||
               stamp.population != pop_fingerprint) {
+            obs::Count(obs::Counter::kPlanCacheRebuilds);
             FilterAliveNeighbors(nbrs, pop, &alive);
             stamp = RowStamp{topology_epoch_, pop_fingerprint};
+          } else {
+            obs::Count(obs::Counter::kPlanCacheHits);
           }
           return alive;
         });

@@ -30,12 +30,14 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/rng.h"
+#include "obs/telemetry.h"
 #include "common/stats.h"
 #include "env/connectivity.h"
 #include "scenario/config.h"
@@ -103,6 +105,11 @@ std::string SuffixedScalarName(const char* base, double v) {
 /// built swarm's finish hook interprets them).
 Status DriveRounds(const TrialContext& ctx, const ProtocolDef& def,
                    EnvHandle& env, const SwarmHandle& swarm, Recorder& rec) {
+  // Everything up to the round loop — config parsing, the failure plan,
+  // the population — is trial setup (the caller's env/swarm construction
+  // accumulated into the same phase already).
+  std::optional<obs::ScopedPhase> setup_span(std::in_place,
+                                             obs::Phase::kSetup);
   const ScenarioSpec& spec = *ctx.spec;
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream",
                                                      "failure_stream"}));
@@ -184,6 +191,8 @@ Status DriveRounds(const TrialContext& ctx, const ProtocolDef& def,
   if (metrics.rms) rec.MutableSeries("round", "rms");
   const auto on_round_end = [&](int round) {
     if (!metrics.NeedsRoundEvaluation()) return true;
+    // Telemetry: per-round metric evaluation is the record phase.
+    obs::ScopedPhase record_span(obs::Phase::kRecord);
     const double tr = swarm.truth(pop);
     double rms = RmsDeviationOverAlive(pop, tr, swarm.estimate);
     // record.relative: the series (and everything derived from it) is
@@ -226,9 +235,17 @@ Status DriveRounds(const TrialContext& ctx, const ProtocolDef& def,
   };
 
   RoundHooks hooks{swarm, env.env.get(), env.advance_period, fail.pin_alive};
+  setup_span.reset();
   const int executed = RunRoundsUntil(hooks, *env.env, pop, plan,
                                       spec.rounds, rng, on_round_end);
   DYNAGG_RETURN_IF_ERROR(round_error);
+  // Both trial streams are fully drawn by now (the failure plan is
+  // prebuilt; rounds draw only from rng).
+  obs::Count(obs::Counter::kRngDraws,
+             static_cast<int64_t>(rng.draw_count() + fail_rng.draw_count()));
+  obs::Count(obs::Counter::kEarlyStopRounds, spec.rounds - executed);
+  // Everything after the loop is metric finalization: record phase.
+  obs::ScopedPhase record_span(obs::Phase::kRecord);
 
   if (metrics.tail_mean) rec.AddScalar("rms_tail_mean", tail.mean());
   if (metrics.convergence) {
@@ -361,8 +378,11 @@ Status RunRoundsDriver(const TrialContext& ctx, const ProtocolDef& def,
     }
     return def.run_custom(ctx, rec);
   }
+  std::optional<obs::ScopedPhase> setup_span(std::in_place,
+                                             obs::Phase::kSetup);
   DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   DYNAGG_ASSIGN_OR_RETURN(SwarmHandle swarm, def.make_swarm(ctx, env));
+  setup_span.reset();
   return DriveRounds(ctx, def, env, swarm, rec);
 }
 
@@ -370,6 +390,9 @@ Status RunRoundsDriver(const TrialContext& ctx, const ProtocolDef& def,
 
 Status RunTraceDriver(const TrialContext& ctx, const ProtocolDef& def,
                       Recorder& rec) {
+  // Setup phase: trace/environment/swarm construction and runner wiring.
+  std::optional<obs::ScopedPhase> setup_span(std::in_place,
+                                             obs::Phase::kSetup);
   const ScenarioSpec& spec = *ctx.spec;
   if (!def.make_swarm) {
     return Status::InvalidArgument(
@@ -437,7 +460,10 @@ Status RunTraceDriver(const TrialContext& ctx, const ProtocolDef& def,
                          runner.env().AverageGroupSize());
     }
   });
+  setup_span.reset();
   runner.Run();
+  obs::Count(obs::Counter::kRngDraws,
+             static_cast<int64_t>(rng.draw_count()));
   return Status::OK();
 }
 

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -23,13 +25,17 @@ namespace {
 Result<ScenarioSpec> ApplySweepKey(const ScenarioSpec& spec,
                                    const std::string& key, double value) {
   ScenarioSpec out = spec;
-  if (key == "hosts" || key == "rounds") {
+  if (key == "hosts" || key == "rounds" || key == "intra_round_threads") {
     const auto v = static_cast<int64_t>(value);
     if (v <= 0 || static_cast<double>(v) != value) {
       return Status::InvalidArgument("sweep over " + key +
                                      " requires positive integer values");
     }
-    (key == "hosts" ? out.hosts : out.rounds) = static_cast<int>(v);
+    if (key == "hosts") out.hosts = static_cast<int>(v);
+    if (key == "rounds") out.rounds = static_cast<int>(v);
+    if (key == "intra_round_threads") {
+      out.intra_round_threads = static_cast<int>(v);
+    }
   } else {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", value);
@@ -504,6 +510,75 @@ Result<ResultTable> AssembleHistogram(const ScenarioSpec& spec,
   return ResultTable{meta.label, std::move(table)};
 }
 
+/// Assembles the per-sweep-point telemetry table: one row per cell with
+/// the mean per-trial wall-clock and phase times (milliseconds), the
+/// fraction of trial time covered by phase spans, and the cell's summed
+/// engine counters. Counters and rounds are exact sums and thus
+/// thread-count independent; the timing columns are wall-clock and vary
+/// run to run (the table is a side channel, never part of the experiment's
+/// own output).
+ResultTable AssembleTelemetrySummary(
+    const ScenarioSpec& spec, const AxisLayout& axes,
+    const std::vector<obs::TrialTelemetry>& units) {
+  std::vector<std::string> columns;
+  if (axes.has_sweep) columns.push_back(SweepColumnName(spec.sweep_key));
+  if (axes.has_sweep2) {
+    std::string name = SweepColumnName(spec.sweep2_key);
+    if (axes.has_sweep && name == columns.back()) name += "2";
+    columns.push_back(name);
+  }
+  columns.push_back("trials");
+  columns.push_back("rounds");
+  columns.push_back("trial_ms");
+  for (int p = 0; p < obs::kNumPhases; ++p) {
+    columns.push_back(std::string(obs::PhaseName(static_cast<obs::Phase>(p))) +
+                      "_ms");
+  }
+  columns.push_back("span_cover_pct");
+  for (int c = 0; c < obs::kNumCounters; ++c) {
+    columns.push_back(obs::CounterName(static_cast<obs::Counter>(c)));
+  }
+
+  CsvTable table(columns);
+  for (int cell = 0; cell < axes.num_cells(); ++cell) {
+    const int base = cell * axes.trials;
+    int64_t rounds = 0;
+    int64_t trial_ns = 0;
+    int64_t phase_ns[obs::kNumPhases] = {};
+    int64_t counters[obs::kNumCounters] = {};
+    for (int t = 0; t < axes.trials; ++t) {
+      const obs::TrialTelemetry& unit = units[base + t];
+      rounds += unit.rounds;
+      trial_ns += unit.trial_dur_ns;
+      for (int p = 0; p < obs::kNumPhases; ++p) {
+        phase_ns[p] += unit.phase_ns[p];
+      }
+      for (int c = 0; c < obs::kNumCounters; ++c) {
+        counters[c] += unit.counters[c];
+      }
+    }
+    int64_t covered_ns = 0;
+    for (int p = 0; p < obs::kNumPhases; ++p) covered_ns += phase_ns[p];
+
+    std::vector<double> row = axes.Values(spec, base, /*with_trial=*/false);
+    const double trials = static_cast<double>(axes.trials);
+    row.push_back(trials);
+    row.push_back(static_cast<double>(rounds));
+    row.push_back(static_cast<double>(trial_ns) / trials / 1e6);
+    for (int p = 0; p < obs::kNumPhases; ++p) {
+      row.push_back(static_cast<double>(phase_ns[p]) / trials / 1e6);
+    }
+    row.push_back(trial_ns > 0 ? 100.0 * static_cast<double>(covered_ns) /
+                                     static_cast<double>(trial_ns)
+                               : 0.0);
+    for (int c = 0; c < obs::kNumCounters; ++c) {
+      row.push_back(static_cast<double>(counters[c]));
+    }
+    table.AddRow(row);
+  }
+  return ResultTable{"telemetry", std::move(table)};
+}
+
 }  // namespace
 
 Status ValidateExperiment(const ScenarioSpec& spec) {
@@ -527,6 +602,21 @@ Status ValidateExperiment(const ScenarioSpec& spec) {
     return invalid("protocol '" + spec.protocol +
                    "' does not support intra_round_threads (no "
                    "data-parallel apply phase)");
+  }
+  // A swept thread count must be usable at every value, not just the base.
+  if (!protocol.threads_capable) {
+    for (const std::string& key : {spec.sweep_key, spec.sweep2_key}) {
+      if (key == "intra_round_threads") {
+        return invalid("protocol '" + spec.protocol +
+                       "' does not support intra_round_threads (no "
+                       "data-parallel apply phase); it cannot be swept");
+      }
+    }
+  }
+  if (!spec.telemetry.empty() && spec.telemetry != "off" &&
+      spec.telemetry != "summary" && spec.telemetry != "profile") {
+    return invalid("telemetry must be off, summary or profile, got '" +
+                   spec.telemetry + "'");
   }
   if (driver.event_driven) {
     if (!environment.provides_trace) {
@@ -627,7 +717,22 @@ Status ValidateExperiment(const ScenarioSpec& spec) {
 
 Result<std::vector<ResultTable>> RunExperiment(const ScenarioSpec& spec,
                                                int threads) {
+  RunOptions options;
+  options.threads = threads;
+  return RunExperiment(spec, options, /*telemetry=*/nullptr);
+}
+
+Result<std::vector<ResultTable>> RunExperiment(
+    const ScenarioSpec& spec, const RunOptions& options,
+    ExperimentTelemetry* telemetry) {
+  int threads = options.threads;
   DYNAGG_RETURN_IF_ERROR(ValidateExperiment(spec));
+  // The effective mode: the options override (dynagg_run --telemetry) wins
+  // over the spec key; collection also needs somewhere to put the result.
+  const std::string& mode =
+      options.telemetry.empty() ? spec.telemetry : options.telemetry;
+  const bool collect =
+      telemetry != nullptr && (mode == "summary" || mode == "profile");
   DYNAGG_ASSIGN_OR_RETURN(const ProtocolDef protocol,
                           ProtocolRegistry().Find(spec.protocol));
   DYNAGG_ASSIGN_OR_RETURN(const DriverDef driver,
@@ -645,8 +750,11 @@ Result<std::vector<ResultTable>> RunExperiment(const ScenarioSpec& spec,
   const int num_units = axes.num_units();
 
   std::vector<std::optional<Result<RecordBatch>>> slots(num_units);
+  std::vector<obs::TrialTelemetry> unit_telemetry(collect ? num_units : 0);
+  std::mutex done_mutex;
+  int done_units = 0;
   std::atomic<int> next_unit{0};
-  const auto worker = [&] {
+  const auto worker = [&](int worker_id) {
     for (;;) {
       const int unit = next_unit.fetch_add(1);
       if (unit >= num_units) return;
@@ -680,15 +788,31 @@ Result<std::vector<ResultTable>> RunExperiment(const ScenarioSpec& spec,
       }
       if (!sweep_status.ok()) {
         slots[unit].emplace(sweep_status);
-        continue;
-      }
-      ctx.spec = &unit_spec;
-      Recorder rec;
-      const Status st = driver.run(ctx, protocol, rec);
-      if (st.ok()) {
-        slots[unit].emplace(rec.TakeBatch());
       } else {
-        slots[unit].emplace(st);
+        ctx.spec = &unit_spec;
+        // Install the unit's telemetry sink (null = all hooks no-op) for
+        // exactly the driver call: spans and counters land per unit, on
+        // the worker that ran it.
+        obs::TrialTelemetry* sink = nullptr;
+        if (collect) {
+          sink = &unit_telemetry[unit];
+          sink->unit = unit;
+          sink->worker = worker_id;
+          sink->trial = ctx.trial;
+          sink->profile = mode == "profile";
+        }
+        obs::ScopedTrial scope(sink);
+        Recorder rec;
+        const Status st = driver.run(ctx, protocol, rec);
+        if (st.ok()) {
+          slots[unit].emplace(rec.TakeBatch());
+        } else {
+          slots[unit].emplace(st);
+        }
+      }
+      if (options.on_unit_done) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        options.on_unit_done(++done_units, num_units);
       }
     }
   };
@@ -696,12 +820,20 @@ Result<std::vector<ResultTable>> RunExperiment(const ScenarioSpec& spec,
   if (threads < 1) threads = 1;
   if (threads > num_units) threads = num_units;
   if (threads == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (auto& th : pool) th.join();
+  }
+
+  if (collect) {
+    telemetry->experiment = spec.name;
+    telemetry->summary.clear();
+    telemetry->summary.push_back(
+        AssembleTelemetrySummary(spec, axes, unit_telemetry));
+    telemetry->units = std::move(unit_telemetry);
   }
 
   std::vector<RecordBatch> batches;

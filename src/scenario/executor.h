@@ -20,9 +20,12 @@
 #ifndef DYNAGG_SCENARIO_EXECUTOR_H_
 #define DYNAGG_SCENARIO_EXECUTOR_H_
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/telemetry.h"
 #include "scenario/result.h"
 #include "scenario/spec.h"
 
@@ -40,6 +43,34 @@ namespace scenario {
 /// execution time.
 Status ValidateExperiment(const ScenarioSpec& spec);
 
+/// Execution knobs beyond the spec itself.
+struct RunOptions {
+  /// Worker threads for the unit shard loop (clamped to [1, num units]).
+  int threads = 1;
+  /// Telemetry override: "" defers to spec.telemetry; "off" / "summary" /
+  /// "profile" force a mode (dynagg_run --telemetry). Collection also
+  /// requires a non-null telemetry out-param on RunExperiment.
+  std::string telemetry;
+  /// Completion ticker: invoked after every finished unit, serialized
+  /// under an executor-internal mutex, with (units done, total units).
+  /// Backs dynagg_run --progress.
+  std::function<void(int done, int total)> on_unit_done;
+};
+
+/// Telemetry collected by one RunExperiment call (modes summary/profile).
+struct ExperimentTelemetry {
+  std::string experiment;
+  /// Per-sweep-point phase timings and counters: one "telemetry" table
+  /// with one row per cell — mean per-trial phase milliseconds, summed
+  /// engine counters, and the fraction of trial wall-clock covered by
+  /// spans. A vector (of one) so it feeds RenderTables/WriteTables
+  /// directly and stays empty until a run collects telemetry.
+  std::vector<ResultTable> summary;
+  /// Per-unit raw telemetry. Span events are populated in profile mode
+  /// only; counters and accumulated timings are always present.
+  std::vector<obs::TrialTelemetry> units;
+};
+
 /// Runs every (sweep value, sweep2 value, trial) unit of `spec` on up to
 /// `threads` workers and assembles the result tables. Axis columns come
 /// first in every table: the sweep column (named after the swept key's
@@ -48,6 +79,15 @@ Status ValidateExperiment(const ScenarioSpec& spec);
 /// sweep-major, then sweep2, then trial, and thread-count independent.
 Result<std::vector<ResultTable>> RunExperiment(const ScenarioSpec& spec,
                                                int threads = 1);
+
+/// RunExperiment with execution options and telemetry collection. When the
+/// effective telemetry mode (options override, else spec key) is summary
+/// or profile and `telemetry` is non-null, per-trial spans/counters are
+/// collected and assembled into `*telemetry`. The experiment's own result
+/// tables are byte-identical whether telemetry is collected or not.
+Result<std::vector<ResultTable>> RunExperiment(const ScenarioSpec& spec,
+                                               const RunOptions& options,
+                                               ExperimentTelemetry* telemetry);
 
 }  // namespace scenario
 }  // namespace dynagg

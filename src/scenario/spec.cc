@@ -208,10 +208,11 @@ Status ParseSweepSpec(const std::string& value, const std::string& what,
   }
   const std::string sweep_key(Trim(value.substr(0, colon)));
   if (sweep_key != "hosts" && sweep_key != "rounds" &&
-      !IsNamespacedKey(sweep_key)) {
+      sweep_key != "intra_round_threads" && !IsNamespacedKey(sweep_key)) {
     return Status::InvalidArgument(
         what + " key " + Quoted(sweep_key) +
-        " is not sweepable (use hosts, rounds, or a namespaced parameter)");
+        " is not sweepable (use hosts, rounds, intra_round_threads, or a "
+        "namespaced parameter)");
   }
   DYNAGG_ASSIGN_OR_RETURN(
       const std::vector<std::string> items,
@@ -338,6 +339,13 @@ Status ApplyKey(ScenarioSpec* spec, const std::string& key,
                               "intra_round_threads must be >= 1"));
     }
     spec->intra_round_threads = static_cast<int>(*v);
+  } else if (key == "telemetry") {
+    if (value != "off" && value != "summary" && value != "profile") {
+      return AtLine(line, Status::InvalidArgument(
+                              "telemetry must be off, summary or profile, "
+                              "got " + Quoted(value)));
+    }
+    spec->telemetry = value;
   } else if (key == "output") {
     spec->output = value;
   } else if (key == "format") {

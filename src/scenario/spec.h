@@ -127,6 +127,13 @@ struct ScenarioSpec {
   /// records are pooled (bucket counts summed) instead. Requires
   /// trials >= 2 — a one-trial stddev would silently read 0.
   std::vector<std::string> aggregates;
+  /// Telemetry mode: "" / "off" (default) collects nothing; "summary"
+  /// accumulates per-trial phase timings and engine counters, reported as a
+  /// per-sweep-point table; "profile" additionally keeps the raw span
+  /// stream for the Chrome trace-event export (dynagg_run
+  /// --telemetry-out). Telemetry is a pure side channel: the experiment's
+  /// metric tables are byte-identical with it on or off.
+  std::string telemetry;
   /// Output destination: "-" for stdout or a file path.
   std::string output = "-";
   /// Output format: "csv" or "jsonl".

@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "env/environment.h"
+#include "obs/telemetry.h"
 #include "sim/failure.h"
 #include "sim/population.h"
 #include "sim/round_kernel.h"
@@ -36,6 +37,9 @@ int RunRoundsUntil(Swarm& swarm, const Environment& env, Population& pop,
                    const FailurePlan& failures, int max_rounds, Rng& rng,
                    const std::function<bool(int)>& on_round_end) {
   for (int round = 0; round < max_rounds; ++round) {
+    // Telemetry: the round span covers failure application, the swarm's
+    // plan/apply/scatter phases and the observer's metric evaluation.
+    obs::ScopedRound span(round);
     failures.Apply(round, &pop);
     swarm.RunRound(env, pop, rng);
     if (on_round_end && !on_round_end(round)) return round + 1;

@@ -17,6 +17,7 @@ void ShuffledAliveOrder(const Population& pop, Rng& rng,
 const PartnerPlan& RoundKernel::PlanPushRound(const Environment& env,
                                               const Population& pop, Rng& rng,
                                               int slots_per_initiator) {
+  obs::ScopedPhase span(obs::Phase::kPlan);
   DYNAGG_CHECK_GE(slots_per_initiator, 1);
   plan_.Reset(pop.alive_ids(), slots_per_initiator);
   // A never-mutated population's alive_ids is the identity permutation
@@ -25,15 +26,22 @@ const PartnerPlan& RoundKernel::PlanPushRound(const Environment& env,
   plan_.set_identity_initiators(pop.version() == 0 &&
                                 slots_per_initiator == 1);
   env.BuildPlan(pop, rng, &plan_);
+  // Planned partner slots, not matched ones: counting matches would cost
+  // an O(n) scan per round; the plan size is free and deterministic.
+  obs::Count(obs::Counter::kGossipExchanges,
+             static_cast<int64_t>(plan_.size()));
   return plan_;
 }
 
 const PartnerPlan& RoundKernel::PlanExchangeRound(const Environment& env,
                                                   const Population& pop,
                                                   Rng& rng) {
+  obs::ScopedPhase span(obs::Phase::kPlan);
   ShuffledAliveOrder(pop, rng, &order_);
   plan_.Reset(order_, /*slots_per_initiator=*/1);
   env.BuildPlan(pop, rng, &plan_);
+  obs::Count(obs::Counter::kGossipExchanges,
+             static_cast<int64_t>(plan_.size()));
   return plan_;
 }
 

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/macros.h"
@@ -35,6 +36,7 @@
 #include "common/types.h"
 #include "env/environment.h"
 #include "env/partner_plan.h"
+#include "obs/telemetry.h"
 #include "sim/population.h"
 
 namespace dynagg {
@@ -84,6 +86,7 @@ class RoundKernel {
   /// of the protocol's semantics and stays sequential.
   template <typename Fn>
   void ForEachExchange(Fn&& fn) const {
+    obs::ScopedPhase span(obs::Phase::kApply);
     const std::vector<HostId>& initiators = plan_.initiators();
     const std::vector<HostId>& partners = plan_.partners();
     for (size_t k = 0; k < initiators.size(); ++k) {
@@ -98,6 +101,7 @@ class RoundKernel {
   /// serialized both random node accesses behind each partner draw.
   template <typename Fn, typename PrefetchFn>
   void ForEachExchangePrefetched(Fn&& fn, PrefetchFn&& prefetch) const {
+    obs::ScopedPhase span(obs::Phase::kApply);
     const std::vector<HostId>& initiators = plan_.initiators();
     const std::vector<HostId>& partners = plan_.partners();
     const size_t slots = initiators.size();
@@ -119,6 +123,7 @@ class RoundKernel {
   /// reachable (the serialized node-aggregator facade).
   template <typename Fn>
   void ForEachSlot(Fn&& fn) const {
+    obs::ScopedPhase span(obs::Phase::kApply);
     const std::vector<HostId>& initiators = plan_.initiators();
     const std::vector<HostId>& partners = plan_.partners();
     for (size_t k = 0; k < initiators.size(); ++k) {
@@ -139,9 +144,14 @@ class RoundKernel {
   template <typename EmitFn, typename DepositFn, typename PrefetchFn>
   void ForEachPushSlot(EmitFn&& emit, DepositFn&& deposit,
                        PrefetchFn&& prefetch) const {
+    obs::ScopedPhase span(obs::Phase::kApply);
     const std::vector<HostId>& initiators = plan_.initiators();
     const std::vector<HostId>& partners = plan_.partners();
     const size_t slots = initiators.size();
+    // One payload lands per slot (the self half is emitted internally).
+    using Payload = std::decay_t<std::invoke_result_t<EmitFn&, HostId>>;
+    obs::Count(obs::Counter::kDepositBytes,
+               static_cast<int64_t>(slots * sizeof(Payload)));
     constexpr size_t kPrefetchAhead = 16;
     if (plan_.identity_initiators()) {
       // initiators[k] == k: the hot loop touches only the partner array.
@@ -187,10 +197,16 @@ class RoundKernel {
   template <typename Payload, typename DepositFn>
   void ScatterDeposits(const std::vector<Payload>& payloads, bool self_echo,
                        int num_hosts, DepositFn&& deposit) const {
+    // The span covers the whole fork/join (bucket pass + workers + join);
+    // the spawned workers themselves carry no telemetry sink.
+    obs::ScopedPhase span(obs::Phase::kScatter);
     const std::vector<HostId>& initiators = plan_.initiators();
     const std::vector<HostId>& partners = plan_.partners();
     DYNAGG_CHECK_EQ(payloads.size(), initiators.size());
     const size_t slots = initiators.size();
+    obs::Count(obs::Counter::kDepositBytes,
+               static_cast<int64_t>((self_echo ? 2 : 1) * slots *
+                                    sizeof(Payload)));
     const int threads = EffectiveThreads(num_hosts);
     if (threads <= 1) {
       for (size_t k = 0; k < slots; ++k) {
@@ -241,10 +257,15 @@ class RoundKernel {
   void EmitAndScatter(std::vector<Payload>* outbox, bool self_echo,
                       int num_hosts, TakeFn&& take,
                       DepositFn&& deposit) const {
-    const std::vector<HostId>& initiators = plan_.initiators();
-    outbox->resize(initiators.size());
-    for (size_t k = 0; k < initiators.size(); ++k) {
-      (*outbox)[k] = take(initiators[k]);
+    {
+      // The take loop is the round's apply phase; the scatter below times
+      // itself, keeping the two phases disjoint in the profile.
+      obs::ScopedPhase span(obs::Phase::kApply);
+      const std::vector<HostId>& initiators = plan_.initiators();
+      outbox->resize(initiators.size());
+      for (size_t k = 0; k < initiators.size(); ++k) {
+        (*outbox)[k] = take(initiators[k]);
+      }
     }
     ScatterDeposits(*outbox, self_echo, num_hosts, deposit);
   }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/telemetry.h"
+
 namespace dynagg {
 
 TraceRunner::TraceRunner(const ContactTrace& trace, SimTime gossip_period,
@@ -28,7 +30,11 @@ void TraceRunner::Run() {
 
   sim_.SchedulePeriodic(gossip_period_, gossip_period_, [this, end] {
     env_.AdvanceTo(sim_.Now());
-    round_fn_(sim_.Now());
+    {
+      // Telemetry: each gossip tick is one round on the trace timeline.
+      obs::ScopedRound span(rounds_run_);
+      round_fn_(sim_.Now());
+    }
     ++rounds_run_;
     return sim_.Now() + gossip_period_ <= end;
   });
@@ -42,7 +48,11 @@ void TraceRunner::Run() {
         s->period, s->period,
         [this, end, s] {
           env_.AdvanceTo(sim_.Now());
-          s->fn(sim_.Now());
+          {
+            // Telemetry: metric samples are the trace driver's record phase.
+            obs::ScopedPhase span(obs::Phase::kRecord);
+            s->fn(sim_.Now());
+          }
           return sim_.Now() + s->period <= end;
         },
         /*priority=*/1);

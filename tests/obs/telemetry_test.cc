@@ -1,0 +1,177 @@
+// Telemetry unit tests: the TLS-sink hooks are no-ops with no sink
+// installed, spans nest and accumulate into the right buckets, profile
+// mode records the closed-span stream in dtor (innermost-first) order,
+// and the Chrome trace export renders the expected event structure.
+
+#include "obs/telemetry.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_export.h"
+
+namespace dynagg {
+namespace obs {
+namespace {
+
+int64_t CounterValue(const TrialTelemetry& t, Counter c) {
+  return t.counters[static_cast<int>(c)];
+}
+
+int64_t PhaseCalls(const TrialTelemetry& t, Phase p) {
+  return t.phase_calls[static_cast<int>(p)];
+}
+
+TEST(TelemetryTest, HooksNoOpWithoutSink) {
+  ASSERT_EQ(Current(), nullptr);
+  Count(Counter::kRngDraws, 7);
+  {
+    ScopedTrial trial(nullptr);
+    EXPECT_EQ(Current(), nullptr);
+    ScopedRound round(3);
+    ScopedPhase phase(Phase::kPlan);
+    Count(Counter::kGossipExchanges);
+  }
+  EXPECT_EQ(Current(), nullptr);
+}
+
+TEST(TelemetryTest, ScopedTrialInstallsAndClearsSink) {
+  TrialTelemetry t;
+  {
+    ScopedTrial trial(&t);
+    EXPECT_EQ(Current(), &t);
+  }
+  EXPECT_EQ(Current(), nullptr);
+  EXPECT_GE(t.trial_dur_ns, 0);
+  // Summary mode (profile = false): no span stream.
+  EXPECT_TRUE(t.events.empty());
+}
+
+TEST(TelemetryTest, SinkIsThreadLocal) {
+  TrialTelemetry t;
+  ScopedTrial trial(&t);
+  TrialTelemetry* seen = &t;
+  std::thread([&seen] { seen = Current(); }).join();
+  EXPECT_EQ(seen, nullptr);  // spawned threads carry no sink
+  EXPECT_EQ(Current(), &t);
+}
+
+TEST(TelemetryTest, CountersAccumulate) {
+  TrialTelemetry t;
+  {
+    ScopedTrial trial(&t);
+    Count(Counter::kRngDraws, 5);
+    Count(Counter::kRngDraws, 2);
+    Count(Counter::kDepositBytes, 1024);
+    Count(Counter::kPlanCacheHits);
+  }
+  EXPECT_EQ(CounterValue(t, Counter::kRngDraws), 7);
+  EXPECT_EQ(CounterValue(t, Counter::kDepositBytes), 1024);
+  EXPECT_EQ(CounterValue(t, Counter::kPlanCacheHits), 1);
+  EXPECT_EQ(CounterValue(t, Counter::kEarlyStopRounds), 0);
+}
+
+TEST(TelemetryTest, PhaseTimesAndCallsAccumulate) {
+  TrialTelemetry t;
+  {
+    ScopedTrial trial(&t);
+    for (int i = 0; i < 3; ++i) {
+      ScopedPhase phase(Phase::kPlan);
+    }
+    ScopedPhase scatter(Phase::kScatter);
+  }
+  EXPECT_EQ(PhaseCalls(t, Phase::kPlan), 3);
+  EXPECT_EQ(PhaseCalls(t, Phase::kScatter), 1);
+  EXPECT_EQ(PhaseCalls(t, Phase::kApply), 0);
+  EXPECT_GE(t.phase_ns[static_cast<int>(Phase::kPlan)], 0);
+}
+
+TEST(TelemetryTest, RoundsNestAndTagPhaseSpans) {
+  TrialTelemetry t;
+  t.profile = true;
+  {
+    ScopedTrial trial(&t);
+    {
+      ScopedPhase setup(Phase::kSetup);  // before any round: tag -1
+    }
+    for (int r = 0; r < 2; ++r) {
+      ScopedRound round(r);
+      ScopedPhase plan(Phase::kPlan);
+    }
+  }
+  EXPECT_EQ(t.rounds, 2);
+  EXPECT_EQ(t.current_round, -1);  // restored after the loop
+
+  // Spans close innermost-first: setup, then (plan, round) twice, then
+  // the whole-trial span last.
+  ASSERT_EQ(t.events.size(), 6u);
+  EXPECT_EQ(t.events[0].kind, SpanEvent::kPhase);
+  EXPECT_EQ(static_cast<Phase>(t.events[0].phase), Phase::kSetup);
+  EXPECT_EQ(t.events[0].round, -1);
+  for (int r = 0; r < 2; ++r) {
+    const SpanEvent& plan = t.events[1 + 2 * r];
+    const SpanEvent& round = t.events[2 + 2 * r];
+    EXPECT_EQ(plan.kind, SpanEvent::kPhase);
+    EXPECT_EQ(static_cast<Phase>(plan.phase), Phase::kPlan);
+    EXPECT_EQ(plan.round, r);
+    EXPECT_EQ(round.kind, SpanEvent::kRound);
+    EXPECT_EQ(round.round, r);
+    // The round span encloses its phase span.
+    EXPECT_LE(round.start_ns, plan.start_ns);
+    EXPECT_GE(round.start_ns + round.dur_ns, plan.start_ns + plan.dur_ns);
+  }
+  EXPECT_EQ(t.events[5].kind, SpanEvent::kTrial);
+  EXPECT_EQ(t.events[5].start_ns, t.trial_start_ns);
+  EXPECT_EQ(t.events[5].dur_ns, t.trial_dur_ns);
+}
+
+TEST(TelemetryTest, NamesAreStable) {
+  EXPECT_STREQ(PhaseName(Phase::kSetup), "setup");
+  EXPECT_STREQ(PhaseName(Phase::kScatter), "scatter");
+  EXPECT_STREQ(CounterName(Counter::kPlanCacheHits), "plan_cache_hits");
+  EXPECT_STREQ(CounterName(Counter::kEarlyStopRounds), "early_stop_rounds");
+}
+
+TEST(TraceExportTest, RendersProcessThreadAndSpanEvents) {
+  TrialTelemetry t;
+  t.unit = 0;
+  t.worker = 1;
+  t.trial = 0;
+  t.profile = true;
+  {
+    ScopedTrial trial(&t);
+    ScopedRound round(0);
+    ScopedPhase plan(Phase::kPlan);
+  }
+  ProcessProfile proc;
+  proc.name = "unit_test";
+  proc.units.push_back(t);
+
+  const std::string json = RenderChromeTrace({proc});
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("unit_test"), std::string::npos);
+  EXPECT_NE(json.find("worker 1"), std::string::npos);
+  EXPECT_NE(json.find("\"trial 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"round 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"plan\""), std::string::npos);
+  // Complete events with microsecond timestamps.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // Valid JSON object shape (structural spot check).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(TraceExportTest, EmptyProfileRendersEmptyEventList) {
+  const std::string json = RenderChromeTrace({});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dynagg

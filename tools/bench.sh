@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Round-kernel perf snapshot: benchmarks the Environment API v2 hot path
 # (pre-refactor per-host SamplePeer round vs the plan -> apply kernel, via
-# bench/micro_protocol_ops) and times the 100k-host scale_100k scenario
-# end-to-end, then writes BENCH_roundkernel.json so the perf trajectory is
-# recorded in-repo.
+# bench/micro_protocol_ops), times the 100k-host scale_100k scenario
+# end-to-end with and without telemetry, and records the per-phase
+# breakdown from the telemetry summary. Writes BENCH_roundkernel.json,
+# carrying the previous snapshot forward in a `history` array so the perf
+# trajectory is recorded in-repo.
 #
 # Usage:
 #   tools/bench.sh [build-dir]           full run, rewrites BENCH_roundkernel.json
@@ -13,7 +15,11 @@
 #                                        checked-in BENCH_roundkernel.json —
 #                                        a >35% slowdown fails (perf gate;
 #                                        the threshold is generous because
-#                                        the CI host is a noisy 1-CPU VM)
+#                                        the CI host is a noisy 1-CPU VM).
+#                                        Snapshot drift (keys missing from
+#                                        the snapshot or no longer produced
+#                                        by the benchmark) is reported, not
+#                                        a failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,11 +53,14 @@ if [[ "$SMOKE" == 1 ]]; then
       --benchmark_report_aggregates_only=true \
       --benchmark_format=json > "$SMOKE_JSON"
     echo "bench.sh --smoke: round-kernel microbenchmark ran"
-    python3 - "$SMOKE_JSON" "$GATE_KEY" "$GATE_PCT" <<'PY'
+    AVAIL_LIST="$BUILD_DIR/bench_smoke_avail.txt"
+    "$MICRO" --benchmark_filter="$FILTER" --benchmark_list_tests > "$AVAIL_LIST"
+    python3 - "$SMOKE_JSON" "$GATE_KEY" "$GATE_PCT" "$AVAIL_LIST" <<'PY'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
 key, gate_pct = sys.argv[2], float(sys.argv[3])
+available = set(open(sys.argv[4]).read().split())
 
 measured = None
 for b in raw.get("benchmarks", []):
@@ -66,10 +75,23 @@ except FileNotFoundError:
     print("bench.sh --smoke: no BENCH_roundkernel.json; skipping perf gate "
           "(run tools/bench.sh to create the snapshot)")
     sys.exit(0)
-baseline = snapshot.get("round_ns", {}).get(key)
+round_ns = snapshot.get("round_ns", {})
+
+# Snapshot drift is reported, not fatal: a renamed benchmark or a snapshot
+# generated before a new benchmark landed should not break CI — the gate
+# below only needs its one key, and a full tools/bench.sh run resyncs.
+for k in sorted(set(round_ns) - available):
+    print(f"bench.sh --smoke: note: snapshot key {k} is no longer produced "
+          "by micro_protocol_ops (stale entry; resync with tools/bench.sh)")
+for k in sorted(available - set(round_ns)):
+    print(f"bench.sh --smoke: note: benchmark {k} is not in "
+          "BENCH_roundkernel.json (resync with tools/bench.sh to track it)")
+
+baseline = round_ns.get(key)
 if baseline is None:
-    sys.exit(f"bench.sh --smoke: {key} missing from BENCH_roundkernel.json; "
-             "regenerate the snapshot with tools/bench.sh")
+    print(f"bench.sh --smoke: {key} missing from BENCH_roundkernel.json; "
+          "skipping perf gate (regenerate the snapshot with tools/bench.sh)")
+    sys.exit(0)
 
 ratio = measured / baseline
 print(f"bench.sh --smoke: {key} {measured:.0f} ns vs snapshot "
@@ -98,15 +120,58 @@ MICRO_JSON="$BUILD_DIR/bench_roundkernel_raw.json"
   --benchmark_format=json > "$MICRO_JSON"
 
 SCALE_OUT="$BUILD_DIR/scale_100k_out.csv"
-SCALE_START=$(date +%s.%N)
-"$RUNNER" --output="$SCALE_OUT" bench/scenarios/scale_100k.scenario
-SCALE_SECONDS=$(python3 -c "import time; print(f'{time.time() - $SCALE_START:.3f}')")
+SCALE_TEL_CSV="$BUILD_DIR/scale_100k_telemetry.csv"
 
-python3 - "$MICRO_JSON" "$SCALE_SECONDS" <<'PY'
+# One timed scale_100k run; extra flags pass through to the runner.
+time_scale_run() {
+  local out="$1"
+  shift
+  local start
+  start=$(date +%s.%N)
+  "$RUNNER" --output="$out" "$@" bench/scenarios/scale_100k.scenario
+  python3 -c "import time; print(f'{time.time() - $start:.3f}')"
+}
+
+# Best-of-2 end-to-end timings: the scenario finishes in well under a
+# second, so a single sample is mostly scheduler noise — and the telemetry
+# overhead number below is a difference of two such samples.
+S1=$(time_scale_run "$SCALE_OUT")
+S2=$(time_scale_run "$SCALE_OUT")
+SCALE_SECONDS=$(python3 -c "print(min($S1, $S2))")
+
+# Same scenario with the telemetry summary collected: the end-to-end delta
+# against the plain runs above is the checked-in telemetry overhead number,
+# and the per-sweep-point phase table becomes the snapshot's breakdown.
+T1=$(time_scale_run "$BUILD_DIR/scale_100k_out_tel.csv" \
+  --telemetry=summary --telemetry-out="$SCALE_TEL_CSV")
+T2=$(time_scale_run "$BUILD_DIR/scale_100k_out_tel.csv" \
+  --telemetry=summary --telemetry-out="$SCALE_TEL_CSV")
+TEL_SECONDS=$(python3 -c "print(min($T1, $T2))")
+if ! cmp -s "$SCALE_OUT" "$BUILD_DIR/scale_100k_out_tel.csv"; then
+  echo "bench.sh: scale_100k output differs with telemetry on (determinism bug)" >&2
+  exit 1
+fi
+
+python3 - "$MICRO_JSON" "$SCALE_SECONDS" "$TEL_SECONDS" "$SCALE_TEL_CSV" <<'PY'
 import json, sys, datetime
 
 raw = json.load(open(sys.argv[1]))
 scale_seconds = float(sys.argv[2])
+telemetry_seconds = float(sys.argv[3])
+
+# Per-sweep-point phase breakdown from the telemetry summary CSV
+# (comment lines start with '#'; one row per intra_round_threads value).
+phase_cols = ("trial_ms", "setup_ms", "plan_ms", "apply_ms", "scatter_ms",
+              "record_ms", "span_cover_pct")
+phase_ms = {}
+with open(sys.argv[4]) as f:
+    rows = [ln.strip() for ln in f if ln.strip() and not ln.startswith("#")]
+header = rows[0].split(",")
+for line in rows[1:]:
+    vals = dict(zip(header, line.split(",")))
+    phase_ms[vals["intra_round_threads"]] = {
+        c: round(float(vals[c]), 3) for c in phase_cols if c in vals
+    }
 
 # median-of-repetitions real time per benchmark, in nanoseconds
 medians = {}
@@ -118,18 +183,47 @@ for b in raw.get("benchmarks", []):
 def ns(name):
     return medians.get(name)
 
+# Carry the previous snapshot forward as a trajectory: each full bench.sh
+# run appends the headline numbers of the snapshot it replaces.
+prev = {}
+try:
+    with open("BENCH_roundkernel.json") as f:
+        prev = json.load(f)
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+history = prev.get("history", [])
+if prev:
+    history.append({
+        "generated": prev.get("generated"),
+        "gate_round_ns": prev.get("round_ns", {}).get(
+            "BM_PushRoundKernel/10000/1"),
+        "push_100k_speedup": prev.get("speedup", {}).get("push_100k"),
+        "scale_100k_scenario_seconds": prev.get(
+            "scale_100k_scenario_seconds"),
+    })
+history = history[-20:]
+
 snapshot = {
     "note": ("Round-kernel perf snapshot (tools/bench.sh). 'legacy' is the "
              "pre-refactor per-host virtual SamplePeer round, replicated in "
              "bench/micro_protocol_ops.cc; 'kernel' is the Environment API "
              "v2 plan -> apply round. Times are median-of-3 real ns per "
-             "round on the CI host; speedups are legacy/kernel."),
+             "round on the CI host; speedups are legacy/kernel. "
+             "scale_100k_phase_ms is the per-trial telemetry phase "
+             "breakdown keyed by intra_round_threads; "
+             "telemetry_overhead_pct is the end-to-end scale_100k cost of "
+             "telemetry=summary vs off; history holds headline numbers of "
+             "superseded snapshots, oldest first."),
     "generated": datetime.date.today().isoformat(),
     "host": raw.get("context", {}).get("host_name", "unknown"),
     "cpus": raw.get("context", {}).get("num_cpus"),
     "round_ns": {k: v for k, v in sorted(medians.items())},
     "speedup": {},
     "scale_100k_scenario_seconds": scale_seconds,
+    "scale_100k_phase_ms": phase_ms,
+    "telemetry_overhead_pct": round(
+        100.0 * (telemetry_seconds - scale_seconds) / scale_seconds, 2),
+    "history": history,
 }
 
 pairs = {
@@ -152,5 +246,6 @@ if target is None:
     sys.exit("bench.sh: missing push_100k benchmarks in output")
 print(f"bench.sh: wrote BENCH_roundkernel.json "
       f"(100k push-sum round speedup {target}x, "
-      f"scale_100k scenario {scale_seconds}s)")
+      f"scale_100k scenario {scale_seconds}s, "
+      f"telemetry overhead {snapshot['telemetry_overhead_pct']:+.2f}%)")
 PY

@@ -1,11 +1,23 @@
 // dynagg_run: execute declarative scenario files.
 //
 //   dynagg_run [--threads=N] [--seed=N] [--output=PATH]
-//              [--format=csv|jsonl] file.scenario [more.scenario ...]
+//              [--format=csv|jsonl] [--telemetry=off|summary|profile]
+//              [--telemetry-out=FILE] [--progress]
+//              file.scenario [more.scenario ...]
 //       Run every experiment in each file and write its metric tables to
 //       the spec's `output` (default stdout). --seed / --output / --format
 //       override the spec for all experiments (reproduction runs with a
 //       different base seed need no spec edits).
+//       --telemetry overrides the spec's `telemetry` key. In summary mode
+//       the per-sweep-point phase-timing/counter table goes to
+//       --telemetry-out (CSV/JSONL, same format rules as the main output)
+//       or to stderr when no file is given. In profile mode
+//       --telemetry-out receives a Chrome trace-event JSON (open in
+//       ui.perfetto.dev) combining every profiled experiment, and the
+//       summary table is printed to stderr. --progress prints a per-unit
+//       completion ticker (done/total, elapsed, ETA) to stderr; it is
+//       suppressed when the results go to stdout and stdout is not a
+//       terminal (pipe sinks stay clean).
 //   dynagg_run --list file.scenario [...]
 //       Enumerate the experiments in each file (name, protocol,
 //       environment, axes, metrics) without executing anything.
@@ -17,15 +29,20 @@
 //
 // Exit status: 0 on success, 1 on any experiment error, 2 on usage error.
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace_export.h"
 #include "scenario/executor.h"
 #include "scenario/sink.h"
 #include "scenario/spec.h"
@@ -61,10 +78,29 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: dynagg_run [--threads=N] [--seed=N] [--output=PATH] "
-      "[--format=csv|jsonl] file.scenario...\n"
+      "[--format=csv|jsonl]\n"
+      "                  [--telemetry=off|summary|profile] "
+      "[--telemetry-out=FILE]\n"
+      "                  [--progress] file.scenario...\n"
       "       dynagg_run --list [file.scenario...]\n"
       "       dynagg_run --dry-run file.scenario...\n");
   return 2;
+}
+
+/// Writes `text` verbatim to `path` ("-" = stdout). Used for the Chrome
+/// trace-event profile, which is one JSON document, not a row stream.
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return Status::OK();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return Status::OK();
 }
 
 int ListRegistries() {
@@ -131,6 +167,9 @@ int Run(int argc, char** argv) {
   uint64_t seed_override = 0;
   std::string output_override;
   std::string format_override;
+  std::string telemetry_override;
+  std::string telemetry_out;
+  bool progress = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -158,6 +197,23 @@ int Run(int argc, char** argv) {
       output_override = arg.substr(9);
     } else if (arg.rfind("--format=", 0) == 0) {
       format_override = arg.substr(9);
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_override = arg.substr(12);
+      if (telemetry_override != "off" && telemetry_override != "summary" &&
+          telemetry_override != "profile") {
+        std::fprintf(stderr,
+                     "dynagg_run: --telemetry must be off, summary or "
+                     "profile\n");
+        return 2;
+      }
+    } else if (arg.rfind("--telemetry-out=", 0) == 0) {
+      telemetry_out = arg.substr(16);
+      if (telemetry_out.empty()) {
+        std::fprintf(stderr, "dynagg_run: --telemetry-out needs a path\n");
+        return 2;
+      }
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "dynagg_run: unknown flag %s\n", arg.c_str());
       return Usage();
@@ -173,6 +229,12 @@ int Run(int argc, char** argv) {
   // Paths already written this invocation: the first experiment truncates,
   // later ones append, so experiments sharing one output file all survive.
   std::set<std::string> written_paths;
+  // Telemetry gathered across experiments: summary tables append to
+  // --telemetry-out as they arrive; profiled span streams combine into ONE
+  // trace document (pid per experiment) written after the last run.
+  std::vector<obs::ProcessProfile> profiles;
+  bool any_profile = false;
+  bool telemetry_out_written = false;
   int validated = 0;
   for (const std::string& file : files) {
     Result<std::string> text = ReadFile(file);
@@ -204,17 +266,50 @@ int Run(int argc, char** argv) {
         ++validated;
         continue;
       }
+      const std::string output =
+          output_override.empty() ? spec.output : output_override;
+      const std::string format =
+          format_override.empty() ? spec.format : format_override;
+      const std::string telemetry_mode =
+          telemetry_override.empty() ? spec.telemetry : telemetry_override;
+      const bool collect =
+          telemetry_mode == "summary" || telemetry_mode == "profile";
+
+      scenario::RunOptions options;
+      options.threads = threads;
+      options.telemetry = telemetry_override;
+      // The ticker writes to stderr but stays quiet when the results are
+      // being piped from stdout — progress noise next to machine-read
+      // output helps nobody.
+      const bool show_progress =
+          progress && !(output == "-" && isatty(STDOUT_FILENO) == 0);
+      const auto run_start = std::chrono::steady_clock::now();
+      if (show_progress) {
+        options.on_unit_done = [&run_start, &spec](int done, int total) {
+          const double elapsed =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            run_start)
+                  .count();
+          const double eta =
+              done > 0 ? elapsed / done * (total - done) : 0.0;
+          std::fprintf(stderr,
+                       "\rdynagg_run: %s: %d/%d units, %.1fs elapsed, "
+                       "eta %.1fs ",
+                       spec.name.c_str(), done, total, elapsed, eta);
+          std::fflush(stderr);
+        };
+      }
+
+      scenario::ExperimentTelemetry telemetry;
       Result<std::vector<scenario::ResultTable>> tables =
-          scenario::RunExperiment(spec, threads);
+          scenario::RunExperiment(spec, options,
+                                  collect ? &telemetry : nullptr);
+      if (show_progress) std::fprintf(stderr, "\n");
       if (!tables.ok()) {
         std::fprintf(stderr, "dynagg_run: %s: %s\n", file.c_str(),
                      tables.status().ToString().c_str());
         return 1;
       }
-      const std::string output =
-          output_override.empty() ? spec.output : output_override;
-      const std::string format =
-          format_override.empty() ? spec.format : format_override;
       const bool append =
           output != "-" && !written_paths.insert(output).second;
       const Status st =
@@ -224,6 +319,52 @@ int Run(int argc, char** argv) {
                      st.ToString().c_str());
         return 1;
       }
+      if (collect) {
+        const bool summary_to_file =
+            telemetry_mode == "summary" && !telemetry_out.empty();
+        if (summary_to_file) {
+          const Status ts = scenario::WriteTables(
+              telemetry.summary, spec.name, format, telemetry_out,
+              telemetry_out_written);
+          if (!ts.ok()) {
+            std::fprintf(stderr, "dynagg_run: %s: %s\n", file.c_str(),
+                         ts.ToString().c_str());
+            return 1;
+          }
+          telemetry_out_written = true;
+        } else {
+          // Profile mode (the file receives the trace) and file-less
+          // summary mode both print the table to stderr.
+          Result<std::string> rendered =
+              scenario::RenderTables(telemetry.summary, spec.name, "csv");
+          if (rendered.ok()) std::fputs(rendered->c_str(), stderr);
+        }
+        if (telemetry_mode == "profile") {
+          any_profile = true;
+          profiles.push_back(
+              {telemetry.experiment, std::move(telemetry.units)});
+        }
+      }
+    }
+  }
+  if (any_profile) {
+    if (telemetry_out.empty()) {
+      std::fprintf(stderr,
+                   "dynagg_run: telemetry = profile collected span streams "
+                   "but no --telemetry-out=FILE was given; the trace was "
+                   "dropped\n");
+    } else {
+      const Status st =
+          WriteTextFile(telemetry_out, obs::RenderChromeTrace(profiles));
+      if (!st.ok()) {
+        std::fprintf(stderr, "dynagg_run: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "dynagg_run: wrote trace-event profile for %zu "
+                   "experiment%s to %s\n",
+                   profiles.size(), profiles.size() == 1 ? "" : "s",
+                   telemetry_out.c_str());
     }
   }
   if (mode == Mode::kDryRun) {
