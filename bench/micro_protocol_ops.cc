@@ -17,6 +17,8 @@
 #include "common/rng.h"
 #include "env/uniform_env.h"
 #include "sim/population.h"
+#include "sim/workload.h"
+#include "stream/stream_swarm.h"
 
 namespace dynagg {
 namespace {
@@ -142,6 +144,27 @@ void BM_PushPullRoundKernel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_PushPullRoundKernel)->Arg(10000)->Arg(100000);
+
+void BM_StreamCountMinRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  stream::StreamSwarmParams params;
+  params.kind = stream::SketchKind::kCountMin;
+  params.depth = 2;
+  params.width = 32;
+  params.hash_seed = 7;
+  params.batch = 8;
+  KeyedStreamGen gen(KeyStreamKind::kZipf, 1000000, 1.1, 42);
+  stream::StreamSketchSwarm swarm(n, params, gen);
+  swarm.set_track_truth(false);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    swarm.RunRound(env, pop, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StreamCountMinRound)->Arg(100000);
 
 void BM_PsrSwarmRound(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -280,16 +280,17 @@ Result<uint64_t> FailureStream(const ScenarioSpec& spec,
 
 namespace {
 
-/// One term of the round-stream sum. Truncation of `sweepval*M` is
+/// One term of a seeds.* stream sum. Truncation of `sweepval*M` is
 /// deliberately per-term (static_cast<uint64_t>(value * M)), matching the
 /// legacy benches' DeriveSeed(seed, static_cast<uint64_t>(lambda * 1e4) +
 /// offset) conventions exactly.
-Result<uint64_t> RoundStreamTerm(const std::string& text,
-                                 const std::string& term,
-                                 const TrialContext& ctx, int n) {
+Result<uint64_t> StreamExprTerm(const std::string& key,
+                                const std::string& text,
+                                const std::string& term,
+                                const TrialContext& ctx, int n) {
   const auto bad = [&](const std::string& why) {
     return Status::InvalidArgument(
-        "seeds.round_stream = " + text + ": " + why +
+        key + " = " + text + ": " + why +
         " (terms: an integer, hosts, sweep, sweep2, sweepval*M, "
         "sweep2val*M)");
   };
@@ -334,12 +335,13 @@ Result<uint64_t> RoundStreamTerm(const std::string& text,
   return static_cast<uint64_t>(*v);
 }
 
-}  // namespace
-
-Result<uint64_t> RoundStream(const ScenarioSpec& spec,
-                             const TrialContext& ctx, int n) {
+/// Evaluates the '+'-separated term-sum stream grammar for one seeds.* key.
+Result<uint64_t> EvalStreamExpr(const ScenarioSpec& spec,
+                                const std::string& key,
+                                const std::string& default_expr,
+                                const TrialContext& ctx, int n) {
   DYNAGG_ASSIGN_OR_RETURN(const std::string text,
-                          spec.ParamString("seeds.round_stream", "1"));
+                          spec.ParamString(key, default_expr));
   uint64_t total = 0;
   size_t start = 0;
   while (start <= text.size()) {
@@ -354,15 +356,26 @@ Result<uint64_t> RoundStream(const ScenarioSpec& spec,
       term.pop_back();
     }
     if (term.empty()) {
-      return Status::InvalidArgument("seeds.round_stream = " + text +
-                                     ": empty term");
+      return Status::InvalidArgument(key + " = " + text + ": empty term");
     }
     DYNAGG_ASSIGN_OR_RETURN(const uint64_t value,
-                            RoundStreamTerm(text, term, ctx, n));
+                            StreamExprTerm(key, text, term, ctx, n));
     total += value;
     start = plus + 1;
   }
   return total;
+}
+
+}  // namespace
+
+Result<uint64_t> RoundStream(const ScenarioSpec& spec,
+                             const TrialContext& ctx, int n) {
+  return EvalStreamExpr(spec, "seeds.round_stream", "1", ctx, n);
+}
+
+Result<uint64_t> WorkloadStream(const ScenarioSpec& spec,
+                                const TrialContext& ctx, int n) {
+  return EvalStreamExpr(spec, "seeds.workload_stream", "3", ctx, n);
 }
 
 Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,

@@ -141,6 +141,13 @@ Result<uint64_t> FailureStream(const ScenarioSpec& spec,
 Result<uint64_t> RoundStream(const ScenarioSpec& spec,
                              const TrialContext& ctx, int n);
 
+/// Resolves the keyed-workload RNG stream (seeds.workload_stream), the
+/// same term-sum grammar as seeds.round_stream; defaults to stream 3 so
+/// workload draws never collide with the gossip (1) or failure (2)
+/// streams.
+Result<uint64_t> WorkloadStream(const ScenarioSpec& spec,
+                                const TrialContext& ctx, int n);
+
 /// Builds the scripted plan. `values` backs kill_top_fraction and may be
 /// null for protocols without per-host scalar values.
 Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,

@@ -111,8 +111,8 @@ Status DriveRounds(const TrialContext& ctx, const ProtocolDef& def,
   std::optional<obs::ScopedPhase> setup_span(std::in_place,
                                              obs::Phase::kSetup);
   const ScenarioSpec& spec = *ctx.spec;
-  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream",
-                                                     "failure_stream"}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "seeds.", {"round_stream", "failure_stream", "workload_stream"}));
   DYNAGG_ASSIGN_OR_RETURN(
       const MetricFlags metrics,
       ClassifyDriverMetrics(spec, def.extra_metrics));

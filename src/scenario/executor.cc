@@ -618,6 +618,30 @@ Status ValidateExperiment(const ScenarioSpec& spec) {
     return invalid("telemetry must be off, summary or profile, got '" +
                    spec.telemetry + "'");
   }
+  // Keyed stream workloads feed the stream sketch protocols only; a
+  // workload key on any other protocol would be silently ignored. The
+  // reverse direction — a consuming protocol without a workload.kind — is
+  // rejected by the protocol's own validate hook below.
+  if (!protocol.consumes_workload) {
+    for (const auto& [key, value] : spec.params) {
+      if (key.rfind("workload.", 0) == 0 || key == "seeds.workload_stream") {
+        return invalid(
+            "'" + key + "' does not apply to protocol '" + spec.protocol +
+            "' (keyed stream workloads feed the stream sketch protocols "
+            "only, e.g. count-min / count-sketch-freq — see `dynagg_run "
+            "--list`)");
+      }
+    }
+    for (const std::string& key : {spec.sweep_key, spec.sweep2_key}) {
+      if (key.rfind("workload.", 0) == 0) {
+        return invalid(
+            "sweep key '" + key + "' does not apply to protocol '" +
+            spec.protocol +
+            "' (keyed stream workloads feed the stream sketch protocols "
+            "only, e.g. count-min / count-sketch-freq)");
+      }
+    }
+  }
   if (driver.event_driven) {
     if (!environment.provides_trace) {
       return invalid("driver = " + spec.driver +

@@ -164,7 +164,7 @@ Status ScenarioSpec::CheckParams(
 namespace {
 
 const char* const kParamPrefixes[] = {"protocol.", "env.", "failure.",
-                                      "record.", "seeds."};
+                                      "record.", "seeds.", "workload."};
 
 bool IsNamespacedKey(std::string_view key) {
   for (const char* prefix : kParamPrefixes) {
@@ -392,7 +392,8 @@ Status ApplyKey(ScenarioSpec* spec, const std::string& key,
     return AtLine(line, Status::InvalidArgument(
                             "unknown key " + Quoted(key) +
                             " (namespaced parameters must start with "
-                            "protocol./env./failure./record./seeds.)"));
+                            "protocol./env./failure./record./seeds./"
+                            "workload.)"));
   }
   return Status::OK();
 }

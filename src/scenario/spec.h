@@ -27,9 +27,10 @@
 //     protocol.mode = pushpull
 //
 // Top-level keys are strictly validated (a typo is an error); namespaced
-// keys (protocol.*, env.*, failure.*, record.*, seeds.*) are collected into
-// a parameter map and validated by the protocol / environment factories
-// that consume them (scenario/protocols.cc, scenario/environments.cc).
+// keys (protocol.*, env.*, failure.*, record.*, seeds.*, workload.*) are
+// collected into a parameter map and validated by the protocol /
+// environment factories that consume them (scenario/protocols.cc,
+// scenario/environments.cc, stream/stream_protocols.cc).
 
 #ifndef DYNAGG_SCENARIO_SPEC_H_
 #define DYNAGG_SCENARIO_SPEC_H_
@@ -139,7 +140,7 @@ struct ScenarioSpec {
   /// Output format: "csv" or "jsonl".
   std::string format = "csv";
   /// Namespaced parameters (protocol.*, env.*, failure.*, record.*,
-  /// seeds.*), consumed by the factories.
+  /// seeds.*, workload.*), consumed by the factories.
   std::map<std::string, std::string> params;
 
   bool HasParam(const std::string& key) const {

@@ -143,18 +143,36 @@ bool MetricRequested(const ScenarioSpec& spec, const std::string& selector) {
   return false;
 }
 
+const std::vector<RecordTypeInfo>& RecordTypeCatalog() {
+  static const std::vector<RecordTypeInfo> types = {
+      {"scalar", "one named value per trial (rms_tail_mean, final_rms, "
+                 "hh_precision(k), sketch_bytes, ...)"},
+      {"quantile", "per-trial quantile of a per-host sample distribution "
+                   "(quantile(final_error, q))"},
+      {"series", "per-round (x, value) curves, optionally keyed "
+                 "(rms, convergence)"},
+      {"histogram", "bucketed distributions / CDFs "
+                    "(cdf(final_error), cdf(counter))"},
+      {"bandwidth", "measured per-host per-round traffic plus state bytes "
+                    "(bandwidth)"},
+  };
+  return types;
+}
+
 namespace internal {
-// Defined in scenario/protocols.cc, scenario/environments.cc and
-// scenario/drivers.cc.
+// Defined in scenario/protocols.cc, scenario/environments.cc,
+// scenario/drivers.cc and stream/stream_protocols.cc.
 void RegisterBuiltinProtocols(Registry<ProtocolDef>& registry);
 void RegisterBuiltinEnvironments(Registry<EnvironmentDef>& registry);
 void RegisterBuiltinDrivers(Registry<DriverDef>& registry);
+void RegisterStreamProtocols(Registry<ProtocolDef>& registry);
 }  // namespace internal
 
 Registry<ProtocolDef>& ProtocolRegistry() {
   static Registry<ProtocolDef>* registry = [] {
     auto* r = new Registry<ProtocolDef>("protocol");
     internal::RegisterBuiltinProtocols(*r);
+    internal::RegisterStreamProtocols(*r);
     return r;
   }();
   return *registry;

@@ -336,6 +336,12 @@ struct ProtocolDef {
   /// payload model). Static so `--dry-run` can reject `record =
   /// gossip_bytes` on protocols without a model.
   bool models_gossip_bytes = false;
+  /// Whether the protocol consumes the keyed stream workload (the
+  /// workload.* keys and seeds.workload_stream; src/stream/). Static so
+  /// `--dry-run` can reject workload keys on protocols that would silently
+  /// ignore them — and, symmetrically, consuming protocols validate that a
+  /// workload.kind is declared.
+  bool consumes_workload = false;
   /// Spec-only validation of the protocol's knobs (protocol.* parameter
   /// allowlists, value ranges, custom runners' record/seed allowlists) —
   /// everything checkable without an environment or a swarm. Factories
@@ -375,10 +381,21 @@ struct EnvironmentDef {
 /// Global registries, with the builtin catalog (push-sum, push-sum-revert,
 /// epoch-push-sum, full-transfer, extremes, count-sketch,
 /// count-sketch-reset, node-aggregator, tag-tree / uniform, spatial,
-/// random-graph, haggle / rounds, trace) registered on first use.
+/// random-graph, haggle / rounds, trace) plus the stream sketch family
+/// (count-min, count-sketch-freq; src/stream/) registered on first use.
 Registry<ProtocolDef>& ProtocolRegistry();
 Registry<EnvironmentDef>& EnvironmentRegistry();
 Registry<DriverDef>& DriverRegistry();
+
+/// One row of the record-type catalog (`dynagg_run --list`).
+struct RecordTypeInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// The Recorder's typed record families with one-line summaries — the
+/// shapes a `record = ...` selector can produce.
+const std::vector<RecordTypeInfo>& RecordTypeCatalog();
 
 /// Per-trial root seed: trial 0 replays the experiment's base seed exactly
 /// (so a 1-trial scenario is bit-identical to the legacy bench binary it

@@ -1,0 +1,97 @@
+#include "sim/workload.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace dynagg {
+namespace {
+
+// Stable (expm1(x))/x and log1p(x)/x near zero — the skew == 1 limit of the
+// envelope integral below would otherwise lose all precision.
+double Helper1(double x) {
+  return std::abs(x) > 1e-8 ? std::log1p(x) / x
+                            : 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+double Helper2(double x) {
+  return std::abs(x) > 1e-8 ? std::expm1(x) / x
+                            : 1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x));
+}
+
+}  // namespace
+
+const std::vector<WorkloadKindInfo>& KeyedWorkloadKinds() {
+  static const std::vector<WorkloadKindInfo> kinds = {
+      {"zipf", "keys ~ Zipf(workload.skew) over workload.keys ids "
+               "(skewed heavy-hitter traffic)"},
+      {"uniform", "keys uniform over workload.keys ids (no heavy hitters)"},
+  };
+  return kinds;
+}
+
+// Envelope integral H(x) = (x^(1-skew) - 1) / (1 - skew), continuous at
+// skew == 1 where it degenerates to log(x).
+double KeyedStreamGen::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - skew_) * log_x) * log_x;
+}
+
+double KeyedStreamGen::HIntegralInverse(double x) const {
+  double t = x * (1.0 - skew_);
+  if (t < -1.0) t = -1.0;  // clamp rounding spill below the x = 1 image
+  return std::exp(Helper1(t) * x);
+}
+
+KeyedStreamGen::KeyedStreamGen(KeyStreamKind kind, uint64_t num_keys,
+                               double skew, uint64_t seed)
+    : kind_(kind), num_keys_(num_keys), skew_(skew), seed_(seed) {
+  DYNAGG_CHECK(num_keys_ >= 1);
+  if (kind_ == KeyStreamKind::kZipf) {
+    DYNAGG_CHECK(skew_ > 0.0);
+    h_x1_ = HIntegral(1.5) - 1.0;
+    h_n_ = HIntegral(static_cast<double>(num_keys_) + 0.5);
+    threshold_ =
+        2.0 - HIntegralInverse(HIntegral(2.5) - std::pow(2.0, -skew_));
+  }
+}
+
+// Hörmann & Derflinger rejection-inversion: invert the envelope integral at
+// a uniform point, round to the nearest rank, and accept either via the
+// constant-time threshold or the exact per-rank test.
+uint64_t KeyedStreamGen::DrawZipf(Rng& rng) const {
+  if (num_keys_ == 1) return 0;
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HIntegralInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > num_keys_) {
+      k = num_keys_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= HIntegral(kd + 0.5) - std::pow(kd, -skew_)) {
+      return k - 1;  // ranks are 1-based, keys 0-based
+    }
+  }
+}
+
+void KeyedStreamGen::FillBatch(HostId host, int round, int batch,
+                               std::vector<uint64_t>* out) const {
+  out->clear();
+  if (batch <= 0) return;
+  // One derived stream per (host, round): batches are order-independent.
+  Rng rng(HashCombine(HashCombine(seed_, static_cast<uint64_t>(host)),
+                      static_cast<uint64_t>(round)));
+  out->reserve(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    out->push_back(kind_ == KeyStreamKind::kUniform ? rng.UniformInt(num_keys_)
+                                                    : DrawZipf(rng));
+  }
+}
+
+}  // namespace dynagg

@@ -1,11 +1,21 @@
 // Shared experiment workloads.
 //
-// The paper's default value workload: "when hosts are required to have
-// values, the values are selected uniformly in the range [0,100)"
-// (Section V). The exact Rng construction and draw order here are
-// parity-critical: the bench harnesses, the scenario engine, and the
-// parity tests must all generate identical populations from one seed, so
-// this is the single definition they all share.
+// Two families live here:
+//
+//   1. The paper's default *value* workload: "when hosts are required to
+//      have values, the values are selected uniformly in the range [0,100)"
+//      (Section V). The exact Rng construction and draw order are
+//      parity-critical: the bench harnesses, the scenario engine, and the
+//      parity tests must all generate identical populations from one seed,
+//      so this is the single definition they all share.
+//
+//   2. Keyed *stream* workloads: a deterministic time-varying stream of
+//      keyed frequency updates — the "heavy traffic from millions of
+//      users" axis the frequency-sketch protocols (src/stream/) aggregate.
+//      Each (host, round) pair owns an independent derived RNG stream, so
+//      a batch is a pure function of (seed, host, round): generation order
+//      cannot perturb results, trials parallelize freely, and replaying a
+//      single host's arrivals needs no global state.
 
 #ifndef DYNAGG_SIM_WORKLOAD_H_
 #define DYNAGG_SIM_WORKLOAD_H_
@@ -14,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/types.h"
 
 namespace dynagg {
 
@@ -24,6 +35,63 @@ inline std::vector<double> UniformWorkloadValues(int n, uint64_t seed) {
   for (auto& v : values) v = rng.UniformDouble(0, 100);
   return values;
 }
+
+// ------------------------------------------------- keyed stream workloads ---
+
+/// Key-draw distribution of a keyed stream workload (`workload.kind`).
+enum class KeyStreamKind {
+  kUniform,  // keys uniform over [0, num_keys)
+  kZipf,     // keys Zipf(skew) over [0, num_keys) — skewed "heavy" traffic
+};
+
+/// One row of the workload catalog (`dynagg_run --list`).
+struct WorkloadKindInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// The registered `workload.kind` values with one-line summaries.
+const std::vector<WorkloadKindInfo>& KeyedWorkloadKinds();
+
+/// Deterministic time-varying keyed stream generator.
+///
+/// Zipf draws use Hörmann & Derflinger's rejection-inversion sampler: O(1)
+/// per draw with no per-key table, so key spaces of millions cost nothing
+/// to set up. The sampler consumes a variable number of uniforms per draw,
+/// which is harmless for determinism because every (host, round) batch has
+/// its own derived RNG stream.
+class KeyedStreamGen {
+ public:
+  /// `num_keys` >= 1 distinct keys; `skew` > 0 is the Zipf exponent
+  /// (ignored for kUniform). `seed` is the workload's root seed.
+  KeyedStreamGen(KeyStreamKind kind, uint64_t num_keys, double skew,
+                 uint64_t seed);
+
+  /// Overwrites `*out` with host `host`'s `batch` key arrivals of round
+  /// `round`. A pure function of (seed, host, round, batch): independent
+  /// of call order and of any other host's batches.
+  void FillBatch(HostId host, int round, int batch,
+                 std::vector<uint64_t>* out) const;
+
+  KeyStreamKind kind() const { return kind_; }
+  uint64_t num_keys() const { return num_keys_; }
+  double skew() const { return skew_; }
+
+ private:
+  double HIntegral(double x) const;
+  double HIntegralInverse(double x) const;
+  uint64_t DrawZipf(Rng& rng) const;
+
+  KeyStreamKind kind_;
+  uint64_t num_keys_;
+  double skew_;
+  uint64_t seed_;
+  // Rejection-inversion constants (Zipf only): the integral envelope at
+  // x = 1.5 and num_keys + 0.5, and the acceptance shortcut threshold.
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double threshold_ = 0.0;
+};
 
 }  // namespace dynagg
 

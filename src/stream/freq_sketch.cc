@@ -1,0 +1,104 @@
+#include "stream/freq_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace dynagg {
+namespace stream {
+namespace {
+
+constexpr double kE = 2.718281828459045235;
+
+int NextPow2AtLeast(double x) {
+  int width = 2;
+  while (width < x) {
+    DYNAGG_CHECK_LT(width, 1 << 30);
+    width <<= 1;
+  }
+  return width;
+}
+
+}  // namespace
+
+int CountMinWidthForEpsilon(double epsilon) {
+  DYNAGG_CHECK_GT(epsilon, 0.0);
+  return NextPow2AtLeast(std::ceil(kE / epsilon));
+}
+
+int CountSketchWidthForEpsilon(double epsilon) {
+  DYNAGG_CHECK_GT(epsilon, 0.0);
+  return NextPow2AtLeast(std::ceil(kE / (epsilon * epsilon)));
+}
+
+int DepthForDelta(double delta) {
+  DYNAGG_CHECK_GT(delta, 0.0);
+  DYNAGG_CHECK_LT(delta, 1.0);
+  return std::max(1, static_cast<int>(std::ceil(std::log(1.0 / delta))));
+}
+
+SketchHash::SketchHash(int depth, int width, uint64_t seed)
+    : depth_(depth),
+      width_(width),
+      mask_(static_cast<uint64_t>(width) - 1),
+      seed_(seed) {
+  DYNAGG_CHECK_GE(depth_, 1);
+  DYNAGG_CHECK_LE(depth_, 64);  // row estimates fit a stack array
+  DYNAGG_CHECK_GE(width_, 2);
+  DYNAGG_CHECK((static_cast<uint64_t>(width_) & mask_) == 0);  // power of two
+  row_seeds_.reserve(depth_);
+  sign_seeds_.reserve(depth_);
+  SplitMix64 sm(seed);
+  for (int r = 0; r < depth_; ++r) {
+    row_seeds_.push_back(sm.Next());
+    sign_seeds_.push_back(sm.Next());
+  }
+}
+
+double MedianOfRows(double* scratch, int depth) {
+  std::sort(scratch, scratch + depth);
+  return depth % 2 == 1
+             ? scratch[depth / 2]
+             : 0.5 * (scratch[depth / 2 - 1] + scratch[depth / 2]);
+}
+
+CountMinSketch::CountMinSketch(int depth, int width, uint64_t seed)
+    : hash_(depth, width, seed), counters_(hash_.cells(), 0.0) {}
+
+double CountMinSketch::Estimate(uint64_t key) const {
+  double est = counters_[hash_.Slot(0, key)];
+  for (int r = 1; r < hash_.depth(); ++r) {
+    est = std::min(est, counters_[hash_.Slot(r, key)]);
+  }
+  return est;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  DYNAGG_CHECK(hash_.SameGeometry(other.hash_));
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+CountSketch::CountSketch(int depth, int width, uint64_t seed)
+    : hash_(depth, width, seed), counters_(hash_.cells(), 0.0) {}
+
+double CountSketch::Estimate(uint64_t key) const {
+  double rows[64];
+  for (int r = 0; r < hash_.depth(); ++r) {
+    rows[r] = hash_.Sign(r, key) * counters_[hash_.Slot(r, key)];
+  }
+  return MedianOfRows(rows, hash_.depth());
+}
+
+void CountSketch::Merge(const CountSketch& other) {
+  DYNAGG_CHECK(hash_.SameGeometry(other.hash_));
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+}  // namespace stream
+}  // namespace dynagg

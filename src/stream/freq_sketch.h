@@ -1,0 +1,142 @@
+// Mergeable frequency sketches: count-min and count-sketch.
+//
+// Both structures answer point frequency queries over a keyed stream in a
+// fixed-size array of counters, and both are *mergeable*: merging two
+// sketches built over disjoint streams gives exactly the sketch of the
+// concatenated stream, which is what lets them ride the gossip round
+// kernel as swarm state (src/stream/stream_swarm.h).
+//
+// Layout choices are line-rate idioms: widths are powers of two so row
+// indexing is a mask (no modulo), counters live in one flat preallocated
+// array (row-major, depth x width), and Add/Estimate/Merge allocate
+// nothing. Counters are doubles — integer counts below 2^53 are exact, and
+// the swarm's mass-splitting gossip halves counters (exact: exponent
+// decrement) and adds them (deterministic given deposit order), so merges
+// are byte-stable in any association.
+
+#ifndef DYNAGG_STREAM_FREQ_SKETCH_H_
+#define DYNAGG_STREAM_FREQ_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace dynagg {
+namespace stream {
+
+/// Smallest power of two >= ceil(e / epsilon): the count-min width giving
+/// additive error <= epsilon * N (stream mass N) per row in expectation.
+int CountMinWidthForEpsilon(double epsilon);
+
+/// Smallest power of two >= ceil(e / epsilon^2): the count-sketch width for
+/// additive error <= epsilon * N with the variance-based bound.
+int CountSketchWidthForEpsilon(double epsilon);
+
+/// ceil(ln(1 / delta)) rows, at least 1: failure probability <= delta.
+int DepthForDelta(double delta);
+
+/// The hash geometry shared by both sketches: `depth` rows of `width`
+/// (power of two) counters, per-row slot and sign hashes derived from one
+/// seed. Two sketches are mergeable iff their geometries are identical
+/// (same depth, width, and seed).
+class SketchHash {
+ public:
+  SketchHash(int depth, int width, uint64_t seed);
+
+  int depth() const { return depth_; }
+  int width() const { return width_; }
+  uint64_t seed() const { return seed_; }
+  size_t cells() const { return static_cast<size_t>(depth_) * width_; }
+
+  /// Flat row-major index of `key`'s counter in row `row`.
+  size_t Slot(int row, uint64_t key) const {
+    return static_cast<size_t>(row) * width_ +
+           (Mix64(key ^ row_seeds_[row]) & mask_);
+  }
+
+  /// +-1 sign hash of `key` in row `row` (count-sketch only).
+  double Sign(int row, uint64_t key) const {
+    return (Mix64(key ^ sign_seeds_[row]) & 1) ? 1.0 : -1.0;
+  }
+
+  bool SameGeometry(const SketchHash& other) const {
+    return depth_ == other.depth_ && width_ == other.width_ &&
+           seed_ == other.seed_;
+  }
+
+ private:
+  int depth_;
+  int width_;
+  uint64_t mask_;
+  uint64_t seed_;
+  std::vector<uint64_t> row_seeds_;
+  std::vector<uint64_t> sign_seeds_;
+};
+
+/// Count-min: each row counts `key` in one hashed cell; the estimate is
+/// the minimum over rows. Never underestimates a non-negative stream;
+/// overestimates by at most epsilon * N with probability 1 - delta.
+class CountMinSketch {
+ public:
+  CountMinSketch(int depth, int width, uint64_t seed);
+
+  void Add(uint64_t key, double amount) {
+    for (int r = 0; r < hash_.depth(); ++r) {
+      counters_[hash_.Slot(r, key)] += amount;
+    }
+  }
+
+  double Estimate(uint64_t key) const;
+
+  /// Elementwise add; requires identical geometry.
+  void Merge(const CountMinSketch& other);
+
+  const SketchHash& hash() const { return hash_; }
+  const std::vector<double>& counters() const { return counters_; }
+  size_t bytes() const { return counters_.size() * sizeof(double); }
+
+ private:
+  SketchHash hash_;
+  std::vector<double> counters_;
+};
+
+/// Count-sketch: each row adds a +-1 signed count; the estimate is the
+/// median over rows of the signed counter. Unbiased per row, so it can
+/// under- as well as overestimate; the error bound depends on the stream's
+/// L2 norm rather than its mass.
+class CountSketch {
+ public:
+  CountSketch(int depth, int width, uint64_t seed);
+
+  void Add(uint64_t key, double amount) {
+    for (int r = 0; r < hash_.depth(); ++r) {
+      counters_[hash_.Slot(r, key)] += hash_.Sign(r, key) * amount;
+    }
+  }
+
+  double Estimate(uint64_t key) const;
+
+  /// Elementwise add; requires identical geometry.
+  void Merge(const CountSketch& other);
+
+  const SketchHash& hash() const { return hash_; }
+  const std::vector<double>& counters() const { return counters_; }
+  size_t bytes() const { return counters_.size() * sizeof(double); }
+
+ private:
+  SketchHash hash_;
+  std::vector<double> counters_;
+};
+
+/// Median over rows of `row_values[0..depth)`, averaging the two middle
+/// order statistics when depth is even. Shared by CountSketch::Estimate
+/// and the swarm's flat-array estimator; `scratch` must hold `depth`
+/// doubles and is clobbered.
+double MedianOfRows(double* scratch, int depth);
+
+}  // namespace stream
+}  // namespace dynagg
+
+#endif  // DYNAGG_STREAM_FREQ_SKETCH_H_

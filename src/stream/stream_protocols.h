@@ -1,0 +1,26 @@
+// Registration hook for the stream sketch protocol family (`count-min`,
+// `count-sketch-freq`): gossiped mergeable frequency sketches over the
+// keyed stream workloads (workload.* spec keys; sim/workload.h). Called by
+// the protocol registry bootstrap in scenario/trial.cc.
+//
+// The count-sketch frequency estimator registers as `count-sketch-freq`
+// because the name `count-sketch` already belongs to the paper's FM-based
+// distinct-count sketch (scenario/protocols.cc).
+
+#ifndef DYNAGG_STREAM_STREAM_PROTOCOLS_H_
+#define DYNAGG_STREAM_STREAM_PROTOCOLS_H_
+
+#include "scenario/registry.h"
+#include "scenario/trial.h"
+
+namespace dynagg {
+namespace scenario {
+namespace internal {
+
+void RegisterStreamProtocols(Registry<ProtocolDef>& registry);
+
+}  // namespace internal
+}  // namespace scenario
+}  // namespace dynagg
+
+#endif  // DYNAGG_STREAM_STREAM_PROTOCOLS_H_

@@ -1,0 +1,286 @@
+// Property tests for the mergeable frequency sketches and the keyed
+// stream generator: shape derivation from (epsilon, delta), exact
+// byte-stability of merges in any order, the count-min overestimate-only
+// guarantee and epsilon*N error bound on Zipf and adversarial streams,
+// the count-sketch signed-median bound, and KeyedStreamGen's determinism
+// / order-independence / range / skew-concentration contracts.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/workload.h"
+#include "stream/freq_sketch.h"
+
+namespace dynagg {
+namespace stream {
+namespace {
+
+// ------------------------------------------------- shape derivation ---
+
+TEST(SketchShapeTest, CountMinWidthIsNextPow2OfEOverEpsilon) {
+  // e / 0.05 = 54.4 -> 64; e / 0.01 = 271.8 -> 512; e / 0.5 = 5.4 -> 8.
+  EXPECT_EQ(CountMinWidthForEpsilon(0.05), 64);
+  EXPECT_EQ(CountMinWidthForEpsilon(0.01), 512);
+  EXPECT_EQ(CountMinWidthForEpsilon(0.5), 8);
+}
+
+TEST(SketchShapeTest, CountSketchWidthIsQuadraticInEpsilon) {
+  // e / 0.2^2 = 68 -> 128; e / 0.1^2 = 271.8 -> 512.
+  EXPECT_EQ(CountSketchWidthForEpsilon(0.2), 128);
+  EXPECT_EQ(CountSketchWidthForEpsilon(0.1), 512);
+}
+
+TEST(SketchShapeTest, DepthForDeltaIsCeilLogInverse) {
+  EXPECT_EQ(DepthForDelta(0.5), 1);   // ln 2 = 0.69 -> 1
+  EXPECT_EQ(DepthForDelta(0.05), 3);  // ln 20 = 3.0 -> 3
+  EXPECT_EQ(DepthForDelta(0.001), 7);
+  EXPECT_EQ(DepthForDelta(0.9), 1);   // floor at one row
+}
+
+TEST(SketchShapeTest, GeometryEqualityRequiresAllThreeFields) {
+  const SketchHash a(3, 64, 7);
+  EXPECT_TRUE(a.SameGeometry(SketchHash(3, 64, 7)));
+  EXPECT_FALSE(a.SameGeometry(SketchHash(4, 64, 7)));
+  EXPECT_FALSE(a.SameGeometry(SketchHash(3, 128, 7)));
+  EXPECT_FALSE(a.SameGeometry(SketchHash(3, 64, 8)));
+}
+
+TEST(SketchShapeTest, SlotsStayInRowAndSignsAreBinary) {
+  const SketchHash h(4, 32, 99);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t key = rng.Next();
+    for (int r = 0; r < h.depth(); ++r) {
+      const size_t slot = h.Slot(r, key);
+      EXPECT_GE(slot, static_cast<size_t>(r) * 32);
+      EXPECT_LT(slot, static_cast<size_t>(r + 1) * 32);
+      const double s = h.Sign(r, key);
+      EXPECT_TRUE(s == 1.0 || s == -1.0);
+    }
+  }
+}
+
+// ------------------------------------------------------ merge order ---
+
+/// Feeds `count` pseudo-random keyed increments into `sketch`.
+template <typename Sketch>
+void FeedStream(Sketch* sketch, uint64_t seed, int count) {
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    sketch->Add(rng.UniformInt(512), 1.0);
+  }
+}
+
+template <typename Sketch>
+std::vector<double> MergedCounters(const std::vector<const Sketch*>& order) {
+  Sketch acc(*order[0]);
+  for (size_t i = 1; i < order.size(); ++i) acc.Merge(*order[i]);
+  return acc.counters();
+}
+
+template <typename Sketch>
+void CheckMergeOrderInvariance() {
+  Sketch a(3, 64, 42), b(3, 64, 42), c(3, 64, 42);
+  FeedStream(&a, 1, 500);
+  FeedStream(&b, 2, 700);
+  FeedStream(&c, 3, 900);
+  const std::vector<double> abc = MergedCounters<Sketch>({&a, &b, &c});
+  // Commutative and associative, byte-for-byte: integer-valued doubles
+  // below 2^53 sum exactly, so every association and order agrees.
+  EXPECT_EQ(abc, MergedCounters<Sketch>({&a, &c, &b}));
+  EXPECT_EQ(abc, MergedCounters<Sketch>({&b, &a, &c}));
+  EXPECT_EQ(abc, MergedCounters<Sketch>({&c, &b, &a}));
+  // Merging sketches of disjoint streams equals the sketch of the
+  // concatenated stream (linearity — the property the gossip relies on).
+  Sketch whole(3, 64, 42);
+  FeedStream(&whole, 1, 500);
+  FeedStream(&whole, 2, 700);
+  FeedStream(&whole, 3, 900);
+  EXPECT_EQ(abc, whole.counters());
+}
+
+TEST(SketchMergeTest, CountMinMergeIsOrderInvariant) {
+  CheckMergeOrderInvariance<CountMinSketch>();
+}
+
+TEST(SketchMergeTest, CountSketchMergeIsOrderInvariant) {
+  CheckMergeOrderInvariance<CountSketch>();
+}
+
+TEST(SketchMergeTest, HalvedCountersStayExactUnderMergeReassembly) {
+  // The gossip halves strides; halves of integers are exact in binary,
+  // so splitting a sketch in two and re-merging restores it bit-for-bit.
+  CountMinSketch whole(2, 32, 5);
+  FeedStream(&whole, 9, 800);
+  CountMinSketch half(2, 32, 5);
+  std::vector<double> halved = whole.counters();
+  for (double& v : halved) v *= 0.5;
+  // Reassemble: halved + halved == whole, exactly.
+  std::vector<double> sum(halved.size());
+  for (size_t i = 0; i < sum.size(); ++i) sum[i] = halved[i] + halved[i];
+  EXPECT_EQ(sum, whole.counters());
+}
+
+// -------------------------------------------------- error guarantees ---
+
+/// Exact per-key counts of the keyed Zipf stream fed to the sketches.
+std::map<uint64_t, double> ZipfTruth(const KeyedStreamGen& gen, int hosts,
+                                     int rounds, int batch) {
+  std::map<uint64_t, double> truth;
+  std::vector<uint64_t> keys;
+  for (int h = 0; h < hosts; ++h) {
+    for (int r = 0; r < rounds; ++r) {
+      gen.FillBatch(h, r, batch, &keys);
+      for (const uint64_t k : keys) truth[k] += 1.0;
+    }
+  }
+  return truth;
+}
+
+TEST(SketchErrorTest, CountMinNeverUnderestimatesAndMeetsEpsilonBound) {
+  const KeyedStreamGen gen(KeyStreamKind::kZipf, 100000, 1.1, 77);
+  const auto truth = ZipfTruth(gen, 16, 20, 16);
+  const double delta = 0.05;
+  const double epsilon = 0.05;
+  CountMinSketch sketch(DepthForDelta(delta), CountMinWidthForEpsilon(epsilon),
+                        123);
+  double total = 0.0;
+  for (const auto& [key, count] : truth) {
+    sketch.Add(key, count);
+    total += count;
+  }
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    const double est = sketch.Estimate(key);
+    EXPECT_GE(est, count) << "count-min underestimated key " << key;
+    if (est - count > epsilon * total) ++violations;
+  }
+  // Pr[error > eps * N] <= delta per key; this fixed-seed stream should
+  // sit comfortably inside the bound.
+  EXPECT_LE(violations, static_cast<int>(delta * truth.size()));
+}
+
+TEST(SketchErrorTest, CountMinHandlesAdversarialSingleHeavyKey) {
+  // One massive key plus a spray of singletons colliding into it: the
+  // heavy key must still be exact-or-over, singleton errors bounded.
+  const double epsilon = 0.1;
+  CountMinSketch sketch(4, CountMinWidthForEpsilon(epsilon), 321);
+  sketch.Add(0xdead, 100000.0);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) sketch.Add(rng.Next(), 1.0);
+  const double total = 105000.0;
+  EXPECT_GE(sketch.Estimate(0xdead), 100000.0);
+  EXPECT_LE(sketch.Estimate(0xdead), 100000.0 + epsilon * total);
+}
+
+TEST(SketchErrorTest, CountSketchMedianErrorWithinEpsilonOfTotal) {
+  const KeyedStreamGen gen(KeyStreamKind::kZipf, 100000, 1.2, 88);
+  const auto truth = ZipfTruth(gen, 16, 20, 16);
+  const double epsilon = 0.1;
+  CountSketch sketch(5, CountSketchWidthForEpsilon(epsilon), 456);
+  double total = 0.0;
+  for (const auto& [key, count] : truth) {
+    sketch.Add(key, count);
+    total += count;
+  }
+  // Count-sketch is two-sided; its guarantee is against the stream's L2
+  // norm, which is <= the total mass, so eps * total is a loose bound a
+  // fixed-seed run must clear for all but a delta fraction of keys.
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (std::abs(sketch.Estimate(key) - count) > epsilon * total) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, static_cast<int>(0.05 * truth.size()));
+}
+
+TEST(SketchErrorTest, MedianOfRowsAveragesMiddlePairWhenEven) {
+  double odd[3] = {3.0, 1.0, 2.0};
+  EXPECT_EQ(MedianOfRows(odd, 3), 2.0);
+  double even[4] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_EQ(MedianOfRows(even, 4), 2.5);
+  double one[1] = {7.0};
+  EXPECT_EQ(MedianOfRows(one, 1), 7.0);
+}
+
+// ------------------------------------------------- keyed stream gen ---
+
+TEST(KeyedStreamGenTest, BatchesAreDeterministicAndOrderIndependent) {
+  const KeyedStreamGen a(KeyStreamKind::kZipf, 1000000, 1.1, 42);
+  const KeyedStreamGen b(KeyStreamKind::kZipf, 1000000, 1.1, 42);
+  std::vector<uint64_t> x, y;
+  // Same (host, round) -> same batch, regardless of generation order:
+  // a fills (3, 7) after (0, 0), b fills it first.
+  a.FillBatch(0, 0, 32, &x);
+  a.FillBatch(3, 7, 32, &x);
+  b.FillBatch(3, 7, 32, &y);
+  EXPECT_EQ(x, y);
+  // Distinct (host, round) pairs draw from decorrelated streams.
+  std::vector<uint64_t> other;
+  a.FillBatch(3, 8, 32, &other);
+  EXPECT_NE(x, other);
+  a.FillBatch(4, 7, 32, &other);
+  EXPECT_NE(x, other);
+}
+
+TEST(KeyedStreamGenTest, KeysStayInRangeForBothKinds) {
+  for (const KeyStreamKind kind :
+       {KeyStreamKind::kUniform, KeyStreamKind::kZipf}) {
+    const KeyedStreamGen gen(kind, 1000, 1.5, 9);
+    std::vector<uint64_t> keys;
+    for (int h = 0; h < 8; ++h) {
+      gen.FillBatch(h, 0, 256, &keys);
+      for (const uint64_t k : keys) EXPECT_LT(k, 1000u);
+    }
+  }
+}
+
+TEST(KeyedStreamGenTest, SingleKeyUniverseAlwaysDrawsZero) {
+  const KeyedStreamGen gen(KeyStreamKind::kZipf, 1, 1.0, 3);
+  std::vector<uint64_t> keys;
+  gen.FillBatch(0, 0, 64, &keys);
+  for (const uint64_t k : keys) EXPECT_EQ(k, 0u);
+}
+
+TEST(KeyedStreamGenTest, ZipfConcentratesMassOnLowKeys) {
+  const int kDraws = 20000;
+  std::vector<int> counts(1000, 0);
+  const KeyedStreamGen gen(KeyStreamKind::kZipf, 1000, 1.2, 17);
+  std::vector<uint64_t> keys;
+  for (int r = 0; r < kDraws / 100; ++r) {
+    gen.FillBatch(0, r, 100, &keys);
+    for (const uint64_t k : keys) ++counts[k];
+  }
+  // Rank 1 (key 0) dominates and the head holds a big share: for skew
+  // 1.2 over 1000 keys, P(key 0) = 0.2 and the top ten hold about half.
+  EXPECT_EQ(std::max_element(counts.begin(), counts.end()) - counts.begin(),
+            0);
+  int head = 0;
+  for (int k = 0; k < 10; ++k) head += counts[k];
+  EXPECT_GT(head, static_cast<int>(0.35 * kDraws));
+  EXPECT_GT(counts[0], counts[99] * 5);
+}
+
+TEST(KeyedStreamGenTest, UniformSpreadsMassEvenly) {
+  const int kDraws = 20000;
+  std::vector<int> counts(1000, 0);
+  const KeyedStreamGen gen(KeyStreamKind::kUniform, 1000, 0.0, 17);
+  std::vector<uint64_t> keys;
+  for (int r = 0; r < kDraws / 100; ++r) {
+    gen.FillBatch(0, r, 100, &keys);
+    for (const uint64_t k : keys) ++counts[k];
+  }
+  // Expected 20 draws per key; nothing should spike Zipf-style.
+  EXPECT_LT(*std::max_element(counts.begin(), counts.end()), 60);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace dynagg

@@ -32,7 +32,7 @@ fi
 BUILD_DIR="${1:-build}"
 MICRO="$BUILD_DIR/micro_protocol_ops"
 RUNNER="$BUILD_DIR/dynagg_run"
-FILTER='PushRoundLegacy|PushRoundKernel|PushPullRoundLegacy|PushPullRoundKernel'
+FILTER='PushRoundLegacy|PushRoundKernel|PushPullRoundLegacy|PushPullRoundKernel|StreamCountMinRound'
 
 if [[ ! -x "$RUNNER" ]]; then
   echo "bench.sh: $RUNNER not built (run tools/check.sh or cmake first)" >&2
@@ -48,9 +48,12 @@ if [[ "$SMOKE" == 1 ]]; then
   GATE_KEY="BM_PushRoundKernel/10000/1"
   if [[ -x "$MICRO" ]]; then
     SMOKE_JSON="$BUILD_DIR/bench_smoke_raw.json"
+    # Best-of-5 rather than median: the CI VM's throughput swings by tens
+    # of percent under neighbor load, which slows *some* repetitions; a
+    # genuine code regression slows the fastest one too, so the minimum is
+    # the noise-robust gate statistic.
     "$MICRO" --benchmark_filter='PushRoundKernel/10000/1$' \
-      --benchmark_min_time=0.05 --benchmark_repetitions=3 \
-      --benchmark_report_aggregates_only=true \
+      --benchmark_min_time=0.05 --benchmark_repetitions=5 \
       --benchmark_format=json > "$SMOKE_JSON"
     echo "bench.sh --smoke: round-kernel microbenchmark ran"
     AVAIL_LIST="$BUILD_DIR/bench_smoke_avail.txt"
@@ -62,12 +65,11 @@ raw = json.load(open(sys.argv[1]))
 key, gate_pct = sys.argv[2], float(sys.argv[3])
 available = set(open(sys.argv[4]).read().split())
 
-measured = None
-for b in raw.get("benchmarks", []):
-    if b.get("aggregate_name") == "median" and b.get("run_name") == key:
-        measured = b["real_time"]
-if measured is None:
+reps = [b["real_time"] for b in raw.get("benchmarks", [])
+        if b.get("run_type") == "iteration" and b.get("run_name") == key]
+if not reps:
     sys.exit(f"bench.sh --smoke: benchmark {key} missing from output")
+measured = min(reps)
 
 try:
     snapshot = json.load(open("BENCH_roundkernel.json"))
@@ -212,8 +214,10 @@ snapshot = {
              "scale_100k_phase_ms is the per-trial telemetry phase "
              "breakdown keyed by intra_round_threads; "
              "telemetry_overhead_pct is the end-to-end scale_100k cost of "
-             "telemetry=summary vs off; history holds headline numbers of "
-             "superseded snapshots, oldest first."),
+             "telemetry=summary vs off; stream_100k is the 100k-host "
+             "count-min sketch gossip round (keyed Zipf arrivals + merge, "
+             "src/stream/); history holds headline numbers of superseded "
+             "snapshots, oldest first."),
     "generated": datetime.date.today().isoformat(),
     "host": raw.get("context", {}).get("host_name", "unknown"),
     "cpus": raw.get("context", {}).get("num_cpus"),
@@ -235,6 +239,11 @@ pairs = {
 for key, (legacy, kernel) in pairs.items():
     if ns(legacy) and ns(kernel):
         snapshot["speedup"][key] = round(ns(legacy) / ns(kernel), 3)
+
+# Headline number for the streaming sketch subsystem: one 100k-host
+# count-min round (arrivals + halve + scatter-merge), median real ns.
+if ns("BM_StreamCountMinRound/100000"):
+    snapshot["stream_100k"] = round(ns("BM_StreamCountMinRound/100000"), 1)
 
 with open("BENCH_roundkernel.json", "w") as f:
     json.dump(snapshot, f, indent=2, sort_keys=False)

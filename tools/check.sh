@@ -24,6 +24,15 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
   bench/scenarios/smoke.scenario
 diff -u bench/scenarios/golden/smoke.csv "$BUILD_DIR/smoke_out.csv"
 echo "check.sh: smoke scenario output matches golden"
+# Streaming smoke: the heavy-hitter grid (keyed Zipf stream -> count-min
+# swarms on the round kernel) must execute and reproduce its golden
+# byte-for-byte; see heavy_hitters.scenario for regeneration.
+"$BUILD_DIR"/dynagg_run --threads=2 \
+  --output="$BUILD_DIR/heavy_hitters_out.csv" \
+  bench/scenarios/heavy_hitters.scenario
+diff -u bench/scenarios/golden/heavy_hitters.csv \
+  "$BUILD_DIR/heavy_hitters_out.csv"
+echo "check.sh: heavy_hitters scenario output matches golden"
 # Perf smoke: the round-kernel microbenchmarks must still run and the
 # 100k-host scale spec must validate. The full perf snapshot
 # (BENCH_roundkernel.json) is regenerated with `tools/bench.sh`.

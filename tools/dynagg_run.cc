@@ -22,7 +22,8 @@
 //       Enumerate the experiments in each file (name, protocol,
 //       environment, axes, metrics) without executing anything.
 //   dynagg_run --list
-//       Print the registered protocols, environments and drivers.
+//       Print the registered protocols, environments, drivers, keyed
+//       workload kinds and record types.
 //   dynagg_run --dry-run file.scenario [...]
 //       Parse and structurally validate every experiment (registry
 //       lookups, metric/aggregate grammar, sweep axes) without executing.
@@ -47,6 +48,7 @@
 #include "scenario/sink.h"
 #include "scenario/spec.h"
 #include "scenario/trial.h"
+#include "sim/workload.h"
 
 namespace dynagg {
 namespace {
@@ -115,6 +117,14 @@ int ListRegistries() {
   std::printf("drivers:\n");
   for (const auto& name : scenario::DriverRegistry().Names()) {
     std::printf("  %s\n", name.c_str());
+  }
+  std::printf("workloads (workload.kind, stream sketch protocols):\n");
+  for (const WorkloadKindInfo& kind : KeyedWorkloadKinds()) {
+    std::printf("  %-10s %s\n", kind.name, kind.summary);
+  }
+  std::printf("record types:\n");
+  for (const scenario::RecordTypeInfo& type : scenario::RecordTypeCatalog()) {
+    std::printf("  %-10s %s\n", type.name, type.summary);
   }
   return 0;
 }
