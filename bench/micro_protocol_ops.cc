@@ -12,10 +12,13 @@
 #include "agg/aggregator.h"
 #include "agg/count_sketch_reset.h"
 #include "agg/fm_sketch.h"
+#include "agg/push_flow.h"
 #include "agg/push_sum.h"
 #include "agg/push_sum_revert.h"
 #include "common/rng.h"
 #include "env/uniform_env.h"
+#include "net/message.h"
+#include "net/network_model.h"
 #include "sim/population.h"
 #include "sim/workload.h"
 #include "stream/stream_swarm.h"
@@ -165,6 +168,38 @@ void BM_StreamCountMinRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_StreamCountMinRound)->Arg(100000);
+
+void BM_AsyncDriverStep(benchmark::State& state) {
+  // One async-driver gossip step at scale: plan a push-flow tick, decide
+  // every message's fate through the per-message-seeded network model,
+  // deliver the survivors. The event-queue bookkeeping is excluded — this
+  // times the per-message protocol + model work the async driver adds
+  // over a synchronous round.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> values(n, 1.0);
+  PushFlowSwarm swarm(values);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(1);
+  net::NetworkParams params;
+  params.latency = net::LatencyKind::kExponential;
+  params.latency_s = 10.0;
+  params.loss = 0.1;
+  net::NetworkModel model(params, 99);
+  std::vector<net::Message> wave;
+  uint64_t index = 0;
+  for (auto _ : state) {
+    wave.clear();
+    swarm.PlanAsyncTick(env, pop, rng, &wave);
+    for (const net::Message& m : wave) {
+      const net::NetworkModel::Delivery d = model.Decide(index++);
+      if (!d.dropped) swarm.DeliverFlow(m);
+      benchmark::DoNotOptimize(d.delay);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AsyncDriverStep)->Arg(100000);
 
 void BM_PsrSwarmRound(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

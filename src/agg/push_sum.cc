@@ -86,6 +86,18 @@ void PushSumSwarm::RunRound(const Environment& env, const Population& pop,
       [this](HostId id) { __builtin_prefetch(&mass_[id], 1); });
 }
 
+void PushSumSwarm::PlanAsyncTick(const Environment& env, const Population& pop,
+                                 Rng& rng, std::vector<net::Message>* out) {
+  kernel_.PlanPushRound(env, pop, rng);
+  kernel_.ForEachSlot([this, out](HostId src, HostId partner) {
+    if (partner == kInvalidHost) return;  // no reachable peer: keep all mass
+    Mass& m = mass_[src];
+    const Mass half{m.weight * 0.5, m.value * 0.5};
+    m = half;
+    out->push_back(net::Message{src, partner, half.weight, half.value, 0});
+  });
+}
+
 Mass PushSumSwarm::TotalAliveMass(const Population& pop) const {
   Mass total;
   for (const HostId id : pop.alive_ids()) total += mass_[id];

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "env/environment.h"
+#include "net/message.h"
 #include "sim/bandwidth.h"
 #include "sim/population.h"
 #include "sim/round_kernel.h"
@@ -132,6 +133,19 @@ class PushSumSwarm {
 
   /// Total mass over alive hosts (conservation diagnostics and tests).
   Mass TotalAliveMass(const Population& pop) const;
+
+  /// Message-level gossip tick (`driver = async`, push mode only): every
+  /// matched host halves its mass in place and plans one message carrying
+  /// the other half to its partner; unmatched hosts keep everything. No
+  /// state moves between hosts here — delivery happens whenever (and if)
+  /// the network model hands each message to DeliverMass. A half lost in
+  /// flight is mass destroyed, which is exactly the loss sensitivity the
+  /// loss-rate sweeps measure.
+  void PlanAsyncTick(const Environment& env, const Population& pop, Rng& rng,
+                     std::vector<net::Message>* out);
+
+  /// Applies one delivered mass message (async driver).
+  void DeliverMass(const net::Message& m) { mass_[m.dst] += Mass{m.a, m.b}; }
 
   /// Optionally records over-the-air traffic (self-messages excluded).
   /// Pass nullptr to disable. The meter must outlive the swarm.

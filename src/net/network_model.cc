@@ -1,0 +1,72 @@
+#include "net/network_model.h"
+
+namespace dynagg {
+namespace net {
+
+NetworkModel::Delivery NetworkModel::Decide(uint64_t message_index) {
+  // A fresh generator per message: the decision depends only on
+  // (root seed, index), never on how many or which decisions came before.
+  Rng rng(DeriveSeed(root_, message_index));
+  Delivery out;
+  out.dropped = params_.loss > 0.0 && rng.Bernoulli(params_.loss);
+  // The latency draw happens even for dropped messages so every message
+  // consumes the same number of draws regardless of its fate (keeps the
+  // per-message draw count a constant of the model, not of the data).
+  double seconds = 0.0;
+  switch (params_.latency) {
+    case LatencyKind::kFixed:
+      seconds = params_.latency_s;
+      break;
+    case LatencyKind::kUniform:
+      seconds = rng.UniformDouble(params_.latency_s, params_.latency_hi_s);
+      break;
+    case LatencyKind::kExponential:
+      // Rng::Exponential takes a rate; the spec key is the mean in seconds.
+      seconds = params_.latency_s > 0.0
+                    ? rng.Exponential(1.0 / params_.latency_s)
+                    : 0.0;
+      break;
+  }
+  if (params_.jitter_s > 0.0) {
+    seconds += rng.UniformDouble(0.0, params_.jitter_s);
+  }
+  out.delay = FromSeconds(seconds);
+  draws_ += static_cast<int64_t>(rng.draw_count());
+  return out;
+}
+
+const std::vector<NetCatalogInfo>& NetworkModelCatalog() {
+  static const std::vector<NetCatalogInfo>* const kCatalog =
+      new std::vector<NetCatalogInfo>{
+          {"fixed", "constant per-message latency of net.latency_s seconds"},
+          {"uniform",
+           "latency uniform in [net.latency_s, net.latency_hi_s) seconds"},
+          {"exponential",
+           "exponential latency with mean net.latency_s seconds (heavy "
+           "reordering tail)"},
+      };
+  return *kCatalog;
+}
+
+const std::vector<NetCatalogInfo>& AsyncSpecKeyCatalog() {
+  static const std::vector<NetCatalogInfo>* const kCatalog =
+      new std::vector<NetCatalogInfo>{
+          {"net.latency",
+           "latency distribution: fixed (default), uniform, exponential"},
+          {"net.latency_s",
+           "latency scale in seconds: fixed value / uniform low edge / "
+           "exponential mean (default 0)"},
+          {"net.latency_hi_s",
+           "uniform latency high edge in seconds (net.latency = uniform "
+           "only)"},
+          {"net.loss", "per-message Bernoulli drop probability in [0, 1]"},
+          {"net.jitter",
+           "extra U[0, jitter) seconds on every delivery (reordering)"},
+          {"seeds.message_stream",
+           "per-message decision stream (term-sum grammar, default 5)"},
+      };
+  return *kCatalog;
+}
+
+}  // namespace net
+}  // namespace dynagg

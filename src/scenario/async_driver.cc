@@ -1,0 +1,295 @@
+#include "scenario/async_driver.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/message.h"
+#include "obs/telemetry.h"
+#include "scenario/config.h"
+#include "sim/metrics.h"
+#include "sim/population.h"
+#include "sim/simulator.h"
+
+namespace dynagg {
+namespace scenario {
+namespace {
+
+// Same-instant event ordering: deliveries land before the gossip tick they
+// coincide with (a message scheduled with zero delay is processed before
+// the next send wave), and the metric sampler always observes the
+// post-tick, post-delivery state. Priority beats insertion order, so this
+// holds regardless of the order the events were scheduled in.
+constexpr int kDeliveryPriority = 0;
+constexpr int kGossipTickPriority = 1;
+constexpr int kSamplerPriority = 2;
+
+Status RunAsyncDriver(const TrialContext& ctx, const ProtocolDef& def,
+                      Recorder& rec) {
+  // Setup phase: validation, environment/swarm construction, scheduling.
+  std::optional<obs::ScopedPhase> setup_span(std::in_place,
+                                             obs::Phase::kSetup);
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(ValidateAsyncSpec(spec, def));
+  DYNAGG_ASSIGN_OR_RETURN(const net::NetworkParams net_params,
+                          ParseNetworkParams(spec));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t record_from,
+                          spec.ParamInt("record.from", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t record_every,
+                          spec.ParamInt("record.every", 1));
+
+  const bool want_rms = MetricRequested(spec, "rms");
+  const bool want_tail = MetricRequested(spec, "rms_tail_mean");
+  const bool want_final = MetricRequested(spec, "final_rms");
+  const bool want_bandwidth = MetricRequested(spec, "bandwidth");
+  const bool want_gossip_bytes = MetricRequested(spec, "gossip_bytes");
+  const bool want_delivery = MetricRequested(spec, "delivery_rate");
+
+  DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
+  DYNAGG_ASSIGN_OR_RETURN(SwarmHandle swarm, def.make_swarm(ctx, env));
+  if (!swarm.async_tick || !swarm.async_deliver) {
+    return Status::InvalidArgument(
+        "protocol '" + spec.protocol +
+        "' is registered async-capable but built no message-level hooks");
+  }
+  if ((want_bandwidth || want_gossip_bytes) && swarm.message_bytes <= 0) {
+    return Status::InvalidArgument(
+        "protocol '" + spec.protocol +
+        "' does not declare its per-message payload size");
+  }
+  const int n = env.env->num_hosts();
+  DYNAGG_ASSIGN_OR_RETURN(const uint64_t round_stream,
+                          RoundStream(spec, ctx, n));
+  DYNAGG_ASSIGN_OR_RETURN(const uint64_t message_stream,
+                          MessageStream(spec, ctx, n));
+
+  const SimTime gossip_period =
+      FromSeconds(spec.gossip_period > 0 ? spec.gossip_period : 30.0);
+  const int ticks = spec.rounds;
+
+  Simulator sim;
+  Population pop(n);
+  Rng rng(DeriveSeed(ctx.trial_seed, round_stream));
+  net::NetworkModel model(net_params,
+                          DeriveSeed(ctx.trial_seed, message_stream));
+  Environment* raw_env = env.env.get();
+  const SimTime advance_period = env.advance_period;
+
+  int64_t sent = 0;
+  int64_t delivered = 0;
+  uint64_t message_index = 0;
+  int tick = 0;
+  std::vector<net::Message> wave;  // scratch: one tick's planned sends
+
+  // Declare the series up front so batches stay structurally identical
+  // even when the recording window is empty.
+  if (want_rms) rec.MutableSeries("round", "rms");
+  RunningStat tail;
+
+  const auto rms_now = [&]() {
+    return RmsDeviationOverAlive(pop, swarm.truth(pop), swarm.estimate);
+  };
+
+  // Gossip tick k fires at (k+1) * gossip_period: plan the send wave, then
+  // run every message through the network model. Dropped messages are
+  // counted as sent — they consumed real bandwidth — and simply never get
+  // a delivery event.
+  sim.SchedulePeriodic(
+      gossip_period, gossip_period,
+      [&]() {
+        if (advance_period > 0) {
+          raw_env->AdvanceTo(static_cast<SimTime>(tick + 1) * advance_period);
+        }
+        wave.clear();
+        swarm.async_tick(*raw_env, pop, rng, &wave);
+        sent += static_cast<int64_t>(wave.size());
+        for (const net::Message& m : wave) {
+          const net::NetworkModel::Delivery d = model.Decide(message_index++);
+          if (d.dropped) continue;
+          sim.ScheduleAfter(
+              d.delay,
+              [&swarm, &delivered, m]() {
+                swarm.async_deliver(m);
+                ++delivered;
+              },
+              kDeliveryPriority);
+        }
+        return ++tick < ticks;
+      },
+      kGossipTickPriority);
+
+  // The metric sampler shares the tick cadence at a later priority: sample
+  // s observes the state right after tick s and every delivery due by that
+  // instant.
+  int sample = 0;
+  sim.SchedulePeriodic(
+      gossip_period, gossip_period,
+      [&]() {
+        if (want_rms || want_tail) {
+          obs::ScopedPhase record_span(obs::Phase::kRecord);
+          const double rms = rms_now();
+          if (want_rms && sample >= record_from &&
+              (sample - record_from) % record_every == 0) {
+            rec.AddSeriesPoint("round", "rms",
+                               static_cast<double>(sample + 1), rms);
+          }
+          if (want_tail && sample >= record_from) tail.Add(rms);
+        }
+        return ++sample < ticks;
+      },
+      kSamplerPriority);
+
+  setup_span.reset();
+  // Runs the ticks and everything they schedule, then drains the messages
+  // still in flight after the last tick — final_rms is a settled-network
+  // measurement.
+  sim.Run();
+  obs::Count(obs::Counter::kRngDraws,
+             static_cast<int64_t>(rng.draw_count()) + model.rng_draws());
+  obs::ScopedPhase record_span(obs::Phase::kRecord);
+
+  if (want_tail) rec.AddScalar("rms_tail_mean", tail.mean());
+  if (want_final) rec.AddScalar("final_rms", rms_now());
+  if (want_delivery) {
+    rec.AddScalar("delivery_rate",
+                  sent > 0 ? static_cast<double>(delivered) /
+                                 static_cast<double>(sent)
+                           : 1.0);
+  }
+  const double denom = static_cast<double>(n) * ticks;
+  if (want_gossip_bytes) {
+    rec.AddScalar("gossip_bytes",
+                  static_cast<double>(sent) * swarm.message_bytes / denom);
+  }
+  if (want_bandwidth) {
+    rec.SetBandwidth(static_cast<double>(sent) / denom,
+                     static_cast<double>(sent) * swarm.message_bytes / denom,
+                     swarm.state_bytes);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<net::NetworkParams> ParseNetworkParams(const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "net.", {"latency", "latency_s", "latency_hi_s", "loss", "jitter"}));
+  net::NetworkParams p;
+  DYNAGG_ASSIGN_OR_RETURN(const std::string kind,
+                          spec.ParamString("net.latency", "fixed"));
+  if (kind == "fixed") {
+    p.latency = net::LatencyKind::kFixed;
+  } else if (kind == "uniform") {
+    p.latency = net::LatencyKind::kUniform;
+  } else if (kind == "exponential") {
+    p.latency = net::LatencyKind::kExponential;
+  } else {
+    return Status::InvalidArgument(
+        "net.latency must be fixed, uniform or exponential, got '" + kind +
+        "'");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(p.latency_s,
+                          spec.ParamDouble("net.latency_s", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(p.latency_hi_s,
+                          spec.ParamDouble("net.latency_hi_s", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(p.loss, spec.ParamDouble("net.loss", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(p.jitter_s, spec.ParamDouble("net.jitter", 0.0));
+  // Negated comparisons so NaN (which strtod accepts) fails the checks.
+  if (!(p.latency_s >= 0.0)) {
+    return Status::InvalidArgument("net.latency_s must be >= 0");
+  }
+  if (p.latency == net::LatencyKind::kUniform) {
+    if (!spec.HasParam("net.latency_hi_s")) {
+      return Status::InvalidArgument(
+          "net.latency = uniform needs net.latency_hi_s (the high edge of "
+          "the latency range)");
+    }
+    if (!(p.latency_hi_s >= p.latency_s)) {
+      return Status::InvalidArgument(
+          "net.latency_hi_s must be >= net.latency_s");
+    }
+  } else if (spec.HasParam("net.latency_hi_s")) {
+    return Status::InvalidArgument(
+        "net.latency_hi_s only applies to net.latency = uniform");
+  }
+  if (!(p.loss >= 0.0 && p.loss <= 1.0)) {
+    return Status::InvalidArgument("net.loss must be in [0, 1]");
+  }
+  if (!(p.jitter_s >= 0.0)) {
+    return Status::InvalidArgument("net.jitter must be >= 0");
+  }
+  return p;
+}
+
+Status ValidateAsyncSpec(const ScenarioSpec& spec, const ProtocolDef& def) {
+  const auto invalid = [&](const std::string& what) {
+    return Status::InvalidArgument("driver = async: " + what);
+  };
+  if (!def.make_swarm) {
+    return invalid("protocol '" + spec.protocol +
+                   "' owns its whole trial loop and cannot run "
+                   "message-level");
+  }
+  if (!def.async_capable) {
+    return invalid("protocol '" + spec.protocol +
+                   "' does not support message-level gossip (async-capable "
+                   "protocols declare send/deliver hooks — see `dynagg_run "
+                   "--list`)");
+  }
+  if (spec.intra_round_threads > 1) {
+    return invalid(
+        "message-level delivery is inherently sequential; "
+        "intra_round_threads does not apply");
+  }
+  if (spec.sample_period > 0) {
+    return invalid(
+        "sample_period does not apply (metrics are sampled once per gossip "
+        "tick; thin the series with record.from / record.every)");
+  }
+  // Failure plans are round-indexed kill/churn scripts built for the
+  // synchronous drivers; they are not wired into the message timeline.
+  for (const auto& [key, value] : spec.params) {
+    if (key.rfind("failure.", 0) == 0) {
+      return invalid("'" + key +
+                     "' does not apply (failure plans are not wired into "
+                     "the message-level timeline)");
+    }
+  }
+  DYNAGG_RETURN_IF_ERROR(
+      spec.CheckParams("seeds.", {"round_stream", "message_stream"}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", {"from", "every"}));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t from, spec.ParamInt("record.from", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t every,
+                          spec.ParamInt("record.every", 1));
+  if (from < 0 || every < 1) {
+    return invalid("record.from must be >= 0 and record.every >= 1");
+  }
+  if (MetricRequested(spec, "rms_tail_mean") && from >= spec.rounds) {
+    return invalid("record.from = " + std::to_string(from) +
+                   " leaves no ticks to average (rounds = " +
+                   std::to_string(spec.rounds) + ")");
+  }
+  DYNAGG_RETURN_IF_ERROR(ParseNetworkParams(spec).status());
+  return CheckMetricsSupported(
+      spec, {"rms", "rms_tail_mean", "final_rms", "bandwidth", "gossip_bytes",
+             "delivery_rate"});
+}
+
+namespace internal {
+
+void RegisterAsyncDriver(Registry<DriverDef>& registry) {
+  DriverDef def;
+  def.run = RunAsyncDriver;
+  def.event_driven = false;
+  def.message_level = true;
+  DYNAGG_CHECK(registry.Register("async", std::move(def)).ok());
+}
+
+}  // namespace internal
+}  // namespace scenario
+}  // namespace dynagg

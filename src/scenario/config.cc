@@ -378,6 +378,11 @@ Result<uint64_t> WorkloadStream(const ScenarioSpec& spec,
   return EvalStreamExpr(spec, "seeds.workload_stream", "3", ctx, n);
 }
 
+Result<uint64_t> MessageStream(const ScenarioSpec& spec,
+                               const TrialContext& ctx, int n) {
+  return EvalStreamExpr(spec, "seeds.message_stream", "5", ctx, n);
+}
+
 Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,
                                      int rounds,
                                      const std::vector<double>* values,

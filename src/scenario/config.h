@@ -148,6 +148,13 @@ Result<uint64_t> RoundStream(const ScenarioSpec& spec,
 Result<uint64_t> WorkloadStream(const ScenarioSpec& spec,
                                 const TrialContext& ctx, int n);
 
+/// Resolves the per-message network RNG stream (seeds.message_stream),
+/// same grammar; defaults to stream 5 (after the epoch phase streams at
+/// 4). The async driver's NetworkModel derives every per-message decision
+/// from this root.
+Result<uint64_t> MessageStream(const ScenarioSpec& spec,
+                               const TrialContext& ctx, int n);
+
 /// Builds the scripted plan. `values` backs kill_top_fraction and may be
 /// null for protocols without per-host scalar values.
 Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,

@@ -40,6 +40,7 @@
 #include "obs/telemetry.h"
 #include "common/stats.h"
 #include "env/connectivity.h"
+#include "scenario/async_driver.h"
 #include "scenario/config.h"
 #include "scenario/trial.h"
 #include "sim/bandwidth.h"
@@ -403,10 +404,12 @@ Status RunTraceDriver(const TrialContext& ctx, const ProtocolDef& def,
   // Failure plans are round-indexed; the trace timeline has no rounds.
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("failure.", {}));
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", {}));
-  DYNAGG_RETURN_IF_ERROR(
-      CheckMetricsSupported(spec, {"rms", "avg_group_size"}));
+  DYNAGG_RETURN_IF_ERROR(CheckMetricsSupported(
+      spec, {"rms", "avg_group_size", "bandwidth", "gossip_bytes"}));
   const bool want_rms = MetricRequested(spec, "rms");
   const bool want_group_size = MetricRequested(spec, "avg_group_size");
+  const bool want_bandwidth = MetricRequested(spec, "bandwidth");
+  const bool want_gossip_bytes = MetricRequested(spec, "gossip_bytes");
 
   DYNAGG_ASSIGN_OR_RETURN(EnvHandle env, MakeEnvironment(ctx));
   if (env.trace == nullptr) {
@@ -422,6 +425,20 @@ Status RunTraceDriver(const TrialContext& ctx, const ProtocolDef& def,
         "' does not support driver = trace (no group-truth hook)");
   }
   DYNAGG_RETURN_IF_ERROR(ApplyIntraRoundThreads(spec, swarm));
+  if (want_gossip_bytes && swarm.gossip_bytes < 0) {
+    return Status::InvalidArgument(
+        "protocol '" + spec.protocol +
+        "' does not model the gossip_bytes metric");
+  }
+  TrafficMeter meter;
+  if (want_bandwidth) {
+    if (!swarm.set_meter) {
+      return Status::InvalidArgument(
+          "protocol '" + spec.protocol +
+          "' does not support the bandwidth metric");
+    }
+    swarm.set_meter(&meter);
+  }
   const std::function<double(HostId)>& estimate =
       swarm.group_estimate ? swarm.group_estimate : swarm.estimate;
 
@@ -435,8 +452,10 @@ Status RunTraceDriver(const TrialContext& ctx, const ProtocolDef& def,
 
   TraceRunner runner(*env.trace, gossip_period, env.group_window);
   Rng rng(DeriveSeed(ctx.trial_seed, round_stream));
+  int64_t ticks = 0;  // executed gossip ticks: the bandwidth denominator
   runner.OnRound([&](SimTime) {
     swarm.run_round(runner.env(), runner.pop(), rng);
+    ++ticks;
   });
   // Declare both series before the run: a trace shorter than one sample
   // period must still emit the (empty) series for structural consistency.
@@ -464,6 +483,15 @@ Status RunTraceDriver(const TrialContext& ctx, const ProtocolDef& def,
   runner.Run();
   obs::Count(obs::Counter::kRngDraws,
              static_cast<int64_t>(rng.draw_count()));
+  // Traffic normalizes per host per executed gossip tick — the trace's
+  // event-driven analogue of the rounds driver's per-round normalization.
+  const double denom = static_cast<double>(env.env->num_hosts()) *
+                       static_cast<double>(std::max<int64_t>(1, ticks));
+  if (want_gossip_bytes) rec.AddScalar("gossip_bytes", swarm.gossip_bytes);
+  if (want_bandwidth) {
+    rec.SetBandwidth(meter.total().messages / denom,
+                     meter.total().bytes / denom, swarm.state_bytes);
+  }
   return Status::OK();
 }
 
@@ -478,6 +506,7 @@ void RegisterBuiltinDrivers(Registry<DriverDef>& registry) {
   DYNAGG_CHECK(
       registry.Register("trace", {RunTraceDriver, /*event_driven=*/true})
           .ok());
+  RegisterAsyncDriver(registry);
 }
 
 }  // namespace internal

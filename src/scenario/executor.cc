@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "scenario/async_driver.h"
 #include "scenario/config.h"
 #include "scenario/trial.h"
 
@@ -642,7 +643,30 @@ Status ValidateExperiment(const ScenarioSpec& spec) {
       }
     }
   }
-  if (driver.event_driven) {
+  // The net.* keys and the per-message seed stream configure the async
+  // driver's network model; on any other driver they would be silently
+  // ignored. Mirrors the workload rejection above.
+  if (!driver.message_level) {
+    for (const auto& [key, value] : spec.params) {
+      if (key.rfind("net.", 0) == 0 || key == "seeds.message_stream") {
+        return invalid("'" + key +
+                       "' configures the async driver's network model and "
+                       "does not apply to driver = " +
+                       spec.driver + " (use driver = async)");
+      }
+    }
+    for (const std::string& key : {spec.sweep_key, spec.sweep2_key}) {
+      if (key.rfind("net.", 0) == 0) {
+        return invalid("sweep key '" + key +
+                       "' configures the async driver's network model and "
+                       "does not apply to driver = " +
+                       spec.driver + " (use driver = async)");
+      }
+    }
+  }
+  if (driver.message_level) {
+    DYNAGG_RETURN_IF_ERROR(ValidateAsyncSpec(spec, protocol));
+  } else if (driver.event_driven) {
     if (!environment.provides_trace) {
       return invalid("driver = " + spec.driver +
                      " replays a contact trace, but environment '" +
@@ -676,9 +700,9 @@ Status ValidateExperiment(const ScenarioSpec& spec) {
         CheckMetricsSupported(spec, {"rms", "avg_group_size"}));
   } else if (spec.gossip_period > 0 || spec.sample_period > 0) {
     return invalid(
-        "gossip_period / sample_period configure the event-driven trace "
-        "driver; driver = " +
-        spec.driver + " advances in rounds (did you mean driver = trace?)");
+        "gossip_period / sample_period configure the event-driven drivers "
+        "(trace, async); driver = " +
+        spec.driver + " advances in rounds");
   } else if (protocol.make_swarm) {
     // The rounds driver's metric catalog and record.* knobs are static per
     // protocol, so selector typos, malformed rounds_below/recovery/quantile
@@ -730,11 +754,17 @@ Status ValidateExperiment(const ScenarioSpec& spec) {
     DYNAGG_ASSIGN_OR_RETURN(const ScenarioSpec swept,
                             ApplySweepKey(spec, spec.sweep_key, v));
     if (protocol.validate) DYNAGG_RETURN_IF_ERROR(protocol.validate(swept));
+    if (driver.message_level) {
+      DYNAGG_RETURN_IF_ERROR(ValidateAsyncSpec(swept, protocol));
+    }
   }
   for (const double v : spec.sweep2_values) {
     DYNAGG_ASSIGN_OR_RETURN(const ScenarioSpec swept,
                             ApplySweepKey(spec, spec.sweep2_key, v));
     if (protocol.validate) DYNAGG_RETURN_IF_ERROR(protocol.validate(swept));
+    if (driver.message_level) {
+      DYNAGG_RETURN_IF_ERROR(ValidateAsyncSpec(swept, protocol));
+    }
   }
   return Status::OK();
 }

@@ -32,6 +32,7 @@
 #include "agg/fm_sketch.h"
 #include "agg/full_transfer.h"
 #include "agg/invert_average.h"
+#include "agg/push_flow.h"
 #include "agg/push_sum.h"
 #include "agg/push_sum_revert.h"
 #include "common/hash.h"
@@ -93,7 +94,18 @@ std::function<Status(const ScenarioSpec&)> SpecValidator(Parse parse) {
 
 Result<GossipMode> ParsePushSumSpec(const ScenarioSpec& spec) {
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("protocol.", {"mode"}));
-  return ParseGossipMode(spec);
+  DYNAGG_ASSIGN_OR_RETURN(const GossipMode mode, ParseGossipMode(spec));
+  if (spec.driver == "async" && mode != GossipMode::kPush) {
+    return Status::InvalidArgument(
+        "driver = async requires protocol.mode = push (the pairwise "
+        "push/pull exchange is instantaneous by construction and cannot be "
+        "split into in-flight messages)");
+  }
+  return mode;
+}
+
+Status ParsePushFlowSpec(const ScenarioSpec& spec) {
+  return spec.CheckParams("protocol.", {});
 }
 
 Result<PsrParams> ParsePsrSpec(const ScenarioSpec& spec) {
@@ -274,7 +286,40 @@ Result<SwarmHandle> MakePushSum(const TrialContext& ctx, EnvHandle& env) {
   DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
   auto box = std::make_shared<ValueSwarmBox<PushSumSwarm>>(
       UniformWorkloadValues(n, ctx.trial_seed), mode);
-  return AveragingHandle(std::move(box), 2.0 * sizeof(double));
+  PushSumSwarm* swarm = &box->swarm;
+  SwarmHandle h = AveragingHandle(std::move(box), 2.0 * sizeof(double));
+  if (mode == GossipMode::kPush) {
+    // Message-level hooks (`driver = async`): a tick halves each sender's
+    // mass and ships the other half; the pairwise push/pull exchange has
+    // no message decomposition (rejected by ParsePushSumSpec).
+    h.async_tick = [swarm](const Environment& e, const Population& p, Rng& r,
+                           std::vector<net::Message>* out) {
+      swarm->PlanAsyncTick(e, p, r, out);
+    };
+    h.async_deliver = [swarm](const net::Message& m) {
+      swarm->DeliverMass(m);
+    };
+    h.message_bytes = static_cast<double>(kMassMessageBytes);
+  }
+  return h;
+}
+
+Result<SwarmHandle> MakePushFlow(const TrialContext& ctx, EnvHandle& env) {
+  DYNAGG_RETURN_IF_ERROR(ParsePushFlowSpec(*ctx.spec));
+  DYNAGG_ASSIGN_OR_RETURN(const int n, CheckedHosts(env));
+  auto box = std::make_shared<ValueSwarmBox<PushFlowSwarm>>(
+      UniformWorkloadValues(n, ctx.trial_seed));
+  PushFlowSwarm* swarm = &box->swarm;
+  // State: the initial value, the two flow sums, plus the sparse per-edge
+  // flow entries (amortized ~one long-lived neighbor under uniform push).
+  SwarmHandle h = AveragingHandle(std::move(box), 6.0 * sizeof(double));
+  h.async_tick = [swarm](const Environment& e, const Population& p, Rng& r,
+                         std::vector<net::Message>* out) {
+    swarm->PlanAsyncTick(e, p, r, out);
+  };
+  h.async_deliver = [swarm](const net::Message& m) { swarm->DeliverFlow(m); };
+  h.message_bytes = static_cast<double>(kFlowMessageBytes);
+  return h;
 }
 
 Result<SwarmHandle> MakePushSumRevert(const TrialContext& ctx,
@@ -1222,8 +1267,24 @@ void RegisterBuiltinProtocols(Registry<ProtocolDef>& registry) {
     def.validate = std::move(validate);
     DYNAGG_CHECK(registry.Register(name, std::move(def)).ok());
   };
-  swarm("push-sum", MakePushSum, /*trace_capable=*/true,
-        /*threads_capable=*/true, SpecValidator(ParsePushSumSpec));
+  {
+    ProtocolDef def;
+    def.make_swarm = MakePushSum;
+    def.trace_capable = true;
+    def.threads_capable = true;
+    def.async_capable = true;  // push mode only; the parse enforces it
+    def.validate = SpecValidator(ParsePushSumSpec);
+    DYNAGG_CHECK(registry.Register("push-sum", std::move(def)).ok());
+  }
+  {
+    ProtocolDef def;
+    def.make_swarm = MakePushFlow;
+    def.trace_capable = true;
+    def.threads_capable = false;
+    def.async_capable = true;
+    def.validate = ParsePushFlowSpec;
+    DYNAGG_CHECK(registry.Register("push-flow", std::move(def)).ok());
+  }
   swarm("push-sum-revert", MakePushSumRevert, /*trace_capable=*/true,
         /*threads_capable=*/true, SpecValidator(ParsePsrSpec));
   swarm("epoch-push-sum", MakeEpochPushSum, /*trace_capable=*/true,

@@ -164,7 +164,8 @@ Status ScenarioSpec::CheckParams(
 namespace {
 
 const char* const kParamPrefixes[] = {"protocol.", "env.", "failure.",
-                                      "record.", "seeds.", "workload."};
+                                      "record.", "seeds.", "workload.",
+                                      "net."};
 
 bool IsNamespacedKey(std::string_view key) {
   for (const char* prefix : kParamPrefixes) {
@@ -393,7 +394,7 @@ Status ApplyKey(ScenarioSpec* spec, const std::string& key,
                             "unknown key " + Quoted(key) +
                             " (namespaced parameters must start with "
                             "protocol./env./failure./record./seeds./"
-                            "workload.)"));
+                            "workload./net.)"));
   }
   return Status::OK();
 }

@@ -27,7 +27,8 @@
 //     protocol.mode = pushpull
 //
 // Top-level keys are strictly validated (a typo is an error); namespaced
-// keys (protocol.*, env.*, failure.*, record.*, seeds.*, workload.*) are
+// keys (protocol.*, env.*, failure.*, record.*, seeds.*, workload.*,
+// net.*) are
 // collected into a parameter map and validated by the protocol /
 // environment factories that consume them (scenario/protocols.cc,
 // scenario/environments.cc, stream/stream_protocols.cc).
@@ -140,7 +141,7 @@ struct ScenarioSpec {
   /// Output format: "csv" or "jsonl".
   std::string format = "csv";
   /// Namespaced parameters (protocol.*, env.*, failure.*, record.*,
-  /// seeds.*, workload.*), consumed by the factories.
+  /// seeds.*, workload.*, net.*), consumed by the factories.
   std::map<std::string, std::string> params;
 
   bool HasParam(const std::string& key) const {

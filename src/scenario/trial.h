@@ -39,6 +39,10 @@ namespace dynagg {
 
 class TrafficMeter;  // sim/bandwidth.h
 
+namespace net {
+struct Message;  // net/message.h
+}  // namespace net
+
 namespace scenario {
 
 /// An instantiated environment plus whatever backing storage it needs.
@@ -303,6 +307,20 @@ struct SwarmHandle {
   /// top-level `intra_round_threads` key); null = the protocol has no
   /// data-parallel apply phase, and the drivers reject values > 1.
   std::function<void(int)> set_threads;
+  /// Message-level gossip (`driver = async`): plans one gossip tick,
+  /// appending the messages each alive initiator would send to `out`
+  /// without delivering anything. The async driver runs them through the
+  /// network model and calls `async_deliver` when (and if) each arrives.
+  /// Null = the protocol cannot run message-level.
+  std::function<void(const Environment&, const Population&, Rng&,
+                     std::vector<net::Message>*)>
+      async_tick;
+  /// Applies one delivered message to the receiver's state (required
+  /// together with async_tick).
+  std::function<void(const net::Message&)> async_deliver;
+  /// Over-the-air bytes of one async message (metered at send time, so
+  /// dropped messages still count as sent bandwidth).
+  double message_bytes = 0.0;
   /// Post-loop hook emitting the protocol's extra metrics (rounds driver
   /// only; the selectors and record.* keys it handles are declared
   /// statically on the ProtocolDef so `--dry-run` can validate them).
@@ -336,6 +354,10 @@ struct ProtocolDef {
   /// payload model). Static so `--dry-run` can reject `record =
   /// gossip_bytes` on protocols without a model.
   bool models_gossip_bytes = false;
+  /// Whether the factory provides the message-level hooks `driver = async`
+  /// needs (SwarmHandle::async_tick / async_deliver). Static so `--dry-run`
+  /// can reject async specs without building swarms.
+  bool async_capable = false;
   /// Whether the protocol consumes the keyed stream workload (the
   /// workload.* keys and seeds.workload_stream; src/stream/). Static so
   /// `--dry-run` can reject workload keys on protocols that would silently
@@ -369,6 +391,10 @@ struct DriverDef {
   /// sample_period and require a trace-providing environment; the rounds
   /// driver rejects those keys.
   bool event_driven = false;
+  /// Message-level drivers (`driver = async`) consume the net.* keys and
+  /// seeds.message_stream and require async-capable protocols; other
+  /// drivers reject those keys.
+  bool message_level = false;
 };
 
 /// A registered environment.

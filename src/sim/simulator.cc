@@ -5,14 +5,14 @@
 
 namespace dynagg {
 
-void Simulator::ScheduleAt(SimTime at, EventFn fn) {
+void Simulator::ScheduleAt(SimTime at, EventFn fn, int priority) {
   DYNAGG_CHECK_GE(at, now_);
-  queue_.Schedule(at, std::move(fn));
+  queue_.Schedule(at, std::move(fn), priority);
 }
 
-void Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
+void Simulator::ScheduleAfter(SimTime delay, EventFn fn, int priority) {
   DYNAGG_CHECK_GE(delay, 0);
-  queue_.Schedule(now_ + delay, std::move(fn));
+  queue_.Schedule(now_ + delay, std::move(fn), priority);
 }
 
 void Simulator::SchedulePeriodic(SimTime first, SimTime period,

@@ -25,10 +25,12 @@ class Simulator {
   /// Current simulated time.
   SimTime Now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `at` (must be >= Now()).
-  void ScheduleAt(SimTime at, EventFn fn);
+  /// Schedules `fn` at absolute time `at` (must be >= Now()). Among events
+  /// at the same instant, lower `priority` fires first (ties by insertion
+  /// order).
+  void ScheduleAt(SimTime at, EventFn fn, int priority = 0);
   /// Schedules `fn` `delay` after Now().
-  void ScheduleAfter(SimTime delay, EventFn fn);
+  void ScheduleAfter(SimTime delay, EventFn fn, int priority = 0);
   /// Schedules `fn` to run every `period`, starting at `first`. Stops when
   /// `fn` returns false or the simulation ends. When several periodic
   /// chains tick at the same instant, lower `priority` fires first

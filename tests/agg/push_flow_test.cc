@@ -1,0 +1,162 @@
+// Push-flow unit tests: flow conservation (the effective masses always
+// sum to the initial total once every view is consistent), convergence of
+// the synchronous rounds, self-healing after dropped messages (the next
+// cumulative flow on the same directed edge restores the receiver's
+// view), and the sequence-number guard against reordered deliveries.
+
+#include "agg/push_flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "env/uniform_env.h"
+#include "net/message.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+std::vector<double> UniformValues(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.UniformDouble(0, 100);
+  return values;
+}
+
+double TotalEffectiveMass(const PushFlowSwarm& swarm) {
+  double total = 0.0;
+  for (HostId i = 0; i < swarm.size(); ++i) total += swarm.effective_mass(i);
+  return total;
+}
+
+double TotalEffectiveWeight(const PushFlowSwarm& swarm) {
+  double total = 0.0;
+  for (HostId i = 0; i < swarm.size(); ++i) {
+    total += swarm.effective_weight(i);
+  }
+  return total;
+}
+
+double MaxEstimateError(const PushFlowSwarm& swarm, double truth) {
+  double worst = 0.0;
+  for (HostId i = 0; i < swarm.size(); ++i) {
+    worst = std::max(worst, std::abs(swarm.Estimate(i) - truth));
+  }
+  return worst;
+}
+
+TEST(PushFlowSwarmTest, InitialEstimateIsOwnValue) {
+  PushFlowSwarm swarm({3.0, 7.0});
+  EXPECT_DOUBLE_EQ(swarm.Estimate(0), 3.0);
+  EXPECT_DOUBLE_EQ(swarm.Estimate(1), 7.0);
+  EXPECT_DOUBLE_EQ(swarm.effective_weight(0), 1.0);
+}
+
+TEST(PushFlowSwarmTest, SynchronousRoundsConvergeAndConserve) {
+  const int n = 256;
+  const std::vector<double> values = UniformValues(n, 1);
+  const double truth =
+      std::accumulate(values.begin(), values.end(), 0.0) / n;
+  PushFlowSwarm swarm(values);
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(2);
+  for (int round = 0; round < 60; ++round) {
+    swarm.RunRound(env, pop, rng);
+    // With every message delivered, flow conservation is exact each round.
+    EXPECT_NEAR(TotalEffectiveMass(swarm), truth * n, 1e-6);
+    EXPECT_NEAR(TotalEffectiveWeight(swarm), n, 1e-9);
+  }
+  EXPECT_LT(MaxEstimateError(swarm, truth), 1e-6);
+}
+
+TEST(PushFlowSwarmTest, AsyncTickPlansOneMessagePerMatchedHost) {
+  const int n = 64;
+  PushFlowSwarm swarm(UniformValues(n, 3));
+  UniformEnvironment env(n);
+  Population pop(n);
+  Rng rng(4);
+  std::vector<net::Message> wave;
+  swarm.PlanAsyncTick(env, pop, rng, &wave);
+  EXPECT_EQ(wave.size(), static_cast<size_t>(n));
+  for (const net::Message& m : wave) {
+    EXPECT_NE(m.src, m.dst);
+    EXPECT_GT(m.b, 0.0);  // some denominator flow was pushed
+    EXPECT_EQ(m.tag, 1u);  // first push on every directed edge
+  }
+  // Nothing delivered yet: the planned outflow is in flight, so the
+  // network total is short by exactly the undelivered flow...
+  EXPECT_LT(TotalEffectiveWeight(swarm), n);
+  // ...and delivering the wave restores conservation exactly.
+  for (const net::Message& m : wave) swarm.DeliverFlow(m);
+  EXPECT_NEAR(TotalEffectiveWeight(swarm), n, 1e-9);
+}
+
+TEST(PushFlowSwarmTest, LostMessageSelfHealsOnNextPushOverSameEdge) {
+  // Two hosts pushing at each other: drop the first message from host 0,
+  // then let a later push over the same directed edge restate the
+  // cumulative flow. The receiver's view — and with it global
+  // conservation — must be fully repaired, not just incrementally patched.
+  PushFlowSwarm swarm({0.0, 100.0});
+  UniformEnvironment env(2);
+  Population pop(2);
+  Rng rng(5);
+
+  std::vector<net::Message> wave;
+  swarm.PlanAsyncTick(env, pop, rng, &wave);
+  ASSERT_EQ(wave.size(), 2u);
+  for (const net::Message& m : wave) {
+    if (m.src != 0) swarm.DeliverFlow(m);  // drop host 0's first push
+  }
+  EXPECT_LT(TotalEffectiveWeight(swarm), 2.0);
+
+  for (int tick = 0; tick < 4; ++tick) {
+    wave.clear();
+    swarm.PlanAsyncTick(env, pop, rng, &wave);
+    for (const net::Message& m : wave) swarm.DeliverFlow(m);
+  }
+  EXPECT_NEAR(TotalEffectiveMass(swarm), 100.0, 1e-9);
+  EXPECT_NEAR(TotalEffectiveWeight(swarm), 2.0, 1e-9);
+  EXPECT_NEAR(swarm.Estimate(0), 50.0, 1.0);
+  EXPECT_NEAR(swarm.Estimate(1), 50.0, 1.0);
+}
+
+TEST(PushFlowSwarmTest, StaleSequenceNumbersAreIgnored) {
+  PushFlowSwarm swarm({10.0, 20.0});
+  // Hand-crafted cumulative flows from host 0 toward host 1, delivered
+  // out of order: the newer flow (seq 2) lands first, the overtaken one
+  // (seq 1) must be dropped instead of rolling the view backwards.
+  const net::Message newer{0, 1, 8.0, 0.75, 2};
+  const net::Message older{0, 1, 5.0, 0.5, 1};
+  swarm.DeliverFlow(newer);
+  const double mass_after_newer = swarm.effective_mass(1);
+  const double weight_after_newer = swarm.effective_weight(1);
+  EXPECT_DOUBLE_EQ(mass_after_newer, 28.0);
+  EXPECT_DOUBLE_EQ(weight_after_newer, 1.75);
+
+  swarm.DeliverFlow(older);
+  EXPECT_DOUBLE_EQ(swarm.effective_mass(1), mass_after_newer);
+  EXPECT_DOUBLE_EQ(swarm.effective_weight(1), weight_after_newer);
+
+  // A genuinely newer restatement still applies, as a delta on the view.
+  swarm.DeliverFlow(net::Message{0, 1, 9.0, 1.0, 3});
+  EXPECT_DOUBLE_EQ(swarm.effective_mass(1), 29.0);
+  EXPECT_DOUBLE_EQ(swarm.effective_weight(1), 2.0);
+}
+
+TEST(PushFlowSwarmTest, DuplicateDeliveryIsIdempotent) {
+  PushFlowSwarm swarm({10.0, 20.0});
+  const net::Message m{0, 1, 5.0, 0.5, 1};
+  swarm.DeliverFlow(m);
+  const double mass = swarm.effective_mass(1);
+  swarm.DeliverFlow(m);  // retransmission of the same cumulative flow
+  EXPECT_DOUBLE_EQ(swarm.effective_mass(1), mass);
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -101,12 +101,12 @@ TEST(DriverValidationTest, GossipPeriodOnRoundsDriverIsError) {
       "protocol = push-sum\n"
       "hosts = 16\n"
       "gossip_period = 30\n",
-      "driver = trace");
+      "event-driven drivers (trace, async)");
   ExpectValidateFails(
       "protocol = push-sum\n"
       "hosts = 16\n"
       "sample_period = 3600\n",
-      "driver = trace");
+      "event-driven drivers (trace, async)");
 }
 
 TEST(DriverValidationTest, TraceDriverRejectsWholeTrialProtocols) {

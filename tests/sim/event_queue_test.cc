@@ -1,5 +1,8 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <random>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -59,6 +62,79 @@ TEST(EventQueueTest, ClearDropsEverything) {
   q.Clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, PrioritiesOrderCoincidingTimestamps) {
+  // The async driver's invariant at a coinciding tick: deliveries
+  // (priority 0) land before the gossip tick (1), and the sampler (2)
+  // observes the post-tick state — regardless of insertion order.
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(10, [&] { order.push_back(2); }, 2);
+  q.Schedule(10, [&] { order.push_back(0); }, 0);
+  q.Schedule(10, [&] { order.push_back(1); }, 1);
+  q.Schedule(5, [&] { order.push_back(-1); }, 9);  // time beats priority
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2}));
+}
+
+TEST(EventQueueTest, PopOrderIsInvariantUnderInsertionPermutations) {
+  // Property test behind the async driver's thread-count determinism: the
+  // same event set — heavy (time, priority) collisions included — must
+  // pop in one canonical order however it was inserted. Ties that neither
+  // time nor priority break follow insertion order, so the canonical key
+  // is (time, priority, arrival rank within the equal-key group).
+  struct Ev {
+    SimTime at;
+    int priority;
+    int rank;  // arrival rank among events sharing (at, priority)
+  };
+  std::vector<Ev> events;
+  for (int at = 0; at < 4; ++at) {
+    for (int priority = 0; priority < 3; ++priority) {
+      for (int rank = 0; rank < 3; ++rank) {
+        events.push_back(Ev{at, priority, rank});
+      }
+    }
+  }
+
+  auto pop_order = [](const std::vector<Ev>& inserted) {
+    EventQueue q;
+    std::vector<std::tuple<SimTime, int, int>> order;
+    for (const Ev& e : inserted) {
+      q.Schedule(e.at, [&order, e] {
+        order.emplace_back(e.at, e.priority, e.rank);
+      }, e.priority);
+    }
+    while (!q.empty()) q.RunNext();
+    return order;
+  };
+
+  const auto canonical = pop_order(events);
+  EXPECT_TRUE(std::is_sorted(canonical.begin(), canonical.end()));
+
+  std::mt19937_64 shuffle(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Permute across distinct (time, priority) keys while equal-key
+    // events keep their relative order — that order is what defines
+    // their rank, so it must survive the permutation.
+    std::vector<std::pair<SimTime, int>> keys;
+    for (int at = 0; at < 4; ++at) {
+      for (int priority = 0; priority < 3; ++priority) {
+        keys.emplace_back(at, priority);
+      }
+    }
+    std::shuffle(keys.begin(), keys.end(), shuffle);
+    std::vector<Ev> permuted;
+    for (const auto& key : keys) {
+      for (const Ev& e : events) {
+        if (e.at == key.first && e.priority == key.second) {
+          permuted.push_back(e);
+        }
+      }
+    }
+    EXPECT_EQ(pop_order(permuted), canonical) << "permutation " << trial;
+  }
 }
 
 TEST(EventQueueTest, SizeTracksPending) {

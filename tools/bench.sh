@@ -32,7 +32,7 @@ fi
 BUILD_DIR="${1:-build}"
 MICRO="$BUILD_DIR/micro_protocol_ops"
 RUNNER="$BUILD_DIR/dynagg_run"
-FILTER='PushRoundLegacy|PushRoundKernel|PushPullRoundLegacy|PushPullRoundKernel|StreamCountMinRound'
+FILTER='PushRoundLegacy|PushRoundKernel|PushPullRoundLegacy|PushPullRoundKernel|StreamCountMinRound|AsyncDriverStep'
 
 if [[ ! -x "$RUNNER" ]]; then
   echo "bench.sh: $RUNNER not built (run tools/check.sh or cmake first)" >&2
@@ -216,7 +216,9 @@ snapshot = {
              "telemetry_overhead_pct is the end-to-end scale_100k cost of "
              "telemetry=summary vs off; stream_100k is the 100k-host "
              "count-min sketch gossip round (keyed Zipf arrivals + merge, "
-             "src/stream/); history holds headline numbers of superseded "
+             "src/stream/); async_100k is the 100k-host async gossip step "
+             "(push-flow tick + network-model decisions + deliveries, "
+             "src/net/); history holds headline numbers of superseded "
              "snapshots, oldest first."),
     "generated": datetime.date.today().isoformat(),
     "host": raw.get("context", {}).get("host_name", "unknown"),
@@ -244,6 +246,12 @@ for key, (legacy, kernel) in pairs.items():
 # count-min round (arrivals + halve + scatter-merge), median real ns.
 if ns("BM_StreamCountMinRound/100000"):
     snapshot["stream_100k"] = round(ns("BM_StreamCountMinRound/100000"), 1)
+
+# Headline number for the async network subsystem: one 100k-host async
+# gossip step (push-flow tick plan + per-message network-model decisions
+# + deliveries), median real ns.
+if ns("BM_AsyncDriverStep/100000"):
+    snapshot["async_100k"] = round(ns("BM_AsyncDriverStep/100000"), 1)
 
 with open("BENCH_roundkernel.json", "w") as f:
     json.dump(snapshot, f, indent=2, sort_keys=False)

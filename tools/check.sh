@@ -33,6 +33,15 @@ echo "check.sh: smoke scenario output matches golden"
 diff -u bench/scenarios/golden/heavy_hitters.csv \
   "$BUILD_DIR/heavy_hitters_out.csv"
 echo "check.sh: heavy_hitters scenario output matches golden"
+# Async smoke: the loss-rate x protocol grid on the async driver (network
+# models, message-level scheduling, push-sum vs push-flow under drops)
+# must execute and reproduce its golden byte-for-byte; see
+# loss_sweep.scenario for regeneration.
+"$BUILD_DIR"/dynagg_run --threads=2 \
+  --output="$BUILD_DIR/loss_sweep_out.csv" \
+  bench/scenarios/loss_sweep.scenario
+diff -u bench/scenarios/golden/loss_sweep.csv "$BUILD_DIR/loss_sweep_out.csv"
+echo "check.sh: loss_sweep scenario output matches golden"
 # Perf smoke: the round-kernel microbenchmarks must still run and the
 # 100k-host scale spec must validate. The full perf snapshot
 # (BENCH_roundkernel.json) is regenerated with `tools/bench.sh`.

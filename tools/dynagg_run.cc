@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/network_model.h"
 #include "obs/trace_export.h"
 #include "scenario/executor.h"
 #include "scenario/sink.h"
@@ -125,6 +126,14 @@ int ListRegistries() {
   std::printf("record types:\n");
   for (const scenario::RecordTypeInfo& type : scenario::RecordTypeCatalog()) {
     std::printf("  %-10s %s\n", type.name, type.summary);
+  }
+  std::printf("network models (net.latency, driver = async):\n");
+  for (const net::NetCatalogInfo& model : net::NetworkModelCatalog()) {
+    std::printf("  %-10s %s\n", model.name, model.summary);
+  }
+  std::printf("async driver spec keys:\n");
+  for (const net::NetCatalogInfo& key : net::AsyncSpecKeyCatalog()) {
+    std::printf("  %-21s %s\n", key.name, key.summary);
   }
   return 0;
 }
