@@ -16,7 +16,9 @@
 #include "agg/push_sum.h"
 #include "agg/push_sum_revert.h"
 #include "common/rng.h"
+#include "common/types.h"
 #include "env/uniform_env.h"
+#include "net/inflight_queue.h"
 #include "net/message.h"
 #include "net/network_model.h"
 #include "sim/population.h"
@@ -84,7 +86,7 @@ void BM_PushRoundLegacy(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_PushRoundLegacy)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_PushRoundLegacy)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void BM_PushRoundKernel(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -103,7 +105,10 @@ BENCHMARK(BM_PushRoundKernel)
     ->Args({10000, 1})
     ->Args({100000, 1})
     ->Args({100000, 2})
-    ->Args({100000, 4});
+    ->Args({100000, 4})
+    ->Args({1000000, 1})
+    ->Args({1000000, 2})
+    ->Args({1000000, 4});
 
 /// Pre-refactor reference push/pull round: shuffle, then one virtual
 /// SamplePeer per host with both exchange-side node accesses serialized
@@ -132,7 +137,7 @@ void BM_PushPullRoundLegacy(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_PushPullRoundLegacy)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_PushPullRoundLegacy)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void BM_PushPullRoundKernel(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -146,7 +151,7 @@ void BM_PushPullRoundKernel(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_PushPullRoundKernel)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_PushPullRoundKernel)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void BM_StreamCountMinRound(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -167,14 +172,14 @@ void BM_StreamCountMinRound(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_StreamCountMinRound)->Arg(100000);
+BENCHMARK(BM_StreamCountMinRound)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void BM_AsyncDriverStep(benchmark::State& state) {
-  // One async-driver gossip step at scale: plan a push-flow tick, decide
-  // every message's fate through the per-message-seeded network model,
-  // deliver the survivors. The event-queue bookkeeping is excluded — this
-  // times the per-message protocol + model work the async driver adds
-  // over a synchronous round.
+  // One async-driver gossip step at scale, structured exactly like the
+  // production driver: drain the in-flight messages due by this tick, plan
+  // a push-flow tick, decide every message's fate through the
+  // per-message-seeded network model, park the survivors in the batched
+  // InFlightQueue (the driver's POD heap — no per-message events).
   const int n = static_cast<int>(state.range(0));
   std::vector<double> values(n, 1.0);
   PushFlowSwarm swarm(values);
@@ -187,19 +192,27 @@ void BM_AsyncDriverStep(benchmark::State& state) {
   params.loss = 0.1;
   net::NetworkModel model(params, 99);
   std::vector<net::Message> wave;
+  net::InFlightQueue inflight;
+  inflight.Reserve(static_cast<size_t>(n));
+  const SimTime period = FromSeconds(30.0);
+  SimTime now = 0;
   uint64_t index = 0;
   for (auto _ : state) {
+    now += period;
+    while (inflight.HasDueBy(now)) {
+      swarm.DeliverFlow(inflight.Top());
+      inflight.Pop();
+    }
     wave.clear();
     swarm.PlanAsyncTick(env, pop, rng, &wave);
     for (const net::Message& m : wave) {
       const net::NetworkModel::Delivery d = model.Decide(index++);
-      if (!d.dropped) swarm.DeliverFlow(m);
-      benchmark::DoNotOptimize(d.delay);
+      if (!d.dropped) inflight.Push(now + d.delay, m);
     }
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_AsyncDriverStep)->Arg(100000);
+BENCHMARK(BM_AsyncDriverStep)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void BM_PsrSwarmRound(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -44,7 +44,7 @@ int main() {
   auto set_patch = [&](double value) {
     for (int y = 0; y < height; ++y) {
       for (int x = 0; x <= 5; ++x) {
-        swarm.node(y * width + x).SetLocalValue(value);
+        swarm.SetLocalValue(y * width + x, value);
       }
     }
   };
@@ -75,7 +75,7 @@ int main() {
     if (round % 60 == 0) {
       double truth = 0.0;
       for (const HostId id : pop.alive_ids()) {
-        truth += swarm.node(id).initial_value();
+        truth += swarm.initial_value(id);
       }
       truth /= pop.num_alive();
       std::printf("%6.0f  %15.1f  %5.1f  %5.1f  %6.1f   %s\n",

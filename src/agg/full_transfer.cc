@@ -49,14 +49,20 @@ double FullTransferNode::Estimate() const {
 
 FullTransferSwarm::FullTransferSwarm(const std::vector<double>& values,
                                      const FullTransferParams& params)
-    : nodes_(values.size()), params_(params) {
+    : mass_(values.size()),
+      inbox_(values.size()),
+      reverted_(values.size()),
+      emitting_(values.size(), 0),
+      initial_(values),
+      history_(values.size() * static_cast<size_t>(params.window)),
+      hist_next_(values.size(), 0),
+      hist_count_(values.size(), 0),
+      params_(params) {
   DYNAGG_CHECK_GE(params_.lambda, 0.0);
   DYNAGG_CHECK_LE(params_.lambda, 1.0);
   DYNAGG_CHECK_GT(params_.parcels, 0);
   DYNAGG_CHECK_GT(params_.window, 0);
-  for (size_t i = 0; i < values.size(); ++i) {
-    nodes_[i].Init(values[i], params_.window);
-  }
+  for (size_t i = 0; i < values.size(); ++i) mass_[i] = Mass{1.0, values[i]};
 }
 
 void FullTransferSwarm::RunRound(const Environment& env,
@@ -70,27 +76,30 @@ void FullTransferSwarm::RunRound(const Environment& env,
   if (meter_ != nullptr) {
     meter_->RecordMessages(plan.CountMatched(), kMassMessageBytes);
   }
-  if (kernel_.intra_round_threads() == 1) {
+  if (!kernel_.parallel_deposits()) {
     kernel_.ForEachPushSlot(
-        [this](HostId src) {
-          return nodes_[src].EmitParcel(params_.lambda, params_.parcels);
-        },
-        [this](HostId dst, const Mass& m) { nodes_[dst].Deposit(m); },
-        [this](HostId dst) { __builtin_prefetch(&nodes_[dst], 1); });
+        [this](HostId src) { return EmitParcelAt(src); },
+        [this](HostId dst, const Mass& m) { inbox_[dst] += m; },
+        [this](HostId dst) { __builtin_prefetch(&inbox_[dst], 1); });
   } else {
     kernel_.EmitAndScatter(
         &outbox_, /*self_echo=*/false, size(),
-        [this](HostId src) {
-          return nodes_[src].EmitParcel(params_.lambda, params_.parcels);
-        },
-        [this](HostId dst, const Mass& m) { nodes_[dst].Deposit(m); });
+        [this](HostId src) { return EmitParcelAt(src); },
+        [this](HostId dst, const Mass& m) { inbox_[dst] += m; });
   }
-  for (const HostId i : pop.alive_ids()) nodes_[i].EndRound();
+  // On a never-mutated population alive_ids is every host: fold over the
+  // index range directly (no id indirection in the hot loop).
+  if (pop.version() == 0) {
+    const int n = size();
+    for (HostId i = 0; i < n; ++i) EndRoundAt(i);
+  } else {
+    for (const HostId i : pop.alive_ids()) EndRoundAt(i);
+  }
 }
 
 Mass FullTransferSwarm::TotalAliveMass(const Population& pop) const {
   Mass total;
-  for (const HostId id : pop.alive_ids()) total += nodes_[id].mass();
+  for (const HostId id : pop.alive_ids()) total += mass_[id];
   return total;
 }
 

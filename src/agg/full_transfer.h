@@ -14,6 +14,7 @@
 #ifndef DYNAGG_AGG_FULL_TRANSFER_H_
 #define DYNAGG_AGG_FULL_TRANSFER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "agg/aggregate.h"
@@ -77,7 +78,16 @@ class FullTransferNode {
   int history_count_ = 0;
 };
 
-/// A population of Full-Transfer nodes driven one round at a time.
+/// A population of Full-Transfer hosts driven one round at a time.
+///
+/// Structure-of-arrays layout (PushSumSwarm is the template): the node
+/// class above stays as the semantic reference, but the swarm stores flat
+/// parallel arrays — mass, inbox, the cached per-round reverted total, and
+/// one shared history arena of `n * window` Masses (host i's ring lives at
+/// [i * window, (i+1) * window)) — so rounds touch contiguous memory and
+/// no per-host heap vectors. Element operations replicate the node
+/// arithmetic expression-for-expression; bit-identity against a
+/// FullTransferNode vector is pinned by tests/sim/round_kernel_test.cc.
 class FullTransferSwarm {
  public:
   FullTransferSwarm(const std::vector<double>& values,
@@ -87,10 +97,19 @@ class FullTransferSwarm {
   /// independently sampled peers, then all hosts fold their inboxes.
   void RunRound(const Environment& env, const Population& pop, Rng& rng);
 
-  double Estimate(HostId id) const { return nodes_[id].Estimate(); }
-  int size() const { return static_cast<int>(nodes_.size()); }
+  /// Windowed estimate: sum(v) / sum(w) over the last T mass-bearing
+  /// rounds; the initial value before any mass is received.
+  double Estimate(HostId id) const {
+    Mass total;
+    const Mass* row = &history_[static_cast<size_t>(id) * params_.window];
+    for (int i = 0; i < hist_count_[id]; ++i) total += row[i];
+    if (total.weight <= 0.0) return initial_[id];
+    return total.value / total.weight;
+  }
+  int size() const { return static_cast<int>(mass_.size()); }
   const FullTransferParams& params() const { return params_; }
-  const FullTransferNode& node(HostId id) const { return nodes_[id]; }
+  const Mass& mass(HostId id) const { return mass_[id]; }
+  double initial_value(HostId id) const { return initial_[id]; }
 
   /// Total live mass (current state only, not the estimate window).
   Mass TotalAliveMass(const Population& pop) const;
@@ -105,7 +124,43 @@ class FullTransferSwarm {
   }
 
  private:
-  std::vector<FullTransferNode> nodes_;
+  // Element-wise replicas of the FullTransferNode round steps.
+  Mass EmitParcelAt(HostId i) {
+    if (!emitting_[i]) {
+      // First parcel of the round: apply the reversion to the outgoing
+      // total and zero the local mass (full transfer keeps nothing back).
+      reverted_[i].weight =
+          (1.0 - params_.lambda) * mass_[i].weight + params_.lambda;
+      reverted_[i].value = (1.0 - params_.lambda) * mass_[i].value +
+                           params_.lambda * initial_[i];
+      mass_[i] = Mass{};
+      emitting_[i] = 1;
+    }
+    const double inv = 1.0 / params_.parcels;
+    return Mass{reverted_[i].weight * inv, reverted_[i].value * inv};
+  }
+  void EndRoundAt(HostId i) {
+    emitting_[i] = 0;
+    mass_[i] = inbox_[i];
+    if (inbox_[i].weight > 0.0) {
+      Mass* row = &history_[static_cast<size_t>(i) * params_.window];
+      row[hist_next_[i]] = inbox_[i];
+      hist_next_[i] = (hist_next_[i] + 1) % params_.window;
+      if (hist_count_[i] < params_.window) ++hist_count_[i];
+    }
+    inbox_[i] = Mass{};
+  }
+
+  std::vector<Mass> mass_;
+  std::vector<Mass> inbox_;
+  std::vector<Mass> reverted_;     // cached reverted totals for the round
+  std::vector<uint8_t> emitting_;  // reverted_ computed this round?
+  std::vector<double> initial_;
+  // One flat arena of per-host rings over the last `window` mass-bearing
+  // rounds (stride = params_.window).
+  std::vector<Mass> history_;
+  std::vector<int32_t> hist_next_;
+  std::vector<int32_t> hist_count_;
   FullTransferParams params_;
   TrafficMeter* meter_ = nullptr;
   RoundKernel kernel_;

@@ -25,8 +25,8 @@ void DynamicMomentsSwarm::RunRound(const Environment& env,
 }
 
 void DynamicMomentsSwarm::SetLocalValue(HostId id, double value) {
-  mean_.node(id).SetLocalValue(value);
-  square_.node(id).SetLocalValue(value * value);
+  mean_.SetLocalValue(id, value);
+  square_.SetLocalValue(id, value * value);
 }
 
 double DynamicMomentsSwarm::EstimateVariance(HostId id) const {

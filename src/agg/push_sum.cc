@@ -25,7 +25,7 @@ void PushSumSwarm::RunRound(const Environment& env, const Population& pop,
     if (meter_ != nullptr) {
       meter_->RecordMessages(plan.CountMatched(), kMassMessageBytes);
     }
-    if (kernel_.intra_round_threads() == 1) {
+    if (!kernel_.parallel_deposits()) {
       kernel_.ForEachPushSlot(
           [this](HostId src) {
             // PushSumNode::EmitPushHalf on the SoA state: take the mass,

@@ -4,10 +4,14 @@ namespace dynagg {
 
 PushSumRevertSwarm::PushSumRevertSwarm(const std::vector<double>& values,
                                        const PsrParams& params)
-    : nodes_(values.size()), params_(params) {
+    : mass_(values.size()),
+      inbox_(values.size()),
+      initial_(values),
+      msgs_(values.size(), 0),
+      params_(params) {
   DYNAGG_CHECK_GE(params_.lambda, 0.0);
   DYNAGG_CHECK_LE(params_.lambda, 1.0);
-  for (size_t i = 0; i < values.size(); ++i) nodes_[i].Init(values[i]);
+  for (size_t i = 0; i < values.size(); ++i) mass_[i] = Mass{1.0, values[i]};
 }
 
 void PushSumRevertSwarm::RunRound(const Environment& env,
@@ -17,42 +21,62 @@ void PushSumRevertSwarm::RunRound(const Environment& env,
     if (meter_ != nullptr) {
       meter_->RecordMessages(plan.CountMatched(), kMassMessageBytes);
     }
-    if (kernel_.intra_round_threads() == 1) {
+    if (!kernel_.parallel_deposits()) {
       kernel_.ForEachPushSlot(
           [this](HostId src) {
-            return nodes_[src].EmitPushHalf(params_.lambda, params_.revert);
+            // EmitPushHalf: the self half lands in the own inbox here, the
+            // kernel deposits the returned half at the partner.
+            const Mass half = TakePushHalfAt(src);
+            DepositAt(src, half);
+            return half;
           },
-          [this](HostId dst, const Mass& m) { nodes_[dst].Deposit(m); },
-          [this](HostId dst) { __builtin_prefetch(&nodes_[dst], 1); });
+          [this](HostId dst, const Mass& m) { DepositAt(dst, m); },
+          [this](HostId dst) { __builtin_prefetch(&inbox_[dst], 1); });
     } else {
       kernel_.EmitAndScatter(
           &outbox_, /*self_echo=*/true, size(),
-          [this](HostId src) {
-            return nodes_[src].TakePushHalf(params_.lambda, params_.revert);
-          },
-          [this](HostId dst, const Mass& m) { nodes_[dst].Deposit(m); });
+          [this](HostId src) { return TakePushHalfAt(src); },
+          [this](HostId dst, const Mass& m) { DepositAt(dst, m); });
     }
-    for (const HostId i : pop.alive_ids()) {
-      nodes_[i].EndRoundPush(params_.lambda, params_.revert);
+    // On a never-mutated population alive_ids is every host: iterate the
+    // index range directly so the end-of-round fold has no id indirection.
+    if (pop.version() == 0) {
+      const int n = size();
+      for (HostId i = 0; i < n; ++i) EndRoundPushAt(i);
+    } else {
+      for (const HostId i : pop.alive_ids()) EndRoundPushAt(i);
     }
     return;
   }
   kernel_.PlanExchangeRound(env, pop, rng);
-  kernel_.ForEachExchange([this](HostId i, HostId peer) {
-    PushSumRevertNode::Exchange(nodes_[i], nodes_[peer]);
-    if (meter_ != nullptr) {
-      meter_->RecordMessage(kMassMessageBytes);
-      meter_->RecordMessage(kMassMessageBytes);
-    }
-  });
-  for (const HostId i : pop.alive_ids()) {
-    nodes_[i].EndRoundPushPull(params_.lambda, params_.revert);
+  kernel_.ForEachExchangePrefetched(
+      [this](HostId i, HostId peer) {
+        // PushSumRevertNode::Exchange on the SoA state.
+        Mass& a = mass_[i];
+        Mass& b = mass_[peer];
+        const Mass avg{(a.weight + b.weight) * 0.5,
+                       (a.value + b.value) * 0.5};
+        a = avg;
+        b = avg;
+        ++msgs_[i];
+        ++msgs_[peer];
+        if (meter_ != nullptr) {
+          meter_->RecordMessage(kMassMessageBytes);
+          meter_->RecordMessage(kMassMessageBytes);
+        }
+      },
+      [this](HostId id) { __builtin_prefetch(&mass_[id], 1); });
+  if (pop.version() == 0) {
+    const int n = size();
+    for (HostId i = 0; i < n; ++i) EndRoundPushPullAt(i);
+  } else {
+    for (const HostId i : pop.alive_ids()) EndRoundPushPullAt(i);
   }
 }
 
 Mass PushSumRevertSwarm::TotalAliveMass(const Population& pop) const {
   Mass total;
-  for (const HostId id : pop.alive_ids()) total += nodes_[id].mass();
+  for (const HostId id : pop.alive_ids()) total += mass_[id];
   return total;
 }
 

@@ -144,7 +144,17 @@ class PushSumRevertNode {
   int messages_received_ = 0;
 };
 
-/// A population of Push-Sum-Revert nodes driven one round at a time.
+/// A population of Push-Sum-Revert hosts driven one round at a time.
+///
+/// Structure-of-arrays layout (PushSumSwarm is the template): the per-host
+/// state machine above is kept as the semantic reference (and for the
+/// serialized NodeAggregator facade), but the swarm stores its hosts as
+/// flat parallel arrays — mass, inbox, reversion anchor, per-round message
+/// count — so the plan→apply inner loops walk contiguous memory with no
+/// per-host object padding. Every element operation replicates the node
+/// arithmetic expression-for-expression, so estimates stay bit-identical
+/// to a vector of PushSumRevertNodes (pinned by tests/sim/
+/// round_kernel_test.cc).
 class PushSumRevertSwarm {
  public:
   PushSumRevertSwarm(const std::vector<double>& values,
@@ -153,11 +163,18 @@ class PushSumRevertSwarm {
   /// Executes one gossip iteration over the alive hosts.
   void RunRound(const Environment& env, const Population& pop, Rng& rng);
 
-  double Estimate(HostId id) const { return nodes_[id].Estimate(); }
-  int size() const { return static_cast<int>(nodes_.size()); }
+  double Estimate(HostId id) const {
+    return mass_[id].weight > 0.0 ? mass_[id].value / mass_[id].weight
+                                  : initial_[id];
+  }
+  int size() const { return static_cast<int>(mass_.size()); }
   const PsrParams& params() const { return params_; }
-  PushSumRevertNode& node(HostId id) { return nodes_[id]; }
-  const PushSumRevertNode& node(HostId id) const { return nodes_[id]; }
+
+  /// Updates the value host `id` reverts toward (PushSumRevertNode::
+  /// SetLocalValue); used when the application's local reading changes.
+  void SetLocalValue(HostId id, double v0) { initial_[id] = v0; }
+  double initial_value(HostId id) const { return initial_[id]; }
+  const Mass& mass(HostId id) const { return mass_[id]; }
 
   /// Total mass over alive hosts (conservation diagnostics and tests).
   Mass TotalAliveMass(const Population& pop) const;
@@ -172,7 +189,49 @@ class PushSumRevertSwarm {
   }
 
  private:
-  std::vector<PushSumRevertNode> nodes_;
+  // Element-wise replicas of the PushSumRevertNode round steps.
+  Mass TakePushHalfAt(HostId i) {
+    Mass out = mass_[i];
+    if (params_.revert == RevertMode::kFixed) {
+      out.weight = (1.0 - params_.lambda) * out.weight + params_.lambda;
+      out.value =
+          (1.0 - params_.lambda) * out.value + params_.lambda * initial_[i];
+    }
+    const Mass half{out.weight * 0.5, out.value * 0.5};
+    mass_[i] = Mass{};
+    return half;
+  }
+  void DepositAt(HostId i, const Mass& m) {
+    inbox_[i] += m;
+    ++msgs_[i];
+  }
+  void EndRoundPushAt(HostId i) {
+    Mass next = inbox_[i];
+    if (params_.revert == RevertMode::kAdaptive) {
+      double eff = 0.5 * params_.lambda * static_cast<double>(msgs_[i]);
+      if (eff > 1.0) eff = 1.0;
+      next.weight = (1.0 - eff) * next.weight + eff;
+      next.value = (1.0 - eff) * next.value + eff * initial_[i];
+    }
+    mass_[i] = next;
+    inbox_[i] = Mass{};
+    msgs_[i] = 0;
+  }
+  void EndRoundPushPullAt(HostId i) {
+    double eff = params_.lambda;
+    if (params_.revert == RevertMode::kAdaptive) {
+      eff = 0.5 * params_.lambda * static_cast<double>(msgs_[i] + 1);
+      if (eff > 1.0) eff = 1.0;
+    }
+    mass_[i].weight = (1.0 - eff) * mass_[i].weight + eff;
+    mass_[i].value = (1.0 - eff) * mass_[i].value + eff * initial_[i];
+    msgs_[i] = 0;
+  }
+
+  std::vector<Mass> mass_;
+  std::vector<Mass> inbox_;
+  std::vector<double> initial_;  // reversion anchors (the v0 values)
+  std::vector<int32_t> msgs_;    // per-round indegree (adaptive reversion)
   PsrParams params_;
   TrafficMeter* meter_ = nullptr;
   RoundKernel kernel_;

@@ -45,8 +45,8 @@ void DynamicCdfSwarm::RunRound(const Environment& env, const Population& pop,
 
 void DynamicCdfSwarm::SetLocalValue(HostId id, double value) {
   for (size_t t = 0; t < params_.thresholds.size(); ++t) {
-    instances_[t]->node(id).SetLocalValue(
-        value <= params_.thresholds[t] ? 1.0 : 0.0);
+    instances_[t]->SetLocalValue(id,
+                                 value <= params_.thresholds[t] ? 1.0 : 0.0);
   }
 }
 

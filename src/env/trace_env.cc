@@ -21,6 +21,14 @@ TraceEnvironment::TraceEnvironment(const ContactTrace& trace,
 void TraceEnvironment::AdvanceTo(SimTime t) {
   DYNAGG_CHECK_GE(t, now_);
   const auto& events = trace_->Events();
+  // The event-driven drivers advance once per gossip tick and again for
+  // every sampler that shares the instant; when the clock is already at
+  // `t` and no trace event is pending there is nothing to apply and the
+  // recent-down prune below is idempotent, so skip the whole walk.
+  if (t == now_ &&
+      (next_event_ >= events.size() || events[next_event_].time > t)) {
+    return;
+  }
   while (next_event_ < events.size() && events[next_event_].time <= t) {
     const ContactEvent& ev = events[next_event_++];
     // The clock must track the event being applied so that LinkDown records

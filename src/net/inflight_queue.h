@@ -1,0 +1,82 @@
+// InFlightQueue: the async driver's batched message timeline.
+//
+// The first async driver scheduled one Simulator event per undropped
+// message — a heap entry plus a std::function per delivery, hundreds of
+// thousands per trial. But deliveries are the only priority-0 events and
+// nothing observes simulation state *between* them: ticks (priority 1) and
+// samplers (priority 2) are the only readers. So the driver can park
+// messages in this POD min-heap instead and drain everything due at or
+// before the current instant right when a tick or sampler fires — the
+// observable state at every observation point is identical, message for
+// message, to the per-event schedule (same (due time, send order) delivery
+// order), with no per-message allocation or event-queue churn.
+//
+// Ordering contract: Pop order is (due, seq) where seq is Push order.
+// Under the per-event scheme a delivery event's tie-break was its
+// insertion sequence, and messages are only ever scheduled from ticks in
+// send-wave order — so Push order IS the old insertion order and the
+// drain replays the exact legacy timeline.
+
+#ifndef DYNAGG_NET_INFLIGHT_QUEUE_H_
+#define DYNAGG_NET_INFLIGHT_QUEUE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace dynagg {
+namespace net {
+
+class InFlightQueue {
+ public:
+  /// Pre-sizes the heap (e.g. to one tick's expected wave) so steady-state
+  /// pushes never reallocate.
+  void Reserve(size_t n) { heap_.reserve(n); }
+
+  void Push(SimTime due, const Message& m) {
+    heap_.push_back(Entry{due, seq_++, m});
+    std::push_heap(heap_.begin(), heap_.end(), After);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// True when the earliest in-flight message is due at or before `t`.
+  bool HasDueBy(SimTime t) const {
+    return !heap_.empty() && heap_.front().due <= t;
+  }
+
+  /// The earliest message (min (due, seq)); only valid when !empty().
+  const Message& Top() const { return heap_.front().msg; }
+  SimTime TopDue() const { return heap_.front().due; }
+
+  void Pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), After);
+    heap_.pop_back();
+  }
+
+ private:
+  struct Entry {
+    SimTime due;
+    uint64_t seq;
+    Message msg;
+  };
+
+  /// Max-heap comparator inverted into the (due, seq) min-heap order.
+  static bool After(const Entry& a, const Entry& b) {
+    if (a.due != b.due) return a.due > b.due;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Entry> heap_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace net
+}  // namespace dynagg
+
+#endif  // DYNAGG_NET_INFLIGHT_QUEUE_H_

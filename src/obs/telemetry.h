@@ -63,8 +63,10 @@ enum class Counter : int {
   kGossipExchanges,       // partner slots planned across all rounds
   kDepositBytes,          // payload bytes scattered by push-mode rounds
   kEarlyStopRounds,       // budgeted rounds skipped by early convergence
+  kPoolDispatchNs,        // worker-pool fork/join wall ns (whole dispatch)
+  kPoolWaitNs,            // ns the dispatcher idled waiting on pool workers
 };
-constexpr int kNumCounters = 7;
+constexpr int kNumCounters = 9;
 
 /// Stable counter name ("plan_cache_hits", ...), used for summary columns.
 const char* CounterName(Counter counter);
@@ -74,12 +76,17 @@ const char* CounterName(Counter counter);
 int64_t NowNs();
 
 /// One closed span, recorded only in profile mode. Phase spans carry the
-/// round they ran under (-1 = outside the round loop, e.g. setup).
+/// round they ran under (-1 = outside the round loop, e.g. setup). Pool
+/// spans nest inside the scatter phase and are deliberately NOT phases:
+/// the executor's span_cover_pct sums all phase_ns, so a nested phase
+/// would double-count coverage — the pool reports through the
+/// pool_dispatch_ns / pool_wait_ns counters instead, plus these trace-only
+/// spans (phase 0 = dispatch, 1 = wait) in profile mode.
 struct SpanEvent {
-  enum Kind : uint8_t { kTrial = 0, kRound = 1, kPhase = 2 };
+  enum Kind : uint8_t { kTrial = 0, kRound = 1, kPhase = 2, kPool = 3 };
   uint8_t kind = kTrial;
-  uint8_t phase = 0;   // Phase, meaningful when kind == kPhase
-  int32_t round = -1;  // meaningful for kRound / kPhase
+  uint8_t phase = 0;   // Phase for kPhase; 0=dispatch/1=wait for kPool
+  int32_t round = -1;  // meaningful for kRound / kPhase / kPool
   int64_t start_ns = 0;
   int64_t dur_ns = 0;
 };

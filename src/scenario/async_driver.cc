@@ -9,6 +9,7 @@
 #include "common/macros.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "net/inflight_queue.h"
 #include "net/message.h"
 #include "obs/telemetry.h"
 #include "scenario/config.h"
@@ -20,12 +21,13 @@ namespace dynagg {
 namespace scenario {
 namespace {
 
-// Same-instant event ordering: deliveries land before the gossip tick they
-// coincide with (a message scheduled with zero delay is processed before
-// the next send wave), and the metric sampler always observes the
-// post-tick, post-delivery state. Priority beats insertion order, so this
-// holds regardless of the order the events were scheduled in.
-constexpr int kDeliveryPriority = 0;
+// Same-instant ordering: messages in flight land before the gossip tick
+// they coincide with, and the metric sampler always observes the
+// post-tick, post-delivery state. Deliveries used to be priority-0
+// Simulator events; they now live in a batched InFlightQueue (one POD heap
+// entry per message instead of a std::function event) that the tick and
+// sampler callbacks drain up to their own instant — ticks and samplers are
+// the only state observers, so the observable timeline is identical.
 constexpr int kGossipTickPriority = 1;
 constexpr int kSamplerPriority = 2;
 
@@ -85,6 +87,15 @@ Status RunAsyncDriver(const TrialContext& ctx, const ProtocolDef& def,
   uint64_t message_index = 0;
   int tick = 0;
   std::vector<net::Message> wave;  // scratch: one tick's planned sends
+  net::InFlightQueue inflight;     // undropped messages awaiting delivery
+  inflight.Reserve(static_cast<size_t>(n));
+  const auto drain_due = [&](SimTime t) {
+    while (inflight.HasDueBy(t)) {
+      swarm.async_deliver(inflight.Top());
+      ++delivered;
+      inflight.Pop();
+    }
+  };
 
   // Declare the series up front so batches stay structurally identical
   // even when the recording window is empty.
@@ -102,6 +113,9 @@ Status RunAsyncDriver(const TrialContext& ctx, const ProtocolDef& def,
   sim.SchedulePeriodic(
       gossip_period, gossip_period,
       [&]() {
+        // Messages due by this instant were scheduled by earlier ticks and
+        // would have run at delivery priority before this tick fired.
+        drain_due(sim.Now());
         if (advance_period > 0) {
           raw_env->AdvanceTo(static_cast<SimTime>(tick + 1) * advance_period);
         }
@@ -111,13 +125,7 @@ Status RunAsyncDriver(const TrialContext& ctx, const ProtocolDef& def,
         for (const net::Message& m : wave) {
           const net::NetworkModel::Delivery d = model.Decide(message_index++);
           if (d.dropped) continue;
-          sim.ScheduleAfter(
-              d.delay,
-              [&swarm, &delivered, m]() {
-                swarm.async_deliver(m);
-                ++delivered;
-              },
-              kDeliveryPriority);
+          inflight.Push(sim.Now() + d.delay, m);
         }
         return ++tick < ticks;
       },
@@ -130,6 +138,9 @@ Status RunAsyncDriver(const TrialContext& ctx, const ProtocolDef& def,
   sim.SchedulePeriodic(
       gossip_period, gossip_period,
       [&]() {
+        // Zero-delay messages sent by this instant's tick still land before
+        // the sampler observes (deliveries outrank samplers at a tie).
+        drain_due(sim.Now());
         if (want_rms || want_tail) {
           obs::ScopedPhase record_span(obs::Phase::kRecord);
           const double rms = rms_now();
@@ -145,10 +156,14 @@ Status RunAsyncDriver(const TrialContext& ctx, const ProtocolDef& def,
       kSamplerPriority);
 
   setup_span.reset();
-  // Runs the ticks and everything they schedule, then drains the messages
-  // still in flight after the last tick — final_rms is a settled-network
-  // measurement.
   sim.Run();
+  // Drain the messages still in flight after the last tick in (due, send)
+  // order — final_rms is a settled-network measurement.
+  while (!inflight.empty()) {
+    swarm.async_deliver(inflight.Top());
+    ++delivered;
+    inflight.Pop();
+  }
   obs::Count(obs::Counter::kRngDraws,
              static_cast<int64_t>(rng.draw_count()) + model.rng_draws());
   obs::ScopedPhase record_span(obs::Phase::kRecord);

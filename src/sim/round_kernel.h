@@ -27,7 +27,6 @@
 #define DYNAGG_SIM_ROUND_KERNEL_H_
 
 #include <cstdint>
-#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -38,6 +37,7 @@
 #include "env/partner_plan.h"
 #include "obs/telemetry.h"
 #include "sim/population.h"
+#include "sim/worker_pool.h"
 
 namespace dynagg {
 
@@ -60,6 +60,14 @@ class RoundKernel {
     threads_ = threads;
   }
   int intra_round_threads() const { return threads_; }
+
+  /// Whether push-mode rounds should take the split take + ScatterDeposits
+  /// path (true) or the fused sequential ForEachPushSlot path (false). The
+  /// configured thread count is clamped to WorkerPool::VisibleCpus():
+  /// time-slicing T scatter workers on fewer cores is measurably slower
+  /// than the fused loop, so `intra_round_threads = 4` on a 1-CPU host
+  /// runs the fused path and stays bit-identical by construction.
+  bool parallel_deposits() const { return ClampedThreads() > 1; }
 
   // ------------------------------------------------------------- plan ---
 
@@ -241,11 +249,11 @@ class RoundKernel {
         deposit(e.dst, payloads[e.slot]);
       }
     };
-    std::vector<std::thread> pool;
-    pool.reserve(threads - 1);
-    for (int w = 1; w < threads; ++w) pool.emplace_back(walk, w);
-    walk(0);
-    for (auto& th : pool) th.join();
+    // Persistent parked workers, shared by every kernel on this executor
+    // thread: waking the pool costs microseconds and allocates nothing,
+    // where the old per-round std::thread spawn paid creation + join +
+    // allocator traffic on every round.
+    WorkerPool::ForCallingThread(threads - 1).Run(threads, walk);
   }
 
   /// The data-parallel counterpart of ForEachPushSlot: fills `*outbox`
@@ -271,12 +279,20 @@ class RoundKernel {
   }
 
  private:
-  /// Thread count actually worth spinning up: tiny rounds stay sequential
-  /// (thread startup would dominate), and more threads than hosts would
+  /// The configured thread count clamped to the CPUs the scheduler can
+  /// actually run us on (or the test override) — see parallel_deposits().
+  int ClampedThreads() const {
+    const int visible = WorkerPool::VisibleCpus();
+    return threads_ < visible ? threads_ : visible;
+  }
+
+  /// Thread count actually worth waking: tiny rounds stay sequential (the
+  /// bucket pass + wake would dominate), and more threads than hosts would
   /// leave idle shards.
   int EffectiveThreads(int num_hosts) const {
-    if (threads_ <= 1 || plan_.size() < kMinParallelSlots) return 1;
-    return threads_ < num_hosts ? threads_ : 1;
+    const int threads = ClampedThreads();
+    if (threads <= 1 || plan_.size() < kMinParallelSlots) return 1;
+    return threads < num_hosts ? threads : 1;
   }
 
   static constexpr size_t kMinParallelSlots = 4096;

@@ -1,0 +1,145 @@
+#include "sim/worker_pool.h"
+
+#include <atomic>
+#include <memory>
+
+#include "common/macros.h"
+#include "obs/telemetry.h"
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+namespace dynagg {
+namespace {
+
+std::atomic<int> g_visible_cpus_override{0};
+
+}  // namespace
+
+int WorkerPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int WorkerPool::AffinityCpus() {
+#ifdef __linux__
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int n = CPU_COUNT(&mask);
+    if (n > 0) return n;
+  }
+#endif
+  return HardwareConcurrency();
+}
+
+int WorkerPool::VisibleCpus() {
+  const int forced = g_visible_cpus_override.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  const int hw = HardwareConcurrency();
+  const int affinity = AffinityCpus();
+  return hw < affinity ? hw : affinity;
+}
+
+void WorkerPool::OverrideVisibleCpusForTest(int n) {
+  DYNAGG_CHECK_GE(n, 0);
+  g_visible_cpus_override.store(n, std::memory_order_relaxed);
+}
+
+WorkerPool& WorkerPool::ForCallingThread(int min_workers) {
+  DYNAGG_CHECK_GE(min_workers, 1);
+  // unique_ptr so a too-small pool can be replaced (park + join + recreate);
+  // the thread_local destructor joins the workers at thread exit.
+  thread_local std::unique_ptr<WorkerPool> pool;
+  if (pool == nullptr || pool->workers() < min_workers) {
+    pool = std::make_unique<WorkerPool>(min_workers);
+  }
+  return *pool;
+}
+
+WorkerPool::WorkerPool(int workers) {
+  DYNAGG_CHECK_GE(workers, 1);
+  threads_.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { WorkerMain(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_go_.notify_all();
+  for (std::thread& th : threads_) th.join();
+}
+
+void WorkerPool::Dispatch(int num_tasks, TaskFn fn, void* ctx) {
+  DYNAGG_CHECK_GE(num_tasks, 1);
+  DYNAGG_CHECK_LE(num_tasks, workers() + 1);
+  if (num_tasks == 1) {
+    fn(ctx, 0);
+    return;
+  }
+  obs::TrialTelemetry* sink = obs::Current();
+  const int64_t dispatch_start = sink != nullptr ? obs::NowNs() : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = fn;
+    ctx_ = ctx;
+    num_tasks_ = num_tasks;
+    unfinished_ = workers();
+    ++epoch_;
+  }
+  cv_go_.notify_all();
+  fn(ctx, 0);
+  const int64_t wait_start = sink != nullptr ? obs::NowNs() : 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+  if (sink != nullptr) {
+    const int64_t end = obs::NowNs();
+    obs::Count(obs::Counter::kPoolDispatchNs, end - dispatch_start);
+    obs::Count(obs::Counter::kPoolWaitNs, end - wait_start);
+    if (sink->profile) {
+      sink->events.push_back({obs::SpanEvent::kPool, /*phase=*/0,
+                              sink->current_round, dispatch_start,
+                              end - dispatch_start});
+      sink->events.push_back({obs::SpanEvent::kPool, /*phase=*/1,
+                              sink->current_round, wait_start,
+                              end - wait_start});
+    }
+  }
+}
+
+void WorkerPool::WorkerMain(int worker_index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    TaskFn fn;
+    void* ctx;
+    int num_tasks;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_go_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+      ctx = ctx_;
+      num_tasks = num_tasks_;
+    }
+    // Fixed mapping: worker w owns task w+1 (task 0 runs on the dispatching
+    // thread), so a dispatch needs no work-stealing or claim state. Every
+    // woken worker decrements `unfinished_` whether or not it had a task.
+    if (worker_index + 1 < num_tasks) fn(ctx, worker_index + 1);
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = --unfinished_ == 0;
+    }
+    if (last) cv_done_.notify_one();
+  }
+}
+
+}  // namespace dynagg

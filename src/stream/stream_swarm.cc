@@ -70,7 +70,7 @@ void StreamSketchSwarm::RunRound(const Environment& env, const Population& pop,
     double* to = &inbox_[static_cast<size_t>(dst) * stride_];
     for (size_t c = 0; c < stride_; ++c) to[c] += from[c];
   };
-  if (kernel_.intra_round_threads() == 1) {
+  if (!kernel_.parallel_deposits()) {
     kernel_.ForEachPushSlot(
         [this](HostId src) {
           double* s = &state_[static_cast<size_t>(src) * stride_];

@@ -1,0 +1,101 @@
+// Scale-rung smoke tests (ctest label: scale).
+//
+// The checked-in scale_1m / scale_10m scenario specs are the top rungs of
+// the perf trajectory; a full execution belongs to tools/bench.sh, not to
+// every ctest run. What CI must still catch cheaply:
+//   - the specs parse and pass ValidateExperiment (the --dry-run contract),
+//     with the shape the snapshot assumes (hosts, thread sweep);
+//   - a downsized execution of the same spec shape runs end-to-end through
+//     the executor and is bit-identical across the thread sweep, with the
+//     worker pool forced onto the sharded path.
+// These run in the plain suite too (they finish in well under a second);
+// the `scale` label lets the Release CI lane and humans invoke exactly
+// this slice with `ctest -L scale`.
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "scenario/executor.h"
+#include "scenario/spec.h"
+#include "sim/worker_pool.h"
+
+namespace dynagg {
+namespace scenario {
+namespace {
+
+std::string ReadRepoFile(const std::string& relative) {
+  const std::string path = std::string(DYNAGG_SOURCE_DIR) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+ScenarioSpec MustParseRepoScenario(const std::string& relative) {
+  const auto specs = ParseScenarioFile(ReadRepoFile(relative));
+  EXPECT_TRUE(specs.ok()) << specs.status().ToString();
+  EXPECT_EQ(specs->size(), 1u);
+  return (*specs)[0];
+}
+
+class ScopedVisibleCpus {
+ public:
+  explicit ScopedVisibleCpus(int n) { WorkerPool::OverrideVisibleCpusForTest(n); }
+  ~ScopedVisibleCpus() { WorkerPool::OverrideVisibleCpusForTest(0); }
+};
+
+TEST(ScaleSmokeTest, Scale1mSpecDryRunValidates) {
+  const ScenarioSpec spec =
+      MustParseRepoScenario("bench/scenarios/scale_1m.scenario");
+  EXPECT_EQ(spec.hosts, 1000000);
+  EXPECT_EQ(spec.sweep_key, "intra_round_threads");
+  EXPECT_GE(spec.sweep_values.size(), 2u) << "1-thread baseline plus at "
+                                             "least one multi-thread point";
+  const Status st = ValidateExperiment(spec);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(ScaleSmokeTest, Scale10mSpecDryRunValidates) {
+  const ScenarioSpec spec =
+      MustParseRepoScenario("bench/scenarios/scale_10m.scenario");
+  EXPECT_EQ(spec.hosts, 10000000);
+  EXPECT_EQ(spec.sweep_key, "intra_round_threads");
+  const Status st = ValidateExperiment(spec);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(ScaleSmokeTest, DownsizedScale1mExecutesThreadCountInvariant) {
+  // Same spec, 50x smaller population (still above the kernel's 4096-slot
+  // parallel gate) so the executed shape — push-mode push-sum, uniform
+  // env, intra_round_threads sweep — is exercised end-to-end on every
+  // ctest run without the 64 MB working set.
+  const ScopedVisibleCpus forced(4);
+  ScenarioSpec spec = MustParseRepoScenario("bench/scenarios/scale_1m.scenario");
+  spec.hosts = 20000;
+  const auto tables = RunExperiment(spec, 1);
+  ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+  ASSERT_EQ(tables->size(), 1u);
+  const CsvTable& table = (*tables)[0].table;
+  ASSERT_EQ(table.num_rows(),
+            static_cast<int64_t>(spec.sweep_values.size()));
+  // The recorded metric is in the last column; the scatter thread count
+  // must be invisible in it (bit-identical, not approximately equal).
+  const size_t metric = table.columns().size() - 1;
+  const double baseline = table.row(0)[metric];
+  EXPECT_TRUE(std::isfinite(baseline));
+  EXPECT_GT(baseline, 0.0);
+  for (int64_t r = 1; r < table.num_rows(); ++r) {
+    EXPECT_EQ(table.row(r)[metric], baseline) << "sweep row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace dynagg

@@ -18,6 +18,7 @@
 #include "scenario/spec.h"
 #include "sim/metrics.h"
 #include "sim/population.h"
+#include "sim/worker_pool.h"
 #include "sim/workload.h"
 
 namespace dynagg {
@@ -235,7 +236,19 @@ TEST(IntraRoundThreadsTest, ExchangeOnlyProtocolRejectedAtValidation) {
   EXPECT_TRUE(ValidateExperiment((*ok_specs)[0]).ok());
 }
 
+/// Forces the sharded scatter on single-CPU CI hosts (the kernel clamps
+/// intra_round_threads to the visible CPUs otherwise); restored on scope
+/// exit even when an ASSERT bails out of the test early.
+class ScopedVisibleCpus {
+ public:
+  explicit ScopedVisibleCpus(int n) { WorkerPool::OverrideVisibleCpusForTest(n); }
+  ~ScopedVisibleCpus() { WorkerPool::OverrideVisibleCpusForTest(0); }
+};
+
 TEST(IntraRoundThreadsTest, OutputBitIdenticalToSequential) {
+  // This also runs the worker pool nested under the executor's trial
+  // threads — the production shape.
+  const ScopedVisibleCpus forced(4);
   const std::string base =
       "name = scatter\n"
       "protocol = push-sum-revert\n"

@@ -20,9 +20,21 @@
 #include "env/uniform_env.h"
 #include "sim/population.h"
 #include "sim/round_kernel.h"
+#include "sim/worker_pool.h"
 
 namespace dynagg {
 namespace {
+
+/// The kernel clamps intra_round_threads to WorkerPool::VisibleCpus(), so
+/// on a single-CPU CI host the "parallel" swarm would silently take the
+/// fused sequential path and these determinism tests would compare it to
+/// itself. Forcing the visible count keeps the destination-sharded scatter
+/// under test on any host; the override is restored on scope exit.
+class ScopedVisibleCpus {
+ public:
+  explicit ScopedVisibleCpus(int n) { WorkerPool::OverrideVisibleCpusForTest(n); }
+  ~ScopedVisibleCpus() { WorkerPool::OverrideVisibleCpusForTest(0); }
+};
 
 std::vector<double> TestValues(int n, uint64_t seed) {
   Rng rng(seed);
@@ -253,6 +265,7 @@ TEST(RoundKernelParityTest, TraceEnvironmentAdvanceToRebuildsMidTrial) {
 
 TEST(RoundKernelTest, ScatterDepositsBitIdenticalAtAnyThreadCount) {
   // Big enough to clear the kernel's minimum-parallel-slots gate.
+  const ScopedVisibleCpus forced(4);
   const int n = 6000;
   const std::vector<double> values = TestValues(n, 404);
 
@@ -281,6 +294,7 @@ TEST(RoundKernelTest, ScatterDepositsBitIdenticalAtAnyThreadCount) {
 }
 
 TEST(RoundKernelTest, ScatterThreadsOnFullTransferBitIdentical) {
+  const ScopedVisibleCpus forced(4);
   const int n = 2000;  // 4 parcels/host -> 8000 slots, above the gate
   const std::vector<double> values = TestValues(n, 505);
   const FullTransferParams params{.lambda = 0.1, .parcels = 4, .window = 3};

@@ -1,0 +1,206 @@
+// WorkerPool lifecycle and correctness tests.
+//
+// The pool is the persistence layer under the round kernel's parallel
+// deposit scatter: threads created once per calling (executor worker)
+// thread, parked between dispatches, reused across rounds and trials.
+// These tests pin the dispatch contract (every task exactly once, task 0
+// on the caller), reuse across many dispatches, oversubscription beyond
+// the visible-CPU budget, nested use from a pool's own worker threads
+// (the executor x intra-round shape), pool destruction at thread exit,
+// and the VisibleCpus test override. The CI sanitizer lane runs this
+// whole file under ASan/UBSan, so a lifecycle bug (worker outliving its
+// pool, double-join, use-after-free on the dispatch context) fails the
+// pipeline even when the optimized lane is green.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/worker_pool.h"
+
+namespace dynagg {
+namespace {
+
+/// Forces VisibleCpus() for a scope; restores the real value on exit so
+/// tests cannot leak an override into each other.
+class ScopedVisibleCpus {
+ public:
+  explicit ScopedVisibleCpus(int n) { WorkerPool::OverrideVisibleCpusForTest(n); }
+  ~ScopedVisibleCpus() { WorkerPool::OverrideVisibleCpusForTest(0); }
+};
+
+TEST(WorkerPoolTest, RunExecutesEveryTaskExactlyOnce) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.workers(), 3);
+  std::vector<int> hits(4, 0);
+  pool.Run(4, [&](int task) { ++hits[task]; });
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(hits[t], 1) << "task " << t;
+}
+
+TEST(WorkerPoolTest, TaskZeroRunsOnTheCallingThread) {
+  WorkerPool pool(2);
+  std::thread::id task0_thread;
+  pool.Run(3, [&](int task) {
+    if (task == 0) task0_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(task0_thread, std::this_thread::get_id());
+}
+
+TEST(WorkerPoolTest, SingleTaskDispatchesInlineWithoutWakingWorkers) {
+  WorkerPool pool(4);
+  std::thread::id ran_on;
+  pool.Run(1, [&](int task) {
+    EXPECT_EQ(task, 0);
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(WorkerPoolTest, FewerTasksThanWorkersLeavesExtrasParked) {
+  WorkerPool pool(4);
+  std::atomic<int> ran{0};
+  pool.Run(2, [&](int) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(WorkerPoolTest, ReusedAcrossManyDispatchesWithoutDrift) {
+  // The round-kernel usage pattern: one pool, thousands of fork/join
+  // cycles (every parallel round of every trial). Each dispatch writes a
+  // disjoint slice; the running sum catches a lost or duplicated wakeup.
+  WorkerPool pool(3);
+  std::vector<int64_t> slice(4, 0);
+  for (int round = 0; round < 2000; ++round) {
+    pool.Run(4, [&](int task) { slice[task] += task + 1; });
+  }
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(slice[t], static_cast<int64_t>(2000) * (t + 1)) << "task " << t;
+  }
+}
+
+TEST(WorkerPoolTest, OversubscribedBeyondVisibleCpusStillCompletes) {
+  // More workers than the host has CPUs (this CI VM has one): the pool
+  // must still run every task and join — oversubscription is a perf
+  // question, never a correctness one.
+  WorkerPool pool(8);
+  std::vector<int> hits(9, 0);
+  for (int round = 0; round < 50; ++round) {
+    pool.Run(9, [&](int task) { ++hits[task]; });
+  }
+  for (int t = 0; t < 9; ++t) EXPECT_EQ(hits[t], 50) << "task " << t;
+}
+
+TEST(WorkerPoolTest, CreateDestroyRepeatedlyIsClean) {
+  // Executor workers come and go across experiments; construction and
+  // shutdown (notify + join of parked threads) must be leak- and
+  // race-free. The sanitizer lane is the real assertion here.
+  for (int i = 0; i < 20; ++i) {
+    WorkerPool pool(2);
+    int sum = 0;
+    std::mutex mu;
+    pool.Run(3, [&](int task) {
+      std::lock_guard<std::mutex> lock(mu);
+      sum += task;
+    });
+    EXPECT_EQ(sum, 3);
+  }
+}
+
+TEST(WorkerPoolTest, DestroyWithoutEverDispatchingJoinsParkedThreads) {
+  WorkerPool pool(3);
+  // No Run: the destructor must wake and join workers that only ever
+  // parked (the trial-dies-before-its-first-parallel-round shape).
+}
+
+TEST(WorkerPoolTest, VisibleCpusOverrideSetsAndClears) {
+  const int real = WorkerPool::VisibleCpus();
+  EXPECT_GE(real, 1);
+  {
+    ScopedVisibleCpus forced(7);
+    EXPECT_EQ(WorkerPool::VisibleCpus(), 7);
+  }
+  EXPECT_EQ(WorkerPool::VisibleCpus(), real);
+  EXPECT_LE(WorkerPool::VisibleCpus(), WorkerPool::HardwareConcurrency());
+  EXPECT_LE(WorkerPool::VisibleCpus(), WorkerPool::AffinityCpus());
+}
+
+TEST(WorkerPoolTest, ForCallingThreadReturnsSamePoolAndGrowsOnDemand) {
+  WorkerPool& small = WorkerPool::ForCallingThread(1);
+  EXPECT_GE(small.workers(), 1);
+  WorkerPool& again = WorkerPool::ForCallingThread(1);
+  EXPECT_EQ(&small, &again);
+
+  WorkerPool& grown = WorkerPool::ForCallingThread(4);
+  EXPECT_GE(grown.workers(), 4);
+  // Asking for less afterwards must not shrink: the pool serves the
+  // largest thread count this thread has ever dispatched.
+  WorkerPool& kept = WorkerPool::ForCallingThread(2);
+  EXPECT_EQ(&grown, &kept);
+  EXPECT_GE(kept.workers(), 4);
+
+  std::vector<int> hits(5, 0);
+  kept.Run(5, [&](int task) { ++hits[task]; });
+  for (int t = 0; t < 5; ++t) EXPECT_EQ(hits[t], 1);
+}
+
+TEST(WorkerPoolTest, PerThreadPoolsDieWithTheirThreads) {
+  // Executor trial workers exit when the experiment ends (including
+  // mid-experiment on error paths); each one's thread-local pool must
+  // shut down with it. Spawn-use-exit several times; ASan flags any
+  // worker outliving its pool.
+  for (int i = 0; i < 8; ++i) {
+    std::atomic<int> ran{0};
+    std::thread trial_worker([&] {
+      WorkerPool& pool = WorkerPool::ForCallingThread(2);
+      for (int round = 0; round < 10; ++round) {
+        pool.Run(3, [&](int) { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+    trial_worker.join();
+    EXPECT_EQ(ran.load(), 30);
+  }
+}
+
+TEST(WorkerPoolTest, NestedExecutorByIntraRoundShapeDoesNotDeadlock) {
+  // The production nesting: executor trial threads (outer parallelism)
+  // each drive their own intra-round scatter pool (inner parallelism).
+  // Outer threads are plain std::threads as in the executor; each inner
+  // dispatch goes through that thread's ForCallingThread pool.
+  constexpr int kOuter = 3;
+  constexpr int kInnerTasks = 4;
+  std::atomic<int> inner_ran{0};
+  std::vector<std::thread> outer;
+  outer.reserve(kOuter);
+  for (int w = 0; w < kOuter; ++w) {
+    outer.emplace_back([&] {
+      WorkerPool& pool = WorkerPool::ForCallingThread(kInnerTasks - 1);
+      for (int round = 0; round < 25; ++round) {
+        pool.Run(kInnerTasks, [&](int) {
+          inner_ran.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread& t : outer) t.join();
+  EXPECT_EQ(inner_ran.load(), kOuter * 25 * kInnerTasks);
+}
+
+TEST(WorkerPoolTest, TasksReceiveDisjointIndices) {
+  // Each task records which thread ran it; indices must partition across
+  // the caller plus distinct workers with no index handed out twice.
+  WorkerPool pool(3);
+  std::vector<std::thread::id> ran_by(4);
+  pool.Run(4, [&](int task) { ran_by[task] = std::this_thread::get_id(); });
+  for (int a = 0; a < 4; ++a) {
+    EXPECT_NE(ran_by[a], std::thread::id()) << "task " << a << " never ran";
+    for (int b = a + 1; b < 4; ++b) {
+      EXPECT_NE(ran_by[a], ran_by[b])
+          << "tasks " << a << " and " << b << " shared a thread";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -16,6 +16,7 @@
 #include "scenario/executor.h"
 #include "scenario/sink.h"
 #include "scenario/spec.h"
+#include "sim/worker_pool.h"
 
 namespace dynagg {
 namespace scenario {
@@ -106,7 +107,15 @@ TEST(StreamScenarioTest, OutputIsByteIdenticalAcrossThreadsAndTelemetry) {
 TEST(StreamScenarioTest, IntraRoundScatterThreadsDoNotChangeOutput) {
   // The parallel deposit scatter only engages above the kernel's
   // sequential cutoff (4096 slots), so this one needs a big population;
-  // the sketch and key universe are kept tiny to compensate.
+  // the sketch and key universe are kept tiny to compensate. The kernel
+  // also clamps the thread count to the visible CPUs, so force 4 for the
+  // test's lifetime to keep the sharded path under test on 1-CPU hosts.
+  struct ScopedVisibleCpus {
+    explicit ScopedVisibleCpus(int n) {
+      WorkerPool::OverrideVisibleCpusForTest(n);
+    }
+    ~ScopedVisibleCpus() { WorkerPool::OverrideVisibleCpusForTest(0); }
+  } forced(4);
   const std::string base = R"(name = hh_par
 protocol = count-min
 hosts = 6000

@@ -49,6 +49,7 @@
 #include "scenario/sink.h"
 #include "scenario/spec.h"
 #include "scenario/trial.h"
+#include "sim/worker_pool.h"
 #include "sim/workload.h"
 
 namespace dynagg {
@@ -86,7 +87,8 @@ int Usage() {
       "[--telemetry-out=FILE]\n"
       "                  [--progress] file.scenario...\n"
       "       dynagg_run --list [file.scenario...]\n"
-      "       dynagg_run --dry-run file.scenario...\n");
+      "       dynagg_run --dry-run file.scenario...\n"
+      "       dynagg_run --hostinfo\n");
   return 2;
 }
 
@@ -195,6 +197,14 @@ int Run(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--list") {
       mode = Mode::kList;
+    } else if (arg == "--hostinfo") {
+      // The CPU counts perf tooling should report: the raw hardware value
+      // AND what the scheduler actually grants (cgroup/affinity mask) —
+      // `cpus: 1` in a bench snapshot is unreadable without both.
+      std::printf("hardware_concurrency=%d\naffinity_cpus=%d\n",
+                  WorkerPool::HardwareConcurrency(),
+                  WorkerPool::AffinityCpus());
+      return 0;
     } else if (arg == "--dry-run") {
       mode = Mode::kDryRun;
     } else if (arg.rfind("--threads=", 0) == 0) {
