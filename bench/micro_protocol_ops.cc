@@ -21,6 +21,7 @@
 #include "net/inflight_queue.h"
 #include "net/message.h"
 #include "net/network_model.h"
+#include "sim/churn.h"
 #include "sim/population.h"
 #include "sim/workload.h"
 #include "stream/stream_swarm.h"
@@ -101,6 +102,40 @@ void BM_PushRoundKernel(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
+/// A churned round at the 100k rung — what BENCH_roundkernel.json tracks
+/// as churn_100k: apply one precomputed ChurnPlan round (deaths, rebirths
+/// and arrivals at ~1%/round each side, on_join resets through the swarm)
+/// and then run the push round. The membership mutations invalidate the
+/// environment's cached partner plan, so this prices the invalidation +
+/// rebuild the steady-state kernel number never pays.
+void BM_ChurnedPushRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> values(n, 1.0);
+  PushSumSwarm swarm(values, GossipMode::kPush);
+  UniformEnvironment env(n);
+  Population pop(n, n * 9 / 10);
+  ChurnParams params;
+  params.n = n;
+  params.initial = n * 9 / 10;
+  params.arrival_rate = n / 100.0;
+  params.death_prob = 0.01;
+  params.rebirth_prob = 0.1;
+  params.start_round = 0;
+  params.end_round = 64;
+  params.max_alive = n;
+  Rng churn_rng(7);
+  const ChurnPlan plan = ChurnPlan::Build(params, churn_rng);
+  Rng rng(1);
+  int round = 0;
+  for (auto _ : state) {
+    plan.Apply(round & 63, &pop, [&](HostId id) { swarm.OnJoin(id); });
+    ++round;
+    swarm.RunRound(env, pop, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChurnedPushRound)->Arg(100000);
+
 BENCHMARK(BM_PushRoundKernel)
     ->Args({10000, 1})
     ->Args({100000, 1})

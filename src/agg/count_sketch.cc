@@ -20,10 +20,17 @@ void CountSketchNode::Init(const CountSketchParams& params, uint64_t host_key,
 CountSketchSwarm::CountSketchSwarm(
     const std::vector<int64_t>& multiplicities,
     const CountSketchParams& params)
-    : nodes_(multiplicities.size()), params_(params) {
+    : nodes_(multiplicities.size()),
+      multiplicities_(multiplicities),
+      params_(params) {
   for (size_t i = 0; i < multiplicities.size(); ++i) {
     nodes_[i].Init(params_, /*host_key=*/i, multiplicities[i]);
   }
+}
+
+void CountSketchSwarm::OnJoin(HostId id) {
+  nodes_[id].Init(params_, /*host_key=*/static_cast<uint64_t>(id),
+                  multiplicities_[id]);
 }
 
 void CountSketchSwarm::RunRound(const Environment& env, const Population& pop,

@@ -77,11 +77,19 @@ class CountSketchSwarm {
   int size() const { return static_cast<int>(nodes_.size()); }
   const CountSketchNode& node(HostId id) const { return nodes_[id]; }
 
+  /// Churn-join reset: host `id` restarts from a fresh sketch holding
+  /// only its own registered objects (CountSketchNode::Init semantics).
+  /// The static sketch is monotone, so objects the host spread before a
+  /// departure remain visible elsewhere — exactly the never-forgets
+  /// limitation Count-Sketch-Reset removes.
+  void OnJoin(HostId id);
+
   /// Optionally records over-the-air traffic (serialized sketch sizes).
   void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
 
  private:
   std::vector<CountSketchNode> nodes_;
+  std::vector<int64_t> multiplicities_;  // backs the churn-join re-Init
   CountSketchParams params_;
   TrafficMeter* meter_ = nullptr;
   RoundKernel kernel_;

@@ -143,10 +143,17 @@ Status CountSketchResetNode::MergeSerialized(BufReader* in) {
 
 CsrSwarm::CsrSwarm(const std::vector<int64_t>& multiplicities,
                    const CsrParams& params)
-    : nodes_(multiplicities.size()), params_(params) {
+    : nodes_(multiplicities.size()),
+      multiplicities_(multiplicities),
+      params_(params) {
   for (size_t i = 0; i < multiplicities.size(); ++i) {
     nodes_[i].Init(params_, /*host_key=*/i, multiplicities[i]);
   }
+}
+
+void CsrSwarm::OnJoin(HostId id) {
+  nodes_[id].Init(params_, /*host_key=*/static_cast<uint64_t>(id),
+                  multiplicities_[id]);
 }
 
 void CsrSwarm::RunRound(const Environment& env, const Population& pop,

@@ -147,11 +147,19 @@ class CsrSwarm {
   const CountSketchResetNode& node(HostId id) const { return nodes_[id]; }
   CountSketchResetNode& node(HostId id) { return nodes_[id]; }
 
+  /// Churn-join reset: host `id` restarts from a fresh counter array —
+  /// all counters at infinity except its own pinned slots
+  /// (CountSketchResetNode::Init semantics). Its previously spread slots
+  /// age out of the rest of the network within ~f(k) rounds, exactly the
+  /// departure decay of Fig 9; the rebirth re-pins them.
+  void OnJoin(HostId id);
+
   /// Optionally records over-the-air traffic (serialized counter arrays).
   void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
 
  private:
   std::vector<CountSketchResetNode> nodes_;
+  std::vector<int64_t> multiplicities_;  // backs the churn-join re-Init
   CsrParams params_;
   TrafficMeter* meter_ = nullptr;
   RoundKernel kernel_;

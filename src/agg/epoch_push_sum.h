@@ -77,6 +77,11 @@ class EpochPushSumNode {
     state_.Init(initial_value_);
   }
 
+  /// Churn-join reset: restarts at epoch 0, phase 0 with the pristine
+  /// initial value. A newborn re-synchronizes the way Section II.C
+  /// describes — its first higher-epoch peer drags it forward.
+  void Rejoin() { Init(initial_value_, 0); }
+
   /// The value reported to the application: the last completed epoch's
   /// snapshot (the running state before the first epoch completes).
   double Estimate() const {
@@ -118,6 +123,10 @@ class EpochPushSumSwarm {
   }
   uint64_t epoch(HostId id) const { return nodes_[id].epoch(); }
   int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Churn-join reset: host `id` restarts at epoch 0 (see
+  /// EpochPushSumNode::Rejoin). Touches only `id`'s own node.
+  void OnJoin(HostId id) { nodes_[id].Rejoin(); }
 
  private:
   std::vector<EpochPushSumNode> nodes_;

@@ -93,6 +93,13 @@ class DynamicExtremeNode {
     b.Offer(a.best_, params);
   }
 
+  /// Churn-join reset: forgets any adopted candidate and restarts from
+  /// the host's own (current-reading) contribution at age 0.
+  void Rejoin() {
+    own_.age = 0;
+    best_ = own_;
+  }
+
   /// The current extreme estimate.
   double Estimate() const { return best_.value; }
   /// The key attaining the current estimate.
@@ -133,6 +140,10 @@ class DynamicExtremeSwarm {
   int size() const { return static_cast<int>(nodes_.size()); }
   DynamicExtremeNode& node(HostId id) { return nodes_[id]; }
   const ExtremeParams& params() const { return params_; }
+
+  /// Churn-join reset: host `id` restarts from its own contribution (see
+  /// DynamicExtremeNode::Rejoin). Touches only `id`'s own node.
+  void OnJoin(HostId id) { nodes_[id].Rejoin(); }
 
  private:
   std::vector<DynamicExtremeNode> nodes_;

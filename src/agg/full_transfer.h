@@ -114,6 +114,18 @@ class FullTransferSwarm {
   /// Total live mass (current state only, not the estimate window).
   Mass TotalAliveMass(const Population& pop) const;
 
+  /// Churn-join reset: (re)initializes host `id` to its pristine <1, v0>
+  /// mass with an empty estimate window (FullTransferNode::Init
+  /// semantics). Touches only `id`'s own slots.
+  void OnJoin(HostId id) {
+    mass_[id] = Mass{1.0, initial_[id]};
+    inbox_[id] = Mass{};
+    reverted_[id] = Mass{};
+    emitting_[id] = 0;
+    hist_next_[id] = 0;
+    hist_count_[id] = 0;
+  }
+
   /// Optionally records over-the-air traffic.
   void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
 

@@ -66,6 +66,13 @@ class InvertAverageSwarm {
     psr_.set_intra_round_threads(threads);
   }
 
+  /// Churn-join reset: both sub-protocols restart host `id` from its
+  /// pristine contribution.
+  void OnJoin(HostId id) {
+    psr_.OnJoin(id);
+    csr_.OnJoin(id);
+  }
+
  private:
   InvertAverageParams params_;
   PushSumRevertSwarm psr_;

@@ -33,6 +33,29 @@ void PushFlowSwarm::DeliverFlow(const net::Message& m) {
   g.seen_seq = m.tag;
 }
 
+void PushFlowSwarm::OnJoin(HostId id) {
+  // Bilateral edge teardown: each neighbor forgets the edge toward the old
+  // incarnation of `id`, reclaiming its own outgoing flow and dropping the
+  // adopted inflow. Only then is `id`'s side cleared, so conservation over
+  // live hosts holds before and after.
+  for (const auto& [peer, edge] : flows_[id]) {
+    (void)edge;
+    auto it = flows_[peer].find(id);
+    if (it == flows_[peer].end()) continue;
+    const EdgeFlow& back = it->second;
+    sent_num_[peer] -= back.out_num;
+    sent_denom_[peer] -= back.out_denom;
+    recv_num_[peer] -= back.in_num;
+    recv_denom_[peer] -= back.in_denom;
+    flows_[peer].erase(it);
+  }
+  flows_[id].clear();
+  sent_num_[id] = 0.0;
+  sent_denom_[id] = 0.0;
+  recv_num_[id] = 0.0;
+  recv_denom_[id] = 0.0;
+}
+
 void PushFlowSwarm::RunRound(const Environment& env, const Population& pop,
                              Rng& rng) {
   // Synchronous rounds are the async protocol on a perfect network: plan

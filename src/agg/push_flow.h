@@ -101,6 +101,15 @@ class PushFlowSwarm {
   /// to disable. The meter must outlive the swarm.
   void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
 
+  /// Churn-join reset: tears down every edge incident to `id` on BOTH
+  /// endpoints. A self-only reset would deadlock the reborn host's
+  /// outbound direction: its sent_seq restarts at 0 while each neighbor's
+  /// seen_seq stays high, so the neighbor would drop every future push as
+  /// stale. Dropping the neighbor's half instead returns the flow it had
+  /// pushed toward `id` (and forgets the inflow it had adopted from the
+  /// old incarnation), restoring conservation over the live hosts.
+  void OnJoin(HostId id);
+
  private:
   /// One gossiped edge as its owner sees it: the cumulative flow pushed
   /// toward the neighbor (out_*, only this host writes it, sent_seq

@@ -147,6 +147,15 @@ class PushSumSwarm {
   /// Applies one delivered mass message (async driver).
   void DeliverMass(const net::Message& m) { mass_[m.dst] += Mass{m.a, m.b}; }
 
+  /// Churn-join reset: (re)initializes host `id` to its pristine
+  /// <1, v0> mass — first arrivals and ID-reuse rebirths both start
+  /// fresh. Touches only `id`'s own slots (no RNG, no shared state), so
+  /// existing hosts and the byte-identity contract are unaffected.
+  void OnJoin(HostId id) {
+    mass_[id] = Mass{1.0, initial_[id]};
+    inbox_[id] = Mass{};
+  }
+
   /// Optionally records over-the-air traffic (self-messages excluded).
   /// Pass nullptr to disable. The meter must outlive the swarm.
   void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }

@@ -179,6 +179,15 @@ class PushSumRevertSwarm {
   /// Total mass over alive hosts (conservation diagnostics and tests).
   Mass TotalAliveMass(const Population& pop) const;
 
+  /// Churn-join reset: (re)initializes host `id` to its pristine <1, v0>
+  /// mass anchored at its original reversion value (PushSumRevertNode::
+  /// Init semantics). Touches only `id`'s own slots.
+  void OnJoin(HostId id) {
+    mass_[id] = Mass{1.0, initial_[id]};
+    inbox_[id] = Mass{};
+    msgs_[id] = 0;
+  }
+
   /// Optionally records over-the-air traffic (self-messages excluded).
   void set_traffic_meter(TrafficMeter* meter) { meter_ = meter; }
 

@@ -45,6 +45,10 @@ const char* CounterName(Counter counter) {
       return "pool_dispatch_ns";
     case Counter::kPoolWaitNs:
       return "pool_wait_ns";
+    case Counter::kChurnJoins:
+      return "churn_joins";
+    case Counter::kChurnRebirths:
+      return "churn_rebirths";
   }
   return "unknown";
 }

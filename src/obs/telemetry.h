@@ -65,8 +65,10 @@ enum class Counter : int {
   kEarlyStopRounds,       // budgeted rounds skipped by early convergence
   kPoolDispatchNs,        // worker-pool fork/join wall ns (whole dispatch)
   kPoolWaitNs,            // ns the dispatcher idled waiting on pool workers
+  kChurnJoins,            // first-time arrivals admitted by churn plans
+  kChurnRebirths,         // state-reset ID-reuse rebirths from churn plans
 };
-constexpr int kNumCounters = 9;
+constexpr int kNumCounters = 11;
 
 /// Stable counter name ("plan_cache_hits", ...), used for summary columns.
 const char* CounterName(Counter counter);

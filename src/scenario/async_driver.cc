@@ -266,13 +266,22 @@ Status ValidateAsyncSpec(const ScenarioSpec& spec, const ProtocolDef& def) {
         "sample_period does not apply (metrics are sampled once per gossip "
         "tick; thin the series with record.from / record.every)");
   }
-  // Failure plans are round-indexed kill/churn scripts built for the
-  // synchronous drivers; they are not wired into the message timeline.
+  // Failure and churn plans are round-indexed membership scripts built
+  // for the synchronous drivers. Under message-level time there is no
+  // round boundary to apply them at: a host's departure/arrival would
+  // have to be an event indexed into the in-flight delivery timeline
+  // (invalidating queued messages to and from it), which is not
+  // implemented yet. Point at the limitation rather than a bare reject
+  // so the fix is actionable from the error alone.
   for (const auto& [key, value] : spec.params) {
-    if (key.rfind("failure.", 0) == 0) {
-      return invalid("'" + key +
-                     "' does not apply (failure plans are not wired into "
-                     "the message-level timeline)");
+    if (key.rfind("failure.", 0) == 0 || key.rfind("churn.", 0) == 0) {
+      return invalid(
+          "'" + key +
+          "' does not apply: failure/churn plans are round-indexed and "
+          "the async driver has no rounds — membership dynamics under "
+          "message-level time need event-indexed plans, which are not "
+          "implemented yet (run the plan under driver = rounds, or see "
+          "docs/spec_reference.md \"Driver compatibility\")");
     }
   }
   DYNAGG_RETURN_IF_ERROR(

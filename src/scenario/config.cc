@@ -210,6 +210,39 @@ Result<RecordConfig> ParseRecordConfig(
   return cfg;
 }
 
+Status CheckRecordWindows(const ScenarioSpec& spec, const MetricFlags& metrics,
+                          const RecordConfig& cfg) {
+  if (metrics.tail_mean && cfg.from >= spec.rounds) {
+    // An empty averaging window would fabricate a perfect score of 0.
+    return Status::InvalidArgument(
+        "record.from = " + std::to_string(cfg.from) +
+        " leaves no rounds to average (rounds = " +
+        std::to_string(spec.rounds) + ")");
+  }
+  if (metrics.recovery && cfg.recovery_from >= spec.rounds) {
+    // An empty window has no floor to derive the threshold from.
+    return Status::InvalidArgument(
+        "record.recovery_from = " + std::to_string(cfg.recovery_from) +
+        " leaves no rounds to watch for recovery (rounds = " +
+        std::to_string(spec.rounds) + ")");
+  }
+  for (const double r : metrics.rms_at) {
+    if (r > spec.rounds) {
+      return Status::InvalidArgument(
+          "rms_at(" + std::to_string(static_cast<int>(r)) +
+          ") is past the last round (rounds = " +
+          std::to_string(spec.rounds) + ")");
+    }
+  }
+  if (metrics.final_error_cdf &&
+      (cfg.cdf_buckets < 1 || cfg.cdf_hi <= cfg.cdf_lo)) {
+    return Status::InvalidArgument(
+        "cdf(final_error) needs record.cdf_hi > record.cdf_lo and "
+        "record.cdf_buckets >= 1");
+  }
+  return Status::OK();
+}
+
 Result<FailureConfig> ParseFailureConfig(const ScenarioSpec& spec) {
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
       "failure.", {"kind", "round", "fraction", "start", "end", "death_prob",
@@ -381,6 +414,91 @@ Result<uint64_t> WorkloadStream(const ScenarioSpec& spec,
 Result<uint64_t> MessageStream(const ScenarioSpec& spec,
                                const TrialContext& ctx, int n) {
   return EvalStreamExpr(spec, "seeds.message_stream", "5", ctx, n);
+}
+
+Result<ChurnConfig> ParseChurnConfig(const ScenarioSpec& spec) {
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
+      "churn.", {"initial", "arrival_rate", "death_prob", "rebirth_prob",
+                 "start", "end", "max_alive"}));
+  ChurnConfig cfg;
+  for (const auto& [key, value] : spec.params) {
+    if (key.rfind("churn.", 0) == 0) {
+      cfg.enabled = true;
+      break;
+    }
+  }
+  if (!cfg.enabled) return cfg;
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t initial,
+                          spec.ParamInt("churn.initial", -1));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.arrival_rate,
+                          spec.ParamDouble("churn.arrival_rate", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.death_prob,
+                          spec.ParamDouble("churn.death_prob", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(cfg.rebirth_prob,
+                          spec.ParamDouble("churn.rebirth_prob", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t start,
+                          spec.ParamInt("churn.start", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t end, spec.ParamInt("churn.end", -1));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t max_alive,
+                          spec.ParamInt("churn.max_alive", -1));
+  cfg.initial = static_cast<int>(initial);
+  cfg.start = static_cast<int>(start);
+  cfg.end = static_cast<int>(end);
+  cfg.max_alive = static_cast<int>(max_alive);
+  if (cfg.initial != -1 && cfg.initial < 1) {
+    return Status::InvalidArgument(
+        "churn.initial must be >= 1 (or omitted for all hosts alive)");
+  }
+  if (cfg.max_alive != -1 && cfg.max_alive < 1) {
+    return Status::InvalidArgument(
+        "churn.max_alive must be >= 1 (or omitted for no cap below hosts)");
+  }
+  if (cfg.arrival_rate < 0.0) {
+    return Status::InvalidArgument("churn.arrival_rate must be >= 0");
+  }
+  if (cfg.death_prob < 0.0 || cfg.death_prob > 1.0) {
+    return Status::InvalidArgument("churn.death_prob must be in [0, 1]");
+  }
+  if (cfg.rebirth_prob < 0.0 || cfg.rebirth_prob > 1.0) {
+    return Status::InvalidArgument("churn.rebirth_prob must be in [0, 1]");
+  }
+  if (cfg.start < 0 || (cfg.end != -1 && cfg.end < cfg.start)) {
+    return Status::InvalidArgument(
+        "churn.start must be >= 0 and churn.end >= churn.start (or -1 for "
+        "the full run)");
+  }
+  return cfg;
+}
+
+Result<uint64_t> ChurnStream(const ScenarioSpec& spec, const TrialContext& ctx,
+                             int n) {
+  return EvalStreamExpr(spec, "seeds.churn_stream", "6", ctx, n);
+}
+
+Result<ChurnPlan> BuildChurnPlan(const ChurnConfig& cfg, int n, int rounds,
+                                 Rng& churn_rng) {
+  if (!cfg.enabled) return ChurnPlan();
+  ChurnParams params;
+  params.n = n;
+  params.initial = cfg.initial >= 0 ? cfg.initial : n;
+  params.max_alive = cfg.max_alive >= 0 ? cfg.max_alive : n;
+  if (params.initial > n) {
+    return Status::InvalidArgument(
+        "churn.initial = " + std::to_string(params.initial) +
+        " exceeds hosts = " + std::to_string(n));
+  }
+  if (params.max_alive > n) {
+    return Status::InvalidArgument(
+        "churn.max_alive = " + std::to_string(params.max_alive) +
+        " exceeds hosts = " + std::to_string(n) +
+        " (the universe is fixed; raise hosts to leave room for growth)");
+  }
+  params.arrival_rate = cfg.arrival_rate;
+  params.death_prob = cfg.death_prob;
+  params.rebirth_prob = cfg.rebirth_prob;
+  params.start_round = cfg.start;
+  params.end_round = cfg.end >= 0 ? cfg.end : rounds;
+  return ChurnPlan::Build(params, churn_rng);
 }
 
 Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,

@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "scenario/trial.h"
+#include "sim/churn.h"
 #include "sim/failure.h"
 
 namespace dynagg {
@@ -108,6 +109,14 @@ struct RecordConfig {
 Result<RecordConfig> ParseRecordConfig(
     const ScenarioSpec& spec, const std::vector<std::string>& extra_keys);
 
+/// Spec-only window checks for the rounds driver's metrics: every windowed
+/// selector must leave at least one round inside its window, and the cdf
+/// histogram must be well-formed. Factored out of the driver so --dry-run
+/// applies the identical checks to the base spec and every swept variant
+/// (a rounds sweep can empty a window the base spec satisfies).
+Status CheckRecordWindows(const ScenarioSpec& spec, const MetricFlags& metrics,
+                          const RecordConfig& cfg);
+
 /// The failure.* plan declaration.
 struct FailureConfig {
   enum class Kind { kNone, kKillRandomFraction, kKillTopFraction, kChurn };
@@ -161,6 +170,37 @@ Result<FailurePlan> BuildFailurePlan(const FailureConfig& cfg, int n,
                                      int rounds,
                                      const std::vector<double>* values,
                                      Rng& fail_rng);
+
+/// The churn.* plan declaration: two-sided membership dynamics (arrivals,
+/// deaths, rebirths with ID reuse) on top of the fixed `hosts` universe.
+/// Distinct from `failure.kind = churn`, whose revives silently preserve
+/// host state: churn.* rebirths RESET the host through the swarm's
+/// on_join hook.
+struct ChurnConfig {
+  bool enabled = false;      // any churn.* key present
+  int initial = -1;          // hosts alive at round 0; -1 = spec.hosts
+  double arrival_rate = 0;   // expected first-time arrivals per round
+  double death_prob = 0;     // per-round death probability per alive host
+  double rebirth_prob = 0;   // per-round rebirth probability per dead host
+  int start = 0;             // churn window
+  int end = -1;              // churn window end; -1 = spec.rounds
+  int max_alive = -1;        // alive-count growth cap; -1 = spec.hosts
+};
+
+Result<ChurnConfig> ParseChurnConfig(const ScenarioSpec& spec);
+
+/// Resolves the churn RNG stream (seeds.churn_stream), the same term-sum
+/// grammar as seeds.round_stream; defaults to stream 6 so churn draws
+/// never collide with the gossip (1), failure (2), workload (3), epoch
+/// phase (4) or message (5) streams.
+Result<uint64_t> ChurnStream(const ScenarioSpec& spec, const TrialContext& ctx,
+                             int n);
+
+/// Builds the precomputed churn schedule; `rounds` backs the default
+/// window end. Range checks (initial/max_alive vs n) run here so dry-run
+/// surfaces them without executing a trial.
+Result<ChurnPlan> BuildChurnPlan(const ChurnConfig& cfg, int n, int rounds,
+                                 Rng& churn_rng);
 
 }  // namespace scenario
 }  // namespace dynagg

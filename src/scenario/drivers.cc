@@ -44,6 +44,7 @@
 #include "scenario/config.h"
 #include "scenario/trial.h"
 #include "sim/bandwidth.h"
+#include "sim/churn.h"
 #include "sim/metrics.h"
 #include "sim/population.h"
 #include "sim/round_driver.h"
@@ -72,19 +73,30 @@ Status ApplyIntraRoundThreads(const ScenarioSpec& spec,
 // ----------------------------------------------------------- rounds ---
 
 /// Swarm adapter slotted into RunRounds: advances trace-backed
-/// environments, re-pins a host alive (between the failure application and
-/// the gossip exchange, exactly where the legacy benches revive their
-/// leader), then delegates to the swarm handle.
+/// environments, applies the churn plan's membership events (kills, joins,
+/// rebirths — each admitted host reset through the swarm's on_join hook),
+/// re-pins a host alive (between the failure application and the gossip
+/// exchange, exactly where the legacy benches revive their leader), then
+/// delegates to the swarm handle.
 struct RoundHooks {
   const SwarmHandle& swarm;
   Environment* env;
   SimTime advance_period;
   HostId pin_alive;
+  const ChurnPlan* churn = nullptr;
   int round = 0;
 
   void RunRound(const Environment& e, Population& pop, Rng& rng) {
     if (advance_period > 0) {
       env->AdvanceTo(static_cast<SimTime>(round + 1) * advance_period);
+    }
+    if (churn != nullptr && !churn->empty()) {
+      const ChurnPlan::RoundDelta delta =
+          churn->Apply(round, &pop, swarm.on_join);
+      if (delta.joins > 0) obs::Count(obs::Counter::kChurnJoins, delta.joins);
+      if (delta.rebirths > 0) {
+        obs::Count(obs::Counter::kChurnRebirths, delta.rebirths);
+      }
     }
     if (pin_alive != kInvalidHost) pop.Revive(pin_alive);
     swarm.run_round(e, pop, rng);
@@ -113,7 +125,8 @@ Status DriveRounds(const TrialContext& ctx, const ProtocolDef& def,
                                              obs::Phase::kSetup);
   const ScenarioSpec& spec = *ctx.spec;
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
-      "seeds.", {"round_stream", "failure_stream", "workload_stream"}));
+      "seeds.",
+      {"round_stream", "failure_stream", "workload_stream", "churn_stream"}));
   DYNAGG_ASSIGN_OR_RETURN(
       const MetricFlags metrics,
       ClassifyDriverMetrics(spec, def.extra_metrics));
@@ -126,34 +139,7 @@ Status DriveRounds(const TrialContext& ctx, const ProtocolDef& def,
   DYNAGG_ASSIGN_OR_RETURN(const uint64_t fail_stream,
                           FailureStream(spec, fail));
 
-  if (metrics.tail_mean && cfg.from >= spec.rounds) {
-    // An empty averaging window would fabricate a perfect score of 0.
-    return Status::InvalidArgument(
-        "record.from = " + std::to_string(cfg.from) +
-        " leaves no rounds to average (rounds = " +
-        std::to_string(spec.rounds) + ")");
-  }
-  if (metrics.recovery && cfg.recovery_from >= spec.rounds) {
-    // An empty window has no floor to derive the threshold from.
-    return Status::InvalidArgument(
-        "record.recovery_from = " + std::to_string(cfg.recovery_from) +
-        " leaves no rounds to watch for recovery (rounds = " +
-        std::to_string(spec.rounds) + ")");
-  }
-  for (const double r : metrics.rms_at) {
-    if (r > spec.rounds) {
-      return Status::InvalidArgument(
-          "rms_at(" + std::to_string(static_cast<int>(r)) +
-          ") is past the last round (rounds = " +
-          std::to_string(spec.rounds) + ")");
-    }
-  }
-  if (metrics.final_error_cdf &&
-      (cfg.cdf_buckets < 1 || cfg.cdf_hi <= cfg.cdf_lo)) {
-    return Status::InvalidArgument(
-        "cdf(final_error) needs record.cdf_hi > record.cdf_lo and "
-        "record.cdf_buckets >= 1");
-  }
+  DYNAGG_RETURN_IF_ERROR(CheckRecordWindows(spec, metrics, cfg));
 
   DYNAGG_RETURN_IF_ERROR(ApplyIntraRoundThreads(spec, swarm));
   TrafficMeter meter;
@@ -175,7 +161,31 @@ Status DriveRounds(const TrialContext& ctx, const ProtocolDef& def,
     return Status::InvalidArgument("failure.pin_alive out of range");
   }
 
-  Population pop(n);
+  DYNAGG_ASSIGN_OR_RETURN(const ChurnConfig churn, ParseChurnConfig(spec));
+  if (churn.enabled) {
+    if (fail.kind != FailureConfig::Kind::kNone) {
+      return Status::InvalidArgument(
+          "churn.* and failure.kind cannot be combined: churn plans cover "
+          "deaths via churn.death_prob (and their rebirths RESET host "
+          "state, unlike failure churn's silent revives)");
+    }
+    if (!swarm.on_join) {
+      return Status::InvalidArgument(
+          "protocol '" + spec.protocol +
+          "' cannot admit hosts (no on_join hook); churn.* keys require a "
+          "join-capable protocol");
+    }
+  }
+  DYNAGG_ASSIGN_OR_RETURN(const uint64_t churn_stream,
+                          ChurnStream(spec, ctx, n));
+  Rng churn_rng(DeriveSeed(ctx.trial_seed, churn_stream));
+  DYNAGG_ASSIGN_OR_RETURN(const ChurnPlan churn_plan,
+                          BuildChurnPlan(churn, n, spec.rounds, churn_rng));
+
+  const int initial_alive =
+      churn.enabled && churn.initial >= 0 ? churn.initial : n;
+  Population pop =
+      initial_alive < n ? Population(n, initial_alive) : Population(n);
   Rng rng(DeriveSeed(ctx.trial_seed, round_stream));
 
   RunningStat tail;
@@ -235,15 +245,17 @@ Status DriveRounds(const TrialContext& ctx, const ProtocolDef& def,
     return true;
   };
 
-  RoundHooks hooks{swarm, env.env.get(), env.advance_period, fail.pin_alive};
+  RoundHooks hooks{swarm, env.env.get(), env.advance_period, fail.pin_alive,
+                   &churn_plan};
   setup_span.reset();
   const int executed = RunRoundsUntil(hooks, *env.env, pop, plan,
                                       spec.rounds, rng, on_round_end);
   DYNAGG_RETURN_IF_ERROR(round_error);
-  // Both trial streams are fully drawn by now (the failure plan is
-  // prebuilt; rounds draw only from rng).
+  // All trial streams are fully drawn by now (the failure and churn plans
+  // are prebuilt; rounds draw only from rng).
   obs::Count(obs::Counter::kRngDraws,
-             static_cast<int64_t>(rng.draw_count() + fail_rng.draw_count()));
+             static_cast<int64_t>(rng.draw_count() + fail_rng.draw_count() +
+                                  churn_rng.draw_count()));
   obs::Count(obs::Counter::kEarlyStopRounds, spec.rounds - executed);
   // Everything after the loop is metric finalization: record phase.
   obs::ScopedPhase record_span(obs::Phase::kRecord);
@@ -401,8 +413,10 @@ Status RunTraceDriver(const TrialContext& ctx, const ProtocolDef& def,
         "' owns its whole trial loop and cannot run under driver = trace");
   }
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("seeds.", {"round_stream"}));
-  // Failure plans are round-indexed; the trace timeline has no rounds.
+  // Failure and churn plans are round-indexed; the trace timeline has no
+  // rounds.
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("failure.", {}));
+  DYNAGG_RETURN_IF_ERROR(spec.CheckParams("churn.", {}));
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("record.", {}));
   DYNAGG_RETURN_IF_ERROR(CheckMetricsSupported(
       spec, {"rms", "avg_group_size", "bandwidth", "gossip_bytes"}));

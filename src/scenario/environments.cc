@@ -30,32 +30,53 @@ namespace dynagg {
 namespace scenario {
 namespace {
 
-Result<EnvHandle> MakeUniform(const TrialContext& ctx) {
-  const ScenarioSpec& spec = *ctx.spec;
+// Each environment's spec-only checks live in a Validate*Spec function
+// wired onto EnvironmentDef::validate, so --dry-run applies them to the
+// base spec and every swept variant (a hosts sweep can undercut
+// env.degree). The factories call the same function first — the runtime
+// rejects exactly what --dry-run rejects, never more.
+
+Status ValidateUniformSpec(const ScenarioSpec& spec) {
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams("env.", {}));
   if (spec.hosts <= 0) {
     return Status::InvalidArgument(
         "uniform environment requires hosts > 0");
   }
+  return Status::OK();
+}
+
+Result<EnvHandle> MakeUniform(const TrialContext& ctx) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(ValidateUniformSpec(spec));
   EnvHandle handle;
   handle.env = std::make_unique<UniformEnvironment>(spec.hosts);
   return handle;
 }
 
-Result<EnvHandle> MakeSpatial(const TrialContext& ctx) {
-  const ScenarioSpec& spec = *ctx.spec;
+Status ValidateSpatialSpec(const ScenarioSpec& spec) {
   DYNAGG_RETURN_IF_ERROR(
       spec.CheckParams("env.", {"width", "height", "max_distance"}));
   DYNAGG_ASSIGN_OR_RETURN(const int64_t width,
                           spec.ParamInt("env.width", 0));
   DYNAGG_ASSIGN_OR_RETURN(const int64_t height,
                           spec.ParamInt("env.height", 0));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t max_distance,
-                          spec.ParamInt("env.max_distance", 0));
+  DYNAGG_RETURN_IF_ERROR(spec.ParamInt("env.max_distance", 0).status());
   if (width <= 0 || height <= 0) {
     return Status::InvalidArgument(
         "spatial environment requires env.width > 0 and env.height > 0");
   }
+  return Status::OK();
+}
+
+Result<EnvHandle> MakeSpatial(const TrialContext& ctx) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(ValidateSpatialSpec(spec));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t width,
+                          spec.ParamInt("env.width", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t height,
+                          spec.ParamInt("env.height", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t max_distance,
+                          spec.ParamInt("env.max_distance", 0));
   EnvHandle handle;
   handle.env = std::make_unique<SpatialGridEnvironment>(
       static_cast<int>(width), static_cast<int>(height),
@@ -63,8 +84,7 @@ Result<EnvHandle> MakeSpatial(const TrialContext& ctx) {
   return handle;
 }
 
-Result<EnvHandle> MakeRandomGraph(const TrialContext& ctx) {
-  const ScenarioSpec& spec = *ctx.spec;
+Status ValidateRandomGraphSpec(const ScenarioSpec& spec) {
   DYNAGG_RETURN_IF_ERROR(
       spec.CheckParams("env.", {"degree", "seed_stream"}));
   if (spec.hosts <= 0) {
@@ -73,11 +93,28 @@ Result<EnvHandle> MakeRandomGraph(const TrialContext& ctx) {
   }
   DYNAGG_ASSIGN_OR_RETURN(const int64_t degree,
                           spec.ParamInt("env.degree", 8));
-  DYNAGG_ASSIGN_OR_RETURN(const int64_t stream,
-                          spec.ParamInt("env.seed_stream", 0x9a17));
+  DYNAGG_RETURN_IF_ERROR(spec.ParamInt("env.seed_stream", 0x9a17).status());
   if (degree < 1) {
     return Status::InvalidArgument("env.degree must be >= 1");
   }
+  // The configuration model pairs `degree` distinct stubs per vertex; at
+  // degree >= hosts it cannot even allocate them.
+  if (degree >= spec.hosts) {
+    return Status::InvalidArgument(
+        "env.degree = " + std::to_string(degree) +
+        " must be below hosts = " + std::to_string(spec.hosts) +
+        " (each host needs that many distinct neighbors)");
+  }
+  return Status::OK();
+}
+
+Result<EnvHandle> MakeRandomGraph(const TrialContext& ctx) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(ValidateRandomGraphSpec(spec));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t degree,
+                          spec.ParamInt("env.degree", 8));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t stream,
+                          spec.ParamInt("env.seed_stream", 0x9a17));
   EnvHandle handle;
   handle.env = std::make_unique<RandomGraphEnvironment>(
       spec.hosts, static_cast<int>(degree),
@@ -85,12 +122,44 @@ Result<EnvHandle> MakeRandomGraph(const TrialContext& ctx) {
   return handle;
 }
 
-Result<EnvHandle> MakeHaggle(const TrialContext& ctx) {
-  const ScenarioSpec& spec = *ctx.spec;
+Status ValidateHaggleSpec(const ScenarioSpec& spec) {
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
       "env.",
       {"dataset", "hours", "gossip_seconds", "group_window_minutes",
        "seed_stream", "trace_seed"}));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t dataset,
+                          spec.ParamInt("env.dataset", 1));
+  if (dataset < 1 || dataset > 3) {
+    return Status::InvalidArgument("env.dataset must be 1, 2 or 3");
+  }
+  DYNAGG_RETURN_IF_ERROR(spec.ParamDouble("env.hours", 0.0).status());
+  DYNAGG_ASSIGN_OR_RETURN(const double gossip_seconds,
+                          spec.ParamDouble("env.gossip_seconds", 30.0));
+  DYNAGG_RETURN_IF_ERROR(
+      spec.ParamDouble("env.group_window_minutes", 10.0).status());
+  DYNAGG_RETURN_IF_ERROR(spec.ParamInt("env.seed_stream", 0x7a5e).status());
+  if (gossip_seconds <= 0) {
+    return Status::InvalidArgument("env.gossip_seconds must be > 0");
+  }
+  // env.gossip_seconds paces round-driven playback (advance_period); the
+  // event-driven trace driver ticks on the top-level gossip_period, so an
+  // explicit value there would be silently dead.
+  if (spec.driver == "trace" && spec.HasParam("env.gossip_seconds")) {
+    return Status::InvalidArgument(
+        "env.gossip_seconds paces the rounds driver; under driver = trace "
+        "set the top-level gossip_period instead");
+  }
+  DYNAGG_ASSIGN_OR_RETURN(const std::string trace_seed,
+                          spec.ParamString("env.trace_seed", ""));
+  if (!trace_seed.empty() && trace_seed != "preset") {
+    DYNAGG_RETURN_IF_ERROR(spec.ParamInt("env.trace_seed", 0).status());
+  }
+  return Status::OK();
+}
+
+Result<EnvHandle> MakeHaggle(const TrialContext& ctx) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(ValidateHaggleSpec(spec));
   DYNAGG_ASSIGN_OR_RETURN(const int64_t dataset,
                           spec.ParamInt("env.dataset", 1));
   DYNAGG_ASSIGN_OR_RETURN(const double hours,
@@ -118,17 +187,6 @@ Result<EnvHandle> MakeHaggle(const TrialContext& ctx) {
       return Status::InvalidArgument("env.dataset must be 1, 2 or 3");
   }
   if (hours > 0) params.duration_hours = hours;
-  if (gossip_seconds <= 0) {
-    return Status::InvalidArgument("env.gossip_seconds must be > 0");
-  }
-  // env.gossip_seconds paces round-driven playback (advance_period); the
-  // event-driven trace driver ticks on the top-level gossip_period, so an
-  // explicit value there would be silently dead.
-  if (spec.driver == "trace" && spec.HasParam("env.gossip_seconds")) {
-    return Status::InvalidArgument(
-        "env.gossip_seconds paces the rounds driver; under driver = trace "
-        "set the top-level gossip_period instead");
-  }
   // The trace seed: derived from the trial seed by default (independent
   // trials), or pinned via env.trace_seed — `preset` keeps the dataset
   // preset's fixed seed (every trial and sweep unit replays the SAME
@@ -202,8 +260,7 @@ Result<std::shared_ptr<const ContactTrace>> LoadCrawdadTrace(
 /// driver = rounds, event-driven under driver = trace. The file is read at
 /// trial execution time (once per distinct table; see LoadCrawdadTrace);
 /// --dry-run validates the spec without touching it.
-Result<EnvHandle> MakeCrawdad(const TrialContext& ctx) {
-  const ScenarioSpec& spec = *ctx.spec;
+Status ValidateCrawdadSpec(const ScenarioSpec& spec) {
   DYNAGG_RETURN_IF_ERROR(spec.CheckParams(
       "env.", {"trace_file", "min_duration_seconds", "max_devices",
                "gossip_seconds", "group_window_minutes"}));
@@ -213,18 +270,16 @@ Result<EnvHandle> MakeCrawdad(const TrialContext& ctx) {
     return Status::InvalidArgument(
         "crawdad environment requires env.trace_file");
   }
-  CrawdadOptions options;
   DYNAGG_ASSIGN_OR_RETURN(
-      options.min_duration_seconds,
+      const double min_duration,
       spec.ParamDouble("env.min_duration_seconds", 0.0));
   DYNAGG_ASSIGN_OR_RETURN(const int64_t max_devices,
                           spec.ParamInt("env.max_devices", 0));
   DYNAGG_ASSIGN_OR_RETURN(const double gossip_seconds,
                           spec.ParamDouble("env.gossip_seconds", 30.0));
-  DYNAGG_ASSIGN_OR_RETURN(
-      const double group_window,
-      spec.ParamDouble("env.group_window_minutes", 10.0));
-  if (options.min_duration_seconds < 0 || max_devices < 0) {
+  DYNAGG_RETURN_IF_ERROR(
+      spec.ParamDouble("env.group_window_minutes", 10.0).status());
+  if (min_duration < 0 || max_devices < 0) {
     return Status::InvalidArgument(
         "env.min_duration_seconds and env.max_devices must be >= 0");
   }
@@ -236,6 +291,25 @@ Result<EnvHandle> MakeCrawdad(const TrialContext& ctx) {
         "env.gossip_seconds paces the rounds driver; under driver = trace "
         "set the top-level gossip_period instead");
   }
+  return Status::OK();
+}
+
+Result<EnvHandle> MakeCrawdad(const TrialContext& ctx) {
+  const ScenarioSpec& spec = *ctx.spec;
+  DYNAGG_RETURN_IF_ERROR(ValidateCrawdadSpec(spec));
+  DYNAGG_ASSIGN_OR_RETURN(const std::string trace_file,
+                          spec.ParamString("env.trace_file", ""));
+  CrawdadOptions options;
+  DYNAGG_ASSIGN_OR_RETURN(
+      options.min_duration_seconds,
+      spec.ParamDouble("env.min_duration_seconds", 0.0));
+  DYNAGG_ASSIGN_OR_RETURN(const int64_t max_devices,
+                          spec.ParamInt("env.max_devices", 0));
+  DYNAGG_ASSIGN_OR_RETURN(const double gossip_seconds,
+                          spec.ParamDouble("env.gossip_seconds", 30.0));
+  DYNAGG_ASSIGN_OR_RETURN(
+      const double group_window,
+      spec.ParamDouble("env.group_window_minutes", 10.0));
   options.max_devices = static_cast<int>(max_devices);
 
   DYNAGG_ASSIGN_OR_RETURN(
@@ -256,22 +330,27 @@ Result<EnvHandle> MakeCrawdad(const TrialContext& ctx) {
 namespace internal {
 
 void RegisterBuiltinEnvironments(Registry<EnvironmentDef>& registry) {
-  DYNAGG_CHECK(
-      registry.Register("uniform", {MakeUniform, /*provides_trace=*/false})
-          .ok());
-  DYNAGG_CHECK(
-      registry.Register("spatial", {MakeSpatial, /*provides_trace=*/false})
-          .ok());
+  DYNAGG_CHECK(registry
+                   .Register("uniform", {MakeUniform, /*provides_trace=*/false,
+                                         ValidateUniformSpec})
+                   .ok());
+  DYNAGG_CHECK(registry
+                   .Register("spatial", {MakeSpatial, /*provides_trace=*/false,
+                                         ValidateSpatialSpec})
+                   .ok());
   DYNAGG_CHECK(registry
                    .Register("random-graph",
-                             {MakeRandomGraph, /*provides_trace=*/false})
+                             {MakeRandomGraph, /*provides_trace=*/false,
+                              ValidateRandomGraphSpec})
                    .ok());
-  DYNAGG_CHECK(
-      registry.Register("haggle", {MakeHaggle, /*provides_trace=*/true})
-          .ok());
-  DYNAGG_CHECK(
-      registry.Register("crawdad", {MakeCrawdad, /*provides_trace=*/true})
-          .ok());
+  DYNAGG_CHECK(registry
+                   .Register("haggle", {MakeHaggle, /*provides_trace=*/true,
+                                        ValidateHaggleSpec})
+                   .ok());
+  DYNAGG_CHECK(registry
+                   .Register("crawdad", {MakeCrawdad, /*provides_trace=*/true,
+                                         ValidateCrawdadSpec})
+                   .ok());
 }
 
 }  // namespace internal

@@ -202,6 +202,16 @@ void MaybeSetThreads(SwarmHandle& h, Swarm* swarm) {
   }
 }
 
+/// Wires the churn-join reset hook when the swarm type has one. Protocols
+/// whose swarm exposes OnJoin must also register join_capable = true so
+/// `--dry-run` can vet churn.* specs without building swarms.
+template <typename Swarm>
+void MaybeSetOnJoin(SwarmHandle& h, Swarm* swarm) {
+  if constexpr (requires(Swarm& s, HostId id) { s.OnJoin(id); }) {
+    h.on_join = [swarm](HostId id) { swarm->OnJoin(id); };
+  }
+}
+
 /// Owns a value workload plus the swarm built over it (swarm constructors
 /// take the values by reference, so member order matters).
 template <typename Swarm>
@@ -236,6 +246,7 @@ SwarmHandle AveragingHandle(std::shared_ptr<Box> box, double state_bytes) {
   h.state_bytes = state_bytes;
   MaybeSetMeter(h, swarm);
   MaybeSetThreads(h, swarm);
+  MaybeSetOnJoin(h, swarm);
   h.keepalive = std::move(box);
   return h;
 }
@@ -275,6 +286,7 @@ SwarmHandle CountingHandle(std::shared_ptr<Box> box, double state_bytes) {
   h.state_bytes = state_bytes;
   MaybeSetMeter(h, swarm);
   MaybeSetThreads(h, swarm);
+  MaybeSetOnJoin(h, swarm);
   h.keepalive = std::move(box);
   return h;
 }
@@ -437,6 +449,7 @@ Result<SwarmHandle> MakeExtremes(const TrialContext& ctx, EnvHandle& env) {
   h.state_bytes = 0.0;
   MaybeSetMeter(h, swarm);
   MaybeSetThreads(h, swarm);
+  MaybeSetOnJoin(h, swarm);
   h.keepalive = std::move(box);
   return h;
 }
@@ -788,6 +801,7 @@ Result<SwarmHandle> MakeInvertAverage(const TrialContext& ctx,
       static_cast<double>(attributes) * 2.0 * (2.0 * sizeof(double));
   MaybeSetMeter(h, swarm);
   MaybeSetThreads(h, swarm);
+  MaybeSetOnJoin(h, swarm);
   h.keepalive = std::move(box);
   return h;
 }
@@ -1249,22 +1263,26 @@ void RegisterBuiltinProtocols(Registry<ProtocolDef>& registry) {
   // `--dry-run` rejects knob/protocol mismatches without building swarms.
   const auto swarm = [&registry](const std::string& name, SwarmFactory make,
                                  bool trace_capable, bool threads_capable,
+                                 bool join_capable,
                                  std::function<Status(const ScenarioSpec&)>
                                      validate) {
     ProtocolDef def;
     def.make_swarm = std::move(make);
     def.trace_capable = trace_capable;
     def.threads_capable = threads_capable;
+    def.join_capable = join_capable;
     def.validate = std::move(validate);
     DYNAGG_CHECK(registry.Register(name, std::move(def)).ok());
   };
   const auto custom = [&registry](const std::string& name,
                                   ProtocolRunner run,
                                   std::function<Status(const ScenarioSpec&)>
-                                      validate) {
+                                      validate,
+                                  bool uses_environment = true) {
     ProtocolDef def;
     def.run_custom = std::move(run);
     def.validate = std::move(validate);
+    def.uses_environment = uses_environment;
     DYNAGG_CHECK(registry.Register(name, std::move(def)).ok());
   };
   {
@@ -1273,6 +1291,7 @@ void RegisterBuiltinProtocols(Registry<ProtocolDef>& registry) {
     def.trace_capable = true;
     def.threads_capable = true;
     def.async_capable = true;  // push mode only; the parse enforces it
+    def.join_capable = true;
     def.validate = SpecValidator(ParsePushSumSpec);
     DYNAGG_CHECK(registry.Register("push-sum", std::move(def)).ok());
   }
@@ -1282,24 +1301,31 @@ void RegisterBuiltinProtocols(Registry<ProtocolDef>& registry) {
     def.trace_capable = true;
     def.threads_capable = false;
     def.async_capable = true;
+    def.join_capable = true;
     def.validate = ParsePushFlowSpec;
     DYNAGG_CHECK(registry.Register("push-flow", std::move(def)).ok());
   }
   swarm("push-sum-revert", MakePushSumRevert, /*trace_capable=*/true,
-        /*threads_capable=*/true, SpecValidator(ParsePsrSpec));
+        /*threads_capable=*/true, /*join_capable=*/true,
+        SpecValidator(ParsePsrSpec));
   swarm("epoch-push-sum", MakeEpochPushSum, /*trace_capable=*/true,
-        /*threads_capable=*/false, SpecValidator(ParseEpochSpec));
+        /*threads_capable=*/false, /*join_capable=*/true,
+        SpecValidator(ParseEpochSpec));
   swarm("full-transfer", MakeFullTransfer, /*trace_capable=*/true,
-        /*threads_capable=*/true, SpecValidator(ParseFullTransferSpec));
+        /*threads_capable=*/true, /*join_capable=*/true,
+        SpecValidator(ParseFullTransferSpec));
   swarm("extremes", MakeExtremes, /*trace_capable=*/false,
-        /*threads_capable=*/false, SpecValidator(ParseExtremesSpec));
+        /*threads_capable=*/false, /*join_capable=*/true,
+        SpecValidator(ParseExtremesSpec));
   swarm("count-sketch", MakeCountSketch, /*trace_capable=*/true,
-        /*threads_capable=*/false, SpecValidator(ParseCountSketchSpec));
+        /*threads_capable=*/false, /*join_capable=*/true,
+        SpecValidator(ParseCountSketchSpec));
   {
     ProtocolDef def;
     def.make_swarm = MakeCountSketchReset;
     def.trace_capable = true;
     def.threads_capable = false;
+    def.join_capable = true;
     def.validate = SpecValidator(ParseCsrSpec);
     def.models_gossip_bytes = true;
     def.extra_metrics = {"cdf(counter)", "counter_quantiles(*)"};
@@ -1312,14 +1338,21 @@ void RegisterBuiltinProtocols(Registry<ProtocolDef>& registry) {
     ProtocolDef def;
     def.make_swarm = MakeInvertAverage;
     def.threads_capable = true;
+    def.join_capable = true;
     def.models_gossip_bytes = true;
     def.validate = SpecValidator(ParseInvertAverageSpec);
     DYNAGG_CHECK(registry.Register("invert-average", std::move(def)).ok());
   }
+  // The serialized facade has no state-reset wire message yet, so it stays
+  // join-incapable (churn.* specs are rejected at --dry-run).
   swarm("node-aggregator", MakeNodeAggregator, /*trace_capable=*/false,
-        /*threads_capable=*/false, SpecValidator(ParseNodeAggregatorSpec));
+        /*threads_capable=*/false, /*join_capable=*/false,
+        SpecValidator(ParseNodeAggregatorSpec));
   custom("tag-tree", RunTagTree, SpecValidator(ParseTagTreeSpec));
-  custom("fm-accuracy", RunFmAccuracy, SpecValidator(ParseFmAccuracySpec));
+  // Sweeps sketch parameters over synthetic multisets: no gossip topology,
+  // so the spec's environment is never built (or validated).
+  custom("fm-accuracy", RunFmAccuracy, SpecValidator(ParseFmAccuracySpec),
+         /*uses_environment=*/false);
   custom("extreme-recovery", RunExtremeRecovery,
          SpecValidator(ParseExtremeRecoverySpec));
 }

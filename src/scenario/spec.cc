@@ -165,7 +165,7 @@ namespace {
 
 const char* const kParamPrefixes[] = {"protocol.", "env.", "failure.",
                                       "record.", "seeds.", "workload.",
-                                      "net."};
+                                      "net.", "churn."};
 
 bool IsNamespacedKey(std::string_view key) {
   for (const char* prefix : kParamPrefixes) {
@@ -394,7 +394,7 @@ Status ApplyKey(ScenarioSpec* spec, const std::string& key,
                             "unknown key " + Quoted(key) +
                             " (namespaced parameters must start with "
                             "protocol./env./failure./record./seeds./"
-                            "workload./net.)"));
+                            "workload./net./churn.)"));
   }
   return Status::OK();
 }

@@ -307,6 +307,13 @@ struct SwarmHandle {
   /// top-level `intra_round_threads` key); null = the protocol has no
   /// data-parallel apply phase, and the drivers reject values > 1.
   std::function<void(int)> set_threads;
+  /// Initializes the state of host `id` when a churn plan activates it —
+  /// first arrivals and rebirths with ID reuse both land here, and the
+  /// reset must touch only the joining host's own slots (no RNG, no
+  /// shared state) so existing hosts' streams and the byte-identity
+  /// contract are untouched. Null = the protocol cannot admit hosts, and
+  /// `--dry-run` rejects churn.* keys (see ProtocolDef::join_capable).
+  std::function<void(HostId)> on_join;
   /// Message-level gossip (`driver = async`): plans one gossip tick,
   /// appending the messages each alive initiator would send to `out`
   /// without delivering anything. The async driver runs them through the
@@ -358,6 +365,15 @@ struct ProtocolDef {
   /// needs (SwarmHandle::async_tick / async_deliver). Static so `--dry-run`
   /// can reject async specs without building swarms.
   bool async_capable = false;
+  /// Whether the built swarm exposes the churn-join reset hook
+  /// (SwarmHandle::on_join). Static so `--dry-run` can reject churn.*
+  /// keys on protocols that cannot admit hosts without building swarms.
+  bool join_capable = false;
+  /// Whether the protocol instantiates the spec's environment. False only
+  /// for whole-trial runners with no gossip topology (fm-accuracy), whose
+  /// specs skip the environment's spec-only validation — they never build
+  /// one, so env knob checks would reject specs that execute clean.
+  bool uses_environment = true;
   /// Whether the protocol consumes the keyed stream workload (the
   /// workload.* keys and seeds.workload_stream; src/stream/). Static so
   /// `--dry-run` can reject workload keys on protocols that would silently
@@ -402,6 +418,12 @@ struct EnvironmentDef {
   EnvironmentFactory make;
   /// Whether EnvHandle::trace is populated (required by `driver = trace`).
   bool provides_trace = false;
+  /// Spec-only validation of the environment's knobs (env.* parameter
+  /// allowlist, value ranges, hosts/degree consistency) — everything
+  /// checkable without building the environment or touching trace files.
+  /// Factories call the same function, so `--dry-run` rejects exactly the
+  /// env mismatches execution would.
+  std::function<Status(const ScenarioSpec&)> validate;
 };
 
 /// Global registries, with the builtin catalog (push-sum, push-sum-revert,

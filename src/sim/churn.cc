@@ -1,0 +1,126 @@
+#include "sim/churn.h"
+
+#include <cmath>
+
+namespace dynagg {
+
+namespace {
+
+/// Poisson draw via Knuth's product-of-uniforms method, chunked through the
+/// distribution's additivity so exp(-lambda) never underflows. O(lambda)
+/// uniforms — churn arrival rates are per-round and small relative to the
+/// round's own O(n) work.
+int SamplePoisson(double lambda, Rng& rng) {
+  int k = 0;
+  while (lambda > 16.0) {
+    k += SamplePoisson(16.0, rng);
+    lambda -= 16.0;
+  }
+  if (lambda <= 0) return k;
+  const double limit = std::exp(-lambda);
+  double product = rng.NextDouble();
+  while (product > limit) {
+    ++k;
+    product *= rng.NextDouble();
+  }
+  return k;
+}
+
+}  // namespace
+
+ChurnPlan ChurnPlan::Build(const ChurnParams& params, Rng& rng) {
+  DYNAGG_CHECK_GE(params.n, 0);
+  DYNAGG_CHECK(params.initial >= 0 && params.initial <= params.n);
+  DYNAGG_CHECK(params.max_alive >= 0 && params.max_alive <= params.n);
+  DYNAGG_CHECK_GE(params.arrival_rate, 0.0);
+
+  ChurnPlan plan;
+  // born: ids [0, next_unborn) have been alive at least once.
+  HostId next_unborn = params.initial;
+  std::vector<bool> alive(params.n, false);
+  for (HostId id = 0; id < params.initial; ++id) alive[id] = true;
+  int alive_count = params.initial;
+
+  for (int round = params.start_round; round < params.end_round; ++round) {
+    RoundEvents events;
+    // Deaths: every alive (necessarily born) host flips a coin, in ID
+    // order so the schedule is independent of any container ordering.
+    if (params.death_prob > 0) {
+      for (HostId id = 0; id < next_unborn; ++id) {
+        if (alive[id] && rng.Bernoulli(params.death_prob)) {
+          alive[id] = false;
+          --alive_count;
+          events.kills.push_back(id);
+        }
+      }
+    }
+    // Rebirths: dead-but-born hosts return with ID reuse. The cap check
+    // precedes each draw, so a full population consumes no RNG here and
+    // the schedule stays a pure function of the (deterministic) state.
+    if (params.rebirth_prob > 0) {
+      for (HostId id = 0; id < next_unborn; ++id) {
+        if (alive[id] || alive_count >= params.max_alive) continue;
+        if (rng.Bernoulli(params.rebirth_prob)) {
+          alive[id] = true;
+          ++alive_count;
+          events.rebirths.push_back(id);
+        }
+      }
+    }
+    // First-time arrivals: the Poisson draw always happens (fixed RNG
+    // consumption per round), then the count is clamped by the growth cap
+    // and the remaining unborn pool.
+    if (params.arrival_rate > 0) {
+      int want = SamplePoisson(params.arrival_rate, rng);
+      while (want > 0 && next_unborn < params.n &&
+             alive_count < params.max_alive) {
+        alive[next_unborn] = true;
+        ++alive_count;
+        events.joins.push_back(next_unborn);
+        ++next_unborn;
+        --want;
+      }
+    }
+    if (!events.kills.empty() || !events.joins.empty() ||
+        !events.rebirths.empty()) {
+      plan.events_[round] = std::move(events);
+    }
+  }
+  return plan;
+}
+
+ChurnPlan::RoundDelta ChurnPlan::Apply(
+    int round, Population* pop,
+    const std::function<void(HostId)>& on_join) const {
+  RoundDelta delta;
+  const auto it = events_.find(round);
+  if (it == events_.end()) return delta;
+  const RoundEvents& events = it->second;
+  for (const HostId id : events.kills) pop->Kill(id);
+  // Joins before rebirths: both revive + reset, but keeping the two lists
+  // distinct lets the driver count them separately.
+  for (const HostId id : events.joins) {
+    pop->Revive(id);
+    if (on_join) on_join(id);
+  }
+  for (const HostId id : events.rebirths) {
+    pop->Revive(id);
+    if (on_join) on_join(id);
+  }
+  delta.kills = static_cast<int>(events.kills.size());
+  delta.joins = static_cast<int>(events.joins.size());
+  delta.rebirths = static_cast<int>(events.rebirths.size());
+  return delta;
+}
+
+ChurnPlan::RoundDelta ChurnPlan::Totals() const {
+  RoundDelta totals;
+  for (const auto& [round, events] : events_) {
+    totals.kills += static_cast<int>(events.kills.size());
+    totals.joins += static_cast<int>(events.joins.size());
+    totals.rebirths += static_cast<int>(events.rebirths.size());
+  }
+  return totals;
+}
+
+}  // namespace dynagg

@@ -18,6 +18,18 @@ Population::Population(int n) {
   std::iota(position_.begin(), position_.end(), 0);
 }
 
+Population::Population(int n, int initial_alive) {
+  DYNAGG_CHECK_GE(n, 0);
+  DYNAGG_CHECK(initial_alive >= 0 && initial_alive <= n);
+  position_.assign(n, -1);
+  alive_ids_.resize(initial_alive);
+  std::iota(alive_ids_.begin(), alive_ids_.end(), 0);
+  for (int id = 0; id < initial_alive; ++id) position_[id] = id;
+  // A partial universe is not the "never mutated, everyone alive" state
+  // that version() == 0 promises, so start already-mutated.
+  if (initial_alive < n) version_ = 1;
+}
+
 void Population::Kill(HostId id) {
   DYNAGG_CHECK(id >= 0 && id < size());
   const int32_t pos = position_[id];

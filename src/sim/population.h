@@ -23,6 +23,14 @@ class Population {
   /// Creates `n` hosts, all alive.
   explicit Population(int n);
 
+  /// Creates a universe of `n` hosts with only the first `initial_alive`
+  /// of them alive; ids [initial_alive, n) start dead ("unborn") and can
+  /// be activated later via Revive (churn plans use this for staged
+  /// arrivals). When initial_alive < n the version stamp starts at 1 so
+  /// callers that treat version() == 0 as "all hosts alive" (identity
+  /// partner plans, array-swap fast paths) stay correct.
+  Population(int n, int initial_alive);
+
   /// Total universe size (alive + dead).
   int size() const { return static_cast<int>(position_.size()); }
   int num_alive() const { return static_cast<int>(alive_ids_.size()); }

@@ -393,6 +393,7 @@ Result<SwarmHandle> MakeFreqSketch(const TrialContext& ctx, EnvHandle& env,
   h.gossip_bytes = static_cast<double>(raw->message_bytes());
   h.set_meter = [raw](TrafficMeter* m) { raw->set_traffic_meter(m); };
   h.set_threads = [raw](int t) { raw->set_intra_round_threads(t); };
+  h.on_join = [raw](HostId id) { raw->OnJoin(id); };
   h.finish = [raw](const TrialContext& c, Recorder& rec) {
     return FinishHeavyHitters(*raw, c, rec);
   };
@@ -411,6 +412,7 @@ void RegisterStreamProtocols(Registry<ProtocolDef>& registry) {
       return MakeFreqSketch(ctx, env, kind);
     };
     def.threads_capable = true;
+    def.join_capable = true;
     def.models_gossip_bytes = true;
     def.consumes_workload = true;
     def.validate = [kind](const ScenarioSpec& spec) {

@@ -25,6 +25,14 @@ StreamSketchSwarm::StreamSketchSwarm(int num_hosts,
   }
 }
 
+void StreamSketchSwarm::OnJoin(HostId id) {
+  double* host = &state_[static_cast<size_t>(id) * stride_];
+  std::fill(host, host + stride_, 0.0);
+  host[hash_.cells()] = 1.0;  // push-sum weight
+  double* in = &inbox_[static_cast<size_t>(id) * stride_];
+  std::fill(in, in + stride_, 0.0);
+}
+
 void StreamSketchSwarm::AbsorbArrivals(const Population& pop) {
   // Local stream intake is protocol work on host state, not gossip: time
   // it under the apply phase, outside the kernel's own spans.

@@ -87,6 +87,13 @@ class StreamSketchSwarm {
     kernel_.set_intra_round_threads(threads);
   }
 
+  /// Churn-join reset: host `id` restarts with an empty sketch, weight 1
+  /// and zero mass (the push-sum init state), and a cleared inbox. The
+  /// stream truth is global, so a rebirth does not rewind truth_ — the
+  /// old incarnation's absorbed arrivals leave the gossiped mass, which
+  /// is exactly the mass-loss churn exposes in mass-conserving gossip.
+  void OnJoin(HostId id);
+
   int size() const { return n_; }
   SketchKind kind() const { return params_.kind; }
   const SketchHash& hash() const { return hash_; }

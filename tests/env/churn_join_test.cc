@@ -1,0 +1,125 @@
+// Join-side cache invalidation: environments key their partner-plan and
+// alive-neighbor caches on the population's fingerprint, so a JOIN — a
+// first-time arrival from the unborn pool or a rebirth reusing a dead
+// host's ID — must invalidate them exactly like a death does. Each case
+// warms the caches, mutates membership through the join path a churn plan
+// takes (partial-alive construction + Revive), and demands BuildPlan still
+// match the freshly-evaluated SamplePeer reference with bit-identical Rng
+// consumption.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "env/environment.h"
+#include "env/partner_plan.h"
+#include "env/random_graph_env.h"
+#include "env/spatial_env.h"
+#include "env/uniform_env.h"
+#include "sim/churn.h"
+#include "sim/population.h"
+
+namespace dynagg {
+namespace {
+
+/// Same parity check as partner_plan_test.cc: BuildPlan over `initiators`
+/// must produce the partners — and consume the draws — of the per-slot
+/// SamplePeer loop.
+void ExpectPlanMatchesSamplePeer(const Environment& env, const Population& pop,
+                                 const std::vector<HostId>& initiators,
+                                 uint64_t seed) {
+  Rng plan_rng(seed);
+  Rng ref_rng(seed);
+
+  PartnerPlan plan;
+  plan.Reset(initiators, /*slots_per_initiator=*/1);
+  env.BuildPlan(pop, plan_rng, &plan);
+
+  ASSERT_EQ(plan.size(), initiators.size());
+  for (size_t k = 0; k < initiators.size(); ++k) {
+    const HostId expected = env.SamplePeer(initiators[k], pop, ref_rng);
+    EXPECT_EQ(plan.partner(k), expected) << "slot " << k;
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(plan_rng.Next(), ref_rng.Next()) << "rng drift at draw " << i;
+  }
+}
+
+TEST(ChurnJoinParityTest, UniformFirstArrivalInvalidatesPlan) {
+  UniformEnvironment env(64);
+  Population pop(64, 40);  // ids 40..63 unborn
+  ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(), 101);
+  // Arrivals from the unborn pool: a stale plan would never pick them.
+  pop.Revive(40);
+  pop.Revive(41);
+  ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(), 102);
+}
+
+TEST(ChurnJoinParityTest, UniformRebirthWithIdReuseInvalidatesPlan) {
+  UniformEnvironment env(64);
+  Population pop(64);
+  pop.Kill(7);
+  pop.Kill(21);
+  ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(), 103);
+  // Rebirth reusing a dead ID: same id, new membership — must rebuild.
+  pop.Revive(7);
+  ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(), 104);
+  pop.Revive(21);
+  ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(), 105);
+}
+
+TEST(ChurnJoinParityTest, SpatialJoinInvalidatesAliveBitmap) {
+  SpatialGridEnvironment env(8, 8);
+  Population pop(64, 48);
+  ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(), 111);
+  // Joins land in the bitmap's dead region; stale bits skip the newcomers.
+  pop.Revive(48);
+  pop.Revive(60);
+  ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(), 112);
+  pop.Kill(3);
+  pop.Revive(3);  // kill-then-rebirth of the same id, back to back
+  ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(), 113);
+}
+
+TEST(ChurnJoinParityTest, RandomGraphJoinInvalidatesAliveNeighborRows) {
+  RandomGraphEnvironment env(60, 4, /*seed=*/77);
+  // Sparse start: most neighbor lookups fall through to the cached
+  // alive-neighbor rows, the path a stale join would corrupt.
+  Population pop(60, 15);
+  ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(), 121);
+  for (HostId id = 15; id < 25; ++id) pop.Revive(id);
+  ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(), 122);
+  pop.Kill(20);
+  pop.Revive(20);  // rebirth with ID reuse
+  ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(), 123);
+}
+
+// End-to-end against the real schedule: drive a churn plan's rounds over a
+// warm environment, checking parity after every membership change the plan
+// makes — the exact Apply/BuildPlan interleaving the rounds driver runs.
+TEST(ChurnJoinParityTest, UniformStaysInParityAcrossAWholeChurnPlan) {
+  UniformEnvironment env(48);
+  ChurnParams params;
+  params.n = 48;
+  params.initial = 24;
+  params.arrival_rate = 1.0;
+  params.death_prob = 0.05;
+  params.rebirth_prob = 0.2;
+  params.start_round = 0;
+  params.end_round = 25;
+  params.max_alive = 40;
+  Rng churn_rng(31);
+  const ChurnPlan plan = ChurnPlan::Build(params, churn_rng);
+  ASSERT_FALSE(plan.empty());
+
+  Population pop(params.n, params.initial);
+  for (int round = 0; round < params.end_round; ++round) {
+    plan.Apply(round, &pop, nullptr);
+    ExpectPlanMatchesSamplePeer(env, pop, pop.alive_ids(),
+                                /*seed=*/200 + round);
+  }
+}
+
+}  // namespace
+}  // namespace dynagg

@@ -45,7 +45,7 @@ fi
 BUILD_DIR="${1:-build}"
 MICRO="$BUILD_DIR/micro_protocol_ops"
 RUNNER="$BUILD_DIR/dynagg_run"
-FILTER='PushRoundLegacy|PushRoundKernel|PushPullRoundLegacy|PushPullRoundKernel|StreamCountMinRound|AsyncDriverStep'
+FILTER='PushRoundLegacy|PushRoundKernel|PushPullRoundLegacy|PushPullRoundKernel|ChurnedPushRound|StreamCountMinRound|AsyncDriverStep'
 
 if [[ ! -x "$RUNNER" ]]; then
   echo "bench.sh: $RUNNER not built (run tools/check.sh or cmake first)" >&2
@@ -119,7 +119,7 @@ if [[ "$MODE" == smoke ]]; then
     # so they stay on the short window.
     SMOKE_HEAVY_JSON="$BUILD_DIR/bench_smoke_heavy_raw.json"
     "$MICRO" \
-      --benchmark_filter='PushRoundLegacy|PushRoundKernel|PushPullRoundLegacy|PushPullRoundKernel' \
+      --benchmark_filter='PushRoundLegacy|PushRoundKernel|PushPullRoundLegacy|PushPullRoundKernel|ChurnedPushRound' \
       --benchmark_min_time="${DYNAGG_BENCH_SMOKE_MIN_TIME:-0.25}" \
       --benchmark_repetitions=5 \
       --benchmark_enable_random_interleaving=true \
@@ -256,7 +256,7 @@ fi
 MICRO_JSON="$BUILD_DIR/bench_roundkernel_raw.json"
 MICRO_HEAVY_JSON="$BUILD_DIR/bench_roundkernel_heavy_raw.json"
 "$MICRO" \
-  --benchmark_filter='PushRoundLegacy|PushRoundKernel|PushPullRoundLegacy|PushPullRoundKernel' \
+  --benchmark_filter='PushRoundLegacy|PushRoundKernel|PushPullRoundLegacy|PushPullRoundKernel|ChurnedPushRound' \
   --benchmark_min_time="${DYNAGG_BENCH_MIN_TIME:-0.25}" \
   --benchmark_repetitions="${DYNAGG_BENCH_REPS:-9}" \
   --benchmark_enable_random_interleaving=true \
@@ -392,7 +392,10 @@ snapshot = {
              "the end-to-end scale_100k cost of telemetry=summary vs off; "
              "scale_1m_scenario_seconds times the million-host rung "
              "end-to-end (scale_10m_scenario_seconds via tools/bench.sh "
-             "--scale10m, on demand); stream_* is the count-min sketch "
+             "--scale10m, on demand); churn_100k is a 100k-host push-sum "
+             "round with a churn-plan round applied first (~1%/round "
+             "deaths + arrivals, on_join resets, partner-plan cache "
+             "invalidation included); stream_* is the count-min sketch "
              "gossip round (keyed Zipf arrivals + merge, src/stream/); "
              "async_* is the async gossip step (push-flow tick + "
              "network-model decisions + batched in-flight deliveries, "
@@ -431,7 +434,8 @@ for key, (legacy, kernel) in pairs.items():
 
 # Headline numbers for the streaming-sketch and async-network subsystems
 # at the 100k and 1M rungs, best-of-reps real ns per round/step.
-for key, name in (("stream_100k", "BM_StreamCountMinRound/100000"),
+for key, name in (("churn_100k", "BM_ChurnedPushRound/100000"),
+                  ("stream_100k", "BM_StreamCountMinRound/100000"),
                   ("stream_1m", "BM_StreamCountMinRound/1000000"),
                   ("async_100k", "BM_AsyncDriverStep/100000"),
                   ("async_1m", "BM_AsyncDriverStep/1000000")):

@@ -42,6 +42,24 @@ echo "check.sh: heavy_hitters scenario output matches golden"
   bench/scenarios/loss_sweep.scenario
 diff -u bench/scenarios/golden/loss_sweep.csv "$BUILD_DIR/loss_sweep_out.csv"
 echo "check.sh: loss_sweep scenario output matches golden"
+# Churn smoke: the arrival-rate x protocol grid under two-sided membership
+# churn (deaths, rebirths with ID reuse, Poisson arrivals) must execute
+# and reproduce its golden byte-for-byte — this is the determinism
+# contract's membership clause under test; see churn_sweep.scenario for
+# regeneration.
+"$BUILD_DIR"/dynagg_run --threads=2 \
+  --output="$BUILD_DIR/churn_sweep_out.csv" \
+  bench/scenarios/churn_sweep.scenario
+diff -u bench/scenarios/golden/churn_sweep.csv \
+  "$BUILD_DIR/churn_sweep_out.csv"
+echo "check.sh: churn_sweep scenario output matches golden"
+# Spec-grammar fuzzer, fixed corpus: 500 generated/mutated specs, each of
+# which must either fail --dry-run with an actionable diagnostic or
+# execute clean — any runtime-only rejection is a validation gap and dumps
+# a fuzz_repro_*.scenario artifact.
+mkdir -p "$BUILD_DIR/fuzz"
+"$BUILD_DIR"/dynagg_fuzz --seed-corpus --out-dir="$BUILD_DIR/fuzz"
+echo "check.sh: fuzz seed corpus clean"
 # Perf smoke: the round-kernel microbenchmarks must still run and the
 # 100k-host scale spec must validate. The full perf snapshot
 # (BENCH_roundkernel.json) is regenerated with `tools/bench.sh`.
